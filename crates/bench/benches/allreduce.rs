@@ -1,0 +1,87 @@
+//! Whole-fabric all-reduce (§III-C) benchmark and ablation against a naive
+//! gather-to-one-PE scheme: messages and critical-path hops as the fabric grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mffv_core::allreduce::AllReduce;
+use mffv_fabric::router::{RouterRule, SwitchConfig};
+use mffv_fabric::{ColorAllocator, Fabric, FabricDims, PeId, Port};
+use std::hint::black_box;
+
+/// Naive alternative: every PE's value is routed all the way to PE (0, 0) with a
+/// dedicated chain of unicasts (no in-network accumulation), then broadcast back.
+fn naive_gather(fabric: &mut Fabric, values: &[f32]) -> f32 {
+    let dims = fabric.dims();
+    let mut colors = ColorAllocator::new();
+    let color = colors.allocate().unwrap();
+    let mut total = values[0];
+    for idx in 1..dims.num_pes() {
+        let mut pe = dims.unlinear(idx);
+        let value = values[idx];
+        // Walk west then north, one unicast per hop.
+        while pe.x > 0 || pe.y > 0 {
+            let port = if pe.x > 0 { Port::West } else { Port::North };
+            let dst = dims.neighbor(pe, port).unwrap();
+            fabric.set_color_config(
+                pe,
+                color,
+                SwitchConfig::fixed(RouterRule::new(&[Port::Ramp], &[port])),
+            );
+            fabric.set_color_config(
+                dst,
+                color,
+                SwitchConfig::fixed(RouterRule::new(&[port.entry_on_neighbor()], &[Port::Ramp])),
+            );
+            fabric.send(pe, color, &[value]).unwrap();
+            fabric.take_message(dst, color).unwrap();
+            pe = dst;
+        }
+        total += value;
+    }
+    total
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce");
+    for size in [8usize, 16, 24] {
+        let dims = FabricDims::new(size, size);
+        let values: Vec<f32> = (0..dims.num_pes()).map(|i| i as f32 * 0.5).collect();
+
+        group.bench_with_input(BenchmarkId::new("fabric_allreduce", size), &size, |b, _| {
+            b.iter(|| {
+                let mut fabric = Fabric::new(dims);
+                let mut colors = ColorAllocator::new();
+                let ar = AllReduce::new(&mut colors).unwrap();
+                black_box(ar.sum(&mut fabric, &values).unwrap())
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("naive_gather_to_origin", size), &size, |b, _| {
+            b.iter(|| {
+                let mut fabric = Fabric::new(dims);
+                black_box(naive_gather(&mut fabric, &values))
+            })
+        });
+    }
+    group.finish();
+
+    // Also report (once) how traffic scales — printed so the bench log doubles as a
+    // data source for the Table-III discussion of reduction cost.
+    for size in [8usize, 16, 32] {
+        let dims = FabricDims::new(size, size);
+        let values = vec![1.0f32; dims.num_pes()];
+        let mut fabric = Fabric::new(dims);
+        let mut colors = ColorAllocator::new();
+        let ar = AllReduce::new(&mut colors).unwrap();
+        let (_, report) = ar.sum(&mut fabric, &values).unwrap();
+        let naive_pe = PeId::new(size - 1, size - 1);
+        eprintln!(
+            "allreduce {size}x{size}: messages = {}, critical-path hops = {}, manhattan(origin, corner) = {}",
+            report.messages,
+            report.critical_path_hops,
+            dims.manhattan(PeId::new(0, 0), naive_pe)
+        );
+    }
+}
+
+criterion_group!(benches, bench_allreduce);
+criterion_main!(benches);

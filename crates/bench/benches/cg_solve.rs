@@ -1,0 +1,60 @@
+//! End-to-end CG solve benchmarks (the executed counterpart of Table II): the
+//! sequential matrix-free oracle, the assembled baseline, plain CG vs Jacobi PCG,
+//! and the dataflow-fabric solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mffv_bench::bench_workload;
+use mffv_core::{DataflowFvSolver, SolverOptions};
+use mffv_fv::csr::AssembledOperator;
+use mffv_fv::MatrixFreeOperator;
+use mffv_mesh::CellField;
+use mffv_solver::cg::ConjugateGradient;
+use mffv_solver::newton::solve_pressure_with;
+use mffv_solver::pcg::{JacobiPreconditioner, PreconditionedConjugateGradient};
+use mffv_fv::residual::{newton_rhs, residual};
+use std::hint::black_box;
+
+fn bench_cg_solves(c: &mut Criterion) {
+    let workload = bench_workload();
+    let tolerance = 1e-10;
+    let mut group = c.benchmark_group("cg_solve");
+    group.sample_size(10);
+
+    group.bench_function("matrix_free_oracle_f64", |b| {
+        let op = MatrixFreeOperator::<f64>::from_workload(&workload);
+        let solver = ConjugateGradient::with_tolerance(tolerance, 10_000);
+        b.iter(|| black_box(solve_pressure_with::<f64, _>(&workload, &op, &solver)))
+    });
+
+    group.bench_function("assembled_baseline_f64", |b| {
+        let op = AssembledOperator::<f64>::from_workload(&workload);
+        let solver = ConjugateGradient::with_tolerance(tolerance, 10_000);
+        b.iter(|| black_box(solve_pressure_with::<f64, _>(&workload, &op, &solver)))
+    });
+
+    group.bench_function("jacobi_pcg_f64", |b| {
+        let op = MatrixFreeOperator::<f64>::from_workload(&workload);
+        let pc = JacobiPreconditioner::from_coefficients(op.coefficients(), workload.dirichlet());
+        let solver = PreconditionedConjugateGradient::with_tolerance(tolerance, 10_000);
+        let p0: CellField<f64> = workload.initial_pressure();
+        let r = residual(&p0, workload.transmissibility(), workload.dirichlet());
+        let rhs = newton_rhs(&r, workload.dirichlet());
+        let x0 = CellField::zeros(workload.dims());
+        b.iter(|| black_box(solver.solve(&op, &pc, &rhs, &x0)))
+    });
+
+    group.bench_function("dataflow_fabric_f32", |b| {
+        b.iter(|| {
+            let solver = DataflowFvSolver::new(
+                workload.clone(),
+                SolverOptions::paper().with_tolerance(1e-8),
+            );
+            black_box(solver.solve().expect("dataflow solve failed"))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cg_solves);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! The four-step Table-I halo exchange: cost of one full exchange as the fabric
+//! grows, and the per-PE traffic it induces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mffv_core::comm::CardinalExchange;
+use mffv_core::mapping::PeColumnBuffers;
+use mffv_fabric::{ColorAllocator, Fabric, FabricDims};
+use mffv_mesh::workload::WorkloadSpec;
+use mffv_mesh::Dims;
+use std::hint::black_box;
+
+fn setup(dims: Dims) -> (Fabric, Vec<PeColumnBuffers>, CardinalExchange) {
+    let workload = WorkloadSpec::paper_grid(dims.nx, dims.ny, dims.nz).build();
+    let mut fabric = Fabric::new(FabricDims::new(dims.nx, dims.ny));
+    let mut buffers = Vec::with_capacity(fabric.num_pes());
+    for idx in 0..fabric.num_pes() {
+        let pe_id = fabric.dims().unlinear(idx);
+        let pe = fabric.pe_mut(pe_id);
+        let bufs = PeColumnBuffers::allocate(pe, &workload, pe_id.x, pe_id.y).unwrap();
+        let column = vec![1.0f32; dims.nz];
+        pe.memory_mut().write(bufs.direction, 0, &column).unwrap();
+        buffers.push(bufs);
+    }
+    let mut colors = ColorAllocator::new();
+    let exchange = CardinalExchange::new(&mut fabric, &mut colors).unwrap();
+    (fabric, buffers, exchange)
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cardinal_exchange");
+    for (nx, ny, nz) in [(8usize, 8usize, 32usize), (16, 16, 32), (24, 24, 32), (16, 16, 128)] {
+        let dims = Dims::new(nx, ny, nz);
+        group.bench_with_input(
+            BenchmarkId::new("four_step_exchange", format!("{nx}x{ny}x{nz}")),
+            &dims,
+            |b, &dims| {
+                let (mut fabric, buffers, mut exchange) = setup(dims);
+                b.iter(|| black_box(exchange.exchange(&mut fabric, &buffers).unwrap()))
+            },
+        );
+    }
+    group.finish();
+
+    // Log the traffic profile once per size for the report.
+    for (nx, ny, nz) in [(8usize, 8usize, 32usize), (16, 16, 32)] {
+        let dims = Dims::new(nx, ny, nz);
+        let (mut fabric, buffers, mut exchange) = setup(dims);
+        let report = exchange.exchange(&mut fabric, &buffers).unwrap();
+        eprintln!(
+            "exchange {nx}x{ny}x{nz}: messages = {}, wavelets = {}, link bytes = {}",
+            report.messages,
+            report.wavelets,
+            fabric.stats().link_bytes
+        );
+    }
+}
+
+criterion_group!(benches, bench_exchange);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Ablations of the §III-E design choices: DSD-vectorised vs element-at-a-time
+//! per-PE kernels (executed), and the modelled effect of the overlap and
+//! vectorisation toggles on device time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mffv_core::kernel;
+use mffv_core::mapping::PeColumnBuffers;
+use mffv_core::{DataflowFvSolver, SolverOptions};
+use mffv_fabric::{Dsd, PeId, ProcessingElement};
+use mffv_mesh::workload::WorkloadSpec;
+use mffv_mesh::Direction;
+use std::hint::black_box;
+
+/// An element-at-a-time (non-vectorised) version of the per-PE kernel: the same
+/// arithmetic issued as length-1 DSD operations, the way a scalar loop would.
+fn compute_jd_scalar(pe: &mut ProcessingElement, bufs: &PeColumnBuffers, nz: usize) {
+    pe.fill(Dsd::full(bufs.operator_out, nz), 0.0).unwrap();
+    let halos = [
+        (Direction::XP, bufs.halo_east),
+        (Direction::XM, bufs.halo_west),
+        (Direction::YP, bufs.halo_south),
+        (Direction::YM, bufs.halo_north),
+    ];
+    for z in 0..nz {
+        for (dir, halo) in halos {
+            let t = Dsd::new(bufs.transmissibility[dir.index()], z, 1);
+            let h = Dsd::new(halo, z, 1);
+            let d = Dsd::new(bufs.direction, z, 1);
+            let out = Dsd::new(bufs.operator_out, z, 1);
+            pe.fsubs(h, d, h).unwrap();
+            pe.fmacs(out, out, t, h).unwrap();
+        }
+    }
+}
+
+fn bench_vectorization(c: &mut Criterion) {
+    let nz = 256;
+    let workload = WorkloadSpec::paper_grid(4, 4, nz).build();
+    let mut group = c.benchmark_group("pe_kernel_vectorization");
+
+    group.bench_function(BenchmarkId::new("dsd_vectorized", nz), |b| {
+        let mut pe = ProcessingElement::new(PeId::new(1, 1));
+        let bufs = PeColumnBuffers::allocate(&mut pe, &workload, 1, 1).unwrap();
+        pe.memory_mut().write(bufs.direction, 0, &vec![1.0f32; nz]).unwrap();
+        b.iter(|| black_box(kernel::compute_jd(&mut pe, &bufs).unwrap()))
+    });
+
+    group.bench_function(BenchmarkId::new("element_at_a_time", nz), |b| {
+        let mut pe = ProcessingElement::new(PeId::new(1, 1));
+        let bufs = PeColumnBuffers::allocate(&mut pe, &workload, 1, 1).unwrap();
+        pe.memory_mut().write(bufs.direction, 0, &vec![1.0f32; nz]).unwrap();
+        b.iter(|| {
+            compute_jd_scalar(&mut pe, &bufs, nz);
+            black_box(())
+        })
+    });
+    group.finish();
+
+    // Modelled ablations: overlap and vectorisation toggles change modelled device
+    // time, reported once per bench run.
+    let workload = WorkloadSpec::paper_grid(12, 12, 24).build();
+    let configs = [
+        ("all_optimizations", SolverOptions::paper()),
+        ("no_overlap", SolverOptions::paper().without_overlap()),
+        ("no_vectorization", SolverOptions::paper().without_vectorization()),
+        ("no_buffer_reuse", SolverOptions::paper().without_buffer_reuse()),
+    ];
+    for (name, options) in configs {
+        let report = DataflowFvSolver::new(workload.clone(), options.with_tolerance(1e-8))
+            .solve()
+            .unwrap();
+        eprintln!(
+            "ablation {name}: modelled device time = {:.6e} s, memory plan bytes = {}",
+            report.modelled_time.total,
+            report.memory_plan.data_bytes()
+        );
+    }
+}
+
+criterion_group!(benches, bench_vectorization);
+criterion_main!(benches);

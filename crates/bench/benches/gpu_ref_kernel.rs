@@ -1,0 +1,38 @@
+//! The GPU-style reference kernel (§IV): block-parallel matrix-free apply versus the
+//! sequential host operator, and the scaling with available host threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mffv_bench::{bench_workload, bench_workload_large};
+use mffv_fv::{LinearOperator, MatrixFreeOperator};
+use mffv_gpu_ref::GpuMatrixFreeOperator;
+use mffv_mesh::CellField;
+use std::hint::black_box;
+
+fn bench_gpu_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gpu_ref_kernel");
+    for workload in [bench_workload(), bench_workload_large()] {
+        let dims = workload.dims();
+        let x = CellField::<f32>::from_fn(dims, |cell| (cell.x * 3 + cell.y + cell.z) as f32 * 0.01);
+        let mut y = CellField::<f32>::zeros(dims);
+
+        let sequential = MatrixFreeOperator::<f32>::from_workload(&workload);
+        group.bench_with_input(
+            BenchmarkId::new("sequential_reference", dims.num_cells()),
+            &dims,
+            |b, _| b.iter(|| sequential.apply(black_box(&x), black_box(&mut y))),
+        );
+
+        for threads in [1usize, 2, 4] {
+            let gpu = GpuMatrixFreeOperator::from_workload(&workload).with_host_threads(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("block_parallel_{threads}_threads"), dims.num_cells()),
+                &dims,
+                |b, _| b.iter(|| gpu.apply(black_box(&x), black_box(&mut y))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gpu_kernel);
+criterion_main!(benches);

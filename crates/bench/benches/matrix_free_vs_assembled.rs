@@ -1,0 +1,48 @@
+//! Ablation: matrix-free operator application vs assembled CSR SpMV (plus the
+//! assembly cost the matrix-free approach avoids entirely) — the §II-A motivation
+//! for the matrix-free design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mffv_bench::{bench_workload, bench_workload_large};
+use mffv_fv::csr::{AssembledOperator, CsrMatrix};
+use mffv_fv::{LinearOperator, MatrixFreeOperator};
+use mffv_mesh::CellField;
+use std::hint::black_box;
+
+fn bench_operator_apply(c: &mut Criterion) {
+    let mut group = c.benchmark_group("operator_apply");
+    for workload in [bench_workload(), bench_workload_large()] {
+        let dims = workload.dims();
+        let x = CellField::<f64>::from_fn(dims, |cell| (cell.x + cell.y + cell.z) as f64 * 0.01);
+        let mut y = CellField::<f64>::zeros(dims);
+        let matrix_free = MatrixFreeOperator::<f64>::from_workload(&workload);
+        let assembled = AssembledOperator::<f64>::from_workload(&workload);
+
+        group.bench_with_input(
+            BenchmarkId::new("matrix_free", dims.num_cells()),
+            &dims,
+            |b, _| b.iter(|| matrix_free.apply(black_box(&x), black_box(&mut y))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("assembled_spmv", dims.num_cells()),
+            &dims,
+            |b, _| b.iter(|| assembled.apply(black_box(&x), black_box(&mut y))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("assembly_cost", dims.num_cells()),
+            &dims,
+            |b, _| {
+                b.iter(|| {
+                    black_box(CsrMatrix::<f64>::assemble_spd(
+                        workload.transmissibility(),
+                        workload.dirichlet(),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_operator_apply);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Executed weak-scaling sweep (the executed counterpart of Table III): the
+//! dataflow solve at a fixed column depth while the fabric X/Y extents grow, split
+//! into the Algorithm-2 part (one operator sweep) and the full Algorithm-1
+//! iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mffv_core::comm::CardinalExchange;
+use mffv_core::kernel;
+use mffv_core::mapping::PeColumnBuffers;
+use mffv_core::{DataflowFvSolver, SolverOptions};
+use mffv_fabric::{ColorAllocator, Fabric, FabricDims};
+use mffv_mesh::workload::WorkloadSpec;
+use mffv_mesh::Dims;
+use std::hint::black_box;
+
+/// One Algorithm-2 sweep (exchange + per-PE matrix-free apply) on a prepared fabric.
+fn alg2_sweep(dims: Dims) -> impl FnMut() {
+    let workload = WorkloadSpec::paper_grid(dims.nx, dims.ny, dims.nz).build();
+    let mut fabric = Fabric::new(FabricDims::new(dims.nx, dims.ny));
+    let mut buffers = Vec::with_capacity(fabric.num_pes());
+    for idx in 0..fabric.num_pes() {
+        let pe_id = fabric.dims().unlinear(idx);
+        let pe = fabric.pe_mut(pe_id);
+        let bufs = PeColumnBuffers::allocate(pe, &workload, pe_id.x, pe_id.y).unwrap();
+        pe.memory_mut().write(bufs.direction, 0, &vec![1.0f32; dims.nz]).unwrap();
+        buffers.push(bufs);
+    }
+    let mut colors = ColorAllocator::new();
+    let mut exchange = CardinalExchange::new(&mut fabric, &mut colors).unwrap();
+    move || {
+        exchange.exchange(&mut fabric, &buffers).unwrap();
+        for idx in 0..fabric.num_pes() {
+            let pe_id = fabric.dims().unlinear(idx);
+            kernel::compute_jd(fabric.pe_mut(pe_id), &buffers[idx]).unwrap();
+        }
+    }
+}
+
+fn bench_weak_scaling(c: &mut Criterion) {
+    let nz = 32;
+    let mut group = c.benchmark_group("weak_scaling");
+    group.sample_size(10);
+
+    // Algorithm 2 only: work per PE is constant, so time should grow only with the
+    // host cost of simulating more PEs (on the real fabric it is flat).
+    for side in [8usize, 12, 16, 20] {
+        let dims = Dims::new(side, side, nz);
+        group.bench_with_input(BenchmarkId::new("alg2_sweep", side), &dims, |b, &dims| {
+            let mut sweep = alg2_sweep(dims);
+            b.iter(&mut sweep)
+        });
+    }
+
+    // Full Algorithm 1 for a fixed number of iterations.
+    for side in [8usize, 12, 16] {
+        let dims = Dims::new(side, side, nz);
+        let workload = WorkloadSpec::paper_grid(dims.nx, dims.ny, dims.nz).build();
+        group.bench_with_input(BenchmarkId::new("alg1_fixed_iterations", side), &dims, |b, _| {
+            b.iter(|| {
+                let solver = DataflowFvSolver::new(
+                    workload.clone(),
+                    SolverOptions::paper().with_max_iterations(20).with_tolerance(1e-30),
+                );
+                black_box(solver.solve().unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weak_scaling);
+criterion_main!(benches);

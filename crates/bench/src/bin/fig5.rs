@@ -1,0 +1,69 @@
+//! Regenerates **Figure 5** — pressure propagation from the source (top-left) to
+//! the producer (bottom-right).
+//!
+//! Solves the CO₂-injection scenario on the simulated dataflow fabric and prints
+//! (a) an ASCII rendering of a horizontal pressure slice after convergence and
+//! (b) the same slice as CSV for external plotting.
+//!
+//! Run with `cargo run --release -p mffv-bench --bin fig5`.
+
+use mffv_core::{DataflowFvSolver, SolverOptions};
+use mffv_mesh::workload::WorkloadSpec;
+use mffv_mesh::{CellIndex, Dims};
+
+const SHADES: &[u8] = b" .:-=+*#%@";
+
+fn main() {
+    let dims = Dims::new(48, 32, 8);
+    let workload = WorkloadSpec::fig5(dims).build();
+    let report = DataflowFvSolver::new(
+        workload.clone(),
+        SolverOptions::paper().with_tolerance(1e-14),
+    )
+    .solve()
+    .expect("dataflow solve failed");
+
+    println!(
+        "Figure 5 — final pressure field, {} ({} CG iterations, converged = {})",
+        dims, report.stats.iterations, report.history.converged
+    );
+    println!("Source column at (0, 0) [top-left], producer column at ({}, {}) [bottom-right]\n",
+        dims.nx - 1, dims.ny - 1);
+
+    let z = dims.nz / 2;
+    let slice: Vec<f32> = report.pressure.horizontal_slice(z);
+    let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+    for &v in &slice {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let range = (hi - lo).max(f32::MIN_POSITIVE);
+
+    println!("ASCII rendering of the pressure slice at z = {z} (darker = higher pressure):");
+    for y in 0..dims.ny {
+        let mut line = String::with_capacity(dims.nx);
+        for x in 0..dims.nx {
+            let v = slice[y * dims.nx + x];
+            let t = ((v - lo) / range).clamp(0.0, 1.0);
+            let idx = (t * (SHADES.len() - 1) as f32).round() as usize;
+            line.push(SHADES[idx] as char);
+        }
+        println!("{line}");
+    }
+
+    println!("\nCSV of the same slice (x, y, pressure[Pa]):");
+    println!("x,y,pressure");
+    for y in 0..dims.ny {
+        for x in 0..dims.nx {
+            println!("{x},{y},{:.6e}", slice[y * dims.nx + x]);
+        }
+    }
+
+    // Quantitative signature of the figure: pressure decays monotonically from the
+    // source towards the producer along the diagonal.
+    let near_source = report.pressure.at(CellIndex::new(1, 1, z));
+    let mid = report.pressure.at(CellIndex::new(dims.nx / 2, dims.ny / 2, z));
+    let near_producer = report.pressure.at(CellIndex::new(dims.nx - 2, dims.ny - 2, z));
+    println!("\nDiagonal signature: p(near source) = {near_source:.4e}  >  p(centre) = {mid:.4e}  >  p(near producer) = {near_producer:.4e}");
+    println!("Max residual of Eq. (3) at the converged field: {:.3e}", report.final_residual_max);
+}

@@ -1,0 +1,102 @@
+//! Regenerates **Table II** — kernel time on the CS-2 versus NVIDIA A100/H100.
+//!
+//! Two sections are printed:
+//! 1. the analytic models evaluated at the paper's full 750×994×922 mesh and 225 CG
+//!    iterations (device times are modelled, see `EXPERIMENTS.md`);
+//! 2. an executed cross-check at a scaled grid: the dataflow simulator and the
+//!    CPU-executed GPU-style reference both solve the same problem, and their
+//!    modelled device times are reported alongside.
+//!
+//! Run with `cargo run --release -p mffv-bench --bin table2`.
+
+use mffv_bench::{executed_workload, DEFAULT_EXECUTED_SCALE};
+use mffv_core::{DataflowFvSolver, SolverOptions};
+use mffv_gpu_ref::{GpuReferenceSolver, GpuSpec};
+use mffv_mesh::Dims;
+use mffv_perf::report::{fmt_seconds, format_table};
+use mffv_perf::AnalyticTiming;
+
+fn main() {
+    let paper_dims = Dims::new(750, 994, 922);
+    let iterations = 225;
+    let model = AnalyticTiming::paper();
+
+    let cs2 = model.cs2_alg1_time(paper_dims, iterations);
+    let a100 = model.gpu_alg1_time(GpuSpec::a100(), paper_dims, iterations);
+    let h100 = model.gpu_alg1_time(GpuSpec::h100(), paper_dims, iterations);
+
+    println!("Table II — time measurements, full paper mesh {paper_dims} ({iterations} iterations)");
+    println!("(modelled device time; paper measurements shown for reference)\n");
+    let rows = vec![
+        vec![
+            "Dataflow/CSL (CS-2)".to_string(),
+            fmt_seconds(cs2),
+            "0.0542".to_string(),
+            format!("{:.2}x", a100 / cs2),
+            "427.82x".to_string(),
+        ],
+        vec![
+            "A100/CUDA".to_string(),
+            fmt_seconds(a100),
+            "23.1879".to_string(),
+            "1.00x".to_string(),
+            "1.00x".to_string(),
+        ],
+        vec![
+            "H100/CUDA".to_string(),
+            fmt_seconds(h100),
+            "11.3861".to_string(),
+            format!("{:.2}x", a100 / h100),
+            "2.04x".to_string(),
+        ],
+    ];
+    println!(
+        "{}",
+        format_table(
+            &["Arch/lang", "Modelled time [s]", "Paper time [s]", "Modelled speedup vs A100", "Paper speedup vs A100"],
+            &rows
+        )
+    );
+
+    // Executed cross-check at a scaled grid.
+    let scaled = Dims::new(
+        (paper_dims.nx / DEFAULT_EXECUTED_SCALE).max(2),
+        (paper_dims.ny / DEFAULT_EXECUTED_SCALE).max(2),
+        (paper_dims.nz / DEFAULT_EXECUTED_SCALE).max(2),
+    );
+    println!("Executed cross-check at scaled grid {scaled} (same code paths, smaller mesh):\n");
+    let workload = executed_workload(scaled);
+    let dataflow = DataflowFvSolver::new(
+        workload.clone(),
+        SolverOptions::paper().with_tolerance(1e-10),
+    )
+    .solve()
+    .expect("dataflow solve failed");
+    let gpu = GpuReferenceSolver::new(workload, GpuSpec::a100()).with_tolerance(1e-10).solve();
+
+    let rows = vec![
+        vec![
+            "Dataflow (simulated fabric)".to_string(),
+            format!("{}", dataflow.stats.iterations),
+            fmt_seconds(dataflow.modelled_time.total),
+            format!("{:.3e}", dataflow.final_residual_max),
+        ],
+        vec![
+            "GPU reference (CPU-executed)".to_string(),
+            format!("{}", gpu.history.iterations),
+            fmt_seconds(gpu.modelled_kernel_time),
+            format!("{:.3e}", gpu.final_residual_max),
+        ],
+    ];
+    println!(
+        "{}",
+        format_table(
+            &["Implementation", "CG iterations", "Modelled device time [s]", "Final |r|_max"],
+            &rows
+        )
+    );
+    println!(
+        "Modelled speedup at the scaled grid: {:.1}x (paper, full grid: 427.82x vs A100)",
+        gpu.modelled_kernel_time / dataflow.modelled_time.total
+    );
+}

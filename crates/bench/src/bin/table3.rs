@@ -1,0 +1,81 @@
+//! Regenerates **Table III** — weak-scaling results across the fabric dimensions.
+//!
+//! For every grid of the paper's sweep (Nz = 922, X/Y growing to the full
+//! 750 × 994 fabric) the analytic model produces the CS-2 Algorithm-2 and
+//! Algorithm-1 times, the corresponding throughputs in Gcell/s and the A100 times.
+//! An executed sweep at scaled grids follows, exercising the simulator on the same
+//! X/Y progression so the *shape* (flat Algorithm-2 scaling, slowly growing
+//! Algorithm-1 time) is also demonstrated by real execution.
+//!
+//! Run with `cargo run --release -p mffv-bench --bin table3`.
+
+use mffv_bench::{executed_table3_grids, executed_workload, paper_table3_grids, paper_table3_iterations};
+use mffv_core::{DataflowFvSolver, SolverOptions};
+use mffv_perf::report::{fmt_gcells, fmt_seconds, format_table};
+use mffv_perf::AnalyticTiming;
+
+fn main() {
+    let model = AnalyticTiming::paper();
+    let grids = paper_table3_grids();
+    let iterations = paper_table3_iterations();
+
+    println!("Table III — weak scaling at the paper's full grid sizes (modelled device time)\n");
+    let mut rows = Vec::new();
+    for (dims, iters) in grids.iter().zip(iterations.iter()) {
+        let row = model.scaling_row(*dims, *iters);
+        rows.push(vec![
+            format!("{} x {} x {}", dims.nx, dims.ny, dims.nz),
+            format!("{}", dims.num_cells()),
+            format!("{iters}"),
+            fmt_gcells(row.cs2_alg2_throughput),
+            fmt_seconds(row.cs2_alg2_time),
+            fmt_seconds(row.a100_alg2_time),
+            fmt_gcells(row.cs2_alg1_throughput),
+            fmt_seconds(row.cs2_alg1_time),
+            fmt_seconds(row.a100_alg1_time),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "Grid",
+                "Total cells",
+                "Steps",
+                "Alg2 thpt [Gcell/s]",
+                "Alg2 CS-2 [s]",
+                "Alg2 A100 [s]",
+                "Alg1 thpt [Gcell/s]",
+                "Alg1 CS-2 [s]",
+                "Alg1 A100 [s]",
+            ],
+            &rows
+        )
+    );
+
+    println!("Executed sweep at scaled grids (simulated fabric, measured counts, modelled time):\n");
+    let mut rows = Vec::new();
+    for dims in executed_table3_grids(50) {
+        let workload = executed_workload(dims);
+        let report = DataflowFvSolver::new(workload, SolverOptions::paper().with_tolerance(1e-8))
+            .solve()
+            .expect("dataflow solve failed");
+        rows.push(vec![
+            format!("{} x {} x {}", dims.nx, dims.ny, dims.nz),
+            format!("{}", report.stats.iterations),
+            format!("{}", report.stats.fabric.link_bytes),
+            format!("{}", report.stats.critical_path_hops),
+            format!("{:.3e}", report.modelled_time.total),
+            format!("{}", report.history.converged),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["Grid (scaled)", "Steps", "Fabric bytes", "Critical hops", "Modelled time [s]", "Converged"],
+            &rows
+        )
+    );
+    println!("Shape checks: Alg2 CS-2 time is flat across the sweep; Alg1 CS-2 time grows with");
+    println!("the fabric extent (reduction path); A100 time grows linearly with cell count.");
+}

@@ -1,0 +1,429 @@
+//! Distributed data communication for the matrix-free computation (§III-B).
+//!
+//! Before each application of the matrix-free operator, every PE needs the direction
+//! column of its four cardinal neighbours.  The paper organises this as the
+//! four-step schedule of Table I, with action colours C1–C4, completion-callback
+//! colours C5–C12, and routers whose switch positions alternate each PE between
+//! Sending and Receiving roles (Listing 1, Figure 4):
+//!
+//! | step | odd-x            | even-x           | odd-y            | even-y           |
+//! |------|------------------|------------------|------------------|------------------|
+//! | 1    | send C east (C1) | recv W ← west    | send C north (C3)| recv S ← south   |
+//! | 2    | recv W ← west    | send C east (C2) | recv S ← south   | send C north (C4)|
+//! | 3    | send C west (C1) | recv E ← east    | send C south (C3)| recv N ← north   |
+//! | 4    | recv E ← east    | send C west (C2) | recv N ← north   | send C south (C4)|
+//!
+//! Colour C1 carries every stream *originated by odd-x PEs* (east in steps 1–2, west
+//! in steps 3–4), C2 the streams originated by even-x PEs, and C3/C4 the analogous
+//! Y-dimension streams; each colour therefore needs exactly two switch positions,
+//! advanced once between step 2 and step 3 and wrapped (ring mode) after step 4.
+
+use crate::mapping::PeColumnBuffers;
+use mffv_fabric::error::{FabricError, Result};
+use mffv_fabric::router::{RouterRule, SwitchConfig};
+use mffv_fabric::{Color, ColorAllocator, Fabric, FabricDims, Port};
+
+/// Which of the four Table-I steps is being executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExchangeStep {
+    Step1,
+    Step2,
+    Step3,
+    Step4,
+}
+
+impl ExchangeStep {
+    /// All four steps in order.
+    pub const ALL: [ExchangeStep; 4] =
+        [ExchangeStep::Step1, ExchangeStep::Step2, ExchangeStep::Step3, ExchangeStep::Step4];
+}
+
+/// Report of one full four-step exchange.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExchangeReport {
+    /// Messages sent across the fabric.
+    pub messages: usize,
+    /// Completion callbacks observed (sender + receiver callbacks, Table I's CC
+    /// columns).
+    pub callbacks: usize,
+    /// Wavelets moved (payload values × messages).
+    pub wavelets: usize,
+}
+
+/// The four-step cardinal halo exchange.
+#[derive(Clone, Debug)]
+pub struct CardinalExchange {
+    fabric_dims: FabricDims,
+    /// C1, C2: X-dimension action colours; C3, C4: Y-dimension action colours.
+    action_colors: [Color; 4],
+    /// C5–C12: completion-callback colours (modelled as counters, see
+    /// [`CardinalExchange::callback_counts`]).
+    callback_colors: [Color; 8],
+    callback_counts: [usize; 8],
+}
+
+impl CardinalExchange {
+    /// Allocate the colour set and program every PE's router with the two-position
+    /// switch configurations described in the module documentation.
+    pub fn new(fabric: &mut Fabric, colors: &mut ColorAllocator) -> Result<Self> {
+        let action_colors: [Color; 4] = {
+            let v = colors.allocate_many(4)?;
+            [v[0], v[1], v[2], v[3]]
+        };
+        let callback_colors: [Color; 8] = {
+            let v = colors.allocate_many(8)?;
+            [v[0], v[1], v[2], v[3], v[4], v[5], v[6], v[7]]
+        };
+        let exchange = Self {
+            fabric_dims: fabric.dims(),
+            action_colors,
+            callback_colors,
+            callback_counts: [0; 8],
+        };
+        exchange.program_routers(fabric);
+        Ok(exchange)
+    }
+
+    /// The action colours C1–C4.
+    pub fn action_colors(&self) -> [Color; 4] {
+        self.action_colors
+    }
+
+    /// The completion-callback colours C5–C12.
+    pub fn callback_colors(&self) -> [Color; 8] {
+        self.callback_colors
+    }
+
+    /// How many times each completion callback fired since construction.
+    pub fn callback_counts(&self) -> [usize; 8] {
+        self.callback_counts
+    }
+
+    fn program_routers(&self, fabric: &mut Fabric) {
+        let [c1, c2, c3, c4] = self.action_colors;
+        // C1: streams originated by odd-x PEs (east in steps 1–2, west in 3–4).
+        fabric.set_color_config_all(c1, |pe| {
+            if pe.x % 2 == 1 {
+                SwitchConfig::switched(
+                    vec![
+                        RouterRule::new(&[Port::Ramp], &[Port::East]),
+                        RouterRule::new(&[Port::Ramp], &[Port::West]),
+                    ],
+                    true,
+                )
+            } else {
+                SwitchConfig::switched(
+                    vec![
+                        RouterRule::new(&[Port::West], &[Port::Ramp]),
+                        RouterRule::new(&[Port::East], &[Port::Ramp]),
+                    ],
+                    true,
+                )
+            }
+        });
+        // C2: streams originated by even-x PEs.
+        fabric.set_color_config_all(c2, |pe| {
+            if pe.x % 2 == 0 {
+                SwitchConfig::switched(
+                    vec![
+                        RouterRule::new(&[Port::Ramp], &[Port::East]),
+                        RouterRule::new(&[Port::Ramp], &[Port::West]),
+                    ],
+                    true,
+                )
+            } else {
+                SwitchConfig::switched(
+                    vec![
+                        RouterRule::new(&[Port::West], &[Port::Ramp]),
+                        RouterRule::new(&[Port::East], &[Port::Ramp]),
+                    ],
+                    true,
+                )
+            }
+        });
+        // C3: streams originated by odd-y PEs (north in steps 1–2, south in 3–4).
+        fabric.set_color_config_all(c3, |pe| {
+            if pe.y % 2 == 1 {
+                SwitchConfig::switched(
+                    vec![
+                        RouterRule::new(&[Port::Ramp], &[Port::North]),
+                        RouterRule::new(&[Port::Ramp], &[Port::South]),
+                    ],
+                    true,
+                )
+            } else {
+                SwitchConfig::switched(
+                    vec![
+                        RouterRule::new(&[Port::South], &[Port::Ramp]),
+                        RouterRule::new(&[Port::North], &[Port::Ramp]),
+                    ],
+                    true,
+                )
+            }
+        });
+        // C4: streams originated by even-y PEs.
+        fabric.set_color_config_all(c4, |pe| {
+            if pe.y % 2 == 0 {
+                SwitchConfig::switched(
+                    vec![
+                        RouterRule::new(&[Port::Ramp], &[Port::North]),
+                        RouterRule::new(&[Port::Ramp], &[Port::South]),
+                    ],
+                    true,
+                )
+            } else {
+                SwitchConfig::switched(
+                    vec![
+                        RouterRule::new(&[Port::South], &[Port::Ramp]),
+                        RouterRule::new(&[Port::North], &[Port::Ramp]),
+                    ],
+                    true,
+                )
+            }
+        });
+    }
+
+    /// Perform the full four-step exchange of every PE's `direction` column into its
+    /// neighbours' halo buffers.  `buffers[fabric.dims().linear(pe)]` must be the
+    /// buffer set of `pe`.
+    pub fn exchange(
+        &mut self,
+        fabric: &mut Fabric,
+        buffers: &[PeColumnBuffers],
+    ) -> Result<ExchangeReport> {
+        let mut report = ExchangeReport::default();
+        for step in ExchangeStep::ALL {
+            self.run_step(fabric, buffers, step, &mut report)?;
+            // Between step 2 and step 3, every colour advances its switch position —
+            // the control command of Listing 1.  After step 4 the ring wraps the
+            // switches back to position 0 for the next iteration.
+            if step == ExchangeStep::Step2 || step == ExchangeStep::Step4 {
+                for color in self.action_colors {
+                    for idx in 0..fabric.num_pes() {
+                        let pe = fabric.dims().unlinear(idx);
+                        fabric.advance_switch(pe, color)?;
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    fn run_step(
+        &mut self,
+        fabric: &mut Fabric,
+        buffers: &[PeColumnBuffers],
+        step: ExchangeStep,
+        report: &mut ExchangeReport,
+    ) -> Result<()> {
+        let dims = self.fabric_dims;
+        let [c1, c2, c3, c4] = self.action_colors;
+        // (sender parity on axis, axis is x?, colour, outgoing port, receiver halo
+        // selector, sender callback index, receiver callback index)
+        struct Action {
+            sender_parity: usize,
+            x_axis: bool,
+            color: Color,
+            port: Port,
+            sender_cb: usize,
+            receiver_cb: usize,
+        }
+        let actions: Vec<Action> = match step {
+            ExchangeStep::Step1 => vec![
+                Action { sender_parity: 1, x_axis: true, color: c1, port: Port::East, sender_cb: 0, receiver_cb: 1 },
+                Action { sender_parity: 1, x_axis: false, color: c3, port: Port::North, sender_cb: 2, receiver_cb: 3 },
+            ],
+            ExchangeStep::Step2 => vec![
+                Action { sender_parity: 0, x_axis: true, color: c2, port: Port::East, sender_cb: 0, receiver_cb: 1 },
+                Action { sender_parity: 0, x_axis: false, color: c4, port: Port::North, sender_cb: 2, receiver_cb: 3 },
+            ],
+            ExchangeStep::Step3 => vec![
+                Action { sender_parity: 1, x_axis: true, color: c1, port: Port::West, sender_cb: 4, receiver_cb: 5 },
+                Action { sender_parity: 1, x_axis: false, color: c3, port: Port::South, sender_cb: 6, receiver_cb: 7 },
+            ],
+            ExchangeStep::Step4 => vec![
+                Action { sender_parity: 0, x_axis: true, color: c2, port: Port::West, sender_cb: 4, receiver_cb: 5 },
+                Action { sender_parity: 0, x_axis: false, color: c4, port: Port::South, sender_cb: 6, receiver_cb: 7 },
+            ],
+        };
+
+        for action in &actions {
+            // Phase A: every sender of this action injects its direction column.
+            for idx in 0..fabric.num_pes() {
+                let pe = dims.unlinear(idx);
+                let parity = if action.x_axis { pe.x % 2 } else { pe.y % 2 };
+                if parity != action.sender_parity {
+                    continue;
+                }
+                if dims.neighbor(pe, action.port).is_none() {
+                    continue; // fabric edge: nothing to send to
+                }
+                let column = {
+                    let bufs = &buffers[idx];
+                    let nz = fabric.pe(pe).memory().len(bufs.direction)?;
+                    fabric.pe(pe).memory().read(bufs.direction, 0, nz)?
+                };
+                let send = fabric.send(pe, action.color, &column)?;
+                if send.deliveries != 1 {
+                    return Err(FabricError::InvalidBuffer {
+                        detail: format!(
+                            "exchange send from {pe} delivered to {} PEs instead of 1",
+                            send.deliveries
+                        ),
+                    });
+                }
+                report.messages += 1;
+                report.wavelets += column.len();
+                self.callback_counts[action.sender_cb] += 1;
+                report.callbacks += 1;
+            }
+            // Phase B: every receiver drains its mailbox into the right halo buffer.
+            for idx in 0..fabric.num_pes() {
+                let pe = dims.unlinear(idx);
+                let parity = if action.x_axis { pe.x % 2 } else { pe.y % 2 };
+                if parity == action.sender_parity {
+                    continue;
+                }
+                // The receiver's source direction is the opposite of the send port:
+                // an eastward send is received "from West".
+                let source_port = action.port.entry_on_neighbor();
+                if dims.neighbor(pe, source_port).is_none() {
+                    continue; // fabric edge: no neighbour on that side
+                }
+                let payload = fabric.pe_mut(pe).take_message(action.color)?;
+                let halo = halo_buffer_for_source(&buffers[idx], source_port);
+                fabric.pe_mut(pe).memory_mut().write(halo, 0, &payload)?;
+                // Account the copy from the ramp into local memory as stores.
+                fabric.pe_mut(pe).counters_mut().mem_store_bytes += payload.len() as u64 * 4;
+                self.callback_counts[action.receiver_cb] += 1;
+                report.callbacks += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The halo buffer that stores data arriving from a given fabric side.
+fn halo_buffer_for_source(bufs: &PeColumnBuffers, source: Port) -> mffv_fabric::BufferId {
+    match source {
+        Port::West => bufs.halo_west,
+        Port::East => bufs.halo_east,
+        Port::North => bufs.halo_north,
+        Port::South => bufs.halo_south,
+        Port::Ramp => unreachable!("halo source must be a cardinal port"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mffv_fabric::PeId;
+    use mffv_mesh::workload::WorkloadSpec;
+    use mffv_mesh::{CellField, Dims};
+
+    /// Build a fabric loaded with a workload whose direction column at (x, y, z) is
+    /// a recognisable function of the coordinates, then exchange and check halos.
+    fn setup(dims: Dims) -> (Fabric, Vec<PeColumnBuffers>, CardinalExchange, CellField<f32>) {
+        let spec = WorkloadSpec::paper_grid(dims.nx, dims.ny, dims.nz);
+        let workload = spec.build();
+        let mut fabric = Fabric::new(FabricDims::new(dims.nx, dims.ny));
+        let mut buffers = Vec::with_capacity(fabric.num_pes());
+        let direction = CellField::<f32>::from_fn(dims, |c| {
+            (c.x * 100 + c.y * 10 + c.z) as f32
+        });
+        for idx in 0..fabric.num_pes() {
+            let pe_id = fabric.dims().unlinear(idx);
+            let pe = fabric.pe_mut(pe_id);
+            let bufs = PeColumnBuffers::allocate(pe, &workload, pe_id.x, pe_id.y).unwrap();
+            let column = direction.column(pe_id.x, pe_id.y);
+            pe.memory_mut().write(bufs.direction, 0, &column).unwrap();
+            buffers.push(bufs);
+        }
+        let mut colors = ColorAllocator::new();
+        let exchange = CardinalExchange::new(&mut fabric, &mut colors).unwrap();
+        (fabric, buffers, exchange, direction)
+    }
+
+    #[test]
+    fn every_interior_pe_receives_all_four_halos() {
+        let dims = Dims::new(4, 3, 5);
+        let (mut fabric, buffers, mut exchange, direction) = setup(dims);
+        exchange.exchange(&mut fabric, &buffers).unwrap();
+        for idx in 0..fabric.num_pes() {
+            let pe = fabric.dims().unlinear(idx);
+            let bufs = &buffers[idx];
+            let checks = [
+                (Port::West, bufs.halo_west, pe.x.checked_sub(1).map(|x| (x, pe.y))),
+                (Port::East, bufs.halo_east, (pe.x + 1 < dims.nx).then(|| (pe.x + 1, pe.y))),
+                (Port::North, bufs.halo_north, pe.y.checked_sub(1).map(|y| (pe.x, y))),
+                (Port::South, bufs.halo_south, (pe.y + 1 < dims.ny).then(|| (pe.x, pe.y + 1))),
+            ];
+            for (_, halo, neighbor) in checks {
+                if let Some((nx, ny)) = neighbor {
+                    let expected = direction.column(nx, ny);
+                    let got = fabric.pe(pe).memory().read(halo, 0, dims.nz).unwrap();
+                    assert_eq!(got, expected, "halo mismatch at PE {pe} from ({nx}, {ny})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_message_count_matches_interior_face_count() {
+        let dims = Dims::new(4, 3, 2);
+        let (mut fabric, buffers, mut exchange, _) = setup(dims);
+        let report = exchange.exchange(&mut fabric, &buffers).unwrap();
+        // Every interior X face and Y face is crossed exactly twice (once in each
+        // direction): 2 * ((nx-1)*ny + nx*(ny-1)) messages.
+        let expected = 2 * ((dims.nx - 1) * dims.ny + dims.nx * (dims.ny - 1));
+        assert_eq!(report.messages, expected);
+        assert_eq!(report.wavelets, expected * dims.nz);
+        // Every send and every receive triggered its completion callback.
+        assert_eq!(report.callbacks, 2 * expected);
+        assert_eq!(exchange.callback_counts().iter().sum::<usize>(), 2 * expected);
+    }
+
+    #[test]
+    fn exchange_is_repeatable_across_iterations() {
+        // The ring-mode switch positions must wrap so a second iteration works
+        // identically — this is the crux of the Listing-1 toggling.
+        let dims = Dims::new(5, 4, 3);
+        let (mut fabric, buffers, mut exchange, direction) = setup(dims);
+        exchange.exchange(&mut fabric, &buffers).unwrap();
+        let before = fabric.stats().link_crossings;
+        exchange.exchange(&mut fabric, &buffers).unwrap();
+        let after = fabric.stats().link_crossings;
+        assert_eq!(after, 2 * before, "second iteration must move the same traffic");
+        // Halos still correct after the second pass.
+        let pe = PeId::new(2, 2);
+        let idx = fabric.dims().linear(pe);
+        let got = fabric.pe(pe).memory().read(buffers[idx].halo_west, 0, dims.nz).unwrap();
+        assert_eq!(got, direction.column(1, 2));
+    }
+
+    #[test]
+    fn single_row_fabric_exchanges_only_along_x() {
+        let dims = Dims::new(6, 1, 4);
+        let (mut fabric, buffers, mut exchange, direction) = setup(dims);
+        let report = exchange.exchange(&mut fabric, &buffers).unwrap();
+        assert_eq!(report.messages, 2 * (dims.nx - 1));
+        let pe = PeId::new(3, 0);
+        let idx = fabric.dims().linear(pe);
+        let west = fabric.pe(pe).memory().read(buffers[idx].halo_west, 0, dims.nz).unwrap();
+        assert_eq!(west, direction.column(2, 0));
+        let east = fabric.pe(pe).memory().read(buffers[idx].halo_east, 0, dims.nz).unwrap();
+        assert_eq!(east, direction.column(4, 0));
+    }
+
+    #[test]
+    fn colors_are_distinct() {
+        let dims = Dims::new(3, 3, 2);
+        let (_, _, exchange, _) = setup(dims);
+        let mut all = exchange.action_colors().to_vec();
+        all.extend(exchange.callback_colors());
+        let mut ids: Vec<u8> = all.iter().map(|c| c.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 12);
+    }
+}

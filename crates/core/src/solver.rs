@@ -1,0 +1,381 @@
+//! The top-level dataflow solver: Algorithm 1 executed on the simulated fabric.
+//!
+//! [`DataflowFvSolver`] loads a workload onto the fabric (one z-column per PE,
+//! §III-A), builds the right-hand side of the Newton system, and then drives the
+//! 14-state CG state machine: each iteration performs the Table-I halo exchange of
+//! the direction column, the per-PE matrix-free operator application (Algorithm 2),
+//! two whole-fabric all-reduces for α and the convergence test, and the vector
+//! updates — all through the fabric's DSD instruction set so every FLOP, byte and
+//! hop is counted.
+//!
+//! The returned [`DataflowSolveReport`] carries the pressure field (for numerical
+//! integrity checks against the host and GPU-reference solvers, §V-B), the
+//! convergence history, the measured counters and the modelled device time.
+
+use crate::allreduce::AllReduce;
+use crate::comm::CardinalExchange;
+use crate::kernel;
+use crate::mapping::{MemoryPlan, PeColumnBuffers, ProblemMapping};
+use crate::options::SolverOptions;
+use crate::state_machine::{CgEvent, CgState, CgStateMachine};
+use crate::stats::DataflowRunStats;
+use mffv_fabric::error::Result;
+use mffv_fabric::timing::TimeBreakdown;
+use mffv_fabric::{ColorAllocator, Fabric, WseSpec};
+use mffv_fv::residual::{newton_rhs, residual};
+use mffv_mesh::{CellField, Workload};
+use mffv_solver::convergence::{ConvergenceHistory, StoppingCriterion};
+use std::time::Instant;
+
+/// Result of a dataflow solve.
+#[derive(Clone, Debug)]
+pub struct DataflowSolveReport {
+    /// The pressure field after the Newton update (device `f32` precision).
+    pub pressure: CellField<f32>,
+    /// CG convergence history (squared residual norms as reduced on the fabric).
+    pub history: ConvergenceHistory,
+    /// Measured execution statistics.
+    pub stats: DataflowRunStats,
+    /// Modelled device time under the run's options.
+    pub modelled_time: TimeBreakdown,
+    /// The memory plan implied by the run's reuse strategy at this column depth.
+    pub memory_plan: MemoryPlan,
+    /// Max-norm of the residual of Eq. (3) evaluated (on the host, in f64) at the
+    /// returned pressure.
+    pub final_residual_max: f64,
+}
+
+/// The dataflow matrix-free FV solver.
+pub struct DataflowFvSolver {
+    workload: Workload,
+    options: SolverOptions,
+    spec: WseSpec,
+}
+
+impl DataflowFvSolver {
+    /// Create a solver for a workload with explicit options, modelling device time
+    /// on a CS-2 region matching the problem's fabric footprint.
+    pub fn new(workload: Workload, options: SolverOptions) -> Self {
+        let dims = workload.dims();
+        let spec = WseSpec::cs2_region(dims.nx, dims.ny);
+        Self { workload, options, spec }
+    }
+
+    /// Create a solver with the paper's default options.
+    pub fn with_defaults(workload: Workload) -> Self {
+        Self::new(workload, SolverOptions::paper())
+    }
+
+    /// The machine spec used for device-time modelling.
+    pub fn spec(&self) -> &WseSpec {
+        &self.spec
+    }
+
+    /// Run the solve.
+    pub fn solve(&self) -> Result<DataflowSolveReport> {
+        let start = Instant::now();
+        let dims = self.workload.dims();
+        let mapping = ProblemMapping::new(dims);
+        let mut fabric = Fabric::new(mapping.fabric_dims());
+        let mut colors = ColorAllocator::new();
+
+        // ---------------------------------------------------------------- setup
+        // Allocate and load every PE's column data.
+        let mut buffers: Vec<PeColumnBuffers> = Vec::with_capacity(fabric.num_pes());
+        for idx in 0..fabric.num_pes() {
+            let pe_id = fabric.dims().unlinear(idx);
+            let pe = fabric.pe_mut(pe_id);
+            let bufs = PeColumnBuffers::allocate(pe, &self.workload, pe_id.x, pe_id.y)?;
+            buffers.push(bufs);
+        }
+        let mut exchange = CardinalExchange::new(&mut fabric, &mut colors)?;
+        let allreduce = AllReduce::new(&mut colors)?;
+
+        // Host-side initialisation of the Newton system (the paper loads the mesh
+        // and initial condition from the host as well): r₀ and the rhs columns.
+        let coeffs32 = self.workload.transmissibility().convert::<f32>();
+        let p0: CellField<f32> = self.workload.initial_pressure();
+        let r0 = residual(&p0, &coeffs32, self.workload.dirichlet());
+        let rhs = newton_rhs(&r0, self.workload.dirichlet());
+        for idx in 0..fabric.num_pes() {
+            let pe_id = fabric.dims().unlinear(idx);
+            let column = rhs.column(pe_id.x, pe_id.y);
+            kernel::init_cg_state(fabric.pe_mut(pe_id), &buffers[idx], &column)?;
+        }
+
+        let tolerance = self.options.tolerance_override.unwrap_or(self.workload.tolerance());
+        let max_iterations = if self.options.compute_enabled {
+            self.options.max_iterations_override.unwrap_or(self.workload.max_iterations())
+        } else {
+            self.options.forced_iterations
+        };
+        let criterion = StoppingCriterion::new(tolerance.max(f64::MIN_POSITIVE), max_iterations.max(1));
+
+        // ------------------------------------------------------------ state machine
+        let mut machine = CgStateMachine::new(max_iterations);
+        let mut critical_path_hops = 0usize;
+        let mut rr = self.global_rr(&mut fabric, &allreduce, &buffers, &mut critical_path_hops)?;
+        let mut history = ConvergenceHistory::starting_from(rr as f64);
+        machine.advance(CgEvent::Initialized).expect("Init -> IterCheck");
+
+        let mut d_ad = 0.0f32;
+        let mut alpha = 0.0f32;
+        let mut rr_new = rr;
+
+        if self.options.compute_enabled && criterion.is_converged(rr as f64) {
+            history.converged = true;
+            machine.advance(CgEvent::BudgetExhausted).expect("IterCheck -> Done");
+        }
+
+        while !machine.is_done() {
+            let state = machine.state();
+            let event = match state {
+                CgState::IterCheck => machine.budget_event(),
+                CgState::ExchangeHalos => {
+                    exchange.exchange(&mut fabric, &buffers)?;
+                    // The four steps are dependency-chained; each step is a one-hop
+                    // transfer overlapped across the fabric.
+                    critical_path_hops += 4;
+                    CgEvent::ExchangeComplete
+                }
+                CgState::ComputeJx => {
+                    if self.options.compute_enabled {
+                        for idx in 0..fabric.num_pes() {
+                            let pe_id = fabric.dims().unlinear(idx);
+                            kernel::compute_jd(fabric.pe_mut(pe_id), &buffers[idx])?;
+                        }
+                    }
+                    CgEvent::ComputeComplete
+                }
+                CgState::LocalDotDAd => CgEvent::LocalDotReady,
+                CgState::AllReduceDAd => {
+                    let mut partials = vec![0.0f32; fabric.num_pes()];
+                    if self.options.compute_enabled {
+                        for idx in 0..fabric.num_pes() {
+                            let pe_id = fabric.dims().unlinear(idx);
+                            partials[idx] =
+                                kernel::local_dot_d_ad(fabric.pe_mut(pe_id), &buffers[idx])?;
+                        }
+                    }
+                    let (value, report) = allreduce.reduce_scalar(&mut fabric, &partials)?;
+                    critical_path_hops += report.critical_path_hops;
+                    d_ad = value;
+                    CgEvent::ReduceComplete
+                }
+                CgState::ComputeAlpha => {
+                    if self.options.compute_enabled {
+                        if d_ad <= 0.0 || !d_ad.is_finite() {
+                            // Breakdown (loss of positive definiteness in f32):
+                            // terminate cleanly rather than diverge.
+                            machine.advance(CgEvent::ScalarReady).expect("alpha");
+                            machine.advance(CgEvent::UpdateComplete).expect("sol");
+                            machine.advance(CgEvent::UpdateComplete).expect("res");
+                            machine.advance(CgEvent::LocalDotReady).expect("rr");
+                            machine.advance(CgEvent::ReduceComplete).expect("reduce");
+                            machine.advance(CgEvent::Converged).expect("done");
+                            continue;
+                        }
+                        alpha = rr / d_ad;
+                    } else {
+                        alpha = 0.0;
+                    }
+                    CgEvent::ScalarReady
+                }
+                CgState::UpdateSolution => {
+                    if self.options.compute_enabled {
+                        for idx in 0..fabric.num_pes() {
+                            let pe_id = fabric.dims().unlinear(idx);
+                            let pe = fabric.pe_mut(pe_id);
+                            let nz = pe.memory().len(buffers[idx].solution)?;
+                            pe.axpy(
+                                mffv_fabric::Dsd::full(buffers[idx].solution, nz),
+                                mffv_fabric::Dsd::full(buffers[idx].direction, nz),
+                                alpha,
+                            )?;
+                        }
+                    }
+                    CgEvent::UpdateComplete
+                }
+                CgState::UpdateResidual => {
+                    if self.options.compute_enabled {
+                        for idx in 0..fabric.num_pes() {
+                            let pe_id = fabric.dims().unlinear(idx);
+                            let pe = fabric.pe_mut(pe_id);
+                            let nz = pe.memory().len(buffers[idx].residual)?;
+                            pe.axpy(
+                                mffv_fabric::Dsd::full(buffers[idx].residual, nz),
+                                mffv_fabric::Dsd::full(buffers[idx].operator_out, nz),
+                                -alpha,
+                            )?;
+                        }
+                    }
+                    CgEvent::UpdateComplete
+                }
+                CgState::LocalDotRR => CgEvent::LocalDotReady,
+                CgState::AllReduceRR => {
+                    rr_new =
+                        self.global_rr(&mut fabric, &allreduce, &buffers, &mut critical_path_hops)?;
+                    CgEvent::ReduceComplete
+                }
+                CgState::ThresholdCheck => {
+                    history.record(rr_new as f64);
+                    if self.options.compute_enabled && criterion.is_converged(rr_new as f64) {
+                        history.converged = true;
+                        CgEvent::Converged
+                    } else {
+                        CgEvent::NotConverged
+                    }
+                }
+                CgState::UpdateDirection => {
+                    if self.options.compute_enabled {
+                        let beta = if rr > 0.0 { rr_new / rr } else { 0.0 };
+                        for idx in 0..fabric.num_pes() {
+                            let pe_id = fabric.dims().unlinear(idx);
+                            kernel::apply_beta_update(fabric.pe_mut(pe_id), &buffers[idx], beta)?;
+                        }
+                        rr = rr_new;
+                    }
+                    CgEvent::ScalarReady
+                }
+                CgState::Init | CgState::Done => unreachable!("handled outside the loop"),
+            };
+            machine.advance(event).expect("transition table is total for generated events");
+        }
+
+        // -------------------------------------------------------------- extraction
+        let mut delta = CellField::<f32>::zeros(dims);
+        for idx in 0..fabric.num_pes() {
+            let pe_id = fabric.dims().unlinear(idx);
+            let nz = dims.nz;
+            let column = fabric.pe(pe_id).memory().read(buffers[idx].solution, 0, nz)?;
+            delta.set_column(pe_id.x, pe_id.y, &column);
+        }
+        let mut pressure = p0;
+        pressure.axpy(1.0, &delta);
+
+        let final_residual_max = {
+            let p64: CellField<f64> = pressure.convert();
+            let r = residual(&p64, self.workload.transmissibility(), self.workload.dirichlet());
+            r.max_abs()
+        };
+
+        let stats = DataflowRunStats {
+            iterations: machine.iteration(),
+            total_cells: dims.num_cells(),
+            total_compute: fabric.total_compute(),
+            max_per_pe_compute: fabric.max_per_pe_compute(),
+            fabric: *fabric.stats(),
+            critical_path_hops,
+            host_wall_seconds: start.elapsed().as_secs_f64(),
+        };
+        let modelled_time =
+            stats.modelled_time(self.spec, self.options.overlap, self.options.simd_efficiency());
+        let memory_plan = MemoryPlan::new(dims.nz, self.options.reuse);
+
+        Ok(DataflowSolveReport {
+            pressure,
+            history,
+            stats,
+            modelled_time,
+            memory_plan,
+            final_residual_max,
+        })
+    }
+
+    /// Per-PE `r·r` partials reduced over the fabric.
+    fn global_rr(
+        &self,
+        fabric: &mut Fabric,
+        allreduce: &AllReduce,
+        buffers: &[PeColumnBuffers],
+        critical_path_hops: &mut usize,
+    ) -> Result<f32> {
+        let mut partials = vec![0.0f32; fabric.num_pes()];
+        if self.options.compute_enabled {
+            for idx in 0..fabric.num_pes() {
+                let pe_id = fabric.dims().unlinear(idx);
+                partials[idx] = kernel::local_dot_rr(fabric.pe_mut(pe_id), &buffers[idx])?;
+            }
+        }
+        let (value, report) = allreduce.reduce_scalar(fabric, &partials)?;
+        *critical_path_hops += report.critical_path_hops;
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mffv_mesh::workload::WorkloadSpec;
+    use mffv_mesh::Dims;
+    use mffv_solver::newton::solve_pressure;
+
+    #[test]
+    fn dataflow_solve_matches_host_oracle_on_quickstart() {
+        let w = WorkloadSpec::quickstart().scaled(2).build();
+        let report = DataflowFvSolver::new(
+            w.clone(),
+            SolverOptions::paper().with_tolerance(1e-10),
+        )
+        .solve()
+        .unwrap();
+        assert!(report.history.converged, "dataflow CG did not converge");
+        assert!(report.final_residual_max < 1e-3);
+        let oracle = solve_pressure::<f64>(&w);
+        let diff = oracle.pressure.max_abs_diff(&report.pressure.convert());
+        assert!(diff < 2e-4, "dataflow vs host mismatch: {diff}");
+    }
+
+    #[test]
+    fn dataflow_solve_on_heterogeneous_fig5_scenario() {
+        let w = WorkloadSpec::fig5(Dims::new(6, 5, 4)).build();
+        let report =
+            DataflowFvSolver::new(w.clone(), SolverOptions::paper().with_tolerance(1e-12))
+                .solve()
+                .unwrap();
+        assert!(report.history.converged);
+        let oracle = solve_pressure::<f64>(&w);
+        let scale = oracle.pressure.max_abs();
+        let rel = oracle.pressure.max_abs_diff(&report.pressure.convert()) / scale;
+        assert!(rel < 1e-3, "relative mismatch {rel}");
+    }
+
+    #[test]
+    fn iteration_count_is_bounded_by_unknowns() {
+        let w = WorkloadSpec::quickstart().scaled(2).build();
+        let report = DataflowFvSolver::with_defaults(w.clone()).solve().unwrap();
+        assert!(report.stats.iterations <= w.dims().num_cells());
+        assert!(report.stats.iterations > 1);
+        assert_eq!(report.stats.total_cells, w.dims().num_cells());
+    }
+
+    #[test]
+    fn communication_only_run_moves_data_but_does_no_flops_in_the_kernel() {
+        let w = WorkloadSpec::quickstart().scaled(2).build();
+        let full = DataflowFvSolver::with_defaults(w.clone()).solve().unwrap();
+        let comm =
+            DataflowFvSolver::new(w, SolverOptions::communication_only(5)).solve().unwrap();
+        assert_eq!(comm.stats.iterations, 5);
+        assert!(comm.stats.fabric.link_bytes > 0);
+        // The only FLOPs left are the all-reduce additions.
+        assert!(comm.stats.total_compute.flops < full.stats.total_compute.flops / 10);
+    }
+
+    #[test]
+    fn modelled_time_has_positive_components() {
+        let w = WorkloadSpec::quickstart().scaled(2).build();
+        let report = DataflowFvSolver::with_defaults(w).solve().unwrap();
+        assert!(report.modelled_time.total > 0.0);
+        assert!(report.modelled_time.compute_time > 0.0);
+        assert!(report.stats.critical_path_hops > 0);
+        assert!(report.memory_plan.data_bytes() > 0);
+    }
+
+    #[test]
+    fn residual_history_decreases_broadly() {
+        let w = WorkloadSpec::quickstart().scaled(2).build();
+        let report = DataflowFvSolver::with_defaults(w).solve().unwrap();
+        assert!(report.history.is_broadly_decreasing(1e3));
+        assert!(report.history.final_rr() < report.history.initial_rr());
+    }
+}

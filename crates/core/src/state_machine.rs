@@ -1,0 +1,305 @@
+//! The conjugate-gradient state machine (§III-D).
+//!
+//! "Unlike the conventional approach, our implementation of the conjugate gradient
+//! algorithm on a dataflow architecture utilizes a state machine.  We have devised
+//! 14 states to orchestrate the various steps involved in the conjugate gradient
+//! algorithm and have carefully planned the transitions between these states."
+//!
+//! The loop structure of Algorithm 1 — iteration check, operator application,
+//! reductions, updates, convergence check — becomes the explicit state/transition
+//! table below.  Conditional checks (the `while` of line 4 and the `if` of line 8)
+//! are "converted into state transitions", which is exactly what
+//! [`CgStateMachine::advance`] encodes.
+
+/// The fourteen states of the CG state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CgState {
+    /// Set up buffers and initialise `r₀`, `d₀` (Algorithm 1 lines 1–3).
+    Init,
+    /// The `k < k_max` check (line 4).
+    IterCheck,
+    /// Four-step cardinal halo exchange of the direction column (§III-B).
+    ExchangeHalos,
+    /// Per-PE matrix-free computation of `J·d` (Algorithm 2).
+    ComputeJx,
+    /// Per-PE partial dot product `d · (J d)`.
+    LocalDotDAd,
+    /// Whole-fabric all-reduce of the α denominator (§III-C).
+    AllReduceDAd,
+    /// Compute `α = rᵀr / dᵀJd` (line 5).
+    ComputeAlpha,
+    /// `y ← y + α d` (line 6).
+    UpdateSolution,
+    /// `r ← r − α J d` (line 7).
+    UpdateResidual,
+    /// Per-PE partial dot product `r · r`.
+    LocalDotRR,
+    /// Whole-fabric all-reduce of `rᵀr`.
+    AllReduceRR,
+    /// The `rᵀr < ε` convergence check (line 8).
+    ThresholdCheck,
+    /// Compute `β` and update the search direction (lines 9–10).
+    UpdateDirection,
+    /// Terminal state: converged or iteration budget exhausted.
+    Done,
+}
+
+impl CgState {
+    /// All fourteen states.
+    pub const ALL: [CgState; 14] = [
+        CgState::Init,
+        CgState::IterCheck,
+        CgState::ExchangeHalos,
+        CgState::ComputeJx,
+        CgState::LocalDotDAd,
+        CgState::AllReduceDAd,
+        CgState::ComputeAlpha,
+        CgState::UpdateSolution,
+        CgState::UpdateResidual,
+        CgState::LocalDotRR,
+        CgState::AllReduceRR,
+        CgState::ThresholdCheck,
+        CgState::UpdateDirection,
+        CgState::Done,
+    ];
+}
+
+/// Events that drive transitions.  On the real machine these are colour-activated
+/// callback tasks (completion of an asynchronous exchange, of an all-reduce, …); in
+/// the simulator the solver raises them after performing the corresponding work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CgEvent {
+    /// Initialisation finished.
+    Initialized,
+    /// The iteration budget allows another iteration.
+    BudgetRemaining,
+    /// The iteration budget is exhausted.
+    BudgetExhausted,
+    /// All completion callbacks of the halo exchange arrived.
+    ExchangeComplete,
+    /// The per-PE operator application finished.
+    ComputeComplete,
+    /// A local partial dot product is ready.
+    LocalDotReady,
+    /// The whole-fabric all-reduce callback fired.
+    ReduceComplete,
+    /// α (or β) has been computed.
+    ScalarReady,
+    /// A vector update (axpy) finished.
+    UpdateComplete,
+    /// The convergence test passed (`rᵀr < ε`).
+    Converged,
+    /// The convergence test failed; continue iterating.
+    NotConverged,
+}
+
+/// Error raised when an event is not legal in the current state — surfacing
+/// orchestration bugs exactly the way a mis-programmed callback would hang or
+/// corrupt the real device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidTransition {
+    pub state: CgState,
+    pub event: CgEvent,
+}
+
+impl std::fmt::Display for InvalidTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "event {:?} is not valid in state {:?}", self.event, self.state)
+    }
+}
+
+impl std::error::Error for InvalidTransition {}
+
+/// The CG state machine: current state plus the iteration counter the `IterCheck`
+/// state consults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CgStateMachine {
+    state: CgState,
+    iteration: usize,
+    max_iterations: usize,
+}
+
+impl CgStateMachine {
+    /// A machine in the `Init` state with an iteration budget.
+    pub fn new(max_iterations: usize) -> Self {
+        Self { state: CgState::Init, iteration: 0, max_iterations }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> CgState {
+        self.state
+    }
+
+    /// Number of completed iterations.
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// Iteration budget.
+    pub fn max_iterations(&self) -> usize {
+        self.max_iterations
+    }
+
+    /// Whether the machine is in the terminal state.
+    pub fn is_done(&self) -> bool {
+        self.state == CgState::Done
+    }
+
+    /// The event the `IterCheck` state should raise given the iteration counter —
+    /// the `while (k < k_max)` condition converted into an event.
+    pub fn budget_event(&self) -> CgEvent {
+        if self.iteration < self.max_iterations {
+            CgEvent::BudgetRemaining
+        } else {
+            CgEvent::BudgetExhausted
+        }
+    }
+
+    /// Apply an event, returning the new state.
+    pub fn advance(&mut self, event: CgEvent) -> Result<CgState, InvalidTransition> {
+        use CgEvent as E;
+        use CgState as S;
+        let next = match (self.state, event) {
+            (S::Init, E::Initialized) => S::IterCheck,
+            (S::IterCheck, E::BudgetRemaining) => S::ExchangeHalos,
+            (S::IterCheck, E::BudgetExhausted) => S::Done,
+            (S::ExchangeHalos, E::ExchangeComplete) => S::ComputeJx,
+            (S::ComputeJx, E::ComputeComplete) => S::LocalDotDAd,
+            (S::LocalDotDAd, E::LocalDotReady) => S::AllReduceDAd,
+            (S::AllReduceDAd, E::ReduceComplete) => S::ComputeAlpha,
+            (S::ComputeAlpha, E::ScalarReady) => S::UpdateSolution,
+            (S::UpdateSolution, E::UpdateComplete) => S::UpdateResidual,
+            (S::UpdateResidual, E::UpdateComplete) => S::LocalDotRR,
+            (S::LocalDotRR, E::LocalDotReady) => S::AllReduceRR,
+            (S::AllReduceRR, E::ReduceComplete) => S::ThresholdCheck,
+            (S::ThresholdCheck, E::Converged) => S::Done,
+            (S::ThresholdCheck, E::NotConverged) => S::UpdateDirection,
+            (S::UpdateDirection, E::ScalarReady) => {
+                self.iteration += 1;
+                S::IterCheck
+            }
+            (state, event) => return Err(InvalidTransition { state, event }),
+        };
+        // Completing the threshold check also counts as finishing the iteration when
+        // it converges (the paper reports "steps to converge" inclusively).
+        if self.state == CgState::ThresholdCheck && event == E::Converged {
+            self.iteration += 1;
+        }
+        self.state = next;
+        Ok(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive one full iteration body (ExchangeHalos through UpdateDirection).
+    fn drive_one_iteration(m: &mut CgStateMachine) {
+        assert_eq!(m.advance(CgEvent::BudgetRemaining).unwrap(), CgState::ExchangeHalos);
+        assert_eq!(m.advance(CgEvent::ExchangeComplete).unwrap(), CgState::ComputeJx);
+        assert_eq!(m.advance(CgEvent::ComputeComplete).unwrap(), CgState::LocalDotDAd);
+        assert_eq!(m.advance(CgEvent::LocalDotReady).unwrap(), CgState::AllReduceDAd);
+        assert_eq!(m.advance(CgEvent::ReduceComplete).unwrap(), CgState::ComputeAlpha);
+        assert_eq!(m.advance(CgEvent::ScalarReady).unwrap(), CgState::UpdateSolution);
+        assert_eq!(m.advance(CgEvent::UpdateComplete).unwrap(), CgState::UpdateResidual);
+        assert_eq!(m.advance(CgEvent::UpdateComplete).unwrap(), CgState::LocalDotRR);
+        assert_eq!(m.advance(CgEvent::LocalDotReady).unwrap(), CgState::AllReduceRR);
+        assert_eq!(m.advance(CgEvent::ReduceComplete).unwrap(), CgState::ThresholdCheck);
+        assert_eq!(m.advance(CgEvent::NotConverged).unwrap(), CgState::UpdateDirection);
+        assert_eq!(m.advance(CgEvent::ScalarReady).unwrap(), CgState::IterCheck);
+    }
+
+    #[test]
+    fn there_are_exactly_fourteen_states() {
+        assert_eq!(CgState::ALL.len(), 14);
+        let mut unique = CgState::ALL.to_vec();
+        unique.dedup();
+        assert_eq!(unique.len(), 14);
+    }
+
+    #[test]
+    fn full_iteration_cycle_increments_counter() {
+        let mut m = CgStateMachine::new(5);
+        assert_eq!(m.state(), CgState::Init);
+        assert_eq!(m.advance(CgEvent::Initialized).unwrap(), CgState::IterCheck);
+        drive_one_iteration(&mut m);
+        assert_eq!(m.iteration(), 1);
+        drive_one_iteration(&mut m);
+        assert_eq!(m.iteration(), 2);
+        assert!(!m.is_done());
+    }
+
+    #[test]
+    fn convergence_terminates_the_machine() {
+        let mut m = CgStateMachine::new(100);
+        m.advance(CgEvent::Initialized).unwrap();
+        m.advance(CgEvent::BudgetRemaining).unwrap();
+        m.advance(CgEvent::ExchangeComplete).unwrap();
+        m.advance(CgEvent::ComputeComplete).unwrap();
+        m.advance(CgEvent::LocalDotReady).unwrap();
+        m.advance(CgEvent::ReduceComplete).unwrap();
+        m.advance(CgEvent::ScalarReady).unwrap();
+        m.advance(CgEvent::UpdateComplete).unwrap();
+        m.advance(CgEvent::UpdateComplete).unwrap();
+        m.advance(CgEvent::LocalDotReady).unwrap();
+        m.advance(CgEvent::ReduceComplete).unwrap();
+        assert_eq!(m.advance(CgEvent::Converged).unwrap(), CgState::Done);
+        assert!(m.is_done());
+        assert_eq!(m.iteration(), 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_terminates_the_machine() {
+        let mut m = CgStateMachine::new(1);
+        m.advance(CgEvent::Initialized).unwrap();
+        assert_eq!(m.budget_event(), CgEvent::BudgetRemaining);
+        drive_one_iteration(&mut m);
+        assert_eq!(m.budget_event(), CgEvent::BudgetExhausted);
+        assert_eq!(m.advance(CgEvent::BudgetExhausted).unwrap(), CgState::Done);
+    }
+
+    #[test]
+    fn invalid_transitions_are_rejected() {
+        let mut m = CgStateMachine::new(3);
+        let err = m.advance(CgEvent::Converged).unwrap_err();
+        assert_eq!(err.state, CgState::Init);
+        assert_eq!(err.event, CgEvent::Converged);
+        assert!(err.to_string().contains("not valid"));
+        // The machine is unchanged after a rejected event.
+        assert_eq!(m.state(), CgState::Init);
+        m.advance(CgEvent::Initialized).unwrap();
+        assert!(m.advance(CgEvent::ExchangeComplete).is_err());
+    }
+
+    #[test]
+    fn every_state_is_reachable_from_init() {
+        // Walk one converging run and one budget-exhausted run; together they must
+        // visit all 14 states.
+        use std::collections::HashSet;
+        let mut visited: HashSet<CgState> = HashSet::new();
+        let mut m = CgStateMachine::new(1);
+        visited.insert(m.state());
+        m.advance(CgEvent::Initialized).unwrap();
+        visited.insert(m.state());
+        for event in [
+            CgEvent::BudgetRemaining,
+            CgEvent::ExchangeComplete,
+            CgEvent::ComputeComplete,
+            CgEvent::LocalDotReady,
+            CgEvent::ReduceComplete,
+            CgEvent::ScalarReady,
+            CgEvent::UpdateComplete,
+            CgEvent::UpdateComplete,
+            CgEvent::LocalDotReady,
+            CgEvent::ReduceComplete,
+            CgEvent::NotConverged,
+            CgEvent::ScalarReady,
+            CgEvent::BudgetExhausted,
+        ] {
+            m.advance(event).unwrap();
+            visited.insert(m.state());
+        }
+        assert_eq!(visited.len(), 14, "visited: {visited:?}");
+    }
+}

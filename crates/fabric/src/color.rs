@@ -1,0 +1,166 @@
+//! Colours: the routing/typing tags carried by every wavelet.
+//!
+//! "Links transfer data in 32-bit packets, each annotated with a color for routing
+//! and indicating the type of a message" (§III).  The hardware provides a small,
+//! fixed number of routable colours; the paper dedicates colours C1–C4 to the
+//! cardinal exchange actions and C5–C12 to their completion callbacks (Table I).
+
+use crate::error::FabricError;
+
+/// Number of routable colours available to a program (the WSE-2 SDK exposes 24
+/// user-routable colours).
+pub const NUM_ROUTABLE_COLORS: u8 = 24;
+
+/// A wavelet colour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Color(u8);
+
+impl Color {
+    /// Create a colour; panics if the id exceeds the routable range (use
+    /// [`ColorAllocator`] to avoid manual bookkeeping).
+    pub fn new(id: u8) -> Self {
+        assert!(id < NUM_ROUTABLE_COLORS, "colour id {id} exceeds routable range");
+        Self(id)
+    }
+
+    /// Raw id.
+    pub fn id(self) -> u8 {
+        self.0
+    }
+
+    /// Index usable for dense per-colour tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Color {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Hands out colours sequentially, mirroring how a CSL program declares its colour
+/// set up front.
+#[derive(Clone, Debug, Default)]
+pub struct ColorAllocator {
+    next: u8,
+}
+
+impl ColorAllocator {
+    /// A fresh allocator.
+    pub fn new() -> Self {
+        Self { next: 0 }
+    }
+
+    /// Allocate the next free colour.
+    pub fn allocate(&mut self) -> Result<Color, FabricError> {
+        if self.next >= NUM_ROUTABLE_COLORS {
+            return Err(FabricError::InvalidBuffer {
+                detail: format!("out of routable colours (limit {NUM_ROUTABLE_COLORS})"),
+            });
+        }
+        let c = Color(self.next);
+        self.next += 1;
+        Ok(c)
+    }
+
+    /// Allocate `n` colours at once.
+    pub fn allocate_many(&mut self, n: usize) -> Result<Vec<Color>, FabricError> {
+        (0..n).map(|_| self.allocate()).collect()
+    }
+
+    /// Number of colours already allocated.
+    pub fn allocated(&self) -> usize {
+        self.next as usize
+    }
+}
+
+/// The colour roles used by the paper's communication schedule (Table I) and
+/// all-reduce.  Provided here so `mffv-core` and tests share one naming.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PaperColors {
+    /// C1, C2: action colours for the X-dimension exchange.
+    pub x_actions: [Color; 2],
+    /// C3, C4: action colours for the Y-dimension exchange.
+    pub y_actions: [Color; 2],
+    /// C5–C12: completion-callback colours (east-send, west-recv, north-send,
+    /// south-recv, west-send, east-recv, south-send, north-recv).
+    pub callbacks: [Color; 8],
+    /// Colours used by the whole-fabric all-reduce (row reduce, column reduce,
+    /// column broadcast, row broadcast).
+    pub allreduce: [Color; 4],
+}
+
+impl PaperColors {
+    /// Allocate the full paper colour set from a fresh allocator.
+    pub fn allocate(alloc: &mut ColorAllocator) -> Result<Self, FabricError> {
+        Ok(Self {
+            x_actions: [alloc.allocate()?, alloc.allocate()?],
+            y_actions: [alloc.allocate()?, alloc.allocate()?],
+            callbacks: [
+                alloc.allocate()?,
+                alloc.allocate()?,
+                alloc.allocate()?,
+                alloc.allocate()?,
+                alloc.allocate()?,
+                alloc.allocate()?,
+                alloc.allocate()?,
+                alloc.allocate()?,
+            ],
+            allreduce: [
+                alloc.allocate()?,
+                alloc.allocate()?,
+                alloc.allocate()?,
+                alloc.allocate()?,
+            ],
+        })
+    }
+
+    /// Total number of colours the schedule consumes.
+    pub fn total(&self) -> usize {
+        2 + 2 + 8 + 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn color_ids_and_display() {
+        let c = Color::new(3);
+        assert_eq!(c.id(), 3);
+        assert_eq!(c.index(), 3);
+        assert_eq!(c.to_string(), "C3");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_color_rejected() {
+        let _ = Color::new(NUM_ROUTABLE_COLORS);
+    }
+
+    #[test]
+    fn allocator_hands_out_unique_colors_until_exhausted() {
+        let mut alloc = ColorAllocator::new();
+        let colors = alloc.allocate_many(NUM_ROUTABLE_COLORS as usize).unwrap();
+        assert_eq!(colors.len(), 24);
+        let mut ids: Vec<u8> = colors.iter().map(|c| c.id()).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 24);
+        assert!(alloc.allocate().is_err());
+    }
+
+    #[test]
+    fn paper_color_set_fits_in_the_routable_budget() {
+        let mut alloc = ColorAllocator::new();
+        let set = PaperColors::allocate(&mut alloc).unwrap();
+        assert_eq!(set.total(), 16);
+        assert_eq!(alloc.allocated(), 16);
+        assert!(alloc.allocated() <= NUM_ROUTABLE_COLORS as usize);
+        // Distinct roles must use distinct colours.
+        assert_ne!(set.x_actions[0], set.y_actions[0]);
+        assert_ne!(set.callbacks[0], set.allreduce[0]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type shared by the fabric simulator.
+
+use crate::color::Color;
+use crate::geometry::{PeId, Port};
+
+/// Everything that can go wrong while programming or driving the simulated fabric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FabricError {
+    /// The referenced PE coordinate is outside the fabric.
+    PeOutOfBounds { pe: PeId, width: usize, height: usize },
+    /// A per-PE memory allocation exceeded the local memory budget.
+    OutOfMemory { pe: PeId, requested: usize, available: usize, capacity: usize },
+    /// A buffer handle was used after being freed or belongs to another PE.
+    InvalidBuffer { detail: String },
+    /// A DSD referenced elements outside its buffer.
+    DsdOutOfRange { detail: String },
+    /// A wavelet arrived at a router on a port its current switch position does not
+    /// accept — in hardware the wavelet would be misrouted; the simulator reports it
+    /// so communication-schedule bugs surface in tests.
+    RouteRejected { pe: PeId, color: Color, incoming: Port },
+    /// A wavelet was routed off the edge of the fabric.
+    RoutedOffFabric { pe: PeId, color: Color, outgoing: Port },
+    /// No route is configured for a colour at a router.
+    NoRouteConfigured { pe: PeId, color: Color },
+    /// A receive was attempted on a colour with an empty mailbox.
+    EmptyMailbox { pe: PeId, color: Color },
+    /// The routing of a single send exceeded the hop budget (a cycle in the route
+    /// programming).
+    RoutingLoop { color: Color, hops: usize },
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::PeOutOfBounds { pe, width, height } => {
+                write!(f, "PE {pe} outside fabric of {width}x{height}")
+            }
+            FabricError::OutOfMemory { pe, requested, available, capacity } => write!(
+                f,
+                "PE {pe} out of local memory: requested {requested} B, {available} B of {capacity} B available"
+            ),
+            FabricError::InvalidBuffer { detail } => write!(f, "invalid buffer: {detail}"),
+            FabricError::DsdOutOfRange { detail } => write!(f, "DSD out of range: {detail}"),
+            FabricError::RouteRejected { pe, color, incoming } => {
+                write!(f, "router at {pe} rejected colour {color} arriving on {incoming:?}")
+            }
+            FabricError::RoutedOffFabric { pe, color, outgoing } => {
+                write!(f, "colour {color} routed off the fabric at {pe} towards {outgoing:?}")
+            }
+            FabricError::NoRouteConfigured { pe, color } => {
+                write!(f, "no route configured at {pe} for colour {color}")
+            }
+            FabricError::EmptyMailbox { pe, color } => {
+                write!(f, "no message pending at {pe} for colour {color}")
+            }
+            FabricError::RoutingLoop { color, hops } => {
+                write!(f, "routing of colour {color} exceeded {hops} hops (loop?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, FabricError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_useful_messages() {
+        let e = FabricError::OutOfMemory {
+            pe: PeId::new(1, 2),
+            requested: 100,
+            available: 10,
+            capacity: 48 * 1024,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("out of local memory"));
+        assert!(msg.contains("100"));
+        let e2 = FabricError::EmptyMailbox { pe: PeId::new(0, 0), color: Color::new(3) };
+        assert!(e2.to_string().contains("no message pending"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Per-PE local memory with a 48 KiB budget.
+//!
+//! "Each PE has only 48 KiB memory space, making the reuse of data buffers
+//! important" (§III-E1).  The paper manually manages buffer reuse "analogous to
+//! register allocation optimization".  [`PeMemory`] models exactly this constraint:
+//! every buffer a kernel needs must be allocated out of the 48 KiB budget, the
+//! simulator refuses to over-allocate, and freed space can be reused — so the
+//! memory-saving strategies of the paper become *testable* properties (see the
+//! `mffv-core` mapping tests and the `table_memory` report).
+
+use crate::error::FabricError;
+use crate::geometry::PeId;
+
+/// The local memory capacity of a WSE-2 PE in bytes.
+pub const PE_MEMORY_BYTES: usize = 48 * 1024;
+
+/// Bytes reserved for code and runtime state; the paper notes the local memory
+/// "must retain instructions and all necessary data".  The default reservation is an
+/// estimate for a kernel of this size and can be overridden per fabric.
+pub const DEFAULT_CODE_RESERVATION_BYTES: usize = 6 * 1024;
+
+/// Handle to a buffer allocated in a PE's local memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BufferId(usize);
+
+#[derive(Clone, Debug)]
+struct Buffer {
+    name: String,
+    data: Vec<f32>,
+    freed: bool,
+}
+
+/// A PE's private local memory: named `f32` buffers drawn from a fixed byte budget.
+#[derive(Clone, Debug)]
+pub struct PeMemory {
+    pe: PeId,
+    capacity: usize,
+    reserved: usize,
+    used: usize,
+    peak: usize,
+    buffers: Vec<Buffer>,
+}
+
+impl PeMemory {
+    /// Memory for one PE with the default 48 KiB capacity and code reservation.
+    pub fn new(pe: PeId) -> Self {
+        Self::with_capacity(pe, PE_MEMORY_BYTES, DEFAULT_CODE_RESERVATION_BYTES)
+    }
+
+    /// Memory with an explicit capacity and code reservation (tests use tiny
+    /// capacities to exercise the out-of-memory path cheaply).
+    pub fn with_capacity(pe: PeId, capacity: usize, reserved: usize) -> Self {
+        assert!(reserved < capacity, "code reservation must leave room for data");
+        Self { pe, capacity, reserved, used: reserved, peak: reserved, buffers: Vec::new() }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently allocated (including the code reservation).
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Peak bytes ever allocated (including the code reservation).
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Bytes reserved for code and runtime state.
+    pub fn reserved(&self) -> usize {
+        self.reserved
+    }
+
+    /// Bytes still available for allocation.
+    pub fn available(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// Allocate a named buffer of `len` f32 elements, zero-initialised.
+    pub fn alloc(&mut self, name: &str, len: usize) -> Result<BufferId, FabricError> {
+        let bytes = len * std::mem::size_of::<f32>();
+        if bytes > self.available() {
+            return Err(FabricError::OutOfMemory {
+                pe: self.pe,
+                requested: bytes,
+                available: self.available(),
+                capacity: self.capacity,
+            });
+        }
+        self.used += bytes;
+        self.peak = self.peak.max(self.used);
+        self.buffers.push(Buffer { name: name.to_string(), data: vec![0.0; len], freed: false });
+        Ok(BufferId(self.buffers.len() - 1))
+    }
+
+    /// Free a buffer, returning its bytes to the budget.  The paper's buffer-reuse
+    /// optimisation corresponds to freeing intermediates and reallocating the space.
+    pub fn free(&mut self, id: BufferId) -> Result<(), FabricError> {
+        let buf = self.buffer_mut(id)?;
+        if buf.freed {
+            return Err(FabricError::InvalidBuffer {
+                detail: format!("buffer '{}' already freed", buf.name),
+            });
+        }
+        let bytes = buf.data.len() * std::mem::size_of::<f32>();
+        buf.freed = true;
+        buf.data = Vec::new();
+        self.used -= bytes;
+        Ok(())
+    }
+
+    /// Length (in elements) of a buffer.
+    pub fn len(&self, id: BufferId) -> Result<usize, FabricError> {
+        Ok(self.buffer(id)?.data.len())
+    }
+
+    /// Whether no data buffers are live (only the code reservation is held).
+    pub fn is_empty(&self) -> bool {
+        self.buffers.iter().all(|b| b.freed)
+    }
+
+    /// Read-only view of a buffer.
+    pub fn slice(&self, id: BufferId) -> Result<&[f32], FabricError> {
+        Ok(&self.buffer(id)?.data)
+    }
+
+    /// Mutable view of a buffer.
+    pub fn slice_mut(&mut self, id: BufferId) -> Result<&mut [f32], FabricError> {
+        Ok(&mut self.buffer_mut(id)?.data)
+    }
+
+    /// Copy `values` into a buffer starting at `offset`.
+    pub fn write(&mut self, id: BufferId, offset: usize, values: &[f32]) -> Result<(), FabricError> {
+        let data = self.slice_mut(id)?;
+        if offset + values.len() > data.len() {
+            return Err(FabricError::DsdOutOfRange {
+                detail: format!(
+                    "write of {} values at offset {offset} into buffer of {}",
+                    values.len(),
+                    data.len()
+                ),
+            });
+        }
+        data[offset..offset + values.len()].copy_from_slice(values);
+        Ok(())
+    }
+
+    /// Copy a buffer range out.
+    pub fn read(&self, id: BufferId, offset: usize, len: usize) -> Result<Vec<f32>, FabricError> {
+        let data = self.slice(id)?;
+        if offset + len > data.len() {
+            return Err(FabricError::DsdOutOfRange {
+                detail: format!("read of {len} values at offset {offset} from buffer of {}", data.len()),
+            });
+        }
+        Ok(data[offset..offset + len].to_vec())
+    }
+
+    /// Name of a buffer (for traces and error messages).
+    pub fn name(&self, id: BufferId) -> Result<&str, FabricError> {
+        Ok(&self.buffer(id)?.name)
+    }
+
+    /// A breakdown of live allocations `(name, bytes)` — used by the memory-budget
+    /// report that reproduces the paper's §III-E1 discussion.
+    pub fn live_allocations(&self) -> Vec<(String, usize)> {
+        self.buffers
+            .iter()
+            .filter(|b| !b.freed)
+            .map(|b| (b.name.clone(), b.data.len() * std::mem::size_of::<f32>()))
+            .collect()
+    }
+
+    fn buffer(&self, id: BufferId) -> Result<&Buffer, FabricError> {
+        let buf = self.buffers.get(id.0).ok_or_else(|| FabricError::InvalidBuffer {
+            detail: format!("unknown buffer id {}", id.0),
+        })?;
+        if buf.freed {
+            return Err(FabricError::InvalidBuffer {
+                detail: format!("buffer '{}' used after free", buf.name),
+            });
+        }
+        Ok(buf)
+    }
+
+    fn buffer_mut(&mut self, id: BufferId) -> Result<&mut Buffer, FabricError> {
+        let buf = self.buffers.get_mut(id.0).ok_or_else(|| FabricError::InvalidBuffer {
+            detail: format!("unknown buffer id {}", id.0),
+        })?;
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> PeMemory {
+        PeMemory::with_capacity(PeId::new(0, 0), 1024, 128)
+    }
+
+    #[test]
+    fn default_capacity_is_48_kib() {
+        let m = PeMemory::new(PeId::new(1, 2));
+        assert_eq!(m.capacity(), 48 * 1024);
+        assert_eq!(m.used(), DEFAULT_CODE_RESERVATION_BYTES);
+    }
+
+    #[test]
+    fn alloc_write_read_round_trip() {
+        let mut m = mem();
+        let b = m.alloc("pressure", 8).unwrap();
+        m.write(b, 2, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(m.read(b, 0, 8).unwrap(), vec![0.0, 0.0, 1.0, 2.0, 3.0, 0.0, 0.0, 0.0]);
+        assert_eq!(m.len(b).unwrap(), 8);
+        assert_eq!(m.name(b).unwrap(), "pressure");
+    }
+
+    #[test]
+    fn budget_is_enforced_and_freeing_returns_space() {
+        let mut m = mem(); // 1024 - 128 = 896 bytes available = 224 f32
+        assert_eq!(m.available(), 896);
+        let a = m.alloc("a", 200).unwrap();
+        assert!(m.alloc("b", 100).is_err(), "over-allocation must fail");
+        m.free(a).unwrap();
+        assert_eq!(m.available(), 896);
+        let _b = m.alloc("b", 224).unwrap();
+        assert_eq!(m.available(), 0);
+        assert_eq!(m.peak(), 1024);
+    }
+
+    #[test]
+    fn use_after_free_and_double_free_rejected() {
+        let mut m = mem();
+        let a = m.alloc("a", 4).unwrap();
+        m.free(a).unwrap();
+        assert!(m.read(a, 0, 1).is_err());
+        assert!(m.free(a).is_err());
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_access_rejected() {
+        let mut m = mem();
+        let a = m.alloc("a", 4).unwrap();
+        assert!(m.write(a, 3, &[1.0, 2.0]).is_err());
+        assert!(m.read(a, 4, 1).is_err());
+    }
+
+    #[test]
+    fn live_allocation_breakdown() {
+        let mut m = mem();
+        let a = m.alloc("keep", 10).unwrap();
+        let b = m.alloc("drop", 20).unwrap();
+        m.free(b).unwrap();
+        let live = m.live_allocations();
+        assert_eq!(live, vec![("keep".to_string(), 40)]);
+        let _ = a;
+    }
+
+    #[test]
+    #[should_panic]
+    fn reservation_larger_than_capacity_rejected() {
+        let _ = PeMemory::with_capacity(PeId::new(0, 0), 100, 200);
+    }
+}

@@ -1,0 +1,117 @@
+//! Wavelets: the 32-bit packets moved by the fabric.
+//!
+//! "Links transfer data in 32-bit packets" (§III).  Payload data on the simulated
+//! fabric is carried as `f32` values; this module provides the encode/decode between
+//! `f32` values and raw 32-bit wavelets, control wavelets for switch-position
+//! commands, and byte accounting helpers used by the traffic statistics.
+
+use crate::color::Color;
+
+/// Size of one wavelet payload in bytes.
+pub const WAVELET_BYTES: usize = 4;
+
+/// A single 32-bit wavelet tagged with a colour.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Wavelet {
+    /// Routing/typing colour.
+    pub color: Color,
+    /// Raw 32-bit payload.
+    pub bits: u32,
+}
+
+impl Wavelet {
+    /// A data wavelet carrying an `f32`.
+    pub fn from_f32(color: Color, value: f32) -> Self {
+        Self { color, bits: value.to_bits() }
+    }
+
+    /// Interpret the payload as an `f32`.
+    pub fn as_f32(&self) -> f32 {
+        f32::from_bits(self.bits)
+    }
+
+    /// A control wavelet instructing routers to advance the switch position of the
+    /// given colour (the `mov32(fabric_control, …)` of the paper's Listing 1).
+    pub fn control_advance(color: Color) -> Self {
+        Self { color, bits: CONTROL_ADVANCE_MAGIC }
+    }
+
+    /// Whether this wavelet is a switch-advance control command.
+    pub fn is_control_advance(&self) -> bool {
+        self.bits == CONTROL_ADVANCE_MAGIC
+    }
+}
+
+/// Magic payload marking a switch-advance control wavelet.  The value is a NaN
+/// pattern that cannot be produced by normal payload encoding of finite data.
+const CONTROL_ADVANCE_MAGIC: u32 = 0x7FC0_C0DE;
+
+/// A message: a block of `f32` values travelling under one colour.  On the wire it
+/// occupies `len()` wavelets.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Message {
+    /// Routing colour.
+    pub color: Color,
+    /// Payload values.
+    pub payload: Vec<f32>,
+}
+
+impl Message {
+    /// Build a message from a payload slice.
+    pub fn new(color: Color, payload: &[f32]) -> Self {
+        Self { color, payload: payload.to_vec() }
+    }
+
+    /// Number of wavelets this message occupies on a link.
+    pub fn num_wavelets(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Number of payload bytes this message moves across each link it traverses.
+    pub fn num_bytes(&self) -> usize {
+        self.payload.len() * WAVELET_BYTES
+    }
+
+    /// Split into individual wavelets (used by fine-grained router tests).
+    pub fn wavelets(&self) -> impl Iterator<Item = Wavelet> + '_ {
+        self.payload.iter().map(move |&v| Wavelet::from_f32(self.color, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_round_trip() {
+        let c = Color::new(1);
+        for v in [0.0f32, -1.5, 3.25e7, f32::MIN_POSITIVE] {
+            let w = Wavelet::from_f32(c, v);
+            assert_eq!(w.as_f32(), v);
+            assert!(!w.is_control_advance());
+        }
+    }
+
+    #[test]
+    fn control_wavelet_is_distinguishable() {
+        let w = Wavelet::control_advance(Color::new(2));
+        assert!(w.is_control_advance());
+        assert!(w.as_f32().is_nan());
+    }
+
+    #[test]
+    fn message_accounting() {
+        let m = Message::new(Color::new(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.num_wavelets(), 3);
+        assert_eq!(m.num_bytes(), 12);
+        let back: Vec<f32> = m.wavelets().map(|w| w.as_f32()).collect();
+        assert_eq!(back, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn empty_message_is_legal() {
+        let m = Message::new(Color::new(5), &[]);
+        assert_eq!(m.num_wavelets(), 0);
+        assert_eq!(m.num_bytes(), 0);
+    }
+}

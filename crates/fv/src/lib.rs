@@ -1,0 +1,44 @@
+//! # mffv-fv
+//!
+//! Finite-volume physics for the single-phase incompressible Darcy problem of the
+//! paper: the TPFA interfacial flux (Eq. 4), the discrete residual (Eq. 3), the
+//! **matrix-free** application of the Jacobian (Eq. 6 / Algorithm 2), and — as the
+//! baseline the matrix-free approach is motivated against — an explicitly assembled
+//! CSR Jacobian with a standard sparse matrix-vector product.
+//!
+//! The crate is host-side and sequential: it defines the *mathematics* that both the
+//! dataflow implementation (`mffv-core`) and the GPU-style reference
+//! (`mffv-gpu-ref`) must reproduce, and is the oracle used by their tests.
+//!
+//! ## Sign convention
+//!
+//! Eq. (6) of the paper defines `(Jx)_K = Σ Υλ (x_L − x_K)` for interior cells.  CG
+//! requires a symmetric positive definite operator, so the operator actually handed
+//! to the solver is the standard Dirichlet-eliminated, positive form
+//! `(A x)_K = Σ Υλ (x_K − x_L·[L ∉ T_D])` (see `DESIGN.md` §4).  Both forms are
+//! provided; [`matrix_free::MatrixFreeOperator::apply_paper_jx`] is the literal
+//! Eq. (6) and is related to the SPD form by a sign flip plus the treatment of
+//! Dirichlet couplings.
+
+pub mod csr;
+pub mod flux;
+pub mod matrix_free;
+pub mod operator;
+pub mod residual;
+pub mod velocity;
+
+pub use csr::{AssembledOperator, CsrMatrix};
+pub use matrix_free::MatrixFreeOperator;
+pub use operator::LinearOperator;
+pub use residual::{newton_rhs, residual};
+pub use velocity::FluxField;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::csr::{AssembledOperator, CsrMatrix};
+    pub use crate::flux::{interfacial_flux, FLOPS_PER_NEIGHBOR};
+    pub use crate::matrix_free::MatrixFreeOperator;
+    pub use crate::operator::LinearOperator;
+    pub use crate::residual::{newton_rhs, residual};
+    pub use crate::velocity::{cell_velocity, FluxField};
+}

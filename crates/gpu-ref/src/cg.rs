@@ -1,0 +1,128 @@
+//! Host-side CG driver for the GPU-style reference (§IV).
+//!
+//! The paper's reference keeps the CG loop on the host and launches one kernel per
+//! operator application; dot products and vector updates are further device kernels.
+//! Here the same structure is expressed by running `mffv_solver`'s CG on top of
+//! [`GpuMatrixFreeOperator`], with the host/device transfer accounting of
+//! [`crate::memory::HostDeviceTransfers`] recorded alongside.
+
+use crate::device_model::{GpuSpec, GpuTimeModel};
+use crate::kernel::GpuMatrixFreeOperator;
+use crate::memory::HostDeviceTransfers;
+use mffv_mesh::{CellField, Workload};
+use mffv_solver::cg::ConjugateGradient;
+use mffv_solver::convergence::ConvergenceHistory;
+use mffv_solver::newton::solve_pressure_with;
+
+/// Result of a reference solve.
+#[derive(Clone, Debug)]
+pub struct GpuSolveReport {
+    /// The pressure field (f32, as on the device).
+    pub pressure: CellField<f32>,
+    /// CG convergence history.
+    pub history: ConvergenceHistory,
+    /// Max-norm of the residual at the returned pressure.
+    pub final_residual_max: f64,
+    /// Host ↔ device transfer accounting.
+    pub transfers: HostDeviceTransfers,
+    /// Modelled kernel time on the modelled GPU, seconds.
+    pub modelled_kernel_time: f64,
+    /// Host wall-clock of the CPU-executed reference, seconds (not comparable to
+    /// device time; reported for transparency).
+    pub host_wall_seconds: f64,
+}
+
+/// The GPU-style reference solver.
+pub struct GpuReferenceSolver {
+    workload: Workload,
+    spec: GpuSpec,
+    tolerance: f64,
+    max_iterations: usize,
+}
+
+impl GpuReferenceSolver {
+    /// A reference solver on a given modelled GPU.
+    pub fn new(workload: Workload, spec: GpuSpec) -> Self {
+        let tolerance = workload.tolerance();
+        let max_iterations = workload.max_iterations();
+        Self { workload, spec, tolerance, max_iterations }
+    }
+
+    /// Override the tolerance on `rᵀr`.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Override the iteration cap.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Run the reference solve.
+    pub fn solve(&self) -> GpuSolveReport {
+        let start = std::time::Instant::now();
+        let operator = GpuMatrixFreeOperator::from_workload(&self.workload);
+        let mut transfers = HostDeviceTransfers::default();
+        // Initial upload: coefficients, mask, pressure, rhs (§IV copies all data
+        // from host to device once).
+        transfers.record_host_to_device(operator.device_arrays().bytes());
+        transfers.record_host_to_device(2 * self.workload.dims().num_cells() * 4);
+
+        let solver = ConjugateGradient::with_tolerance(self.tolerance, self.max_iterations);
+        let solution = solve_pressure_with::<f32, _>(&self.workload, &operator, &solver);
+        // Final download of the pressure field.
+        transfers.record_device_to_host(self.workload.dims().num_cells() * 4);
+
+        let model = GpuTimeModel::new(self.spec);
+        let modelled_kernel_time = model.cg_time(self.workload.dims(), solution.history.iterations);
+        GpuSolveReport {
+            pressure: solution.pressure,
+            history: solution.history,
+            final_residual_max: solution.final_residual_max,
+            transfers,
+            modelled_kernel_time,
+            host_wall_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mffv_mesh::workload::WorkloadSpec;
+    use mffv_mesh::Dims;
+    use mffv_solver::newton::solve_pressure;
+
+    #[test]
+    fn reference_solve_matches_host_oracle() {
+        let w = WorkloadSpec::quickstart().build();
+        let report = GpuReferenceSolver::new(w.clone(), GpuSpec::a100())
+            .with_tolerance(1e-10)
+            .solve();
+        assert!(report.history.converged);
+        let oracle = solve_pressure::<f64>(&w);
+        let diff = oracle.pressure.max_abs_diff(&report.pressure.convert());
+        assert!(diff < 1e-3, "gpu reference vs oracle gap {diff}");
+        assert!(report.final_residual_max < 1e-3);
+    }
+
+    #[test]
+    fn transfers_and_model_are_populated() {
+        let w = WorkloadSpec::fig5(Dims::new(8, 6, 5)).build();
+        let report = GpuReferenceSolver::new(w, GpuSpec::h100()).with_tolerance(1e-12).solve();
+        assert!(report.transfers.host_to_device_bytes > 0);
+        assert!(report.transfers.device_to_host_bytes > 0);
+        assert!(report.modelled_kernel_time > 0.0);
+        assert!(report.host_wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn a100_is_modelled_slower_than_h100() {
+        let w = WorkloadSpec::quickstart().build();
+        let a = GpuReferenceSolver::new(w.clone(), GpuSpec::a100()).with_tolerance(1e-8).solve();
+        let h = GpuReferenceSolver::new(w, GpuSpec::h100()).with_tolerance(1e-8).solve();
+        assert!(a.modelled_kernel_time > h.modelled_kernel_time);
+    }
+}

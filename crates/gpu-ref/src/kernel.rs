@@ -1,0 +1,227 @@
+//! The CUDA-style matrix-free device kernel and its block-parallel execution.
+//!
+//! "Each GPU kernel is scheduled to concurrently invoke a device function that
+//! performs the matrix-free FV computation … each GPU thread handles a cell K …
+//! Each thread concurrently fetches the cell data for itself and all cell data from
+//! its six neighboring cells" (§IV).
+//!
+//! [`device_thread`] is that device function; [`GpuMatrixFreeOperator`] launches it
+//! over the 16×8×8 block grid, with blocks distributed across host threads via
+//! `std::thread::scope`.  The arithmetic is identical to the sequential
+//! `mffv_fv::MatrixFreeOperator`, which the tests verify.
+
+use crate::launch::LaunchConfig;
+use mffv_fv::LinearOperator;
+use mffv_mesh::{CellField, CellIndex, DirichletSet, Dims, Direction, Transmissibilities};
+
+/// Flattened, device-resident problem data (the arrays a CUDA implementation would
+/// copy to the GPU once at start-up).
+#[derive(Clone, Debug)]
+pub struct DeviceArrays {
+    dims: Dims,
+    /// Six transmissibility coefficients per cell in `Direction::ALL` order.
+    coeffs: Vec<[f32; 6]>,
+    /// 1.0 where the cell is Dirichlet.
+    dirichlet: Vec<f32>,
+}
+
+impl DeviceArrays {
+    /// "Copy all data from host to device memory" (§IV).
+    pub fn upload(coeffs: &Transmissibilities<f32>, dirichlet: &DirichletSet) -> Self {
+        let dims = coeffs.dims();
+        let n = dims.num_cells();
+        let mut flat = Vec::with_capacity(n);
+        let mut mask = vec![0.0f32; n];
+        for idx in 0..n {
+            flat.push(coeffs.all(idx));
+            if dirichlet.contains_linear(idx) {
+                mask[idx] = 1.0;
+            }
+        }
+        Self { dims, coeffs: flat, dirichlet: mask }
+    }
+
+    /// Device-memory footprint in bytes (coefficients + mask), the quantity that
+    /// must fit in GPU memory for the paper's "no domain decomposition" strategy.
+    pub fn bytes(&self) -> usize {
+        self.coeffs.len() * 6 * 4 + self.dirichlet.len() * 4
+    }
+
+    /// Grid extents.
+    pub fn dims(&self) -> Dims {
+        self.dims
+    }
+}
+
+/// The per-thread device function: computes one entry of the SPD operator output.
+#[inline]
+pub fn device_thread(
+    arrays: &DeviceArrays,
+    x: &[f32],
+    cell: CellIndex,
+) -> f32 {
+    let dims = arrays.dims;
+    let k = dims.linear(cell);
+    if arrays.dirichlet[k] != 0.0 {
+        return x[k];
+    }
+    let xk = x[k];
+    let mut acc = 0.0f32;
+    for dir in Direction::ALL {
+        if let Some(nb) = dims.neighbor(cell, dir) {
+            let l = dims.linear(nb);
+            let coeff = arrays.coeffs[k][dir.index()];
+            let xl = if arrays.dirichlet[l] != 0.0 { 0.0 } else { x[l] };
+            acc = coeff.mul_add(xk - xl, acc);
+        }
+    }
+    acc
+}
+
+/// The GPU-style matrix-free operator: block-parallel launch of [`device_thread`].
+#[derive(Clone, Debug)]
+pub struct GpuMatrixFreeOperator {
+    arrays: DeviceArrays,
+    launch: LaunchConfig,
+    host_threads: usize,
+}
+
+impl GpuMatrixFreeOperator {
+    /// Build the operator from device arrays with the paper's launch configuration.
+    pub fn new(arrays: DeviceArrays) -> Self {
+        let launch = LaunchConfig::paper(arrays.dims());
+        let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { arrays, launch, host_threads }
+    }
+
+    /// Build directly from a workload (converts coefficients to `f32`).
+    pub fn from_workload(workload: &mffv_mesh::Workload) -> Self {
+        let coeffs: Transmissibilities<f32> = workload.transmissibility().convert();
+        Self::new(DeviceArrays::upload(&coeffs, workload.dirichlet()))
+    }
+
+    /// Override the number of host threads used to execute blocks (tests use 1 for
+    /// determinism checks).
+    pub fn with_host_threads(mut self, threads: usize) -> Self {
+        self.host_threads = threads.max(1);
+        self
+    }
+
+    /// The launch configuration.
+    pub fn launch_config(&self) -> &LaunchConfig {
+        &self.launch
+    }
+
+    /// The uploaded device arrays.
+    pub fn device_arrays(&self) -> &DeviceArrays {
+        &self.arrays
+    }
+
+    /// Execute one kernel launch: `out = A x` with one logical GPU thread per cell.
+    pub fn launch_apply(&self, x: &[f32], out: &mut [f32]) {
+        let dims = self.arrays.dims;
+        assert_eq!(x.len(), dims.num_cells());
+        assert_eq!(out.len(), dims.num_cells());
+        let blocks = self.launch.blocks();
+        // Distribute whole blocks across host threads; each block writes a disjoint
+        // set of cells, so the output can be split without synchronisation.
+        let chunk_size = blocks.len().div_ceil(self.host_threads);
+        // Collect per-block results then scatter — mirrors the independence of CUDA
+        // blocks while staying in safe Rust.
+        let block_outputs: Vec<(usize, Vec<(usize, f32)>)> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (chunk_idx, chunk) in blocks.chunks(chunk_size.max(1)).enumerate() {
+                let arrays = &self.arrays;
+                let launch = &self.launch;
+                handles.push(scope.spawn(move || {
+                    let mut local = Vec::new();
+                    for &(bx, by, bz) in chunk {
+                        let (rx, ry, rz) = launch.block_cell_ranges(bx, by, bz);
+                        for z in rz {
+                            for y in ry.clone() {
+                                for xx in rx.clone() {
+                                    let cell = CellIndex::new(xx, y, z);
+                                    let k = arrays.dims.linear(cell);
+                                    local.push((k, device_thread(arrays, x, cell)));
+                                }
+                            }
+                        }
+                    }
+                    (chunk_idx, local)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("block execution panicked")).collect()
+        });
+        for (_, entries) in block_outputs {
+            for (k, v) in entries {
+                out[k] = v;
+            }
+        }
+    }
+}
+
+impl LinearOperator<f32> for GpuMatrixFreeOperator {
+    fn dims(&self) -> Dims {
+        self.arrays.dims
+    }
+
+    fn apply(&self, x: &CellField<f32>, y: &mut CellField<f32>) {
+        assert_eq!(x.dims(), self.arrays.dims);
+        assert_eq!(y.dims(), self.arrays.dims);
+        self.launch_apply(x.as_slice(), y.as_mut_slice());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mffv_fv::MatrixFreeOperator;
+    use mffv_mesh::workload::WorkloadSpec;
+
+    #[test]
+    fn gpu_kernel_matches_sequential_operator_bitwise_structure() {
+        let w = WorkloadSpec::fig5(Dims::new(10, 7, 6)).build();
+        let gpu = GpuMatrixFreeOperator::from_workload(&w);
+        let seq = MatrixFreeOperator::<f32>::from_workload(&w);
+        let x = CellField::<f32>::from_fn(w.dims(), |c| {
+            ((c.x as f32) * 0.5 - (c.y as f32) * 0.25 + (c.z as f32)).sin()
+        });
+        let y_gpu = gpu.apply_new(&x);
+        let y_seq = seq.apply_new(&x);
+        let diff = y_gpu.max_abs_diff(&y_seq);
+        assert!(diff <= 1e-6 * y_seq.max_abs().max(1.0), "gpu vs sequential gap {diff}");
+    }
+
+    #[test]
+    fn single_threaded_and_multi_threaded_launches_agree_exactly() {
+        let w = WorkloadSpec::quickstart().build();
+        let gpu_multi = GpuMatrixFreeOperator::from_workload(&w);
+        let gpu_single = GpuMatrixFreeOperator::from_workload(&w).with_host_threads(1);
+        let x = CellField::<f32>::from_fn(w.dims(), |c| (c.x + 3 * c.y + 7 * c.z) as f32 * 0.1);
+        let a = gpu_multi.apply_new(&x);
+        let b = gpu_single.apply_new(&x);
+        assert_eq!(a, b, "block decomposition must be deterministic");
+    }
+
+    #[test]
+    fn dirichlet_rows_pass_through() {
+        let w = WorkloadSpec::quickstart().build();
+        let gpu = GpuMatrixFreeOperator::from_workload(&w);
+        let x = CellField::<f32>::constant(w.dims(), 3.5);
+        let y = gpu.apply_new(&x);
+        for idx in 0..w.dims().num_cells() {
+            if w.dirichlet().contains_linear(idx) {
+                assert_eq!(y.get(idx), 3.5);
+            }
+        }
+    }
+
+    #[test]
+    fn device_array_footprint_is_reported() {
+        let w = WorkloadSpec::quickstart().build();
+        let gpu = GpuMatrixFreeOperator::from_workload(&w);
+        let n = w.dims().num_cells();
+        assert_eq!(gpu.device_arrays().bytes(), n * 6 * 4 + n * 4);
+        assert_eq!(gpu.launch_config().dims, w.dims());
+    }
+}

@@ -1,0 +1,143 @@
+//! CUDA-style launch configuration: 3-D thread blocks over the cell grid.
+//!
+//! "We launch 3D GPU threadblocks, each with a size of 1024 to respect the GPU's
+//! limit of at most 1024 threads per block … we launch GPU threadblock size of
+//! 16 × 8 × 8, where 16 is the innermost dimension size." (§IV)
+
+use mffv_mesh::Dims;
+
+/// Block dimensions (threads per block along x, y, z).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockDims {
+    pub x: usize,
+    pub y: usize,
+    pub z: usize,
+}
+
+impl BlockDims {
+    /// The paper's 16 × 8 × 8 block.
+    pub const PAPER: BlockDims = BlockDims { x: 16, y: 8, z: 8 };
+
+    /// Threads per block.
+    pub fn threads(&self) -> usize {
+        self.x * self.y * self.z
+    }
+}
+
+/// A full launch configuration: block dims plus the grid of blocks covering a mesh.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Mesh extents the launch covers.
+    pub dims: Dims,
+    /// Threads per block.
+    pub block: BlockDims,
+}
+
+impl LaunchConfig {
+    /// The paper's configuration for a mesh.
+    pub fn paper(dims: Dims) -> Self {
+        Self { dims, block: BlockDims::PAPER }
+    }
+
+    /// Number of blocks along each axis (ceiling division, as a CUDA launch would).
+    pub fn grid_dims(&self) -> (usize, usize, usize) {
+        (
+            self.dims.nx.div_ceil(self.block.x),
+            self.dims.ny.div_ceil(self.block.y),
+            self.dims.nz.div_ceil(self.block.z),
+        )
+    }
+
+    /// Total number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        let (gx, gy, gz) = self.grid_dims();
+        gx * gy * gz
+    }
+
+    /// Total number of launched threads (may exceed the cell count; excess threads
+    /// return immediately, exactly as the CUDA kernel's bounds check does).
+    pub fn num_threads(&self) -> usize {
+        self.num_blocks() * self.block.threads()
+    }
+
+    /// The inclusive cell-index ranges covered by a block `(bx, by, bz)`, clamped to
+    /// the mesh (the equivalent of the kernel's `if (i < nx && j < ny && k < nz)`
+    /// guard).
+    pub fn block_cell_ranges(
+        &self,
+        bx: usize,
+        by: usize,
+        bz: usize,
+    ) -> (std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<usize>) {
+        let x0 = bx * self.block.x;
+        let y0 = by * self.block.y;
+        let z0 = bz * self.block.z;
+        (
+            x0..(x0 + self.block.x).min(self.dims.nx),
+            y0..(y0 + self.block.y).min(self.dims.ny),
+            z0..(z0 + self.block.z).min(self.dims.nz),
+        )
+    }
+
+    /// Enumerate every block coordinate.
+    pub fn blocks(&self) -> Vec<(usize, usize, usize)> {
+        let (gx, gy, gz) = self.grid_dims();
+        let mut out = Vec::with_capacity(self.num_blocks());
+        for bz in 0..gz {
+            for by in 0..gy {
+                for bx in 0..gx {
+                    out.push((bx, by, bz));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_block_is_1024_threads() {
+        assert_eq!(BlockDims::PAPER.threads(), 1024);
+    }
+
+    #[test]
+    fn grid_covers_the_mesh_with_ceiling_division() {
+        let cfg = LaunchConfig::paper(Dims::new(50, 20, 9));
+        assert_eq!(cfg.grid_dims(), (4, 3, 2));
+        assert_eq!(cfg.num_blocks(), 24);
+        assert_eq!(cfg.num_threads(), 24 * 1024);
+        assert!(cfg.num_threads() >= cfg.dims.num_cells());
+    }
+
+    #[test]
+    fn block_ranges_are_clamped_at_the_mesh_boundary() {
+        let cfg = LaunchConfig::paper(Dims::new(20, 10, 10));
+        let (rx, ry, rz) = cfg.block_cell_ranges(1, 1, 1);
+        assert_eq!(rx, 16..20);
+        assert_eq!(ry, 8..10);
+        assert_eq!(rz, 8..10);
+        let (rx, ry, rz) = cfg.block_cell_ranges(0, 0, 0);
+        assert_eq!((rx.len(), ry.len(), rz.len()), (16, 8, 8));
+    }
+
+    #[test]
+    fn every_cell_is_covered_exactly_once() {
+        let dims = Dims::new(33, 17, 11);
+        let cfg = LaunchConfig::paper(dims);
+        let mut covered = vec![0u8; dims.num_cells()];
+        for (bx, by, bz) in cfg.blocks() {
+            let (rx, ry, rz) = cfg.block_cell_ranges(bx, by, bz);
+            for z in rz {
+                for y in ry.clone() {
+                    for x in rx.clone() {
+                        covered[dims.linear(mffv_mesh::CellIndex::new(x, y, z))] += 1;
+                    }
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1));
+    }
+}

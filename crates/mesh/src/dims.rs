@@ -1,0 +1,228 @@
+//! Grid extents and index arithmetic.
+//!
+//! The paper stores the mesh "with the X-dimension as the innermost dimension and
+//! Z-dimension as the outermost dimension in the memory layout" (§IV).  [`Dims`]
+//! encodes exactly that layout: the linear index of cell `(x, y, z)` is
+//! `x + nx * (y + ny * z)`.
+
+use crate::neighbors::Direction;
+
+/// Extents of a 3-D Cartesian grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Dims {
+    /// Number of cells along X (innermost in memory, mapped to the fabric X axis).
+    pub nx: usize,
+    /// Number of cells along Y (mapped to the fabric Y axis).
+    pub ny: usize,
+    /// Number of cells along Z (the per-PE column depth).
+    pub nz: usize,
+}
+
+/// A cell location expressed in grid coordinates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CellIndex {
+    pub x: usize,
+    pub y: usize,
+    pub z: usize,
+}
+
+impl CellIndex {
+    /// Construct a cell index.
+    pub const fn new(x: usize, y: usize, z: usize) -> Self {
+        Self { x, y, z }
+    }
+}
+
+impl Dims {
+    /// Construct grid extents. Panics if any extent is zero.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "all grid extents must be non-zero");
+        Self { nx, ny, nz }
+    }
+
+    /// Total number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Number of vertical columns, i.e. the number of processing elements the grid
+    /// occupies under the paper's z-column-per-PE mapping.
+    pub fn num_columns(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Linear index of `(x, y, z)` with X innermost and Z outermost.
+    #[inline]
+    pub fn linear(&self, c: CellIndex) -> usize {
+        debug_assert!(self.contains(c), "cell {c:?} outside dims {self:?}");
+        c.x + self.nx * (c.y + self.ny * c.z)
+    }
+
+    /// Inverse of [`Dims::linear`].
+    #[inline]
+    pub fn unlinear(&self, idx: usize) -> CellIndex {
+        debug_assert!(idx < self.num_cells());
+        let x = idx % self.nx;
+        let y = (idx / self.nx) % self.ny;
+        let z = idx / (self.nx * self.ny);
+        CellIndex { x, y, z }
+    }
+
+    /// Whether the cell lies inside the grid.
+    #[inline]
+    pub fn contains(&self, c: CellIndex) -> bool {
+        c.x < self.nx && c.y < self.ny && c.z < self.nz
+    }
+
+    /// The neighbour of `c` in direction `dir`, or `None` when it would fall off the
+    /// grid boundary (the TPFA scheme imposes no-flow across such faces).
+    #[inline]
+    pub fn neighbor(&self, c: CellIndex, dir: Direction) -> Option<CellIndex> {
+        let (dx, dy, dz) = dir.offset();
+        let x = c.x as isize + dx;
+        let y = c.y as isize + dy;
+        let z = c.z as isize + dz;
+        if x < 0
+            || y < 0
+            || z < 0
+            || x >= self.nx as isize
+            || y >= self.ny as isize
+            || z >= self.nz as isize
+        {
+            None
+        } else {
+            Some(CellIndex::new(x as usize, y as usize, z as usize))
+        }
+    }
+
+    /// Iterate over every cell in memory-layout order (X fastest, then Y, then Z).
+    pub fn iter_cells(&self) -> impl Iterator<Item = CellIndex> + '_ {
+        let (nx, ny, nz) = (self.nx, self.ny, self.nz);
+        (0..nz).flat_map(move |z| {
+            (0..ny).flat_map(move |y| (0..nx).map(move |x| CellIndex { x, y, z }))
+        })
+    }
+
+    /// Iterate over every (x, y) column in row-major order — the set of processing
+    /// elements under the paper's data mapping.
+    pub fn iter_columns(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let (nx, ny) = (self.nx, self.ny);
+        (0..ny).flat_map(move |y| (0..nx).map(move |x| (x, y)))
+    }
+
+    /// Linear index of the first (z = 0) cell of column `(x, y)`.
+    #[inline]
+    pub fn column_base(&self, x: usize, y: usize) -> usize {
+        self.linear(CellIndex::new(x, y, 0))
+    }
+
+    /// Stride between consecutive z cells of the same column in the linear layout.
+    #[inline]
+    pub fn column_stride(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Number of interior cells (cells whose six neighbours all exist).
+    pub fn num_interior_cells(&self) -> usize {
+        let ix = self.nx.saturating_sub(2);
+        let iy = self.ny.saturating_sub(2);
+        let iz = self.nz.saturating_sub(2);
+        ix * iy * iz
+    }
+}
+
+impl std::fmt::Display for Dims {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}x{}", self.nx, self.ny, self.nz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_layout_is_x_innermost() {
+        let d = Dims::new(4, 3, 2);
+        assert_eq!(d.linear(CellIndex::new(0, 0, 0)), 0);
+        assert_eq!(d.linear(CellIndex::new(1, 0, 0)), 1);
+        assert_eq!(d.linear(CellIndex::new(0, 1, 0)), 4);
+        assert_eq!(d.linear(CellIndex::new(0, 0, 1)), 12);
+        assert_eq!(d.linear(CellIndex::new(3, 2, 1)), 23);
+    }
+
+    #[test]
+    fn counts() {
+        let d = Dims::new(4, 3, 2);
+        assert_eq!(d.num_cells(), 24);
+        assert_eq!(d.num_columns(), 12);
+        assert_eq!(d.column_stride(), 12);
+        assert_eq!(d.num_interior_cells(), 0);
+        assert_eq!(Dims::new(5, 4, 3).num_interior_cells(), 3 * 2 * 1);
+    }
+
+    #[test]
+    fn neighbors_respect_boundaries() {
+        let d = Dims::new(3, 3, 3);
+        let corner = CellIndex::new(0, 0, 0);
+        assert_eq!(d.neighbor(corner, Direction::XM), None);
+        assert_eq!(d.neighbor(corner, Direction::YM), None);
+        assert_eq!(d.neighbor(corner, Direction::ZM), None);
+        assert_eq!(d.neighbor(corner, Direction::XP), Some(CellIndex::new(1, 0, 0)));
+        let center = CellIndex::new(1, 1, 1);
+        for dir in Direction::ALL {
+            assert!(d.neighbor(center, dir).is_some());
+        }
+    }
+
+    #[test]
+    fn iter_cells_matches_linear_order() {
+        let d = Dims::new(3, 2, 2);
+        let order: Vec<usize> = d.iter_cells().map(|c| d.linear(c)).collect();
+        let expected: Vec<usize> = (0..d.num_cells()).collect();
+        assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn iter_columns_covers_all_pes() {
+        let d = Dims::new(3, 4, 5);
+        let cols: Vec<(usize, usize)> = d.iter_columns().collect();
+        assert_eq!(cols.len(), 12);
+        assert_eq!(cols[0], (0, 0));
+        assert_eq!(cols[1], (1, 0));
+        assert_eq!(cols[3], (0, 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_extent_rejected() {
+        let _ = Dims::new(0, 1, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn unlinear_is_inverse_of_linear(
+            nx in 1usize..20, ny in 1usize..20, nz in 1usize..20, seed in 0usize..10_000
+        ) {
+            let d = Dims::new(nx, ny, nz);
+            let idx = seed % d.num_cells();
+            let c = d.unlinear(idx);
+            prop_assert!(d.contains(c));
+            prop_assert_eq!(d.linear(c), idx);
+        }
+
+        #[test]
+        fn neighbor_is_symmetric(
+            nx in 2usize..10, ny in 2usize..10, nz in 2usize..10, seed in 0usize..10_000
+        ) {
+            let d = Dims::new(nx, ny, nz);
+            let c = d.unlinear(seed % d.num_cells());
+            for dir in Direction::ALL {
+                if let Some(n) = d.neighbor(c, dir) {
+                    prop_assert_eq!(d.neighbor(n, dir.opposite()), Some(c));
+                }
+            }
+        }
+    }
+}

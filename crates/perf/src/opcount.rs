@@ -1,0 +1,200 @@
+//! Per-cell instruction and traffic accounting — the model behind Table V.
+//!
+//! "Computing line 5 in Algorithm 2 consists of 6 FMULs, 4 FSUBs, 1 FADD, 1 FMA,
+//! and 1 FNEG, with FMA requiring two FLOPs … computing with one neighbor requires
+//! 14 FLOPs, and each cell computing with all six neighbors performs a total of 84
+//! FLOPs.  The rest of the computations in Algorithm 1 perform 2 FMULs and 5 FMAs,
+//! totaling 12 FLOPs.  In total, each cell … performs a total of 96 FLOPS.  The
+//! floating-point operations perform a total of 268 loads and stores … and 8 loads
+//! from fabric." (§V-D)
+
+/// The instruction classes Table V enumerates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InstructionClass {
+    Fmul,
+    Fsub,
+    Fneg,
+    Fadd,
+    Fma,
+    Fmov,
+}
+
+impl InstructionClass {
+    /// FLOPs per instruction of this class (FMA counts two, FMOV zero).
+    pub fn flops(self) -> usize {
+        match self {
+            InstructionClass::Fma => 2,
+            InstructionClass::Fmov => 0,
+            _ => 1,
+        }
+    }
+
+    /// Display mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            InstructionClass::Fmul => "FMUL",
+            InstructionClass::Fsub => "FSUB",
+            InstructionClass::Fneg => "FNEG",
+            InstructionClass::Fadd => "FADD",
+            InstructionClass::Fma => "FMA",
+            InstructionClass::Fmov => "FMOV",
+        }
+    }
+}
+
+/// One row of Table V: an instruction class, how many times it executes per cell,
+/// and its per-instruction memory and fabric traffic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpCountRow {
+    /// Which part of the algorithm the row belongs to ("Alg. 2" or "Rest of Alg. 1").
+    pub area: &'static str,
+    /// Instruction class.
+    pub class: InstructionClass,
+    /// Executions per cell.
+    pub count: usize,
+    /// Memory loads per instruction (f32 words).
+    pub mem_loads: usize,
+    /// Memory stores per instruction (f32 words).
+    pub mem_stores: usize,
+    /// Fabric loads per instruction (f32 words).
+    pub fabric_loads: usize,
+}
+
+impl OpCountRow {
+    /// FLOPs contributed by this row per cell.
+    pub fn total_flops(&self) -> usize {
+        self.count * self.class.flops()
+    }
+
+    /// Memory accesses (loads + stores) contributed per cell.
+    pub fn total_mem_accesses(&self) -> usize {
+        self.count * (self.mem_loads + self.mem_stores)
+    }
+
+    /// Fabric loads contributed per cell.
+    pub fn total_fabric_loads(&self) -> usize {
+        self.count * self.fabric_loads
+    }
+}
+
+/// The full per-cell accounting of the matrix-free FV kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellOpCounts {
+    rows: Vec<OpCountRow>,
+}
+
+impl CellOpCounts {
+    /// The exact Table V of the paper.
+    pub fn paper_table5() -> Self {
+        use InstructionClass as I;
+        let rows = vec![
+            // Algorithm 2 (the matrix-free flux computation with six neighbours).
+            OpCountRow { area: "Alg. 2", class: I::Fmul, count: 36, mem_loads: 2, mem_stores: 1, fabric_loads: 0 },
+            OpCountRow { area: "Alg. 2", class: I::Fsub, count: 24, mem_loads: 2, mem_stores: 1, fabric_loads: 0 },
+            OpCountRow { area: "Alg. 2", class: I::Fneg, count: 6, mem_loads: 1, mem_stores: 1, fabric_loads: 0 },
+            OpCountRow { area: "Alg. 2", class: I::Fadd, count: 6, mem_loads: 2, mem_stores: 1, fabric_loads: 0 },
+            OpCountRow { area: "Alg. 2", class: I::Fma, count: 6, mem_loads: 3, mem_stores: 1, fabric_loads: 0 },
+            OpCountRow { area: "Alg. 2", class: I::Fmov, count: 4, mem_loads: 0, mem_stores: 1, fabric_loads: 1 },
+            // Rest of Algorithm 1 (vector updates and reductions).
+            OpCountRow { area: "Rest of Alg. 1", class: I::Fmul, count: 2, mem_loads: 2, mem_stores: 1, fabric_loads: 0 },
+            OpCountRow { area: "Rest of Alg. 1", class: I::Fma, count: 5, mem_loads: 3, mem_stores: 1, fabric_loads: 0 },
+            OpCountRow { area: "Rest of Alg. 1", class: I::Fmov, count: 4, mem_loads: 0, mem_stores: 1, fabric_loads: 1 },
+        ];
+        Self { rows }
+    }
+
+    /// The table rows.
+    pub fn rows(&self) -> &[OpCountRow] {
+        &self.rows
+    }
+
+    /// Total FLOPs per cell per iteration.
+    pub fn flops_per_cell(&self) -> usize {
+        self.rows.iter().map(OpCountRow::total_flops).sum()
+    }
+
+    /// FLOPs per cell attributable to Algorithm 2 only.
+    pub fn alg2_flops_per_cell(&self) -> usize {
+        self.rows.iter().filter(|r| r.area == "Alg. 2").map(OpCountRow::total_flops).sum()
+    }
+
+    /// Memory accesses (f32 words) per cell per iteration.
+    pub fn mem_accesses_per_cell(&self) -> usize {
+        self.rows.iter().map(OpCountRow::total_mem_accesses).sum()
+    }
+
+    /// Fabric loads (f32 words) per cell per iteration.
+    pub fn fabric_loads_per_cell(&self) -> usize {
+        self.rows.iter().map(OpCountRow::total_fabric_loads).sum()
+    }
+
+    /// Memory traffic per cell in bytes.
+    pub fn mem_bytes_per_cell(&self) -> usize {
+        4 * self.mem_accesses_per_cell()
+    }
+
+    /// Fabric traffic per cell in bytes.
+    pub fn fabric_bytes_per_cell(&self) -> usize {
+        4 * self.fabric_loads_per_cell()
+    }
+
+    /// Arithmetic intensity with respect to memory traffic (FLOP/byte).
+    pub fn memory_arithmetic_intensity(&self) -> f64 {
+        self.flops_per_cell() as f64 / self.mem_bytes_per_cell() as f64
+    }
+
+    /// Arithmetic intensity with respect to fabric traffic (FLOP/byte).
+    pub fn fabric_arithmetic_intensity(&self) -> f64 {
+        self.flops_per_cell() as f64 / self.fabric_bytes_per_cell() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_totals_match_the_paper() {
+        let t = CellOpCounts::paper_table5();
+        assert_eq!(t.alg2_flops_per_cell(), 84);
+        assert_eq!(t.flops_per_cell(), 96);
+        assert_eq!(t.mem_accesses_per_cell(), 268);
+        assert_eq!(t.fabric_loads_per_cell(), 8);
+    }
+
+    #[test]
+    fn arithmetic_intensities_match_the_paper() {
+        let t = CellOpCounts::paper_table5();
+        // "the arithmetic intensity is 0.0895 FLOPs/Byte with respect to memory
+        // access and 3 FLOPs/Byte with respect to fabric transfers"
+        assert!((t.memory_arithmetic_intensity() - 0.0895).abs() < 5e-4);
+        assert!((t.fabric_arithmetic_intensity() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_neighbor_accounting_is_14_flops() {
+        // 6 FMUL + 4 FSUB + 1 FADD + 1 FMA (2 FLOPs) + 1 FNEG = 14 FLOPs per
+        // neighbour contribution.
+        let per_neighbor = 6 + 4 + 1 + 2 + 1;
+        assert_eq!(per_neighbor, 14);
+        assert_eq!(per_neighbor * 6, CellOpCounts::paper_table5().alg2_flops_per_cell());
+    }
+
+    #[test]
+    fn instruction_class_flops_and_names() {
+        assert_eq!(InstructionClass::Fma.flops(), 2);
+        assert_eq!(InstructionClass::Fmov.flops(), 0);
+        assert_eq!(InstructionClass::Fmul.flops(), 1);
+        assert_eq!(InstructionClass::Fsub.mnemonic(), "FSUB");
+    }
+
+    #[test]
+    fn row_helpers() {
+        let t = CellOpCounts::paper_table5();
+        let fmov_rows: Vec<&OpCountRow> =
+            t.rows().iter().filter(|r| r.class == InstructionClass::Fmov).collect();
+        assert_eq!(fmov_rows.len(), 2);
+        assert_eq!(fmov_rows.iter().map(|r| r.total_fabric_loads()).sum::<usize>(), 8);
+        assert_eq!(t.rows().len(), 9);
+    }
+}

@@ -1,0 +1,110 @@
+//! Plain-text table formatting shared by the benchmark/report binaries.
+//!
+//! The paper's tables are regenerated as fixed-width text so `cargo run -p
+//! mffv-bench --bin table2` (etc.) prints something directly comparable with the
+//! published table; no plotting dependencies are needed.
+
+/// Format a table with a header row and data rows as fixed-width text.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let num_cols = headers.len();
+    for row in rows {
+        assert_eq!(row.len(), num_cols, "every row must have {num_cols} columns");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {h:w$} |", w = w));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in rows {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {cell:>w$} |", w = w));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out
+}
+
+/// Format seconds with four significant decimals (the paper's table style).
+pub fn fmt_seconds(t: f64) -> String {
+    format!("{t:.4}")
+}
+
+/// Format a throughput in Gcell/s (the Table-III unit).
+pub fn fmt_gcells(cells_per_second: f64) -> String {
+    format!("{:.2}", cells_per_second / 1e9)
+}
+
+/// Format a FLOP/s figure in the most readable SI unit.
+pub fn fmt_flops(flops: f64) -> String {
+    if flops >= 1e15 {
+        format!("{:.3} PFLOP/s", flops / 1e15)
+    } else if flops >= 1e12 {
+        format!("{:.2} TFLOP/s", flops / 1e12)
+    } else if flops >= 1e9 {
+        format!("{:.2} GFLOP/s", flops / 1e9)
+    } else {
+        format!("{flops:.0} FLOP/s")
+    }
+}
+
+/// Format a percentage.
+pub fn fmt_percent(fraction: f64) -> String {
+    format!("{:.2}%", 100.0 * fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned_and_complete() {
+        let t = format_table(
+            &["Arch", "Time [s]"],
+            &[
+                vec!["Dataflow".to_string(), "0.0542".to_string()],
+                vec!["A100".to_string(), "23.1879".to_string()],
+            ],
+        );
+        assert!(t.contains("| Arch     |"));
+        assert!(t.contains("23.1879"));
+        assert_eq!(t.lines().count(), 6);
+        // Every line has the same width.
+        let widths: Vec<usize> = t.lines().map(|l| l.len()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_rows_are_rejected() {
+        let _ = format_table(&["a", "b"], &[vec!["1".to_string()]]);
+    }
+
+    #[test]
+    fn numeric_formatting() {
+        assert_eq!(fmt_seconds(0.05423), "0.0542");
+        assert_eq!(fmt_gcells(12_688_550_000_000.0), "12688.55");
+        assert_eq!(fmt_flops(1.217e15), "1.217 PFLOP/s");
+        assert_eq!(fmt_flops(14.7e12), "14.70 TFLOP/s");
+        assert_eq!(fmt_flops(2.4e9), "2.40 GFLOP/s");
+        assert_eq!(fmt_flops(96.0), "96 FLOP/s");
+        assert_eq!(fmt_percent(0.0627), "6.27%");
+    }
+}

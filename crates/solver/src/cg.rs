@@ -1,0 +1,218 @@
+//! The conjugate-gradient method of the paper's Algorithm 1.
+//!
+//! The loop body is the textbook CG recurrence the paper lists (with its `x` being
+//! the search direction and `y` the iterate; here they are called `direction` and
+//! `solution`):
+//!
+//! ```text
+//! α_k  = rᵀr / dᵀ(A d)
+//! x_{k+1} = x_k + α_k d_k
+//! r_{k+1} = r_k − α_k (A d_k)
+//! exit if rᵀr < ε
+//! β_k  = r_{k+1}ᵀ r_{k+1} / r_kᵀ r_k
+//! d_{k+1} = r_{k+1} + β_k d_k
+//! ```
+//!
+//! One operator application and two dot products per iteration — exactly the
+//! structure the dataflow implementation reproduces with Algorithm 2 for `A d` and
+//! the whole-fabric all-reduce for the dot products.
+
+use crate::convergence::{ConvergenceHistory, StoppingCriterion};
+use mffv_fv::LinearOperator;
+use mffv_mesh::{CellField, Scalar};
+
+/// Result of a CG solve.
+#[derive(Clone, Debug)]
+pub struct SolveOutcome<T: Scalar> {
+    /// The computed solution.
+    pub solution: CellField<T>,
+    /// Convergence record.
+    pub history: ConvergenceHistory,
+}
+
+/// Conjugate-gradient solver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ConjugateGradient {
+    /// Stopping criterion (tolerance on `rᵀr` and iteration cap).
+    pub criterion: StoppingCriterion,
+}
+
+impl ConjugateGradient {
+    /// A solver with an explicit criterion.
+    pub fn new(criterion: StoppingCriterion) -> Self {
+        Self { criterion }
+    }
+
+    /// The paper's evaluation setting.
+    pub fn paper() -> Self {
+        Self { criterion: StoppingCriterion::paper() }
+    }
+
+    /// A solver with the given tolerance on `rᵀr` and iteration cap.
+    pub fn with_tolerance(tolerance: f64, max_iterations: usize) -> Self {
+        Self { criterion: StoppingCriterion::new(tolerance, max_iterations) }
+    }
+
+    /// Solve `A x = b` starting from `x0`.
+    ///
+    /// `A` must be symmetric positive definite over the non-Dirichlet degrees of
+    /// freedom (see `mffv-fv`'s sign convention).  Returns the solution together
+    /// with the convergence history.
+    pub fn solve<T: Scalar, Op: LinearOperator<T>>(
+        &self,
+        operator: &Op,
+        rhs: &CellField<T>,
+        x0: &CellField<T>,
+    ) -> SolveOutcome<T> {
+        let dims = operator.dims();
+        assert_eq!(rhs.dims(), dims, "rhs dimension mismatch");
+        assert_eq!(x0.dims(), dims, "initial guess dimension mismatch");
+
+        let mut solution = x0.clone();
+        // r_0 = b − A x_0
+        let mut residual = rhs.clone();
+        let ax0 = operator.apply_new(&solution);
+        residual.axpy(-T::ONE, &ax0);
+        // d_0 = r_0
+        let mut direction = residual.clone();
+        let mut operator_times_direction = CellField::zeros(dims);
+
+        let mut rr = residual.norm_squared().to_f64();
+        let mut history = ConvergenceHistory::starting_from(rr);
+        if self.criterion.is_converged(rr) {
+            history.converged = true;
+            return SolveOutcome { solution, history };
+        }
+
+        for _ in 0..self.criterion.max_iterations {
+            operator.apply(&direction, &mut operator_times_direction);
+            let d_ad = direction.dot(&operator_times_direction).to_f64();
+            if d_ad <= 0.0 || !d_ad.is_finite() {
+                // Operator is not positive definite along this direction (or numerics
+                // broke down); stop rather than produce garbage.
+                break;
+            }
+            let alpha = T::from_f64(rr / d_ad);
+            solution.axpy(alpha, &direction);
+            residual.axpy(-alpha, &operator_times_direction);
+
+            let rr_new = residual.norm_squared().to_f64();
+            history.record(rr_new);
+            if self.criterion.is_converged(rr_new) {
+                history.converged = true;
+                break;
+            }
+            let beta = T::from_f64(rr_new / rr);
+            direction.xpby(&residual, beta);
+            rr = rr_new;
+        }
+        SolveOutcome { solution, history }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mffv_fv::csr::AssembledOperator;
+    use mffv_fv::matrix_free::MatrixFreeOperator;
+    use mffv_fv::operator::ScaledIdentity;
+    use mffv_fv::residual::{newton_rhs, residual};
+    use mffv_mesh::workload::WorkloadSpec;
+    use mffv_mesh::{DirichletSet, Dims, Transmissibilities};
+
+    #[test]
+    fn identity_system_converges_in_one_iteration() {
+        let dims = Dims::new(4, 4, 2);
+        let op = ScaledIdentity::new(dims, 2.0f64);
+        let b = CellField::from_fn(dims, |c| (c.x + c.y) as f64);
+        let out = ConjugateGradient::with_tolerance(1e-24, 10).solve(&op, &b, &CellField::zeros(dims));
+        assert!(out.history.converged);
+        assert!(out.history.iterations <= 1);
+        for i in 0..b.len() {
+            assert!((out.solution.get(i) - b.get(i) / 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn laplacian_with_dirichlet_converges_to_linear_profile() {
+        // Fixed pressures on the X faces, homogeneous coefficients: the solution of
+        // the full Newton system is the linear pressure drop.
+        let dims = Dims::new(9, 4, 3);
+        let coeffs = Transmissibilities::<f64>::uniform(dims, 1.0);
+        let dirichlet = DirichletSet::x_faces(dims, 1.0, 0.0);
+        let op = MatrixFreeOperator::new(coeffs.clone(), &dirichlet);
+
+        let mut p0 = CellField::constant(dims, 0.5);
+        dirichlet.impose(&mut p0);
+        let r = residual(&p0, &coeffs, &dirichlet);
+        let b = newton_rhs(&r, &dirichlet);
+        let out = ConjugateGradient::with_tolerance(1e-20, 500).solve(&op, &b, &CellField::zeros(dims));
+        assert!(out.history.converged, "CG did not converge: {:?}", out.history);
+
+        let mut p = p0.clone();
+        p.axpy(1.0, &out.solution);
+        let exact = CellField::from_fn(dims, |c| 1.0 - c.x as f64 / (dims.nx - 1) as f64);
+        assert!(p.max_abs_diff(&exact) < 1e-8, "max error {}", p.max_abs_diff(&exact));
+    }
+
+    #[test]
+    fn matrix_free_and_assembled_produce_identical_iterates() {
+        let w = WorkloadSpec::quickstart().scaled(2).build();
+        let mf = MatrixFreeOperator::<f64>::from_workload(&w);
+        let asm = AssembledOperator::<f64>::from_workload(&w);
+        let p0: CellField<f64> = w.initial_pressure();
+        let r = residual(&p0, w.transmissibility(), w.dirichlet());
+        let b = newton_rhs(&r, w.dirichlet());
+        let solver = ConjugateGradient::with_tolerance(1e-18, 500);
+        let out_mf = solver.solve(&mf, &b, &CellField::zeros(w.dims()));
+        let out_asm = solver.solve(&asm, &b, &CellField::zeros(w.dims()));
+        assert_eq!(out_mf.history.iterations, out_asm.history.iterations);
+        assert!(out_mf.solution.max_abs_diff(&out_asm.solution) < 1e-10);
+    }
+
+    #[test]
+    fn respects_iteration_cap() {
+        let dims = Dims::new(12, 12, 4);
+        let coeffs = Transmissibilities::<f64>::uniform(dims, 1.0);
+        let dirichlet = DirichletSet::source_producer(dims, 1.0, 0.0);
+        let op = MatrixFreeOperator::new(coeffs, &dirichlet);
+        let b = CellField::constant(dims, 1.0);
+        let out = ConjugateGradient::with_tolerance(1e-30, 3).solve(&op, &b, &CellField::zeros(dims));
+        assert!(!out.history.converged);
+        assert_eq!(out.history.iterations, 3);
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let dims = Dims::new(4, 4, 4);
+        let op = ScaledIdentity::new(dims, 1.0f64);
+        let out = ConjugateGradient::paper().solve(&op, &CellField::zeros(dims), &CellField::zeros(dims));
+        assert!(out.history.converged);
+        assert_eq!(out.history.iterations, 0);
+        assert_eq!(out.solution.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn residual_history_is_broadly_decreasing() {
+        let w = WorkloadSpec::quickstart().build();
+        let op = MatrixFreeOperator::<f64>::from_workload(&w);
+        let p0: CellField<f64> = w.initial_pressure();
+        let r = residual(&p0, w.transmissibility(), w.dirichlet());
+        let b = newton_rhs(&r, w.dirichlet());
+        let out = ConjugateGradient::with_tolerance(1e-16, 2000).solve(&op, &b, &CellField::zeros(w.dims()));
+        assert!(out.history.converged);
+        assert!(out.history.is_broadly_decreasing(50.0));
+    }
+
+    #[test]
+    fn f32_solve_reaches_single_precision_accuracy() {
+        let w = WorkloadSpec::quickstart().scaled(2).build();
+        let op = MatrixFreeOperator::<f32>::from_workload(&w);
+        let p0: CellField<f32> = w.initial_pressure();
+        let r = residual(&p0, &w.transmissibility().convert(), w.dirichlet());
+        let b = newton_rhs(&r, w.dirichlet());
+        let out = ConjugateGradient::with_tolerance(1e-10, 2000).solve(&op, &b, &CellField::zeros(w.dims()));
+        assert!(out.history.converged);
+        assert!(out.solution.all_finite());
+    }
+}

@@ -1,0 +1,32 @@
+//! # mffv-solver
+//!
+//! Krylov solvers for the FV linear systems: the conjugate-gradient method of the
+//! paper's Algorithm 1, a Jacobi-preconditioned variant (a natural extension the
+//! paper leaves for future work), deterministic reduction utilities matching the
+//! order of the whole-fabric all-reduce (§III-C), and a one-Newton-step driver that
+//! turns a workload into a converged pressure field.
+//!
+//! The solvers are written against the [`mffv_fv::LinearOperator`] abstraction so
+//! the identical iteration runs on the sequential matrix-free kernel, the assembled
+//! CSR baseline, the GPU-style reference and (re-implemented as a state machine) the
+//! dataflow fabric.
+
+pub mod cg;
+pub mod convergence;
+pub mod newton;
+pub mod pcg;
+pub mod reduction;
+
+pub use cg::{ConjugateGradient, SolveOutcome};
+pub use convergence::{ConvergenceHistory, StoppingCriterion};
+pub use newton::{solve_pressure, PressureSolution};
+pub use pcg::{JacobiPreconditioner, PreconditionedConjugateGradient};
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::cg::{ConjugateGradient, SolveOutcome};
+    pub use crate::convergence::{ConvergenceHistory, StoppingCriterion};
+    pub use crate::newton::{solve_pressure, PressureSolution};
+    pub use crate::pcg::{JacobiPreconditioner, PreconditionedConjugateGradient};
+    pub use crate::reduction::{fabric_ordered_dot, fabric_ordered_sum};
+}

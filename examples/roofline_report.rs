@@ -1,0 +1,52 @@
+//! Roofline analysis (the Figure-6 experiment): where the matrix-free FV kernel
+//! sits on the CS-2 and A100 rooflines, from the Table-V per-cell work model.
+//!
+//! Run with `cargo run --release --example roofline_report`.
+
+use mffv::prelude::*;
+use mffv_perf::report::{fmt_flops, fmt_percent};
+
+fn main() {
+    let counts = CellOpCounts::paper_table5();
+    println!("Per-cell work model (Table V):");
+    println!("  {} FLOPs, {} memory accesses, {} fabric loads",
+        counts.flops_per_cell(), counts.mem_accesses_per_cell(), counts.fabric_loads_per_cell());
+    println!(
+        "  arithmetic intensity: {:.4} FLOP/B (memory), {:.1} FLOP/B (fabric)\n",
+        counts.memory_arithmetic_intensity(),
+        counts.fabric_arithmetic_intensity()
+    );
+
+    let dims = Dims::new(750, 994, 922);
+    let timing = AnalyticTiming::paper();
+    let achieved = timing.cs2_achieved_flops(dims, 225);
+
+    let cs2 = Roofline::new(MachineSpec::cs2());
+    println!("CS-2 (peak {}):", fmt_flops(MachineSpec::cs2().peak_flops));
+    for (label, ai, ceiling) in [
+        ("memory", counts.memory_arithmetic_intensity(), "Memory"),
+        ("fabric", counts.fabric_arithmetic_intensity(), "Fabric"),
+    ] {
+        println!(
+            "  vs {label:7} ceiling: attainable {}, achieved {} ({} of attainable), compute-bound = {}",
+            fmt_flops(cs2.attainable(ai, Some(ceiling))),
+            fmt_flops(achieved),
+            fmt_percent(cs2.fraction_of_attainable(ai, achieved, Some(ceiling))),
+            cs2.is_compute_bound(ai, Some(ceiling)),
+        );
+    }
+    println!("  (paper: 1.217 PFLOP/s achieved, 68% of peak, compute-bound for both)\n");
+
+    let a100 = Roofline::new(MachineSpec::a100());
+    let ai_dram = 96.0 / mffv::gpu_ref::device_model::DRAM_BYTES_PER_CELL_PER_ITERATION;
+    let gpu_achieved = GpuTimeModel::new(GpuSpec::a100()).achieved_flops(dims);
+    println!("A100 (peak {}):", fmt_flops(MachineSpec::a100().peak_flops));
+    println!(
+        "  vs HBM ceiling: attainable {}, achieved {} ({} of attainable), memory-bound = {}",
+        fmt_flops(a100.attainable(ai_dram, Some("HBM"))),
+        fmt_flops(gpu_achieved),
+        fmt_percent(a100.fraction_of_attainable(ai_dram, gpu_achieved, Some("HBM"))),
+        !a100.is_compute_bound(ai_dram, Some("HBM")),
+    );
+    println!("  (paper: memory-bound, ~78% of the bandwidth ceiling)");
+}

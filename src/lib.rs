@@ -1,0 +1,31 @@
+//! # mffv — Matrix-Free Finite Volume Kernels on a (simulated) Dataflow Architecture
+//!
+//! Umbrella crate re-exporting the whole workspace.  See `README.md` for the project
+//! overview, `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+//!
+//! ```
+//! use mffv::prelude::*;
+//!
+//! let workload = WorkloadSpec::quickstart().build();
+//! assert_eq!(workload.dims().num_cells(), 16 * 16 * 8);
+//! ```
+
+pub use mffv_core as core;
+pub use mffv_fabric as fabric;
+pub use mffv_fv as fv;
+pub use mffv_gpu_ref as gpu_ref;
+pub use mffv_mesh as mesh;
+pub use mffv_perf as perf;
+pub use mffv_solver as solver;
+
+/// One-stop import of the most commonly used types across all crates.
+pub mod prelude {
+    pub use mffv_core::prelude::*;
+    pub use mffv_fabric::prelude::*;
+    pub use mffv_fv::prelude::*;
+    pub use mffv_gpu_ref::prelude::*;
+    pub use mffv_mesh::prelude::*;
+    pub use mffv_perf::prelude::*;
+    pub use mffv_solver::prelude::*;
+}

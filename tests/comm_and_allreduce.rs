@@ -1,0 +1,108 @@
+//! Integration tests of the fabric communication machinery across crates: the
+//! Table-I exchange feeding the per-PE kernel must reproduce the host operator, and
+//! the whole-fabric all-reduce must reproduce the host reduction in the same
+//! floating-point order.
+
+use mffv::prelude::*;
+use mffv_core::allreduce::AllReduce;
+use mffv_core::comm::CardinalExchange;
+use mffv_core::kernel;
+use mffv_core::mapping::PeColumnBuffers;
+use mffv_fv::{LinearOperator, MatrixFreeOperator};
+use mffv_solver::reduction::fabric_ordered_dot;
+
+/// Exchange + per-PE kernel over the whole fabric must equal the host operator
+/// applied to the same field.
+#[test]
+fn exchanged_halos_plus_kernel_reproduce_the_host_operator() {
+    let dims = Dims::new(7, 6, 9);
+    let workload = WorkloadSpec::fig5(dims).build();
+    let host_op = MatrixFreeOperator::<f32>::from_workload(&workload);
+
+    // A direction field that is zero on Dirichlet cells (the CG invariant).
+    let mut direction = CellField::<f32>::from_fn(dims, |c| {
+        ((c.x as f32) - 0.3 * (c.y as f32) + 0.1 * (c.z as f32)).cos()
+    });
+    for idx in 0..dims.num_cells() {
+        if workload.dirichlet().contains_linear(idx) {
+            direction.set(idx, 0.0);
+        }
+    }
+    let expected = host_op.apply_new(&direction);
+
+    let mut fabric = Fabric::new(FabricDims::new(dims.nx, dims.ny));
+    let mut buffers = Vec::new();
+    for idx in 0..fabric.num_pes() {
+        let pe_id = fabric.dims().unlinear(idx);
+        let pe = fabric.pe_mut(pe_id);
+        let bufs = PeColumnBuffers::allocate(pe, &workload, pe_id.x, pe_id.y).unwrap();
+        pe.memory_mut().write(bufs.direction, 0, &direction.column(pe_id.x, pe_id.y)).unwrap();
+        buffers.push(bufs);
+    }
+    let mut colors = ColorAllocator::new();
+    let mut exchange = CardinalExchange::new(&mut fabric, &mut colors).unwrap();
+    exchange.exchange(&mut fabric, &buffers).unwrap();
+
+    let mut got = CellField::<f32>::zeros(dims);
+    for idx in 0..fabric.num_pes() {
+        let pe_id = fabric.dims().unlinear(idx);
+        kernel::compute_jd(fabric.pe_mut(pe_id), &buffers[idx]).unwrap();
+        let column = fabric.pe(pe_id).memory().read(buffers[idx].operator_out, 0, dims.nz).unwrap();
+        got.set_column(pe_id.x, pe_id.y, &column);
+    }
+    let scale = expected.max_abs().max(1.0);
+    let diff = got.max_abs_diff(&expected);
+    assert!(diff <= 1e-5 * scale, "fabric operator differs from host operator by {diff}");
+}
+
+/// The fabric all-reduce must equal the host helper that mimics its reduction order
+/// exactly (bitwise, because the order and the operations are identical).
+#[test]
+fn fabric_allreduce_matches_host_fabric_ordered_reduction() {
+    let dims = Dims::new(5, 4, 7);
+    let a = CellField::<f32>::from_fn(dims, |c| 1.0e4 + (c.x * 31 + c.y * 7 + c.z) as f32 * 0.125);
+    let b = CellField::<f32>::from_fn(dims, |c| 0.5 - 0.01 * (c.z as f32) + 0.001 * (c.x as f32));
+
+    // Per-PE partial dot products, then the fabric collective.
+    let mut fabric = Fabric::new(FabricDims::new(dims.nx, dims.ny));
+    let mut partials = vec![0.0f32; fabric.num_pes()];
+    for idx in 0..fabric.num_pes() {
+        let pe = fabric.dims().unlinear(idx);
+        let col_a = a.column(pe.x, pe.y);
+        let col_b = b.column(pe.x, pe.y);
+        let mut acc = 0.0f32;
+        for (x, y) in col_a.iter().zip(col_b.iter()) {
+            acc = x.mul_add(*y, acc);
+        }
+        partials[idx] = acc;
+    }
+    let mut colors = ColorAllocator::new();
+    let allreduce = AllReduce::new(&mut colors).unwrap();
+    let (values, report) = allreduce.sum(&mut fabric, &partials).unwrap();
+
+    let host = fabric_ordered_dot(&a, &b);
+    assert_eq!(values[0], host, "fabric and host reduction orders must agree bitwise");
+    assert!(values.iter().all(|&v| v == values[0]), "broadcast must reach every PE");
+    assert_eq!(report.critical_path_hops, 2 * ((dims.nx - 1) + (dims.ny - 1)));
+}
+
+/// The full dataflow CG must report the same iteration count as the host CG driven
+/// by the fabric-ordered reductions — the discrete decisions (convergence checks)
+/// depend only on quantities both sides compute identically.
+#[test]
+fn dataflow_iteration_count_is_close_to_host_iteration_count() {
+    let workload = WorkloadSpec::quickstart().scaled(2).build();
+    let host = solve_pressure::<f32>(&workload);
+    let dataflow = DataflowFvSolver::new(
+        workload.clone(),
+        SolverOptions::paper().with_tolerance(workload.tolerance()),
+    )
+    .solve()
+    .unwrap();
+    let host_iters = host.history.iterations as isize;
+    let fabric_iters = dataflow.stats.iterations as isize;
+    assert!(
+        (host_iters - fabric_iters).abs() <= 3,
+        "iteration counts diverge: host {host_iters} vs fabric {fabric_iters}"
+    );
+}

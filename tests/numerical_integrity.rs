@@ -1,0 +1,110 @@
+//! Cross-crate numerical integrity (§V-B of the paper): the sequential oracle, the
+//! assembled-CSR baseline, the GPU-style reference and the dataflow-fabric solver
+//! must produce the same pressure field on shared workloads.
+
+use mffv::prelude::*;
+use mffv_fv::csr::AssembledOperator;
+use mffv_solver::cg::ConjugateGradient;
+use mffv_solver::newton::solve_pressure_with;
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        WorkloadSpec::quickstart().build(),
+        WorkloadSpec::fig5(Dims::new(10, 8, 6)).build(),
+        WorkloadSpec::paper_grid(14, 12, 10).build(),
+    ]
+}
+
+#[test]
+fn assembled_baseline_matches_oracle_to_solver_precision() {
+    for workload in workloads() {
+        // Run both operators through the identical CG configuration so the
+        // comparison isolates the operator implementations.
+        let solver = ConjugateGradient::with_tolerance(1e-16, workload.max_iterations());
+        let oracle = solve_pressure_with::<f64, _>(
+            &workload,
+            &mffv_fv::MatrixFreeOperator::<f64>::from_workload(&workload),
+            &solver,
+        );
+        let assembled = solve_pressure_with::<f64, _>(
+            &workload,
+            &AssembledOperator::<f64>::from_workload(&workload),
+            &solver,
+        );
+        assert!(oracle.history.converged && assembled.history.converged);
+        let scale = oracle.pressure.max_abs().max(f64::MIN_POSITIVE);
+        let rel = oracle.pressure.max_abs_diff(&assembled.pressure) / scale;
+        assert!(rel < 1e-9, "{}: assembled baseline off by {rel}", workload.name());
+    }
+}
+
+#[test]
+fn gpu_reference_matches_oracle_to_single_precision() {
+    for workload in workloads() {
+        let oracle = solve_pressure::<f64>(&workload);
+        let gpu = GpuReferenceSolver::new(workload.clone(), GpuSpec::a100())
+            .with_tolerance(1e-12)
+            .solve();
+        assert!(gpu.history.converged, "{}: GPU reference did not converge", workload.name());
+        let scale = oracle.pressure.max_abs().max(f64::MIN_POSITIVE);
+        let rel = oracle.pressure.max_abs_diff(&gpu.pressure.convert()) / scale;
+        assert!(rel < 1e-3, "{}: GPU reference off by {rel}", workload.name());
+    }
+}
+
+#[test]
+fn dataflow_solver_matches_oracle_to_single_precision() {
+    for workload in workloads() {
+        let oracle = solve_pressure::<f64>(&workload);
+        let dataflow = DataflowFvSolver::new(
+            workload.clone(),
+            SolverOptions::paper().with_tolerance(1e-12),
+        )
+        .solve()
+        .expect("dataflow solve failed");
+        assert!(dataflow.history.converged, "{}: dataflow did not converge", workload.name());
+        let scale = oracle.pressure.max_abs().max(f64::MIN_POSITIVE);
+        let rel = oracle.pressure.max_abs_diff(&dataflow.pressure.convert()) / scale;
+        assert!(rel < 1e-3, "{}: dataflow solver off by {rel}", workload.name());
+    }
+}
+
+#[test]
+fn dataflow_and_gpu_reference_agree_with_each_other() {
+    let workload = WorkloadSpec::fig5(Dims::new(9, 7, 5)).build();
+    let gpu = GpuReferenceSolver::new(workload.clone(), GpuSpec::h100())
+        .with_tolerance(1e-12)
+        .solve();
+    let dataflow =
+        DataflowFvSolver::new(workload, SolverOptions::paper().with_tolerance(1e-12))
+            .solve()
+            .expect("dataflow solve failed");
+    let gpu64: CellField<f64> = gpu.pressure.convert();
+    let dataflow64: CellField<f64> = dataflow.pressure.convert();
+    let scale = gpu64.max_abs().max(f64::MIN_POSITIVE);
+    let rel = gpu64.max_abs_diff(&dataflow64) / scale;
+    assert!(rel < 1e-3, "dataflow vs GPU reference differ by {rel}");
+}
+
+#[test]
+fn converged_pressure_satisfies_the_discrete_maximum_principle() {
+    // The single-phase operator has no sources except the Dirichlet columns, so the
+    // converged pressure must stay inside the range of the boundary values — on
+    // every implementation.
+    let workload = WorkloadSpec::quickstart().build();
+    let (lo, hi) = (0.0f64, 1.0f64);
+    let oracle = solve_pressure::<f64>(&workload);
+    let dataflow =
+        DataflowFvSolver::new(workload.clone(), SolverOptions::paper().with_tolerance(1e-12))
+            .solve()
+            .unwrap();
+    for &p in oracle.pressure.as_slice() {
+        assert!(p >= lo - 1e-8 && p <= hi + 1e-8, "oracle violates maximum principle: {p}");
+    }
+    for &p in dataflow.pressure.as_slice() {
+        assert!(
+            p >= (lo - 1e-4) as f32 && p <= (hi + 1e-4) as f32,
+            "dataflow violates maximum principle: {p}"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of cross-crate invariants: operator symmetry/positivity on
+//! random heterogeneous problems, matrix-free vs assembled vs GPU-reference
+//! agreement, conservation of the transmissibility symmetry through every layer,
+//! and solver convergence on random well placements.
+
+use mffv::prelude::*;
+use mffv_fv::csr::AssembledOperator;
+use mffv_fv::operator::{min_rayleigh_quotient, symmetry_defect};
+use mffv_fv::{LinearOperator, MatrixFreeOperator};
+use mffv_mesh::boundary::DirichletCell;
+use mffv_mesh::permeability::PermeabilityModel;
+use mffv_mesh::workload::{BoundarySpec, WorkloadSpec};
+use mffv_mesh::CellIndex;
+use proptest::prelude::*;
+
+fn random_workload_spec(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    std_log: f64,
+    seed: u64,
+) -> WorkloadSpec {
+    WorkloadSpec {
+        name: format!("prop-{nx}x{ny}x{nz}-{seed}"),
+        dims: Dims::new(nx, ny, nz),
+        spacing: [1.0, 1.0, 1.0],
+        permeability: PermeabilityModel::LogNormal { mean_log: 0.0, std_log, seed },
+        viscosity: 1.0,
+        boundary: BoundarySpec::SourceProducer { source_pressure: 1.0, producer_pressure: 0.0 },
+        tolerance: 1e-14,
+        max_iterations: 10_000,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The SPD operator stays symmetric and positive on random heterogeneous fields.
+    #[test]
+    fn operator_is_spd_on_random_permeability(
+        nx in 3usize..7, ny in 3usize..7, nz in 3usize..7,
+        std_log in 0.0f64..2.0, seed in 0u64..1000,
+    ) {
+        let workload = random_workload_spec(nx, ny, nz, std_log, seed).build();
+        let op = MatrixFreeOperator::<f64>::from_workload(&workload);
+        prop_assert!(symmetry_defect(&op, 3) < 1e-9);
+        prop_assert!(min_rayleigh_quotient(&op, 3) > 0.0);
+    }
+
+    /// Matrix-free, assembled and GPU-style operators agree on random inputs.
+    #[test]
+    fn all_operator_implementations_agree(
+        nx in 3usize..7, ny in 3usize..7, nz in 3usize..7, seed in 0u64..1000,
+    ) {
+        let workload = random_workload_spec(nx, ny, nz, 1.0, seed).build();
+        let dims = workload.dims();
+        let mf = MatrixFreeOperator::<f32>::from_workload(&workload);
+        let asm = AssembledOperator::<f32>::from_workload(&workload);
+        let gpu = GpuMatrixFreeOperator::from_workload(&workload);
+        let x = CellField::<f32>::from_fn(dims, |c| {
+            ((c.x * 13 + c.y * 7 + c.z * 3 + seed as usize) % 17) as f32 * 0.21 - 1.5
+        });
+        let y_mf = mf.apply_new(&x);
+        let y_asm = asm.apply_new(&x);
+        let y_gpu = gpu.apply_new(&x);
+        let scale = y_mf.max_abs().max(1.0);
+        prop_assert!(y_mf.max_abs_diff(&y_asm) <= 1e-5 * scale);
+        prop_assert!(y_mf.max_abs_diff(&y_gpu) <= 1e-5 * scale);
+    }
+
+    /// Transmissibility symmetry survives workload construction on random meshes and
+    /// permeability fields (the property the TPFA flux requires for conservation).
+    #[test]
+    fn transmissibility_stays_symmetric(
+        nx in 2usize..8, ny in 2usize..8, nz in 2usize..8,
+        std_log in 0.0f64..2.5, seed in 0u64..1000,
+    ) {
+        let workload = random_workload_spec(nx, ny, nz, std_log, seed).build();
+        prop_assert!(workload.transmissibility().max_asymmetry() < 1e-12);
+    }
+
+    /// CG converges and satisfies the maximum principle on random well placements.
+    #[test]
+    fn solver_converges_for_random_well_placement(
+        nx in 4usize..8, ny in 4usize..8, nz in 3usize..6,
+        wx in 0usize..8, wy in 0usize..8, seed in 0u64..1000,
+    ) {
+        let dims = Dims::new(nx, ny, nz);
+        let source = (wx % nx, wy % ny);
+        let producer = (nx - 1 - source.0, ny - 1 - source.1);
+        prop_assume!(source != producer);
+        let mut cells = Vec::new();
+        for z in 0..nz {
+            cells.push(DirichletCell { cell: CellIndex::new(source.0, source.1, z), value: 1.0 });
+            cells.push(DirichletCell { cell: CellIndex::new(producer.0, producer.1, z), value: 0.0 });
+        }
+        let permeability =
+            PermeabilityModel::LogNormal { mean_log: 0.0, std_log: 1.0, seed }.generate(dims);
+        let mesh = CartesianMesh::unit(dims);
+        let coeffs = Transmissibilities::<f64>::from_mesh(&mesh, &permeability, 1.0);
+        let dirichlet = DirichletSet::new(dims, cells);
+        let op = MatrixFreeOperator::new(coeffs.clone(), &dirichlet);
+
+        let mut p0 = CellField::<f64>::constant(dims, 0.5);
+        dirichlet.impose(&mut p0);
+        let r = mffv_fv::residual::residual(&p0, &coeffs, &dirichlet);
+        let b = mffv_fv::residual::newton_rhs(&r, &dirichlet);
+        let out = mffv_solver::cg::ConjugateGradient::with_tolerance(1e-18, 5000)
+            .solve(&op, &b, &CellField::zeros(dims));
+        prop_assert!(out.history.converged);
+        let mut p = p0;
+        p.axpy(1.0, &out.solution);
+        for &v in p.as_slice() {
+            prop_assert!(v >= -1e-8 && v <= 1.0 + 1e-8, "maximum principle violated: {v}");
+        }
+    }
+
+    /// The whole-fabric dataflow solve converges on random heterogeneous problems
+    /// and agrees with the host oracle.
+    #[test]
+    fn dataflow_solver_converges_on_random_problems(
+        nx in 3usize..6, ny in 3usize..6, nz in 3usize..6, seed in 0u64..200,
+    ) {
+        let workload = random_workload_spec(nx, ny, nz, 0.8, seed).build();
+        let oracle = solve_pressure::<f64>(&workload);
+        let dataflow = DataflowFvSolver::new(
+            workload,
+            SolverOptions::paper().with_tolerance(1e-12),
+        )
+        .solve()
+        .unwrap();
+        prop_assert!(dataflow.history.converged);
+        let scale = oracle.pressure.max_abs().max(f64::MIN_POSITIVE);
+        let rel = oracle.pressure.max_abs_diff(&dataflow.pressure.convert()) / scale;
+        prop_assert!(rel < 2e-3, "dataflow vs oracle relative gap {rel}");
+    }
+}
