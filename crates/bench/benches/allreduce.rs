@@ -14,9 +14,8 @@ fn naive_gather(fabric: &mut Fabric, values: &[f32]) -> f32 {
     let mut colors = ColorAllocator::new();
     let color = colors.allocate().unwrap();
     let mut total = values[0];
-    for idx in 1..dims.num_pes() {
+    for (idx, &value) in values.iter().enumerate().skip(1) {
         let mut pe = dims.unlinear(idx);
-        let value = values[idx];
         // Walk west then north, one unicast per hop.
         while pe.x > 0 || pe.y > 0 {
             let port = if pe.x > 0 { Port::West } else { Port::North };
@@ -55,12 +54,16 @@ fn bench_allreduce(c: &mut Criterion) {
             })
         });
 
-        group.bench_with_input(BenchmarkId::new("naive_gather_to_origin", size), &size, |b, _| {
-            b.iter(|| {
-                let mut fabric = Fabric::new(dims);
-                black_box(naive_gather(&mut fabric, &values))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("naive_gather_to_origin", size),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    let mut fabric = Fabric::new(dims);
+                    black_box(naive_gather(&mut fabric, &values))
+                })
+            },
+        );
     }
     group.finish();
 

@@ -3,15 +3,15 @@
 //! and the dataflow-fabric solve.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use mffv::{Backend, Simulation};
 use mffv_bench::bench_workload;
-use mffv_core::{DataflowFvSolver, SolverOptions};
 use mffv_fv::csr::AssembledOperator;
+use mffv_fv::residual::{newton_rhs, residual};
 use mffv_fv::MatrixFreeOperator;
 use mffv_mesh::CellField;
 use mffv_solver::cg::ConjugateGradient;
 use mffv_solver::newton::solve_pressure_with;
 use mffv_solver::pcg::{JacobiPreconditioner, PreconditionedConjugateGradient};
-use mffv_fv::residual::{newton_rhs, residual};
 use std::hint::black_box;
 
 fn bench_cg_solves(c: &mut Criterion) {
@@ -44,13 +44,10 @@ fn bench_cg_solves(c: &mut Criterion) {
     });
 
     group.bench_function("dataflow_fabric_f32", |b| {
-        b.iter(|| {
-            let solver = DataflowFvSolver::new(
-                workload.clone(),
-                SolverOptions::paper().with_tolerance(1e-8),
-            );
-            black_box(solver.solve().expect("dataflow solve failed"))
-        })
+        let simulation = Simulation::new(workload.clone())
+            .tolerance(1e-8)
+            .backend(Backend::dataflow());
+        b.iter(|| black_box(simulation.run().expect("dataflow solve failed")))
     });
 
     group.finish();

@@ -28,7 +28,12 @@ fn setup(dims: Dims) -> (Fabric, Vec<PeColumnBuffers>, CardinalExchange) {
 
 fn bench_exchange(c: &mut Criterion) {
     let mut group = c.benchmark_group("cardinal_exchange");
-    for (nx, ny, nz) in [(8usize, 8usize, 32usize), (16, 16, 32), (24, 24, 32), (16, 16, 128)] {
+    for (nx, ny, nz) in [
+        (8usize, 8usize, 32usize),
+        (16, 16, 32),
+        (24, 24, 32),
+        (16, 16, 128),
+    ] {
         let dims = Dims::new(nx, ny, nz);
         group.bench_with_input(
             BenchmarkId::new("four_step_exchange", format!("{nx}x{ny}x{nz}")),

@@ -3,9 +3,10 @@
 //! vectorisation toggles on device time.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mffv::{Backend, Simulation};
 use mffv_core::kernel;
 use mffv_core::mapping::PeColumnBuffers;
-use mffv_core::{DataflowFvSolver, SolverOptions};
+use mffv_core::SolverOptions;
 use mffv_fabric::{Dsd, PeId, ProcessingElement};
 use mffv_mesh::workload::WorkloadSpec;
 use mffv_mesh::Direction;
@@ -41,14 +42,21 @@ fn bench_vectorization(c: &mut Criterion) {
     group.bench_function(BenchmarkId::new("dsd_vectorized", nz), |b| {
         let mut pe = ProcessingElement::new(PeId::new(1, 1));
         let bufs = PeColumnBuffers::allocate(&mut pe, &workload, 1, 1).unwrap();
-        pe.memory_mut().write(bufs.direction, 0, &vec![1.0f32; nz]).unwrap();
-        b.iter(|| black_box(kernel::compute_jd(&mut pe, &bufs).unwrap()))
+        pe.memory_mut()
+            .write(bufs.direction, 0, &vec![1.0f32; nz])
+            .unwrap();
+        b.iter(|| {
+            kernel::compute_jd(&mut pe, &bufs).unwrap();
+            black_box(())
+        })
     });
 
     group.bench_function(BenchmarkId::new("element_at_a_time", nz), |b| {
         let mut pe = ProcessingElement::new(PeId::new(1, 1));
         let bufs = PeColumnBuffers::allocate(&mut pe, &workload, 1, 1).unwrap();
-        pe.memory_mut().write(bufs.direction, 0, &vec![1.0f32; nz]).unwrap();
+        pe.memory_mut()
+            .write(bufs.direction, 0, &vec![1.0f32; nz])
+            .unwrap();
         b.iter(|| {
             compute_jd_scalar(&mut pe, &bufs, nz);
             black_box(())
@@ -62,17 +70,26 @@ fn bench_vectorization(c: &mut Criterion) {
     let configs = [
         ("all_optimizations", SolverOptions::paper()),
         ("no_overlap", SolverOptions::paper().without_overlap()),
-        ("no_vectorization", SolverOptions::paper().without_vectorization()),
-        ("no_buffer_reuse", SolverOptions::paper().without_buffer_reuse()),
+        (
+            "no_vectorization",
+            SolverOptions::paper().without_vectorization(),
+        ),
+        (
+            "no_buffer_reuse",
+            SolverOptions::paper().without_buffer_reuse(),
+        ),
     ];
     for (name, options) in configs {
-        let report = DataflowFvSolver::new(workload.clone(), options.with_tolerance(1e-8))
-            .solve()
+        let report = Simulation::new(workload.clone())
+            .tolerance(1e-8)
+            .backend(Backend::dataflow_with(options))
+            .run()
             .unwrap();
+        let device = report.device.as_ref().unwrap();
         eprintln!(
             "ablation {name}: modelled device time = {:.6e} s, memory plan bytes = {}",
-            report.modelled_time.total,
-            report.memory_plan.data_bytes()
+            device.modelled_time_seconds,
+            device.counter("memory_plan_bytes").unwrap_or(0.0)
         );
     }
 }

@@ -12,7 +12,8 @@ fn bench_gpu_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("gpu_ref_kernel");
     for workload in [bench_workload(), bench_workload_large()] {
         let dims = workload.dims();
-        let x = CellField::<f32>::from_fn(dims, |cell| (cell.x * 3 + cell.y + cell.z) as f32 * 0.01);
+        let x =
+            CellField::<f32>::from_fn(dims, |cell| (cell.x * 3 + cell.y + cell.z) as f32 * 0.01);
         let mut y = CellField::<f32>::zeros(dims);
 
         let sequential = MatrixFreeOperator::<f32>::from_workload(&workload);
@@ -25,7 +26,10 @@ fn bench_gpu_kernel(c: &mut Criterion) {
         for threads in [1usize, 2, 4] {
             let gpu = GpuMatrixFreeOperator::from_workload(&workload).with_host_threads(threads);
             group.bench_with_input(
-                BenchmarkId::new(format!("block_parallel_{threads}_threads"), dims.num_cells()),
+                BenchmarkId::new(
+                    format!("block_parallel_{threads}_threads"),
+                    dims.num_cells(),
+                ),
                 &dims,
                 |b, _| b.iter(|| gpu.apply(black_box(&x), black_box(&mut y))),
             );

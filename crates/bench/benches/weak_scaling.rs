@@ -4,10 +4,10 @@
 //! iteration.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mffv::{Backend, Simulation};
 use mffv_core::comm::CardinalExchange;
 use mffv_core::kernel;
 use mffv_core::mapping::PeColumnBuffers;
-use mffv_core::{DataflowFvSolver, SolverOptions};
 use mffv_fabric::{ColorAllocator, Fabric, FabricDims};
 use mffv_mesh::workload::WorkloadSpec;
 use mffv_mesh::Dims;
@@ -22,16 +22,18 @@ fn alg2_sweep(dims: Dims) -> impl FnMut() {
         let pe_id = fabric.dims().unlinear(idx);
         let pe = fabric.pe_mut(pe_id);
         let bufs = PeColumnBuffers::allocate(pe, &workload, pe_id.x, pe_id.y).unwrap();
-        pe.memory_mut().write(bufs.direction, 0, &vec![1.0f32; dims.nz]).unwrap();
+        pe.memory_mut()
+            .write(bufs.direction, 0, &vec![1.0f32; dims.nz])
+            .unwrap();
         buffers.push(bufs);
     }
     let mut colors = ColorAllocator::new();
     let mut exchange = CardinalExchange::new(&mut fabric, &mut colors).unwrap();
     move || {
         exchange.exchange(&mut fabric, &buffers).unwrap();
-        for idx in 0..fabric.num_pes() {
+        for (idx, bufs) in buffers.iter().enumerate() {
             let pe_id = fabric.dims().unlinear(idx);
-            kernel::compute_jd(fabric.pe_mut(pe_id), &buffers[idx]).unwrap();
+            kernel::compute_jd(fabric.pe_mut(pe_id), bufs).unwrap();
         }
     }
 }
@@ -55,15 +57,17 @@ fn bench_weak_scaling(c: &mut Criterion) {
     for side in [8usize, 12, 16] {
         let dims = Dims::new(side, side, nz);
         let workload = WorkloadSpec::paper_grid(dims.nx, dims.ny, dims.nz).build();
-        group.bench_with_input(BenchmarkId::new("alg1_fixed_iterations", side), &dims, |b, _| {
-            b.iter(|| {
-                let solver = DataflowFvSolver::new(
-                    workload.clone(),
-                    SolverOptions::paper().with_max_iterations(20).with_tolerance(1e-30),
-                );
-                black_box(solver.solve().unwrap())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("alg1_fixed_iterations", side),
+            &dims,
+            |b, _| {
+                let simulation = Simulation::new(workload.clone())
+                    .tolerance(1e-30)
+                    .max_iterations(20)
+                    .backend(Backend::dataflow());
+                b.iter(|| black_box(simulation.run().unwrap()))
+            },
+        );
     }
     group.finish();
 }

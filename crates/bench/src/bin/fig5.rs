@@ -7,37 +7,40 @@
 //!
 //! Run with `cargo run --release -p mffv-bench --bin fig5`.
 
-use mffv_core::{DataflowFvSolver, SolverOptions};
-use mffv_mesh::workload::WorkloadSpec;
-use mffv_mesh::{CellIndex, Dims};
+use mffv::prelude::*;
+use mffv_mesh::CellIndex;
 
 const SHADES: &[u8] = b" .:-=+*#%@";
 
 fn main() {
     let dims = Dims::new(48, 32, 8);
     let workload = WorkloadSpec::fig5(dims).build();
-    let report = DataflowFvSolver::new(
-        workload.clone(),
-        SolverOptions::paper().with_tolerance(1e-14),
-    )
-    .solve()
-    .expect("dataflow solve failed");
+    let report = Simulation::new(workload)
+        .tolerance(1e-14)
+        .backend(Backend::dataflow())
+        .run()
+        .expect("dataflow solve failed");
 
     println!(
         "Figure 5 — final pressure field, {} ({} CG iterations, converged = {})",
-        dims, report.stats.iterations, report.history.converged
+        dims,
+        report.iterations(),
+        report.converged()
     );
-    println!("Source column at (0, 0) [top-left], producer column at ({}, {}) [bottom-right]\n",
-        dims.nx - 1, dims.ny - 1);
+    println!(
+        "Source column at (0, 0) [top-left], producer column at ({}, {}) [bottom-right]\n",
+        dims.nx - 1,
+        dims.ny - 1
+    );
 
     let z = dims.nz / 2;
-    let slice: Vec<f32> = report.pressure.horizontal_slice(z);
-    let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+    let slice: Vec<f64> = report.pressure.horizontal_slice(z);
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
     for &v in &slice {
         lo = lo.min(v);
         hi = hi.max(v);
     }
-    let range = (hi - lo).max(f32::MIN_POSITIVE);
+    let range = (hi - lo).max(f64::MIN_POSITIVE);
 
     println!("ASCII rendering of the pressure slice at z = {z} (darker = higher pressure):");
     for y in 0..dims.ny {
@@ -45,7 +48,7 @@ fn main() {
         for x in 0..dims.nx {
             let v = slice[y * dims.nx + x];
             let t = ((v - lo) / range).clamp(0.0, 1.0);
-            let idx = (t * (SHADES.len() - 1) as f32).round() as usize;
+            let idx = (t * (SHADES.len() - 1) as f64).round() as usize;
             line.push(SHADES[idx] as char);
         }
         println!("{line}");
@@ -62,8 +65,15 @@ fn main() {
     // Quantitative signature of the figure: pressure decays monotonically from the
     // source towards the producer along the diagonal.
     let near_source = report.pressure.at(CellIndex::new(1, 1, z));
-    let mid = report.pressure.at(CellIndex::new(dims.nx / 2, dims.ny / 2, z));
-    let near_producer = report.pressure.at(CellIndex::new(dims.nx - 2, dims.ny - 2, z));
+    let mid = report
+        .pressure
+        .at(CellIndex::new(dims.nx / 2, dims.ny / 2, z));
+    let near_producer = report
+        .pressure
+        .at(CellIndex::new(dims.nx - 2, dims.ny - 2, z));
     println!("\nDiagonal signature: p(near source) = {near_source:.4e}  >  p(centre) = {mid:.4e}  >  p(near producer) = {near_producer:.4e}");
-    println!("Max residual of Eq. (3) at the converged field: {:.3e}", report.final_residual_max);
+    println!(
+        "Max residual of Eq. (3) at the converged field: {:.3e}",
+        report.final_residual_max
+    );
 }

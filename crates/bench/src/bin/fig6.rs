@@ -25,7 +25,10 @@ fn main() {
     // Algorithm-1 rate (including reduction latency) is printed separately below.
     let cs2_achieved = timing.cs2_alg2_achieved_flops(paper_dims, iterations);
     println!("Figure 6 (top) — CS-2 roofline\n");
-    println!("Ceilings: peak {}  |  Memory 20 PB/s  |  Fabric 3.3 PB/s", fmt_flops(1.785e15));
+    println!(
+        "Ceilings: peak {}  |  Memory 20 PB/s  |  Fabric 3.3 PB/s",
+        fmt_flops(1.785e15)
+    );
     let rows = vec![
         vec![
             "memory".to_string(),
@@ -36,7 +39,10 @@ fn main() {
                 cs2_achieved,
                 Some("Memory"),
             )),
-            format!("compute-bound: {}", cs2.is_compute_bound(counts.memory_arithmetic_intensity(), Some("Memory"))),
+            format!(
+                "compute-bound: {}",
+                cs2.is_compute_bound(counts.memory_arithmetic_intensity(), Some("Memory"))
+            ),
         ],
         vec![
             "fabric".to_string(),
@@ -47,13 +53,22 @@ fn main() {
                 cs2_achieved,
                 Some("Fabric"),
             )),
-            format!("compute-bound: {}", cs2.is_compute_bound(counts.fabric_arithmetic_intensity(), Some("Fabric"))),
+            format!(
+                "compute-bound: {}",
+                cs2.is_compute_bound(counts.fabric_arithmetic_intensity(), Some("Fabric"))
+            ),
         ],
     ];
     println!(
         "{}",
         format_table(
-            &["Traffic class", "AI [FLOP/B]", "Achieved (modelled)", "% of attainable", "Regime"],
+            &[
+                "Traffic class",
+                "AI [FLOP/B]",
+                "Achieved (modelled)",
+                "% of attainable",
+                "Regime"
+            ],
             &rows
         )
     );
@@ -82,12 +97,21 @@ fn main() {
         format!("{ai_dram:.4}"),
         fmt_flops(gpu_achieved),
         fmt_percent(a100.fraction_of_attainable(ai_dram, gpu_achieved, Some("HBM"))),
-        format!("memory-bound: {}", !a100.is_compute_bound(ai_dram, Some("HBM"))),
+        format!(
+            "memory-bound: {}",
+            !a100.is_compute_bound(ai_dram, Some("HBM"))
+        ),
     ]];
     println!(
         "{}",
         format_table(
-            &["Traffic class", "AI [FLOP/B]", "Achieved (modelled)", "% of attainable", "Regime"],
+            &[
+                "Traffic class",
+                "AI [FLOP/B]",
+                "Achieved (modelled)",
+                "% of attainable",
+                "Regime"
+            ],
             &rows
         )
     );

@@ -1,21 +1,18 @@
 //! Numerical-integrity report (§V-B).
 //!
 //! "We compare and validate the numerical results produced by the CS-2 to those
-//! yielded by the reference implementation running on GPUs."  This binary solves the
-//! same workloads with four implementations — the sequential matrix-free oracle, the
-//! assembled-CSR baseline, the GPU-style reference and the dataflow-fabric solver —
-//! and reports the pairwise maximum differences and final residuals.
+//! yielded by the reference implementation running on GPUs."  This binary runs
+//! the `Simulation` facade's `compare()` — the public API form of that
+//! experiment — on three workloads, printing the per-backend summaries and the
+//! pairwise maximum pressure disagreements, and cross-checks the assembled-CSR
+//! baseline against the oracle on the same workloads.
 //!
 //! Run with `cargo run --release -p mffv-bench --bin numerical_integrity`.
 
-use mffv_core::{DataflowFvSolver, SolverOptions};
+use mffv::prelude::*;
 use mffv_fv::csr::AssembledOperator;
-use mffv_gpu_ref::{GpuReferenceSolver, GpuSpec};
-use mffv_mesh::workload::WorkloadSpec;
-use mffv_mesh::{CellField, Dims};
-use mffv_perf::report::format_table;
 use mffv_solver::cg::ConjugateGradient;
-use mffv_solver::newton::{solve_pressure, solve_pressure_with};
+use mffv_solver::newton::solve_pressure_with;
 
 fn main() {
     let workloads = vec![
@@ -24,53 +21,39 @@ fn main() {
         WorkloadSpec::paper_grid(20, 16, 12).build(),
     ];
 
-    let mut rows = Vec::new();
+    println!("Numerical integrity — Simulation::compare() across the standard backend set\n");
     for workload in &workloads {
-        let tolerance = 1e-12f64;
-        let oracle = solve_pressure::<f64>(workload);
+        let agreement = Simulation::new(workload.clone())
+            .tolerance(1e-12)
+            .compare()
+            .expect("facade solve failed");
+        println!("{agreement}");
+        assert!(
+            agreement.agrees_within(1e-3),
+            "{}: backends disagree beyond single precision",
+            workload.name()
+        );
+
+        // The assembled-CSR baseline is an operator, not a backend: solve it
+        // through the low-level driver with the same CG configuration and
+        // compare against the oracle pressure the facade already produced.
+        let oracle = &agreement
+            .report("host-f64")
+            .expect("host oracle ran")
+            .pressure;
+        let solver = ConjugateGradient::with_tolerance(1e-12, workload.max_iterations());
         let assembled = solve_pressure_with::<f64, _>(
             workload,
             &AssembledOperator::<f64>::from_workload(workload),
-            &ConjugateGradient::with_tolerance(tolerance, workload.max_iterations()),
+            &solver,
         );
-        let gpu = GpuReferenceSolver::new(workload.clone(), GpuSpec::a100())
-            .with_tolerance(tolerance)
-            .solve();
-        let dataflow =
-            DataflowFvSolver::new(workload.clone(), SolverOptions::paper().with_tolerance(tolerance))
-                .solve()
-                .expect("dataflow solve failed");
-
-        let scale = oracle.pressure.max_abs().max(f64::MIN_POSITIVE);
-        let gpu64: CellField<f64> = gpu.pressure.convert();
-        let dataflow64: CellField<f64> = dataflow.pressure.convert();
-        rows.push(vec![
-            workload.name().to_string(),
-            format!("{}", workload.dims()),
-            format!("{:.2e}", oracle.pressure.max_abs_diff(&assembled.pressure) / scale),
-            format!("{:.2e}", oracle.pressure.max_abs_diff(&gpu64) / scale),
-            format!("{:.2e}", oracle.pressure.max_abs_diff(&dataflow64) / scale),
-            format!("{:.2e}", gpu64.max_abs_diff(&dataflow64) / scale),
-            format!("{:.2e}", dataflow.final_residual_max),
-        ]);
+        let scale = oracle.max_abs().max(f64::MIN_POSITIVE);
+        println!(
+            "assembled-CSR baseline vs oracle: {:.2e} (relative max diff)\n",
+            oracle.max_abs_diff(&assembled.pressure) / scale
+        );
     }
-
-    println!("Numerical integrity — pairwise relative max differences of the converged pressure\n");
-    println!(
-        "{}",
-        format_table(
-            &[
-                "Workload",
-                "Grid",
-                "oracle vs assembled",
-                "oracle vs GPU ref",
-                "oracle vs dataflow",
-                "GPU ref vs dataflow",
-                "dataflow |r|_max",
-            ],
-            &rows
-        )
-    );
-    println!("The assembled baseline matches the oracle to solver precision; the f32 GPU reference");
-    println!("and the f32 dataflow implementation agree with the f64 oracle to single precision.");
+    println!("The assembled baseline matches the oracle to solver precision; the f32 GPU");
+    println!("reference and the f32 dataflow implementation agree with the f64 oracle to");
+    println!("single precision.");
 }

@@ -9,12 +9,9 @@
 //!
 //! Run with `cargo run --release -p mffv-bench --bin table2`.
 
+use mffv::prelude::*;
 use mffv_bench::{executed_workload, DEFAULT_EXECUTED_SCALE};
-use mffv_core::{DataflowFvSolver, SolverOptions};
-use mffv_gpu_ref::{GpuReferenceSolver, GpuSpec};
-use mffv_mesh::Dims;
 use mffv_perf::report::{fmt_seconds, format_table};
-use mffv_perf::AnalyticTiming;
 
 fn main() {
     let paper_dims = Dims::new(750, 994, 922);
@@ -25,7 +22,9 @@ fn main() {
     let a100 = model.gpu_alg1_time(GpuSpec::a100(), paper_dims, iterations);
     let h100 = model.gpu_alg1_time(GpuSpec::h100(), paper_dims, iterations);
 
-    println!("Table II — time measurements, full paper mesh {paper_dims} ({iterations} iterations)");
+    println!(
+        "Table II — time measurements, full paper mesh {paper_dims} ({iterations} iterations)"
+    );
     println!("(modelled device time; paper measurements shown for reference)\n");
     let rows = vec![
         vec![
@@ -53,7 +52,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["Arch/lang", "Modelled time [s]", "Paper time [s]", "Modelled speedup vs A100", "Paper speedup vs A100"],
+            &[
+                "Arch/lang",
+                "Modelled time [s]",
+                "Paper time [s]",
+                "Modelled speedup vs A100",
+                "Paper speedup vs A100"
+            ],
             &rows
         )
     );
@@ -65,38 +70,42 @@ fn main() {
         (paper_dims.nz / DEFAULT_EXECUTED_SCALE).max(2),
     );
     println!("Executed cross-check at scaled grid {scaled} (same code paths, smaller mesh):\n");
-    let workload = executed_workload(scaled);
-    let dataflow = DataflowFvSolver::new(
-        workload.clone(),
-        SolverOptions::paper().with_tolerance(1e-10),
-    )
-    .solve()
-    .expect("dataflow solve failed");
-    let gpu = GpuReferenceSolver::new(workload, GpuSpec::a100()).with_tolerance(1e-10).solve();
+    let reports = Simulation::new(executed_workload(scaled))
+        .tolerance(1e-10)
+        .backend(Backend::dataflow())
+        .backend(Backend::gpu_ref())
+        .run_all()
+        .expect("facade solve failed");
 
-    let rows = vec![
-        vec![
-            "Dataflow (simulated fabric)".to_string(),
-            format!("{}", dataflow.stats.iterations),
-            fmt_seconds(dataflow.modelled_time.total),
-            format!("{:.3e}", dataflow.final_residual_max),
-        ],
-        vec![
-            "GPU reference (CPU-executed)".to_string(),
-            format!("{}", gpu.history.iterations),
-            fmt_seconds(gpu.modelled_kernel_time),
-            format!("{:.3e}", gpu.final_residual_max),
-        ],
-    ];
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.backend.clone(),
+                format!("{}", r.iterations()),
+                fmt_seconds(r.modelled_time().unwrap_or(0.0)),
+                format!("{:.3e}", r.final_residual_max),
+            ]
+        })
+        .collect();
     println!(
         "{}",
         format_table(
-            &["Implementation", "CG iterations", "Modelled device time [s]", "Final |r|_max"],
+            &[
+                "Backend",
+                "CG iterations",
+                "Modelled device time [s]",
+                "Final |r|_max"
+            ],
             &rows
         )
     );
+    let dataflow_time = reports[0]
+        .modelled_time()
+        .expect("dataflow models a device");
+    let gpu_time = reports[1].modelled_time().expect("gpu-ref models a device");
     println!(
         "Modelled speedup at the scaled grid: {:.1}x (paper, full grid: 427.82x vs A100)",
-        gpu.modelled_kernel_time / dataflow.modelled_time.total
+        gpu_time / dataflow_time
     );
 }

@@ -9,10 +9,11 @@
 //!
 //! Run with `cargo run --release -p mffv-bench --bin table3`.
 
-use mffv_bench::{executed_table3_grids, executed_workload, paper_table3_grids, paper_table3_iterations};
-use mffv_core::{DataflowFvSolver, SolverOptions};
+use mffv::prelude::*;
+use mffv_bench::{
+    executed_table3_grids, executed_workload, paper_table3_grids, paper_table3_iterations,
+};
 use mffv_perf::report::{fmt_gcells, fmt_seconds, format_table};
-use mffv_perf::AnalyticTiming;
 
 fn main() {
     let model = AnalyticTiming::paper();
@@ -53,26 +54,37 @@ fn main() {
         )
     );
 
-    println!("Executed sweep at scaled grids (simulated fabric, measured counts, modelled time):\n");
+    println!(
+        "Executed sweep at scaled grids (simulated fabric, measured counts, modelled time):\n"
+    );
     let mut rows = Vec::new();
     for dims in executed_table3_grids(50) {
-        let workload = executed_workload(dims);
-        let report = DataflowFvSolver::new(workload, SolverOptions::paper().with_tolerance(1e-8))
-            .solve()
+        let report = Simulation::new(executed_workload(dims))
+            .tolerance(1e-8)
+            .backend(Backend::dataflow())
+            .run()
             .expect("dataflow solve failed");
+        let device = report.device.as_ref().expect("dataflow models a device");
         rows.push(vec![
             format!("{} x {} x {}", dims.nx, dims.ny, dims.nz),
-            format!("{}", report.stats.iterations),
-            format!("{}", report.stats.fabric.link_bytes),
-            format!("{}", report.stats.critical_path_hops),
-            format!("{:.3e}", report.modelled_time.total),
-            format!("{}", report.history.converged),
+            format!("{}", report.iterations()),
+            format!("{}", device.counter("fabric_link_bytes").unwrap_or(0.0)),
+            format!("{}", device.counter("critical_path_hops").unwrap_or(0.0)),
+            format!("{:.3e}", device.modelled_time_seconds),
+            format!("{}", report.converged()),
         ]);
     }
     println!(
         "{}",
         format_table(
-            &["Grid (scaled)", "Steps", "Fabric bytes", "Critical hops", "Modelled time [s]", "Converged"],
+            &[
+                "Grid (scaled)",
+                "Steps",
+                "Fabric bytes",
+                "Critical hops",
+                "Modelled time [s]",
+                "Converged"
+            ],
             &rows
         )
     );

@@ -9,11 +9,9 @@
 //!
 //! Run with `cargo run --release -p mffv-bench --bin table4`.
 
+use mffv::prelude::*;
 use mffv_bench::executed_workload;
-use mffv_core::{DataflowFvSolver, SolverOptions};
-use mffv_mesh::Dims;
 use mffv_perf::report::{fmt_percent, fmt_seconds, format_table};
-use mffv_perf::AnalyticTiming;
 
 fn main() {
     let paper_dims = Dims::new(750, 994, 922);
@@ -44,31 +42,36 @@ fn main() {
     ];
     println!(
         "{}",
-        format_table(&["Component", "Modelled time [s]", "Modelled share", "Paper"], &rows)
+        format_table(
+            &["Component", "Modelled time [s]", "Modelled share", "Paper"],
+            &rows
+        )
     );
 
     // Executed split at a scaled grid: full run vs communication-only run.
     let dims = Dims::new(20, 24, 18);
     let workload = executed_workload(dims);
-    let full = DataflowFvSolver::new(
-        workload.clone(),
-        SolverOptions::paper().with_tolerance(1e-8),
-    )
-    .solve()
-    .expect("full solve failed");
-    let comm_only = DataflowFvSolver::new(
-        workload,
-        SolverOptions::communication_only(full.stats.iterations),
-    )
-    .solve()
-    .expect("communication-only run failed");
+    let full = Simulation::new(workload.clone())
+        .tolerance(1e-8)
+        .backend(Backend::dataflow())
+        .run()
+        .expect("full solve failed");
+    let full_device = full.device.as_ref().expect("dataflow models a device");
+    let full_iterations = full.iterations();
+    let comm_only = Simulation::new(workload)
+        .backend(Backend::dataflow_with(SolverOptions::communication_only(
+            full_iterations,
+        )))
+        .run()
+        .expect("communication-only run failed");
+    let comm_device = comm_only.device.as_ref().expect("dataflow models a device");
 
-    let comm_time = comm_only.modelled_time.fabric_time + comm_only.modelled_time.latency_time;
-    let total_time = full.modelled_time.total;
+    let comm_time = comm_device.counter("fabric_time_seconds").unwrap()
+        + comm_device.counter("latency_time_seconds").unwrap();
+    let total_time = full_device.modelled_time_seconds;
     let compute_time = (total_time - comm_time).max(0.0);
     println!(
-        "Executed split at scaled grid {dims} ({} iterations, both runs move identical traffic):\n",
-        full.stats.iterations
+        "Executed split at scaled grid {dims} ({full_iterations} iterations, both runs move identical traffic):\n",
     );
     let rows = vec![
         vec![
@@ -81,11 +84,19 @@ fn main() {
             format!("{compute_time:.3e} ~ {total_time:.3e}"),
             fmt_percent(compute_time / total_time),
         ],
-        vec!["Total".to_string(), format!("{total_time:.3e}"), "100.00%".to_string()],
+        vec![
+            "Total".to_string(),
+            format!("{total_time:.3e}"),
+            "100.00%".to_string(),
+        ],
     ];
-    println!("{}", format_table(&["Component", "Modelled time [s]", "Share"], &rows));
+    println!(
+        "{}",
+        format_table(&["Component", "Modelled time [s]", "Share"], &rows)
+    );
     println!(
         "Cross-check: comm-only run moved {} fabric bytes vs {} in the full run (must match).",
-        comm_only.stats.fabric.link_bytes, full.stats.fabric.link_bytes
+        comm_device.counter("fabric_link_bytes").unwrap_or(0.0),
+        full_device.counter("fabric_link_bytes").unwrap_or(0.0)
     );
 }

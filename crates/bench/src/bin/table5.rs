@@ -7,11 +7,9 @@
 //!
 //! Run with `cargo run --release -p mffv-bench --bin table5`.
 
+use mffv::prelude::*;
 use mffv_bench::executed_workload;
-use mffv_core::{DataflowFvSolver, SolverOptions};
-use mffv_mesh::Dims;
 use mffv_perf::report::format_table;
-use mffv_perf::CellOpCounts;
 
 fn main() {
     let counts = CellOpCounts::paper_table5();
@@ -34,16 +32,35 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["Area", "Operation", "Counts", "FLOP", "Memory traffic", "Fabric traffic"],
+            &[
+                "Area",
+                "Operation",
+                "Counts",
+                "FLOP",
+                "Memory traffic",
+                "Fabric traffic"
+            ],
             &rows
         )
     );
 
     println!("Derived totals (paper values in parentheses):");
-    println!("  FLOPs per cell:            {} (96)", counts.flops_per_cell());
-    println!("  ... of which Algorithm 2:  {} (84)", counts.alg2_flops_per_cell());
-    println!("  Memory accesses per cell:  {} (268)", counts.mem_accesses_per_cell());
-    println!("  Fabric loads per cell:     {} (8)", counts.fabric_loads_per_cell());
+    println!(
+        "  FLOPs per cell:            {} (96)",
+        counts.flops_per_cell()
+    );
+    println!(
+        "  ... of which Algorithm 2:  {} (84)",
+        counts.alg2_flops_per_cell()
+    );
+    println!(
+        "  Memory accesses per cell:  {} (268)",
+        counts.mem_accesses_per_cell()
+    );
+    println!(
+        "  Fabric loads per cell:     {} (8)",
+        counts.fabric_loads_per_cell()
+    );
     println!(
         "  Arithmetic intensity:      {:.4} FLOP/B memory (0.0895), {:.1} FLOP/B fabric (3)",
         counts.memory_arithmetic_intensity(),
@@ -51,25 +68,26 @@ fn main() {
     );
 
     // Measured cross-check: execute a small solve and report per-cell-per-iteration
-    // counts from the instrumented fabric.
+    // counts from the instrumented fabric, via the facade's device section.
     let dims = Dims::new(12, 10, 16);
-    let workload = executed_workload(dims);
-    let report = DataflowFvSolver::new(workload, SolverOptions::paper().with_tolerance(1e-8))
-        .solve()
+    let report = Simulation::new(executed_workload(dims))
+        .tolerance(1e-8)
+        .backend(Backend::dataflow())
+        .run()
         .expect("dataflow solve failed");
-    let cell_iterations =
-        (dims.num_cells() * report.stats.iterations.max(1)) as f64;
-    let measured_flops = report.stats.total_compute.flops as f64 / cell_iterations;
-    let measured_mem =
-        report.stats.total_compute.mem_bytes() as f64 / 4.0 / cell_iterations;
-    let measured_fabric =
-        report.stats.total_compute.fabric_recv_wavelets as f64 / cell_iterations;
+    let device = report.device.as_ref().expect("dataflow models a device");
+    let iterations = report.iterations();
+    let cell_iterations = (dims.num_cells() * iterations.max(1)) as f64;
+    let measured_flops = device.counter("total_flops").unwrap() / cell_iterations;
+    let measured_mem = device.counter("total_mem_bytes").unwrap() / 4.0 / cell_iterations;
+    let measured_fabric = device.counter("total_fabric_recv_wavelets").unwrap() / cell_iterations;
 
-    println!("\nMeasured per-cell-per-iteration counts from the simulator ({dims}, {} iterations):",
-        report.stats.iterations);
+    println!("\nMeasured per-cell-per-iteration counts from the simulator ({dims}, {iterations} iterations):");
     println!("  FLOPs:            {measured_flops:.1}   (model 96: the simulator's pre-multiplied");
     println!("                    transmissibility form needs fewer FLOPs per neighbour — see EXPERIMENTS.md)");
     println!("  Memory accesses:  {measured_mem:.1}");
-    println!("  Fabric wavelets:  {measured_fabric:.1}   (model counts 8 loads for interior cells;");
+    println!(
+        "  Fabric wavelets:  {measured_fabric:.1}   (model counts 8 loads for interior cells;"
+    );
     println!("                    boundary columns receive fewer halos)");
 }

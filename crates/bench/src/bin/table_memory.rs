@@ -59,10 +59,17 @@ fn main() {
         ],
         vec![
             "Buffer reuse (§III-E1)".to_string(),
-            MemoryPlan::max_nz(ReuseStrategy::Aggressive, PE_MEMORY_BYTES, KERNEL_CODE_BYTES)
-                .to_string(),
+            MemoryPlan::max_nz(
+                ReuseStrategy::Aggressive,
+                PE_MEMORY_BYTES,
+                KERNEL_CODE_BYTES,
+            )
+            .to_string(),
         ],
     ];
-    println!("{}", format_table(&["Allocation strategy", "Maximum Nz per 48 KiB PE"], &rows));
+    println!(
+        "{}",
+        format_table(&["Allocation strategy", "Maximum Nz per 48 KiB PE"], &rows)
+    );
     println!("The paper's largest mesh uses Nz = 922, which only fits with buffer reuse.");
 }

@@ -16,16 +16,17 @@ pub const DEFAULT_EXECUTED_SCALE: usize = 25;
 
 /// The paper's Table III grid family at full logical size.
 pub fn paper_table3_grids() -> Vec<Dims> {
-    WorkloadSpec::table3_grids().into_iter().map(|(x, y, z)| Dims::new(x, y, z)).collect()
+    WorkloadSpec::table3_grids()
+        .into_iter()
+        .map(|(x, y, z)| Dims::new(x, y, z))
+        .collect()
 }
 
 /// The paper's Table III grid family scaled down for executed runs.
 pub fn executed_table3_grids(scale: usize) -> Vec<Dims> {
     WorkloadSpec::table3_grids()
         .into_iter()
-        .map(|(x, y, z)| {
-            Dims::new((x / scale).max(2), (y / scale).max(2), (z / scale).max(2))
-        })
+        .map(|(x, y, z)| Dims::new((x / scale).max(2), (y / scale).max(2), (z / scale).max(2)))
         .collect()
 }
 
@@ -73,6 +74,9 @@ mod tests {
     fn bench_workloads_build() {
         assert_eq!(bench_workload().dims(), Dims::new(16, 12, 24));
         assert_eq!(bench_workload_large().dims(), Dims::new(24, 20, 36));
-        assert_eq!(executed_workload(Dims::new(4, 5, 6)).dims(), Dims::new(4, 5, 6));
+        assert_eq!(
+            executed_workload(Dims::new(4, 5, 6)).dims(),
+            Dims::new(4, 5, 6)
+        );
     }
 }

@@ -59,19 +59,24 @@ impl AllReduce {
     /// The colours used, in (row-reduce, col-reduce, col-broadcast, row-broadcast)
     /// order.
     pub fn colors(&self) -> [Color; 4] {
-        [self.row_reduce, self.col_reduce, self.col_broadcast, self.row_broadcast]
+        [
+            self.row_reduce,
+            self.col_reduce,
+            self.col_broadcast,
+            self.row_broadcast,
+        ]
     }
 
     /// Reduce one value per PE (summation) and broadcast the result back so every PE
     /// holds it.  `local[fabric.dims().linear(pe)]` is PE `pe`'s contribution; the
     /// returned vector holds the value each PE ends up with (they are all equal).
-    pub fn sum(
-        &self,
-        fabric: &mut Fabric,
-        local: &[f32],
-    ) -> Result<(Vec<f32>, AllReduceReport)> {
+    pub fn sum(&self, fabric: &mut Fabric, local: &[f32]) -> Result<(Vec<f32>, AllReduceReport)> {
         let dims = fabric.dims();
-        assert_eq!(local.len(), dims.num_pes(), "one local value per PE required");
+        assert_eq!(
+            local.len(),
+            dims.num_pes(),
+            "one local value per PE required"
+        );
         let (w, h) = (dims.width, dims.height);
         let mut acc: Vec<f32> = local.to_vec();
         let mut report = AllReduceReport::default();
@@ -137,7 +142,11 @@ impl AllReduce {
 
     /// Dot-product style all-reduce: per-PE partials are provided by the caller
     /// (typically `kernel::local_dot_*`), summed and broadcast.
-    pub fn reduce_scalar(&self, fabric: &mut Fabric, local: &[f32]) -> Result<(f32, AllReduceReport)> {
+    pub fn reduce_scalar(
+        &self,
+        fabric: &mut Fabric,
+        local: &[f32],
+    ) -> Result<(f32, AllReduceReport)> {
         let (values, report) = self.sum(fabric, local)?;
         Ok((values[0], report))
     }

@@ -34,8 +34,12 @@ pub enum ExchangeStep {
 
 impl ExchangeStep {
     /// All four steps in order.
-    pub const ALL: [ExchangeStep; 4] =
-        [ExchangeStep::Step1, ExchangeStep::Step2, ExchangeStep::Step3, ExchangeStep::Step4];
+    pub const ALL: [ExchangeStep; 4] = [
+        ExchangeStep::Step1,
+        ExchangeStep::Step2,
+        ExchangeStep::Step3,
+        ExchangeStep::Step4,
+    ];
 }
 
 /// Report of one full four-step exchange.
@@ -191,6 +195,11 @@ impl CardinalExchange {
         fabric: &mut Fabric,
         buffers: &[PeColumnBuffers],
     ) -> Result<ExchangeReport> {
+        assert_eq!(
+            buffers.len(),
+            fabric.num_pes(),
+            "one PeColumnBuffers entry per PE is required"
+        );
         let mut report = ExchangeReport::default();
         for step in ExchangeStep::ALL {
             self.run_step(fabric, buffers, step, &mut report)?;
@@ -230,26 +239,82 @@ impl CardinalExchange {
         }
         let actions: Vec<Action> = match step {
             ExchangeStep::Step1 => vec![
-                Action { sender_parity: 1, x_axis: true, color: c1, port: Port::East, sender_cb: 0, receiver_cb: 1 },
-                Action { sender_parity: 1, x_axis: false, color: c3, port: Port::North, sender_cb: 2, receiver_cb: 3 },
+                Action {
+                    sender_parity: 1,
+                    x_axis: true,
+                    color: c1,
+                    port: Port::East,
+                    sender_cb: 0,
+                    receiver_cb: 1,
+                },
+                Action {
+                    sender_parity: 1,
+                    x_axis: false,
+                    color: c3,
+                    port: Port::North,
+                    sender_cb: 2,
+                    receiver_cb: 3,
+                },
             ],
             ExchangeStep::Step2 => vec![
-                Action { sender_parity: 0, x_axis: true, color: c2, port: Port::East, sender_cb: 0, receiver_cb: 1 },
-                Action { sender_parity: 0, x_axis: false, color: c4, port: Port::North, sender_cb: 2, receiver_cb: 3 },
+                Action {
+                    sender_parity: 0,
+                    x_axis: true,
+                    color: c2,
+                    port: Port::East,
+                    sender_cb: 0,
+                    receiver_cb: 1,
+                },
+                Action {
+                    sender_parity: 0,
+                    x_axis: false,
+                    color: c4,
+                    port: Port::North,
+                    sender_cb: 2,
+                    receiver_cb: 3,
+                },
             ],
             ExchangeStep::Step3 => vec![
-                Action { sender_parity: 1, x_axis: true, color: c1, port: Port::West, sender_cb: 4, receiver_cb: 5 },
-                Action { sender_parity: 1, x_axis: false, color: c3, port: Port::South, sender_cb: 6, receiver_cb: 7 },
+                Action {
+                    sender_parity: 1,
+                    x_axis: true,
+                    color: c1,
+                    port: Port::West,
+                    sender_cb: 4,
+                    receiver_cb: 5,
+                },
+                Action {
+                    sender_parity: 1,
+                    x_axis: false,
+                    color: c3,
+                    port: Port::South,
+                    sender_cb: 6,
+                    receiver_cb: 7,
+                },
             ],
             ExchangeStep::Step4 => vec![
-                Action { sender_parity: 0, x_axis: true, color: c2, port: Port::West, sender_cb: 4, receiver_cb: 5 },
-                Action { sender_parity: 0, x_axis: false, color: c4, port: Port::South, sender_cb: 6, receiver_cb: 7 },
+                Action {
+                    sender_parity: 0,
+                    x_axis: true,
+                    color: c2,
+                    port: Port::West,
+                    sender_cb: 4,
+                    receiver_cb: 5,
+                },
+                Action {
+                    sender_parity: 0,
+                    x_axis: false,
+                    color: c4,
+                    port: Port::South,
+                    sender_cb: 6,
+                    receiver_cb: 7,
+                },
             ],
         };
 
         for action in &actions {
             // Phase A: every sender of this action injects its direction column.
-            for idx in 0..fabric.num_pes() {
+            for (idx, bufs) in buffers.iter().enumerate() {
                 let pe = dims.unlinear(idx);
                 let parity = if action.x_axis { pe.x % 2 } else { pe.y % 2 };
                 if parity != action.sender_parity {
@@ -259,7 +324,6 @@ impl CardinalExchange {
                     continue; // fabric edge: nothing to send to
                 }
                 let column = {
-                    let bufs = &buffers[idx];
                     let nz = fabric.pe(pe).memory().len(bufs.direction)?;
                     fabric.pe(pe).memory().read(bufs.direction, 0, nz)?
                 };
@@ -278,7 +342,7 @@ impl CardinalExchange {
                 report.callbacks += 1;
             }
             // Phase B: every receiver drains its mailbox into the right halo buffer.
-            for idx in 0..fabric.num_pes() {
+            for (idx, bufs) in buffers.iter().enumerate() {
                 let pe = dims.unlinear(idx);
                 let parity = if action.x_axis { pe.x % 2 } else { pe.y % 2 };
                 if parity == action.sender_parity {
@@ -291,7 +355,7 @@ impl CardinalExchange {
                     continue; // fabric edge: no neighbour on that side
                 }
                 let payload = fabric.pe_mut(pe).take_message(action.color)?;
-                let halo = halo_buffer_for_source(&buffers[idx], source_port);
+                let halo = halo_buffer_for_source(bufs, source_port);
                 fabric.pe_mut(pe).memory_mut().write(halo, 0, &payload)?;
                 // Account the copy from the ramp into local memory as stores.
                 fabric.pe_mut(pe).counters_mut().mem_store_bytes += payload.len() as u64 * 4;
@@ -323,14 +387,19 @@ mod tests {
 
     /// Build a fabric loaded with a workload whose direction column at (x, y, z) is
     /// a recognisable function of the coordinates, then exchange and check halos.
-    fn setup(dims: Dims) -> (Fabric, Vec<PeColumnBuffers>, CardinalExchange, CellField<f32>) {
+    fn setup(
+        dims: Dims,
+    ) -> (
+        Fabric,
+        Vec<PeColumnBuffers>,
+        CardinalExchange,
+        CellField<f32>,
+    ) {
         let spec = WorkloadSpec::paper_grid(dims.nx, dims.ny, dims.nz);
         let workload = spec.build();
         let mut fabric = Fabric::new(FabricDims::new(dims.nx, dims.ny));
         let mut buffers = Vec::with_capacity(fabric.num_pes());
-        let direction = CellField::<f32>::from_fn(dims, |c| {
-            (c.x * 100 + c.y * 10 + c.z) as f32
-        });
+        let direction = CellField::<f32>::from_fn(dims, |c| (c.x * 100 + c.y * 10 + c.z) as f32);
         for idx in 0..fabric.num_pes() {
             let pe_id = fabric.dims().unlinear(idx);
             let pe = fabric.pe_mut(pe_id);
@@ -349,14 +418,29 @@ mod tests {
         let dims = Dims::new(4, 3, 5);
         let (mut fabric, buffers, mut exchange, direction) = setup(dims);
         exchange.exchange(&mut fabric, &buffers).unwrap();
-        for idx in 0..fabric.num_pes() {
+        for (idx, bufs) in buffers.iter().enumerate() {
             let pe = fabric.dims().unlinear(idx);
-            let bufs = &buffers[idx];
             let checks = [
-                (Port::West, bufs.halo_west, pe.x.checked_sub(1).map(|x| (x, pe.y))),
-                (Port::East, bufs.halo_east, (pe.x + 1 < dims.nx).then(|| (pe.x + 1, pe.y))),
-                (Port::North, bufs.halo_north, pe.y.checked_sub(1).map(|y| (pe.x, y))),
-                (Port::South, bufs.halo_south, (pe.y + 1 < dims.ny).then(|| (pe.x, pe.y + 1))),
+                (
+                    Port::West,
+                    bufs.halo_west,
+                    pe.x.checked_sub(1).map(|x| (x, pe.y)),
+                ),
+                (
+                    Port::East,
+                    bufs.halo_east,
+                    (pe.x + 1 < dims.nx).then(|| (pe.x + 1, pe.y)),
+                ),
+                (
+                    Port::North,
+                    bufs.halo_north,
+                    pe.y.checked_sub(1).map(|y| (pe.x, y)),
+                ),
+                (
+                    Port::South,
+                    bufs.halo_south,
+                    (pe.y + 1 < dims.ny).then(|| (pe.x, pe.y + 1)),
+                ),
             ];
             for (_, halo, neighbor) in checks {
                 if let Some((nx, ny)) = neighbor {
@@ -380,7 +464,10 @@ mod tests {
         assert_eq!(report.wavelets, expected * dims.nz);
         // Every send and every receive triggered its completion callback.
         assert_eq!(report.callbacks, 2 * expected);
-        assert_eq!(exchange.callback_counts().iter().sum::<usize>(), 2 * expected);
+        assert_eq!(
+            exchange.callback_counts().iter().sum::<usize>(),
+            2 * expected
+        );
     }
 
     #[test]
@@ -393,11 +480,19 @@ mod tests {
         let before = fabric.stats().link_crossings;
         exchange.exchange(&mut fabric, &buffers).unwrap();
         let after = fabric.stats().link_crossings;
-        assert_eq!(after, 2 * before, "second iteration must move the same traffic");
+        assert_eq!(
+            after,
+            2 * before,
+            "second iteration must move the same traffic"
+        );
         // Halos still correct after the second pass.
         let pe = PeId::new(2, 2);
         let idx = fabric.dims().linear(pe);
-        let got = fabric.pe(pe).memory().read(buffers[idx].halo_west, 0, dims.nz).unwrap();
+        let got = fabric
+            .pe(pe)
+            .memory()
+            .read(buffers[idx].halo_west, 0, dims.nz)
+            .unwrap();
         assert_eq!(got, direction.column(1, 2));
     }
 
@@ -409,9 +504,17 @@ mod tests {
         assert_eq!(report.messages, 2 * (dims.nx - 1));
         let pe = PeId::new(3, 0);
         let idx = fabric.dims().linear(pe);
-        let west = fabric.pe(pe).memory().read(buffers[idx].halo_west, 0, dims.nz).unwrap();
+        let west = fabric
+            .pe(pe)
+            .memory()
+            .read(buffers[idx].halo_west, 0, dims.nz)
+            .unwrap();
         assert_eq!(west, direction.column(2, 0));
-        let east = fabric.pe(pe).memory().read(buffers[idx].halo_east, 0, dims.nz).unwrap();
+        let east = fabric
+            .pe(pe)
+            .memory()
+            .read(buffers[idx].halo_east, 0, dims.nz)
+            .unwrap();
         assert_eq!(east, direction.column(4, 0));
     }
 

@@ -83,7 +83,8 @@ fn apply_dirichlet_identity(
     pe.counters_mut().mem_load_bytes += 2 * nz as u64 * 4;
     for z in 0..nz {
         if mask[z] != 0.0 {
-            pe.memory_mut().write(bufs.operator_out, z, &[direction[z]])?;
+            pe.memory_mut()
+                .write(bufs.operator_out, z, &[direction[z]])?;
             pe.counters_mut().mem_store_bytes += 4;
         }
     }
@@ -92,7 +93,11 @@ fn apply_dirichlet_identity(
 
 /// Initialise the CG state on one PE from a right-hand-side column:
 /// `residual ← rhs`, `direction ← rhs`, `solution ← 0`.
-pub fn init_cg_state(pe: &mut ProcessingElement, bufs: &PeColumnBuffers, rhs: &[f32]) -> Result<()> {
+pub fn init_cg_state(
+    pe: &mut ProcessingElement,
+    bufs: &PeColumnBuffers,
+    rhs: &[f32],
+) -> Result<()> {
     let nz = pe.memory().len(bufs.residual)?;
     assert_eq!(rhs.len(), nz, "rhs column length mismatch");
     pe.memory_mut().write(bufs.residual, 0, rhs)?;
@@ -105,7 +110,10 @@ pub fn init_cg_state(pe: &mut ProcessingElement, bufs: &PeColumnBuffers, rhs: &[
 /// Local partial dot product `direction · operator_out` for the α denominator.
 pub fn local_dot_d_ad(pe: &mut ProcessingElement, bufs: &PeColumnBuffers) -> Result<f32> {
     let nz = pe.memory().len(bufs.direction)?;
-    pe.dot_local(Dsd::full(bufs.direction, nz), Dsd::full(bufs.operator_out, nz))
+    pe.dot_local(
+        Dsd::full(bufs.direction, nz),
+        Dsd::full(bufs.operator_out, nz),
+    )
 }
 
 /// Local partial dot product `residual · residual` for the convergence test and β.
@@ -121,8 +129,16 @@ pub fn apply_alpha_updates(
     alpha: f32,
 ) -> Result<()> {
     let nz = pe.memory().len(bufs.solution)?;
-    pe.axpy(Dsd::full(bufs.solution, nz), Dsd::full(bufs.direction, nz), alpha)?;
-    pe.axpy(Dsd::full(bufs.residual, nz), Dsd::full(bufs.operator_out, nz), -alpha)?;
+    pe.axpy(
+        Dsd::full(bufs.solution, nz),
+        Dsd::full(bufs.direction, nz),
+        alpha,
+    )?;
+    pe.axpy(
+        Dsd::full(bufs.residual, nz),
+        Dsd::full(bufs.operator_out, nz),
+        -alpha,
+    )?;
     Ok(())
 }
 
@@ -133,7 +149,11 @@ pub fn apply_beta_update(
     beta: f32,
 ) -> Result<()> {
     let nz = pe.memory().len(bufs.direction)?;
-    pe.xpby(Dsd::full(bufs.direction, nz), Dsd::full(bufs.residual, nz), beta)
+    pe.xpby(
+        Dsd::full(bufs.direction, nz),
+        Dsd::full(bufs.residual, nz),
+        beta,
+    )
 }
 
 #[cfg(test)]
@@ -151,7 +171,11 @@ mod tests {
             name: "single-column".to_string(),
             dims: Dims::new(1, 1, nz),
             spacing: [1.0, 1.0, 1.0],
-            permeability: PermeabilityModel::LogNormal { mean_log: 0.0, std_log: 1.0, seed: 5 },
+            permeability: PermeabilityModel::LogNormal {
+                mean_log: 0.0,
+                std_log: 1.0,
+                seed: 5,
+            },
             viscosity: 1.0,
             boundary: BoundarySpec::None,
             tolerance: 1e-12,
@@ -167,18 +191,19 @@ mod tests {
         let mut pe = ProcessingElement::new(PeId::new(0, 0));
         let bufs = PeColumnBuffers::allocate(&mut pe, &w, 0, 0).unwrap();
         let d_host = CellField::<f32>::from_fn(w.dims(), |c| (c.z as f32 * 0.3) - 1.0);
-        pe.memory_mut().write(bufs.direction, 0, &d_host.column(0, 0)).unwrap();
+        pe.memory_mut()
+            .write(bufs.direction, 0, &d_host.column(0, 0))
+            .unwrap();
         compute_jd(&mut pe, &bufs).unwrap();
         let got = pe.memory().read(bufs.operator_out, 0, nz).unwrap();
 
         let op = MatrixFreeOperator::<f32>::from_workload(&w);
         let expected = op.apply_new(&d_host);
-        for z in 0..nz {
+        for (z, &g) in got.iter().enumerate() {
             let e = expected.at(CellIndex::new(0, 0, z));
             assert!(
-                (got[z] - e).abs() <= 1e-5 * e.abs().max(1.0),
-                "z={z}: kernel {} vs host {e}",
-                got[z]
+                (g - e).abs() <= 1e-5 * e.abs().max(1.0),
+                "z={z}: kernel {g} vs host {e}"
             );
         }
     }
@@ -192,7 +217,10 @@ mod tests {
             spacing: [1.0, 1.0, 1.0],
             permeability: PermeabilityModel::Homogeneous { value: 1.0 },
             viscosity: 1.0,
-            boundary: BoundarySpec::SourceProducer { source_pressure: 1.0, producer_pressure: 0.0 },
+            boundary: BoundarySpec::SourceProducer {
+                source_pressure: 1.0,
+                producer_pressure: 0.0,
+            },
             tolerance: 1e-12,
             max_iterations: 100,
         }
@@ -224,17 +252,26 @@ mod tests {
         }
         let mut pe = ProcessingElement::new(PeId::new(1, 0));
         let bufs = PeColumnBuffers::allocate(&mut pe, &w, 1, 0).unwrap();
-        pe.memory_mut().write(bufs.direction, 0, &d_zeroed.column(1, 0)).unwrap();
-        pe.memory_mut().write(bufs.halo_west, 0, &d_zeroed.column(0, 0)).unwrap();
-        pe.memory_mut().write(bufs.halo_east, 0, &d_zeroed.column(2, 0)).unwrap();
+        pe.memory_mut()
+            .write(bufs.direction, 0, &d_zeroed.column(1, 0))
+            .unwrap();
+        pe.memory_mut()
+            .write(bufs.halo_west, 0, &d_zeroed.column(0, 0))
+            .unwrap();
+        pe.memory_mut()
+            .write(bufs.halo_east, 0, &d_zeroed.column(2, 0))
+            .unwrap();
         compute_jd(&mut pe, &bufs).unwrap();
         let got = pe.memory().read(bufs.operator_out, 0, nz).unwrap();
 
         let op = MatrixFreeOperator::<f32>::from_workload(&w);
         let expected = op.apply_new(&d_zeroed);
-        for z in 0..nz {
+        for (z, &g) in got.iter().enumerate() {
             let e = expected.at(CellIndex::new(1, 0, z));
-            assert!((got[z] - e).abs() <= 1e-5 * e.abs().max(1.0), "z={z}: {} vs {e}", got[z]);
+            assert!(
+                (g - e).abs() <= 1e-5 * e.abs().max(1.0),
+                "z={z}: {g} vs {e}"
+            );
         }
     }
 
@@ -248,7 +285,10 @@ mod tests {
         init_cg_state(&mut pe, &bufs, &rhs).unwrap();
         assert_eq!(pe.memory().read(bufs.residual, 0, nz).unwrap(), rhs);
         assert_eq!(pe.memory().read(bufs.direction, 0, nz).unwrap(), rhs);
-        assert_eq!(pe.memory().read(bufs.solution, 0, nz).unwrap(), vec![0.0; nz]);
+        assert_eq!(
+            pe.memory().read(bufs.solution, 0, nz).unwrap(),
+            vec![0.0; nz]
+        );
 
         let rr = local_dot_rr(&mut pe, &bufs).unwrap();
         let expected_rr: f32 = rhs.iter().map(|v| v * v).sum();

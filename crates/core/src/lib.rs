@@ -26,6 +26,7 @@
 //!   computation time split) and the roofline inputs.
 
 pub mod allreduce;
+pub mod backend;
 pub mod comm;
 pub mod kernel;
 pub mod mapping;
@@ -34,6 +35,7 @@ pub mod solver;
 pub mod state_machine;
 pub mod stats;
 
+pub use backend::DataflowBackend;
 pub use comm::CardinalExchange;
 pub use mapping::{MemoryPlan, PeColumnBuffers, ProblemMapping, ReuseStrategy};
 pub use options::SolverOptions;
@@ -44,6 +46,7 @@ pub use stats::DataflowRunStats;
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::allreduce::AllReduce;
+    pub use crate::backend::DataflowBackend;
     pub use crate::comm::CardinalExchange;
     pub use crate::mapping::{MemoryPlan, ProblemMapping, ReuseStrategy};
     pub use crate::options::SolverOptions;

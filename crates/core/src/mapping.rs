@@ -79,7 +79,11 @@ impl MemoryPlan {
                 allocations.push(("dirichlet_mask_packed".to_string(), nz));
             }
         }
-        Self { nz, strategy, allocations }
+        Self {
+            nz,
+            strategy,
+            allocations,
+        }
     }
 
     /// Total data bytes the plan needs.
@@ -129,7 +133,10 @@ impl ProblemMapping {
 
     /// The PE that owns the column at `(x, y)`.
     pub fn pe_for_column(&self, x: usize, y: usize) -> PeId {
-        assert!(x < self.dims.nx && y < self.dims.ny, "column outside the mesh");
+        assert!(
+            x < self.dims.nx && y < self.dims.ny,
+            "column outside the mesh"
+        );
         PeId::new(x, y)
     }
 
@@ -287,10 +294,19 @@ mod tests {
     #[test]
     fn max_nz_brackets_the_paper_depth() {
         let max_naive = MemoryPlan::max_nz(ReuseStrategy::None, PE_MEMORY_BYTES, KERNEL_CODE_BYTES);
-        let max_reuse =
-            MemoryPlan::max_nz(ReuseStrategy::Aggressive, PE_MEMORY_BYTES, KERNEL_CODE_BYTES);
-        assert!(max_naive < 922, "naive plan unexpectedly fits 922 (max {max_naive})");
-        assert!(max_reuse >= 922, "aggressive plan must fit the paper's 922 (max {max_reuse})");
+        let max_reuse = MemoryPlan::max_nz(
+            ReuseStrategy::Aggressive,
+            PE_MEMORY_BYTES,
+            KERNEL_CODE_BYTES,
+        );
+        assert!(
+            max_naive < 922,
+            "naive plan unexpectedly fits 922 (max {max_naive})"
+        );
+        assert!(
+            max_reuse >= 922,
+            "aggressive plan must fit the paper's 922 (max {max_reuse})"
+        );
         assert!(max_reuse > max_naive);
         // Consistency: a plan at exactly max_nz fits, one cell deeper does not.
         let plan = MemoryPlan::new(max_reuse, ReuseStrategy::Aggressive);
@@ -313,7 +329,10 @@ mod tests {
             .iter()
             .map(|&v| v as f32)
             .collect();
-        assert_eq!(pe.memory().read(bufs.transmissibility[0], 0, nz).unwrap(), east);
+        assert_eq!(
+            pe.memory().read(bufs.transmissibility[0], 0, nz).unwrap(),
+            east
+        );
         assert_eq!(bufs.halo_for(mffv_mesh::Direction::XM), bufs.halo_west);
     }
 

@@ -142,7 +142,9 @@ mod tests {
 
     #[test]
     fn overrides() {
-        let o = SolverOptions::paper().with_tolerance(1e-6).with_max_iterations(42);
+        let o = SolverOptions::paper()
+            .with_tolerance(1e-6)
+            .with_max_iterations(42);
         assert_eq!(o.tolerance_override, Some(1e-6));
         assert_eq!(o.max_iterations_override, Some(42));
     }

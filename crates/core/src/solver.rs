@@ -45,24 +45,40 @@ pub struct DataflowSolveReport {
     pub final_residual_max: f64,
 }
 
-/// The dataflow matrix-free FV solver.
-pub struct DataflowFvSolver {
-    workload: Workload,
+/// The dataflow matrix-free FV solver.  Borrows its workload: a solver is a
+/// one-shot driver, and the workload's fields (permeability, transmissibility)
+/// are large enough that cloning per solve would dominate small runs.
+pub struct DataflowFvSolver<'w> {
+    workload: &'w Workload,
     options: SolverOptions,
     spec: WseSpec,
 }
 
-impl DataflowFvSolver {
+impl<'w> DataflowFvSolver<'w> {
     /// Create a solver for a workload with explicit options, modelling device time
     /// on a CS-2 region matching the problem's fabric footprint.
-    pub fn new(workload: Workload, options: SolverOptions) -> Self {
+    pub fn new(workload: &'w Workload, options: SolverOptions) -> Self {
         let dims = workload.dims();
         let spec = WseSpec::cs2_region(dims.nx, dims.ny);
-        Self { workload, options, spec }
+        Self {
+            workload,
+            options,
+            spec,
+        }
+    }
+
+    /// Create a solver with an explicit machine spec for the device-time model
+    /// (e.g. the full wafer instead of the problem-sized region).
+    pub fn with_spec(workload: &'w Workload, options: SolverOptions, spec: WseSpec) -> Self {
+        Self {
+            workload,
+            options,
+            spec,
+        }
     }
 
     /// Create a solver with the paper's default options.
-    pub fn with_defaults(workload: Workload) -> Self {
+    pub fn with_defaults(workload: &'w Workload) -> Self {
         Self::new(workload, SolverOptions::paper())
     }
 
@@ -85,7 +101,7 @@ impl DataflowFvSolver {
         for idx in 0..fabric.num_pes() {
             let pe_id = fabric.dims().unlinear(idx);
             let pe = fabric.pe_mut(pe_id);
-            let bufs = PeColumnBuffers::allocate(pe, &self.workload, pe_id.x, pe_id.y)?;
+            let bufs = PeColumnBuffers::allocate(pe, self.workload, pe_id.x, pe_id.y)?;
             buffers.push(bufs);
         }
         let mut exchange = CardinalExchange::new(&mut fabric, &mut colors)?;
@@ -97,26 +113,34 @@ impl DataflowFvSolver {
         let p0: CellField<f32> = self.workload.initial_pressure();
         let r0 = residual(&p0, &coeffs32, self.workload.dirichlet());
         let rhs = newton_rhs(&r0, self.workload.dirichlet());
-        for idx in 0..fabric.num_pes() {
+        for (idx, bufs) in buffers.iter().enumerate() {
             let pe_id = fabric.dims().unlinear(idx);
             let column = rhs.column(pe_id.x, pe_id.y);
-            kernel::init_cg_state(fabric.pe_mut(pe_id), &buffers[idx], &column)?;
+            kernel::init_cg_state(fabric.pe_mut(pe_id), bufs, &column)?;
         }
 
-        let tolerance = self.options.tolerance_override.unwrap_or(self.workload.tolerance());
+        let tolerance = self
+            .options
+            .tolerance_override
+            .unwrap_or(self.workload.tolerance());
         let max_iterations = if self.options.compute_enabled {
-            self.options.max_iterations_override.unwrap_or(self.workload.max_iterations())
+            self.options
+                .max_iterations_override
+                .unwrap_or(self.workload.max_iterations())
         } else {
             self.options.forced_iterations
         };
-        let criterion = StoppingCriterion::new(tolerance.max(f64::MIN_POSITIVE), max_iterations.max(1));
+        let criterion =
+            StoppingCriterion::new(tolerance.max(f64::MIN_POSITIVE), max_iterations.max(1));
 
         // ------------------------------------------------------------ state machine
         let mut machine = CgStateMachine::new(max_iterations);
         let mut critical_path_hops = 0usize;
         let mut rr = self.global_rr(&mut fabric, &allreduce, &buffers, &mut critical_path_hops)?;
         let mut history = ConvergenceHistory::starting_from(rr as f64);
-        machine.advance(CgEvent::Initialized).expect("Init -> IterCheck");
+        machine
+            .advance(CgEvent::Initialized)
+            .expect("Init -> IterCheck");
 
         let mut d_ad = 0.0f32;
         let mut alpha = 0.0f32;
@@ -124,7 +148,9 @@ impl DataflowFvSolver {
 
         if self.options.compute_enabled && criterion.is_converged(rr as f64) {
             history.converged = true;
-            machine.advance(CgEvent::BudgetExhausted).expect("IterCheck -> Done");
+            machine
+                .advance(CgEvent::BudgetExhausted)
+                .expect("IterCheck -> Done");
         }
 
         while !machine.is_done() {
@@ -140,9 +166,9 @@ impl DataflowFvSolver {
                 }
                 CgState::ComputeJx => {
                     if self.options.compute_enabled {
-                        for idx in 0..fabric.num_pes() {
+                        for (idx, bufs) in buffers.iter().enumerate() {
                             let pe_id = fabric.dims().unlinear(idx);
-                            kernel::compute_jd(fabric.pe_mut(pe_id), &buffers[idx])?;
+                            kernel::compute_jd(fabric.pe_mut(pe_id), bufs)?;
                         }
                     }
                     CgEvent::ComputeComplete
@@ -183,13 +209,13 @@ impl DataflowFvSolver {
                 }
                 CgState::UpdateSolution => {
                     if self.options.compute_enabled {
-                        for idx in 0..fabric.num_pes() {
+                        for (idx, bufs) in buffers.iter().enumerate() {
                             let pe_id = fabric.dims().unlinear(idx);
                             let pe = fabric.pe_mut(pe_id);
-                            let nz = pe.memory().len(buffers[idx].solution)?;
+                            let nz = pe.memory().len(bufs.solution)?;
                             pe.axpy(
-                                mffv_fabric::Dsd::full(buffers[idx].solution, nz),
-                                mffv_fabric::Dsd::full(buffers[idx].direction, nz),
+                                mffv_fabric::Dsd::full(bufs.solution, nz),
+                                mffv_fabric::Dsd::full(bufs.direction, nz),
                                 alpha,
                             )?;
                         }
@@ -198,13 +224,13 @@ impl DataflowFvSolver {
                 }
                 CgState::UpdateResidual => {
                     if self.options.compute_enabled {
-                        for idx in 0..fabric.num_pes() {
+                        for (idx, bufs) in buffers.iter().enumerate() {
                             let pe_id = fabric.dims().unlinear(idx);
                             let pe = fabric.pe_mut(pe_id);
-                            let nz = pe.memory().len(buffers[idx].residual)?;
+                            let nz = pe.memory().len(bufs.residual)?;
                             pe.axpy(
-                                mffv_fabric::Dsd::full(buffers[idx].residual, nz),
-                                mffv_fabric::Dsd::full(buffers[idx].operator_out, nz),
+                                mffv_fabric::Dsd::full(bufs.residual, nz),
+                                mffv_fabric::Dsd::full(bufs.operator_out, nz),
                                 -alpha,
                             )?;
                         }
@@ -229,9 +255,9 @@ impl DataflowFvSolver {
                 CgState::UpdateDirection => {
                     if self.options.compute_enabled {
                         let beta = if rr > 0.0 { rr_new / rr } else { 0.0 };
-                        for idx in 0..fabric.num_pes() {
+                        for (idx, bufs) in buffers.iter().enumerate() {
                             let pe_id = fabric.dims().unlinear(idx);
-                            kernel::apply_beta_update(fabric.pe_mut(pe_id), &buffers[idx], beta)?;
+                            kernel::apply_beta_update(fabric.pe_mut(pe_id), bufs, beta)?;
                         }
                         rr = rr_new;
                     }
@@ -239,15 +265,17 @@ impl DataflowFvSolver {
                 }
                 CgState::Init | CgState::Done => unreachable!("handled outside the loop"),
             };
-            machine.advance(event).expect("transition table is total for generated events");
+            machine
+                .advance(event)
+                .expect("transition table is total for generated events");
         }
 
         // -------------------------------------------------------------- extraction
         let mut delta = CellField::<f32>::zeros(dims);
-        for idx in 0..fabric.num_pes() {
+        for (idx, bufs) in buffers.iter().enumerate() {
             let pe_id = fabric.dims().unlinear(idx);
             let nz = dims.nz;
-            let column = fabric.pe(pe_id).memory().read(buffers[idx].solution, 0, nz)?;
+            let column = fabric.pe(pe_id).memory().read(bufs.solution, 0, nz)?;
             delta.set_column(pe_id.x, pe_id.y, &column);
         }
         let mut pressure = p0;
@@ -255,7 +283,11 @@ impl DataflowFvSolver {
 
         let final_residual_max = {
             let p64: CellField<f64> = pressure.convert();
-            let r = residual(&p64, self.workload.transmissibility(), self.workload.dirichlet());
+            let r = residual(
+                &p64,
+                self.workload.transmissibility(),
+                self.workload.dirichlet(),
+            );
             r.max_abs()
         };
 
@@ -268,8 +300,11 @@ impl DataflowFvSolver {
             critical_path_hops,
             host_wall_seconds: start.elapsed().as_secs_f64(),
         };
-        let modelled_time =
-            stats.modelled_time(self.spec, self.options.overlap, self.options.simd_efficiency());
+        let modelled_time = stats.modelled_time(
+            self.spec,
+            self.options.overlap,
+            self.options.simd_efficiency(),
+        );
         let memory_plan = MemoryPlan::new(dims.nz, self.options.reuse);
 
         Ok(DataflowSolveReport {
@@ -305,76 +340,91 @@ impl DataflowFvSolver {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::backend::DataflowBackend;
+    use crate::options::SolverOptions;
     use mffv_mesh::workload::WorkloadSpec;
     use mffv_mesh::Dims;
+    use mffv_solver::backend::{SolveBackend, SolveConfig};
     use mffv_solver::newton::solve_pressure;
+
+    fn config(tolerance: f64) -> SolveConfig {
+        SolveConfig {
+            tolerance: Some(tolerance),
+            ..SolveConfig::default()
+        }
+    }
 
     #[test]
     fn dataflow_solve_matches_host_oracle_on_quickstart() {
         let w = WorkloadSpec::quickstart().scaled(2).build();
-        let report = DataflowFvSolver::new(
-            w.clone(),
-            SolverOptions::paper().with_tolerance(1e-10),
-        )
-        .solve()
-        .unwrap();
-        assert!(report.history.converged, "dataflow CG did not converge");
+        let report = DataflowBackend::paper().solve(&w, &config(1e-10)).unwrap();
+        assert!(report.converged(), "dataflow CG did not converge");
         assert!(report.final_residual_max < 1e-3);
         let oracle = solve_pressure::<f64>(&w);
-        let diff = oracle.pressure.max_abs_diff(&report.pressure.convert());
+        let diff = oracle.pressure.max_abs_diff(&report.pressure);
         assert!(diff < 2e-4, "dataflow vs host mismatch: {diff}");
     }
 
     #[test]
     fn dataflow_solve_on_heterogeneous_fig5_scenario() {
         let w = WorkloadSpec::fig5(Dims::new(6, 5, 4)).build();
-        let report =
-            DataflowFvSolver::new(w.clone(), SolverOptions::paper().with_tolerance(1e-12))
-                .solve()
-                .unwrap();
-        assert!(report.history.converged);
+        let report = DataflowBackend::paper().solve(&w, &config(1e-12)).unwrap();
+        assert!(report.converged());
         let oracle = solve_pressure::<f64>(&w);
         let scale = oracle.pressure.max_abs();
-        let rel = oracle.pressure.max_abs_diff(&report.pressure.convert()) / scale;
+        let rel = oracle.pressure.max_abs_diff(&report.pressure) / scale;
         assert!(rel < 1e-3, "relative mismatch {rel}");
     }
 
     #[test]
     fn iteration_count_is_bounded_by_unknowns() {
         let w = WorkloadSpec::quickstart().scaled(2).build();
-        let report = DataflowFvSolver::with_defaults(w.clone()).solve().unwrap();
-        assert!(report.stats.iterations <= w.dims().num_cells());
-        assert!(report.stats.iterations > 1);
-        assert_eq!(report.stats.total_cells, w.dims().num_cells());
+        let report = DataflowBackend::paper()
+            .solve(&w, &SolveConfig::default())
+            .unwrap();
+        assert!(report.iterations() <= w.dims().num_cells());
+        assert!(report.iterations() > 1);
     }
 
     #[test]
     fn communication_only_run_moves_data_but_does_no_flops_in_the_kernel() {
         let w = WorkloadSpec::quickstart().scaled(2).build();
-        let full = DataflowFvSolver::with_defaults(w.clone()).solve().unwrap();
-        let comm =
-            DataflowFvSolver::new(w, SolverOptions::communication_only(5)).solve().unwrap();
-        assert_eq!(comm.stats.iterations, 5);
-        assert!(comm.stats.fabric.link_bytes > 0);
+        let full = DataflowBackend::paper()
+            .solve(&w, &SolveConfig::default())
+            .unwrap();
+        let comm = DataflowBackend::with_options(SolverOptions::communication_only(5))
+            .solve(&w, &SolveConfig::default())
+            .unwrap();
+        let full_device = full.device.as_ref().unwrap();
+        let comm_device = comm.device.as_ref().unwrap();
+        assert_eq!(comm.iterations(), 5);
+        assert!(comm_device.counter("fabric_link_bytes").unwrap() > 0.0);
         // The only FLOPs left are the all-reduce additions.
-        assert!(comm.stats.total_compute.flops < full.stats.total_compute.flops / 10);
+        assert!(
+            comm_device.counter("total_flops").unwrap()
+                < full_device.counter("total_flops").unwrap() / 10.0
+        );
     }
 
     #[test]
     fn modelled_time_has_positive_components() {
         let w = WorkloadSpec::quickstart().scaled(2).build();
-        let report = DataflowFvSolver::with_defaults(w).solve().unwrap();
-        assert!(report.modelled_time.total > 0.0);
-        assert!(report.modelled_time.compute_time > 0.0);
-        assert!(report.stats.critical_path_hops > 0);
-        assert!(report.memory_plan.data_bytes() > 0);
+        let report = DataflowBackend::paper()
+            .solve(&w, &SolveConfig::default())
+            .unwrap();
+        let device = report.device.as_ref().unwrap();
+        assert!(device.modelled_time_seconds > 0.0);
+        assert!(device.counter("compute_time_seconds").unwrap() > 0.0);
+        assert!(device.counter("critical_path_hops").unwrap() > 0.0);
+        assert!(device.counter("memory_plan_bytes").unwrap() > 0.0);
     }
 
     #[test]
     fn residual_history_decreases_broadly() {
         let w = WorkloadSpec::quickstart().scaled(2).build();
-        let report = DataflowFvSolver::with_defaults(w).solve().unwrap();
+        let report = DataflowBackend::paper()
+            .solve(&w, &SolveConfig::default())
+            .unwrap();
         assert!(report.history.is_broadly_decreasing(1e3));
         assert!(report.history.final_rr() < report.history.initial_rr());
     }

@@ -104,7 +104,11 @@ pub struct InvalidTransition {
 
 impl std::fmt::Display for InvalidTransition {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "event {:?} is not valid in state {:?}", self.event, self.state)
+        write!(
+            f,
+            "event {:?} is not valid in state {:?}",
+            self.event, self.state
+        )
     }
 }
 
@@ -122,7 +126,11 @@ pub struct CgStateMachine {
 impl CgStateMachine {
     /// A machine in the `Init` state with an iteration budget.
     pub fn new(max_iterations: usize) -> Self {
-        Self { state: CgState::Init, iteration: 0, max_iterations }
+        Self {
+            state: CgState::Init,
+            iteration: 0,
+            max_iterations,
+        }
     }
 
     /// Current state.
@@ -196,17 +204,50 @@ mod tests {
 
     /// Drive one full iteration body (ExchangeHalos through UpdateDirection).
     fn drive_one_iteration(m: &mut CgStateMachine) {
-        assert_eq!(m.advance(CgEvent::BudgetRemaining).unwrap(), CgState::ExchangeHalos);
-        assert_eq!(m.advance(CgEvent::ExchangeComplete).unwrap(), CgState::ComputeJx);
-        assert_eq!(m.advance(CgEvent::ComputeComplete).unwrap(), CgState::LocalDotDAd);
-        assert_eq!(m.advance(CgEvent::LocalDotReady).unwrap(), CgState::AllReduceDAd);
-        assert_eq!(m.advance(CgEvent::ReduceComplete).unwrap(), CgState::ComputeAlpha);
-        assert_eq!(m.advance(CgEvent::ScalarReady).unwrap(), CgState::UpdateSolution);
-        assert_eq!(m.advance(CgEvent::UpdateComplete).unwrap(), CgState::UpdateResidual);
-        assert_eq!(m.advance(CgEvent::UpdateComplete).unwrap(), CgState::LocalDotRR);
-        assert_eq!(m.advance(CgEvent::LocalDotReady).unwrap(), CgState::AllReduceRR);
-        assert_eq!(m.advance(CgEvent::ReduceComplete).unwrap(), CgState::ThresholdCheck);
-        assert_eq!(m.advance(CgEvent::NotConverged).unwrap(), CgState::UpdateDirection);
+        assert_eq!(
+            m.advance(CgEvent::BudgetRemaining).unwrap(),
+            CgState::ExchangeHalos
+        );
+        assert_eq!(
+            m.advance(CgEvent::ExchangeComplete).unwrap(),
+            CgState::ComputeJx
+        );
+        assert_eq!(
+            m.advance(CgEvent::ComputeComplete).unwrap(),
+            CgState::LocalDotDAd
+        );
+        assert_eq!(
+            m.advance(CgEvent::LocalDotReady).unwrap(),
+            CgState::AllReduceDAd
+        );
+        assert_eq!(
+            m.advance(CgEvent::ReduceComplete).unwrap(),
+            CgState::ComputeAlpha
+        );
+        assert_eq!(
+            m.advance(CgEvent::ScalarReady).unwrap(),
+            CgState::UpdateSolution
+        );
+        assert_eq!(
+            m.advance(CgEvent::UpdateComplete).unwrap(),
+            CgState::UpdateResidual
+        );
+        assert_eq!(
+            m.advance(CgEvent::UpdateComplete).unwrap(),
+            CgState::LocalDotRR
+        );
+        assert_eq!(
+            m.advance(CgEvent::LocalDotReady).unwrap(),
+            CgState::AllReduceRR
+        );
+        assert_eq!(
+            m.advance(CgEvent::ReduceComplete).unwrap(),
+            CgState::ThresholdCheck
+        );
+        assert_eq!(
+            m.advance(CgEvent::NotConverged).unwrap(),
+            CgState::UpdateDirection
+        );
         assert_eq!(m.advance(CgEvent::ScalarReady).unwrap(), CgState::IterCheck);
     }
 

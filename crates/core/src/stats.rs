@@ -98,11 +98,14 @@ impl DataflowRunStats {
             mem_store_bytes: 0,
             ..counters
         };
-        let comm =
-            model.estimate(&comm_only, self.critical_path_hops, OverlapMode::Overlapped);
+        let comm = model.estimate(&comm_only, self.critical_path_hops, OverlapMode::Overlapped);
         let data_movement = comm.total;
         let computation = (full.compute_time.max(full.memory_time)).max(full.total - data_movement);
-        TimeSplit { data_movement, computation, total: full.total }
+        TimeSplit {
+            data_movement,
+            computation,
+            total: full.total,
+        }
     }
 
     /// Throughput in cells per second given a modelled total time (the Gcell/s

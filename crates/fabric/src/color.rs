@@ -19,7 +19,10 @@ impl Color {
     /// Create a colour; panics if the id exceeds the routable range (use
     /// [`ColorAllocator`] to avoid manual bookkeeping).
     pub fn new(id: u8) -> Self {
-        assert!(id < NUM_ROUTABLE_COLORS, "colour id {id} exceeds routable range");
+        assert!(
+            id < NUM_ROUTABLE_COLORS,
+            "colour id {id} exceeds routable range"
+        );
         Self(id)
     }
 

@@ -27,13 +27,23 @@ pub struct Dsd {
 impl Dsd {
     /// A dense view of `len` elements starting at `offset`.
     pub fn new(buffer: BufferId, offset: usize, len: usize) -> Self {
-        Self { buffer, offset, len, stride: 1 }
+        Self {
+            buffer,
+            offset,
+            len,
+            stride: 1,
+        }
     }
 
     /// A strided view.
     pub fn strided(buffer: BufferId, offset: usize, len: usize, stride: usize) -> Self {
         assert!(stride >= 1, "stride must be at least 1");
-        Self { buffer, offset, len, stride }
+        Self {
+            buffer,
+            offset,
+            len,
+            stride,
+        }
     }
 
     /// A dense view covering a whole buffer of known length.
@@ -83,7 +93,11 @@ impl Dsd {
     pub fn scatter(&self, memory: &mut PeMemory, values: &[f32]) -> Result<(), FabricError> {
         if values.len() != self.len {
             return Err(FabricError::DsdOutOfRange {
-                detail: format!("scatter of {} values into a DSD of length {}", values.len(), self.len),
+                detail: format!(
+                    "scatter of {} values into a DSD of length {}",
+                    values.len(),
+                    self.len
+                ),
             });
         }
         self.validate(memory)?;
@@ -110,19 +124,27 @@ mod tests {
     fn dense_view_round_trip() {
         let (mut m, b) = memory_with_buffer(8);
         let view = Dsd::full(b, 8);
-        view.scatter(&mut m, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]).unwrap();
-        assert_eq!(view.gather(&m).unwrap(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        view.scatter(&mut m, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0])
+            .unwrap();
+        assert_eq!(
+            view.gather(&m).unwrap(),
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]
+        );
     }
 
     #[test]
     fn strided_view_touches_every_other_element() {
         let (mut m, b) = memory_with_buffer(8);
-        m.write(b, 0, &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]).unwrap();
+        m.write(b, 0, &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+            .unwrap();
         let view = Dsd::strided(b, 1, 3, 2);
         assert_eq!(view.gather(&m).unwrap(), vec![1.0, 3.0, 5.0]);
         assert_eq!(view.last_index(), Some(5));
         view.scatter(&mut m, &[10.0, 30.0, 50.0]).unwrap();
-        assert_eq!(m.read(b, 0, 8).unwrap(), vec![0.0, 10.0, 2.0, 30.0, 4.0, 50.0, 6.0, 7.0]);
+        assert_eq!(
+            m.read(b, 0, 8).unwrap(),
+            vec![0.0, 10.0, 2.0, 30.0, 4.0, 50.0, 6.0, 7.0]
+        );
     }
 
     #[test]

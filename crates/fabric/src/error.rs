@@ -7,9 +7,18 @@ use crate::geometry::{PeId, Port};
 #[derive(Clone, Debug, PartialEq)]
 pub enum FabricError {
     /// The referenced PE coordinate is outside the fabric.
-    PeOutOfBounds { pe: PeId, width: usize, height: usize },
+    PeOutOfBounds {
+        pe: PeId,
+        width: usize,
+        height: usize,
+    },
     /// A per-PE memory allocation exceeded the local memory budget.
-    OutOfMemory { pe: PeId, requested: usize, available: usize, capacity: usize },
+    OutOfMemory {
+        pe: PeId,
+        requested: usize,
+        available: usize,
+        capacity: usize,
+    },
     /// A buffer handle was used after being freed or belongs to another PE.
     InvalidBuffer { detail: String },
     /// A DSD referenced elements outside its buffer.
@@ -17,9 +26,17 @@ pub enum FabricError {
     /// A wavelet arrived at a router on a port its current switch position does not
     /// accept — in hardware the wavelet would be misrouted; the simulator reports it
     /// so communication-schedule bugs surface in tests.
-    RouteRejected { pe: PeId, color: Color, incoming: Port },
+    RouteRejected {
+        pe: PeId,
+        color: Color,
+        incoming: Port,
+    },
     /// A wavelet was routed off the edge of the fabric.
-    RoutedOffFabric { pe: PeId, color: Color, outgoing: Port },
+    RoutedOffFabric {
+        pe: PeId,
+        color: Color,
+        outgoing: Port,
+    },
     /// No route is configured for a colour at a router.
     NoRouteConfigured { pe: PeId, color: Color },
     /// A receive was attempted on a colour with an empty mailbox.
@@ -80,7 +97,10 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("out of local memory"));
         assert!(msg.contains("100"));
-        let e2 = FabricError::EmptyMailbox { pe: PeId::new(0, 0), color: Color::new(3) };
+        let e2 = FabricError::EmptyMailbox {
+            pe: PeId::new(0, 0),
+            color: Color::new(3),
+        };
         assert!(e2.to_string().contains("no message pending"));
     }
 }

@@ -38,7 +38,11 @@ impl Fabric {
     /// A fabric of `dims.width × dims.height` PEs with default 48 KiB memories.
     pub fn new(dims: FabricDims) -> Self {
         let pes = dims.iter().map(ProcessingElement::new).collect();
-        Self { dims, pes, stats: FabricStats::default() }
+        Self {
+            dims,
+            pes,
+            stats: FabricStats::default(),
+        }
     }
 
     /// Fabric extents.
@@ -84,7 +88,9 @@ impl Fabric {
 
     /// Sum of all PE compute counters.
     pub fn total_compute(&self) -> OpCounters {
-        self.pes.iter().fold(OpCounters::default(), |acc, pe| acc.merged(pe.counters()))
+        self.pes
+            .iter()
+            .fold(OpCounters::default(), |acc, pe| acc.merged(pe.counters()))
     }
 
     /// Maximum per-PE counters (element-wise) — the quantity that bounds device time
@@ -116,7 +122,9 @@ impl Fabric {
     ) {
         for idx in 0..self.pes.len() {
             let id = self.dims.unlinear(idx);
-            self.pes[idx].router_mut().set_color_config(color, config_for(id));
+            self.pes[idx]
+                .router_mut()
+                .set_color_config(color, config_for(id));
         }
     }
 
@@ -142,7 +150,12 @@ impl Fabric {
     /// Errors surface communication-schedule bugs: un-programmed colours, switch
     /// positions that reject the incoming port, routes that fall off the fabric, or
     /// routing loops.
-    pub fn send(&mut self, src: PeId, color: Color, payload: &[f32]) -> Result<SendReport, FabricError> {
+    pub fn send(
+        &mut self,
+        src: PeId,
+        color: Color,
+        payload: &[f32],
+    ) -> Result<SendReport, FabricError> {
         if !self.dims.contains(src) {
             return Err(FabricError::PeOutOfBounds {
                 pe: src,
@@ -162,7 +175,10 @@ impl Fabric {
         while let Some((pe, incoming, depth)) = frontier.pop() {
             processed += 1;
             if processed > hop_budget {
-                return Err(FabricError::RoutingLoop { color, hops: processed });
+                return Err(FabricError::RoutingLoop {
+                    color,
+                    hops: processed,
+                });
             }
             let outputs = self.pe(pe).router().route(color, incoming)?;
             for out in outputs {
@@ -181,7 +197,11 @@ impl Fabric {
                     }
                     port => {
                         let Some(neighbor) = self.dims.neighbor(pe, port) else {
-                            return Err(FabricError::RoutedOffFabric { pe, color, outgoing: port });
+                            return Err(FabricError::RoutedOffFabric {
+                                pe,
+                                color,
+                                outgoing: port,
+                            });
                         };
                         self.stats.link_crossings += 1;
                         self.stats.wavelet_hops += payload.len() as u64;
@@ -199,9 +219,18 @@ impl Fabric {
     /// Convenience: program a one-hop unicast route from `src` towards `port` for
     /// `color` (sender forwards ramp → port, receiver forwards the incoming link →
     /// ramp), without touching other PEs.
-    pub fn program_unicast(&mut self, src: PeId, port: Port, color: Color) -> Result<(), FabricError> {
+    pub fn program_unicast(
+        &mut self,
+        src: PeId,
+        port: Port,
+        color: Color,
+    ) -> Result<(), FabricError> {
         let Some(dst) = self.dims.neighbor(src, port) else {
-            return Err(FabricError::RoutedOffFabric { pe: src, color, outgoing: port });
+            return Err(FabricError::RoutedOffFabric {
+                pe: src,
+                color,
+                outgoing: port,
+            });
         };
         self.set_color_config(
             src,
@@ -239,17 +268,28 @@ mod tests {
     fn unicast_east_delivers_to_neighbor_only() {
         let mut fabric = Fabric::new(FabricDims::new(3, 1));
         let c = Color::new(0);
-        fabric.program_unicast(PeId::new(0, 0), Port::East, c).unwrap();
+        fabric
+            .program_unicast(PeId::new(0, 0), Port::East, c)
+            .unwrap();
         let report = fabric.send(PeId::new(0, 0), c, &[1.0, 2.0, 3.0]).unwrap();
         assert_eq!(report.deliveries, 1);
         assert_eq!(report.links_crossed, 1);
         assert_eq!(report.max_depth, 1);
         assert_eq!(fabric.pending(PeId::new(1, 0), c), 1);
-        assert_eq!(fabric.take_message(PeId::new(1, 0), c).unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(
+            fabric.take_message(PeId::new(1, 0), c).unwrap(),
+            vec![1.0, 2.0, 3.0]
+        );
         assert_eq!(fabric.pending(PeId::new(2, 0), c), 0);
         assert_eq!(fabric.stats().link_bytes, 12);
-        assert_eq!(fabric.pe(PeId::new(0, 0)).counters().fabric_sent_wavelets, 3);
-        assert_eq!(fabric.pe(PeId::new(1, 0)).counters().fabric_recv_wavelets, 3);
+        assert_eq!(
+            fabric.pe(PeId::new(0, 0)).counters().fabric_sent_wavelets,
+            3
+        );
+        assert_eq!(
+            fabric.pe(PeId::new(1, 0)).counters().fabric_recv_wavelets,
+            3
+        );
     }
 
     #[test]
@@ -264,8 +304,11 @@ mod tests {
             SwitchConfig::fixed(RouterRule::new(&[Port::Ramp], &[Port::East])),
         );
         for x in 1..4 {
-            let tx: &[Port] =
-                if x == 3 { &[Port::Ramp] } else { &[Port::Ramp, Port::East] };
+            let tx: &[Port] = if x == 3 {
+                &[Port::Ramp]
+            } else {
+                &[Port::Ramp, Port::East]
+            };
             fabric.set_color_config(
                 PeId::new(x, 0),
                 c,
@@ -287,7 +330,11 @@ mod tests {
         // (config 1).  After advancing both switches the roles are reversed.
         let mut fabric = Fabric::new(FabricDims::new(2, 1));
         let c = Color::new(2);
-        fabric.set_color_config(PeId::new(0, 0), c, SwitchConfig::listing1_broadcast(Port::East));
+        fabric.set_color_config(
+            PeId::new(0, 0),
+            c,
+            SwitchConfig::listing1_broadcast(Port::East),
+        );
         fabric.set_color_config(
             PeId::new(1, 0),
             c,
@@ -299,17 +346,29 @@ mod tests {
         // Sending from PE1 in its receive position is a schedule bug and is rejected.
         assert!(fabric.send(PeId::new(1, 0), c, &[9.0]).is_err());
         // Advance both switch positions (the control command of Listing 1).
-        fabric.advance_switch_at(&[PeId::new(0, 0), PeId::new(1, 0)], c).unwrap();
+        fabric
+            .advance_switch_at(&[PeId::new(0, 0), PeId::new(1, 0)], c)
+            .unwrap();
         // Step 2: roles reversed — PE1 sends east?? no: the colour is an *eastward*
         // broadcast, so after the toggle PE1 is the root whose data flows east; PE1
         // is at the fabric edge, so instead verify PE0 now accepts from the west and
         // PE1 is in the sender position.
         assert_eq!(
-            fabric.pe(PeId::new(1, 0)).router().color_config(c).unwrap().current_position(),
+            fabric
+                .pe(PeId::new(1, 0))
+                .router()
+                .color_config(c)
+                .unwrap()
+                .current_position(),
             0
         );
         assert_eq!(
-            fabric.pe(PeId::new(0, 0)).router().color_config(c).unwrap().current_position(),
+            fabric
+                .pe(PeId::new(0, 0))
+                .router()
+                .color_config(c)
+                .unwrap()
+                .current_position(),
             1
         );
         assert_eq!(fabric.stats().control_advances, 2);
@@ -362,7 +421,10 @@ mod tests {
         let a = fabric.pe_mut(PeId::new(0, 0)).alloc("a", 4).unwrap();
         let d = crate::dsd::Dsd::full(a, 4);
         fabric.pe_mut(PeId::new(0, 0)).fill(d, 1.0).unwrap();
-        fabric.pe_mut(PeId::new(0, 0)).fmuls_scalar(d, d, 2.0).unwrap();
+        fabric
+            .pe_mut(PeId::new(0, 0))
+            .fmuls_scalar(d, d, 2.0)
+            .unwrap();
         let total = fabric.total_compute();
         assert_eq!(total.flops, 4);
         let max = fabric.max_per_pe_compute();

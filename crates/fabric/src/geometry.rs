@@ -39,7 +39,10 @@ impl FabricDims {
 
     /// The full CS-2 fabric usable by the SDK ("the grid size is 750 × 994", §V-A).
     pub fn cs2() -> Self {
-        Self { width: 750, height: 994 }
+        Self {
+            width: 750,
+            height: 994,
+        }
     }
 
     /// Number of PEs.
@@ -63,7 +66,10 @@ impl FabricDims {
     #[inline]
     pub fn unlinear(&self, idx: usize) -> PeId {
         debug_assert!(idx < self.num_pes());
-        PeId { x: idx % self.width, y: idx / self.width }
+        PeId {
+            x: idx % self.width,
+            y: idx / self.width,
+        }
     }
 
     /// The neighbouring PE reached through an outgoing router port, if any.
@@ -83,7 +89,10 @@ impl FabricDims {
         if nx < 0 || ny < 0 || nx >= self.width as isize || ny >= self.height as isize {
             None
         } else {
-            Some(PeId { x: nx as usize, y: ny as usize })
+            Some(PeId {
+                x: nx as usize,
+                y: ny as usize,
+            })
         }
     }
 

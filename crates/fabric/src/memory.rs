@@ -50,8 +50,18 @@ impl PeMemory {
     /// Memory with an explicit capacity and code reservation (tests use tiny
     /// capacities to exercise the out-of-memory path cheaply).
     pub fn with_capacity(pe: PeId, capacity: usize, reserved: usize) -> Self {
-        assert!(reserved < capacity, "code reservation must leave room for data");
-        Self { pe, capacity, reserved, used: reserved, peak: reserved, buffers: Vec::new() }
+        assert!(
+            reserved < capacity,
+            "code reservation must leave room for data"
+        );
+        Self {
+            pe,
+            capacity,
+            reserved,
+            used: reserved,
+            peak: reserved,
+            buffers: Vec::new(),
+        }
     }
 
     /// Total capacity in bytes.
@@ -92,7 +102,11 @@ impl PeMemory {
         }
         self.used += bytes;
         self.peak = self.peak.max(self.used);
-        self.buffers.push(Buffer { name: name.to_string(), data: vec![0.0; len], freed: false });
+        self.buffers.push(Buffer {
+            name: name.to_string(),
+            data: vec![0.0; len],
+            freed: false,
+        });
         Ok(BufferId(self.buffers.len() - 1))
     }
 
@@ -133,7 +147,12 @@ impl PeMemory {
     }
 
     /// Copy `values` into a buffer starting at `offset`.
-    pub fn write(&mut self, id: BufferId, offset: usize, values: &[f32]) -> Result<(), FabricError> {
+    pub fn write(
+        &mut self,
+        id: BufferId,
+        offset: usize,
+        values: &[f32],
+    ) -> Result<(), FabricError> {
         let data = self.slice_mut(id)?;
         if offset + values.len() > data.len() {
             return Err(FabricError::DsdOutOfRange {
@@ -153,7 +172,10 @@ impl PeMemory {
         let data = self.slice(id)?;
         if offset + len > data.len() {
             return Err(FabricError::DsdOutOfRange {
-                detail: format!("read of {len} values at offset {offset} from buffer of {}", data.len()),
+                detail: format!(
+                    "read of {len} values at offset {offset} from buffer of {}",
+                    data.len()
+                ),
             });
         }
         Ok(data[offset..offset + len].to_vec())
@@ -175,9 +197,12 @@ impl PeMemory {
     }
 
     fn buffer(&self, id: BufferId) -> Result<&Buffer, FabricError> {
-        let buf = self.buffers.get(id.0).ok_or_else(|| FabricError::InvalidBuffer {
-            detail: format!("unknown buffer id {}", id.0),
-        })?;
+        let buf = self
+            .buffers
+            .get(id.0)
+            .ok_or_else(|| FabricError::InvalidBuffer {
+                detail: format!("unknown buffer id {}", id.0),
+            })?;
         if buf.freed {
             return Err(FabricError::InvalidBuffer {
                 detail: format!("buffer '{}' used after free", buf.name),
@@ -187,9 +212,12 @@ impl PeMemory {
     }
 
     fn buffer_mut(&mut self, id: BufferId) -> Result<&mut Buffer, FabricError> {
-        let buf = self.buffers.get_mut(id.0).ok_or_else(|| FabricError::InvalidBuffer {
-            detail: format!("unknown buffer id {}", id.0),
-        })?;
+        let buf = self
+            .buffers
+            .get_mut(id.0)
+            .ok_or_else(|| FabricError::InvalidBuffer {
+                detail: format!("unknown buffer id {}", id.0),
+            })?;
         Ok(buf)
     }
 }
@@ -214,7 +242,10 @@ mod tests {
         let mut m = mem();
         let b = m.alloc("pressure", 8).unwrap();
         m.write(b, 2, &[1.0, 2.0, 3.0]).unwrap();
-        assert_eq!(m.read(b, 0, 8).unwrap(), vec![0.0, 0.0, 1.0, 2.0, 3.0, 0.0, 0.0, 0.0]);
+        assert_eq!(
+            m.read(b, 0, 8).unwrap(),
+            vec![0.0, 0.0, 1.0, 2.0, 3.0, 0.0, 0.0, 0.0]
+        );
         assert_eq!(m.len(b).unwrap(), 8);
         assert_eq!(m.name(b).unwrap(), "pressure");
     }

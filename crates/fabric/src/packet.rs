@@ -22,7 +22,10 @@ pub struct Wavelet {
 impl Wavelet {
     /// A data wavelet carrying an `f32`.
     pub fn from_f32(color: Color, value: f32) -> Self {
-        Self { color, bits: value.to_bits() }
+        Self {
+            color,
+            bits: value.to_bits(),
+        }
     }
 
     /// Interpret the payload as an `f32`.
@@ -33,7 +36,10 @@ impl Wavelet {
     /// A control wavelet instructing routers to advance the switch position of the
     /// given colour (the `mov32(fabric_control, …)` of the paper's Listing 1).
     pub fn control_advance(color: Color) -> Self {
-        Self { color, bits: CONTROL_ADVANCE_MAGIC }
+        Self {
+            color,
+            bits: CONTROL_ADVANCE_MAGIC,
+        }
     }
 
     /// Whether this wavelet is a switch-advance control command.
@@ -59,7 +65,10 @@ pub struct Message {
 impl Message {
     /// Build a message from a payload slice.
     pub fn new(color: Color, payload: &[f32]) -> Self {
-        Self { color, payload: payload.to_vec() }
+        Self {
+            color,
+            payload: payload.to_vec(),
+        }
     }
 
     /// Number of wavelets this message occupies on a link.
@@ -74,7 +83,9 @@ impl Message {
 
     /// Split into individual wavelets (used by fine-grained router tests).
     pub fn wavelets(&self) -> impl Iterator<Item = Wavelet> + '_ {
-        self.payload.iter().map(move |&v| Wavelet::from_f32(self.color, v))
+        self.payload
+            .iter()
+            .map(move |&v| Wavelet::from_f32(self.color, v))
     }
 }
 

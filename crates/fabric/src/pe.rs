@@ -175,8 +175,11 @@ impl ProcessingElement {
         let va = a.gather(&self.memory)?;
         let vb = b.gather(&self.memory)?;
         let vacc = acc.gather(&self.memory)?;
-        let out: Vec<f32> =
-            vacc.iter().zip(va.iter().zip(vb.iter())).map(|(&c, (&x, &y))| x.mul_add(y, c)).collect();
+        let out: Vec<f32> = vacc
+            .iter()
+            .zip(va.iter().zip(vb.iter()))
+            .map(|(&c, (&x, &y))| x.mul_add(y, c))
+            .collect();
         dst.scatter(&mut self.memory, &out)?;
         let n = dst.len as u64;
         self.counters.flops += 2 * n;
@@ -187,7 +190,11 @@ impl ProcessingElement {
 
     /// `dst[i] = src[i] * scalar` (FMUL with a scalar operand held in a register).
     pub fn fmuls_scalar(&mut self, dst: Dsd, src: Dsd, scalar: f32) -> Result<(), FabricError> {
-        let values: Vec<f32> = src.gather(&self.memory)?.iter().map(|v| v * scalar).collect();
+        let values: Vec<f32> = src
+            .gather(&self.memory)?
+            .iter()
+            .map(|v| v * scalar)
+            .collect();
         self.check_same_len(dst, src)?;
         dst.scatter(&mut self.memory, &values)?;
         let n = dst.len as u64;
@@ -202,7 +209,11 @@ impl ProcessingElement {
         self.check_same_len(dst, src)?;
         let vs = src.gather(&self.memory)?;
         let vd = dst.gather(&self.memory)?;
-        let out: Vec<f32> = vd.iter().zip(vs.iter()).map(|(&d, &s)| s.mul_add(scalar, d)).collect();
+        let out: Vec<f32> = vd
+            .iter()
+            .zip(vs.iter())
+            .map(|(&d, &s)| s.mul_add(scalar, d))
+            .collect();
         dst.scatter(&mut self.memory, &out)?;
         let n = dst.len as u64;
         self.counters.flops += 2 * n;
@@ -217,7 +228,11 @@ impl ProcessingElement {
         self.check_same_len(dst, src)?;
         let vs = src.gather(&self.memory)?;
         let vd = dst.gather(&self.memory)?;
-        let out: Vec<f32> = vd.iter().zip(vs.iter()).map(|(&d, &s)| d.mul_add(scalar, s)).collect();
+        let out: Vec<f32> = vd
+            .iter()
+            .zip(vs.iter())
+            .map(|(&d, &s)| d.mul_add(scalar, s))
+            .collect();
         dst.scatter(&mut self.memory, &out)?;
         let n = dst.len as u64;
         self.counters.flops += 2 * n;
@@ -299,13 +314,27 @@ mod tests {
     fn elementwise_ops_compute_and_count() {
         let (mut pe, a, b, c) = pe_with_buffers(4);
         pe.memory_mut().write(a, 0, &[1.0, 2.0, 3.0, 4.0]).unwrap();
-        pe.memory_mut().write(b, 0, &[10.0, 20.0, 30.0, 40.0]).unwrap();
-        pe.fadds(Dsd::full(c, 4), Dsd::full(a, 4), Dsd::full(b, 4)).unwrap();
-        assert_eq!(pe.memory().read(c, 0, 4).unwrap(), vec![11.0, 22.0, 33.0, 44.0]);
-        pe.fsubs(Dsd::full(c, 4), Dsd::full(b, 4), Dsd::full(a, 4)).unwrap();
-        assert_eq!(pe.memory().read(c, 0, 4).unwrap(), vec![9.0, 18.0, 27.0, 36.0]);
-        pe.fmuls(Dsd::full(c, 4), Dsd::full(a, 4), Dsd::full(b, 4)).unwrap();
-        assert_eq!(pe.memory().read(c, 0, 4).unwrap(), vec![10.0, 40.0, 90.0, 160.0]);
+        pe.memory_mut()
+            .write(b, 0, &[10.0, 20.0, 30.0, 40.0])
+            .unwrap();
+        pe.fadds(Dsd::full(c, 4), Dsd::full(a, 4), Dsd::full(b, 4))
+            .unwrap();
+        assert_eq!(
+            pe.memory().read(c, 0, 4).unwrap(),
+            vec![11.0, 22.0, 33.0, 44.0]
+        );
+        pe.fsubs(Dsd::full(c, 4), Dsd::full(b, 4), Dsd::full(a, 4))
+            .unwrap();
+        assert_eq!(
+            pe.memory().read(c, 0, 4).unwrap(),
+            vec![9.0, 18.0, 27.0, 36.0]
+        );
+        pe.fmuls(Dsd::full(c, 4), Dsd::full(a, 4), Dsd::full(b, 4))
+            .unwrap();
+        assert_eq!(
+            pe.memory().read(c, 0, 4).unwrap(),
+            vec![10.0, 40.0, 90.0, 160.0]
+        );
         // 3 binary ops × 4 elements × 1 FLOP each.
         assert_eq!(pe.counters().flops, 12);
         // 3 ops × 4 elements × (2 loads + 1 store) × 4 bytes.
@@ -319,7 +348,13 @@ mod tests {
         pe.memory_mut().write(a, 0, &[1.0, 2.0, 3.0]).unwrap();
         pe.memory_mut().write(b, 0, &[4.0, 5.0, 6.0]).unwrap();
         pe.fill(Dsd::full(c, 3), 1.0).unwrap();
-        pe.fmacs(Dsd::full(c, 3), Dsd::full(c, 3), Dsd::full(a, 3), Dsd::full(b, 3)).unwrap();
+        pe.fmacs(
+            Dsd::full(c, 3),
+            Dsd::full(c, 3),
+            Dsd::full(a, 3),
+            Dsd::full(b, 3),
+        )
+        .unwrap();
         assert_eq!(pe.memory().read(c, 0, 3).unwrap(), vec![5.0, 11.0, 19.0]);
         pe.fnegs(Dsd::full(c, 3), Dsd::full(c, 3)).unwrap();
         assert_eq!(pe.memory().read(c, 0, 3).unwrap(), vec![-5.0, -11.0, -19.0]);
@@ -338,7 +373,8 @@ mod tests {
         assert_eq!(pe.memory().read(a, 0, 4).unwrap(), vec![7.0; 4]);
         pe.xpby(Dsd::full(a, 4), Dsd::full(b, 4), 0.5).unwrap();
         assert_eq!(pe.memory().read(a, 0, 4).unwrap(), vec![5.5; 4]);
-        pe.fmuls_scalar(Dsd::full(a, 4), Dsd::full(a, 4), 2.0).unwrap();
+        pe.fmuls_scalar(Dsd::full(a, 4), Dsd::full(a, 4), 2.0)
+            .unwrap();
         assert_eq!(pe.memory().read(a, 0, 4).unwrap(), vec![11.0; 4]);
         let dot = pe.dot_local(Dsd::full(a, 4), Dsd::full(b, 4)).unwrap();
         assert_eq!(dot, 88.0);
@@ -360,15 +396,25 @@ mod tests {
     #[test]
     fn length_mismatches_rejected() {
         let (mut pe, a, b, c) = pe_with_buffers(4);
-        assert!(pe.fadds(Dsd::full(c, 4), Dsd::new(a, 0, 2), Dsd::full(b, 4)).is_err());
+        assert!(pe
+            .fadds(Dsd::full(c, 4), Dsd::new(a, 0, 2), Dsd::full(b, 4))
+            .is_err());
         assert!(pe.dot_local(Dsd::new(a, 0, 2), Dsd::full(b, 4)).is_err());
-        assert!(pe.fmacs(Dsd::full(c, 4), Dsd::full(c, 4), Dsd::new(a, 0, 3), Dsd::full(b, 4)).is_err());
+        assert!(pe
+            .fmacs(
+                Dsd::full(c, 4),
+                Dsd::full(c, 4),
+                Dsd::new(a, 0, 3),
+                Dsd::full(b, 4)
+            )
+            .is_err());
     }
 
     #[test]
     fn reset_counters_only_clears_counts() {
         let (mut pe, a, b, c) = pe_with_buffers(2);
-        pe.fadds(Dsd::full(c, 2), Dsd::full(a, 2), Dsd::full(b, 2)).unwrap();
+        pe.fadds(Dsd::full(c, 2), Dsd::full(a, 2), Dsd::full(b, 2))
+            .unwrap();
         assert!(pe.counters().flops > 0);
         pe.reset_counters();
         assert_eq!(pe.counters().flops, 0);

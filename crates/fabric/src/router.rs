@@ -23,7 +23,10 @@ pub struct RouterRule {
 impl RouterRule {
     /// Build a rule.
     pub fn new(rx: &[Port], tx: &[Port]) -> Self {
-        Self { rx: rx.to_vec(), tx: tx.to_vec() }
+        Self {
+            rx: rx.to_vec(),
+            tx: tx.to_vec(),
+        }
     }
 
     /// Whether a wavelet entering through `port` is accepted by this rule.
@@ -44,20 +47,34 @@ pub struct SwitchConfig {
 impl SwitchConfig {
     /// A configuration with a single, fixed position (no switching).
     pub fn fixed(rule: RouterRule) -> Self {
-        Self { positions: vec![rule], ring_mode: false, current: 0 }
+        Self {
+            positions: vec![rule],
+            ring_mode: false,
+            current: 0,
+        }
     }
 
     /// A configuration with multiple switch positions.
     pub fn switched(positions: Vec<RouterRule>, ring_mode: bool) -> Self {
-        assert!(!positions.is_empty(), "at least one switch position is required");
-        Self { positions, ring_mode, current: 0 }
+        assert!(
+            !positions.is_empty(),
+            "at least one switch position is required"
+        );
+        Self {
+            positions,
+            ring_mode,
+            current: 0,
+        }
     }
 
     /// The paper's Listing-1 broadcast pattern towards `direction`:
     /// position 0 = sender (`rx = RAMP, tx = direction`),
     /// position 1 = receiver (`rx = opposite(direction), tx = RAMP`), ring mode on.
     pub fn listing1_broadcast(direction: Port) -> Self {
-        assert!(direction != Port::Ramp, "broadcast direction must be a cardinal port");
+        assert!(
+            direction != Port::Ramp,
+            "broadcast direction must be a cardinal port"
+        );
         Self::switched(
             vec![
                 RouterRule::new(&[Port::Ramp], &[direction]),
@@ -112,7 +129,10 @@ pub struct Router {
 impl Router {
     /// A router with no colours configured.
     pub fn new(pe: PeId) -> Self {
-        Self { pe, configs: vec![None; NUM_ROUTABLE_COLORS as usize] }
+        Self {
+            pe,
+            configs: vec![None; NUM_ROUTABLE_COLORS as usize],
+        }
     }
 
     /// The PE this router belongs to.
@@ -152,7 +172,11 @@ impl Router {
             .ok_or(FabricError::NoRouteConfigured { pe: self.pe, color })?;
         let rule = cfg.current_rule();
         if !rule.accepts(incoming) {
-            return Err(FabricError::RouteRejected { pe: self.pe, color, incoming });
+            return Err(FabricError::RouteRejected {
+                pe: self.pe,
+                color,
+                incoming,
+            });
         }
         Ok(rule.tx.clone())
     }
@@ -166,9 +190,15 @@ mod tests {
     fn fixed_config_routes_and_rejects() {
         let mut r = Router::new(PeId::new(0, 0));
         let c = Color::new(0);
-        r.set_color_config(c, SwitchConfig::fixed(RouterRule::new(&[Port::Ramp], &[Port::East])));
+        r.set_color_config(
+            c,
+            SwitchConfig::fixed(RouterRule::new(&[Port::Ramp], &[Port::East])),
+        );
         assert_eq!(r.route(c, Port::Ramp).unwrap(), vec![Port::East]);
-        assert!(matches!(r.route(c, Port::West), Err(FabricError::RouteRejected { .. })));
+        assert!(matches!(
+            r.route(c, Port::West),
+            Err(FabricError::RouteRejected { .. })
+        ));
         assert!(matches!(
             r.route(Color::new(1), Port::Ramp),
             Err(FabricError::NoRouteConfigured { .. })

@@ -132,8 +132,16 @@ mod tests {
 
     #[test]
     fn merge_and_reset() {
-        let a = OpCounters { flops: 10, mem_load_bytes: 4, ..Default::default() };
-        let b = OpCounters { flops: 5, mem_store_bytes: 8, ..Default::default() };
+        let a = OpCounters {
+            flops: 10,
+            mem_load_bytes: 4,
+            ..Default::default()
+        };
+        let b = OpCounters {
+            flops: 5,
+            mem_store_bytes: 8,
+            ..Default::default()
+        };
         let m = a.merged(&b);
         assert_eq!(m.flops, 15);
         assert_eq!(m.mem_bytes(), 12);

@@ -154,7 +154,13 @@ impl DeviceTimeModel {
             OverlapMode::Overlapped => local.max(comm),
             OverlapMode::Serialized => local + comm,
         } + self.spec.launch_overhead;
-        TimeBreakdown { compute_time, memory_time, fabric_time, latency_time, total }
+        TimeBreakdown {
+            compute_time,
+            memory_time,
+            fabric_time,
+            latency_time,
+            total,
+        }
     }
 
     /// Achieved FLOP/s for a given total FLOP count (over all PEs) and a modelled
@@ -228,7 +234,10 @@ mod tests {
     #[test]
     fn latency_grows_with_hops() {
         let model = DeviceTimeModel::new(WseSpec::cs2());
-        let c = OpCounters { flops: 10, ..Default::default() };
+        let c = OpCounters {
+            flops: 10,
+            ..Default::default()
+        };
         let near = model.estimate(&c, 10, OverlapMode::Serialized);
         let far = model.estimate(&c, 1000, OverlapMode::Serialized);
         assert!(far.total > near.total);

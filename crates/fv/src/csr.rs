@@ -10,7 +10,7 @@
 //! matrix-free approach removes.
 
 use crate::operator::LinearOperator;
-use mffv_mesh::{CellField, DirichletSet, Dims, Direction, Scalar, Transmissibilities};
+use mffv_mesh::{CellField, Dims, Direction, DirichletSet, Scalar, Transmissibilities};
 
 /// A compressed-sparse-row matrix.
 #[derive(Clone, Debug, PartialEq)]
@@ -25,14 +25,13 @@ pub struct CsrMatrix<T: Scalar> {
 impl<T: Scalar> CsrMatrix<T> {
     /// Build a CSR matrix from a list of `(row, col, value)` triplets.  Duplicate
     /// entries are summed; rows and columns beyond the given dimensions panic.
-    pub fn from_triplets(
-        num_rows: usize,
-        num_cols: usize,
-        triplets: &[(usize, usize, T)],
-    ) -> Self {
+    pub fn from_triplets(num_rows: usize, num_cols: usize, triplets: &[(usize, usize, T)]) -> Self {
         let mut per_row: Vec<Vec<(usize, T)>> = vec![Vec::new(); num_rows];
         for &(r, c, v) in triplets {
-            assert!(r < num_rows && c < num_cols, "triplet ({r}, {c}) out of bounds");
+            assert!(
+                r < num_rows && c < num_cols,
+                "triplet ({r}, {c}) out of bounds"
+            );
             per_row[r].push((c, v));
         }
         let mut row_offsets = Vec::with_capacity(num_rows + 1);
@@ -57,7 +56,13 @@ impl<T: Scalar> CsrMatrix<T> {
             }
             row_offsets.push(col_indices.len());
         }
-        Self { num_rows, num_cols, row_offsets, col_indices, values }
+        Self {
+            num_rows,
+            num_cols,
+            row_offsets,
+            col_indices,
+            values,
+        }
     }
 
     /// Assemble the SPD Newton operator `A` (Dirichlet-eliminated form, `DESIGN.md`
@@ -146,21 +151,23 @@ impl<T: Scalar> CsrMatrix<T> {
         let start = self.row_offsets[row];
         let end = self.row_offsets[row + 1];
         let cols = &self.col_indices[start..end];
-        cols.binary_search(&col).ok().map(|pos| self.values[start + pos])
+        cols.binary_search(&col)
+            .ok()
+            .map(|pos| self.values[start + pos])
     }
 
     /// Standard sparse matrix-vector product `y = A x` on raw slices.
     pub fn spmv(&self, x: &[T], y: &mut [T]) {
         assert_eq!(x.len(), self.num_cols, "input length mismatch");
         assert_eq!(y.len(), self.num_rows, "output length mismatch");
-        for row in 0..self.num_rows {
+        for (row, out) in y.iter_mut().enumerate() {
             let start = self.row_offsets[row];
             let end = self.row_offsets[row + 1];
             let mut acc = T::ZERO;
             for idx in start..end {
                 acc = self.values[idx].mul_add(x[self.col_indices[idx]], acc);
             }
-            y[row] = acc;
+            *out = acc;
         }
     }
 
@@ -193,7 +200,10 @@ pub struct AssembledOperator<T: Scalar> {
 impl<T: Scalar> AssembledOperator<T> {
     /// Assemble the SPD operator for a coefficient table and Dirichlet set.
     pub fn new(coeffs: &Transmissibilities<T>, dirichlet: &DirichletSet) -> Self {
-        Self { dims: coeffs.dims(), matrix: CsrMatrix::assemble_spd(coeffs, dirichlet) }
+        Self {
+            dims: coeffs.dims(),
+            matrix: CsrMatrix::assemble_spd(coeffs, dirichlet),
+        }
     }
 
     /// Assemble from a workload at precision `T`.
@@ -253,7 +263,9 @@ mod tests {
         let mf = MatrixFreeOperator::new(coeffs.clone(), w.dirichlet());
         let asm = AssembledOperator::new(&coeffs, w.dirichlet());
         let dims = w.dims();
-        let x = CellField::from_fn(dims, |c| (c.x as f64 * 1.3) - (c.y as f64 * 0.7) + c.z as f64);
+        let x = CellField::from_fn(dims, |c| {
+            (c.x as f64 * 1.3) - (c.y as f64 * 0.7) + c.z as f64
+        });
         let y_mf = mf.apply_new(&x);
         let y_asm = asm.apply_new(&x);
         assert!(y_mf.max_abs_diff(&y_asm) < 1e-12);
@@ -271,8 +283,8 @@ mod tests {
         mf.apply_paper_jx(&x, &mut y_mf);
         let mut y_csr = vec![0.0; dims.num_cells()];
         jac.spmv(x.as_slice(), &mut y_csr);
-        for i in 0..dims.num_cells() {
-            assert!((y_mf.get(i) - y_csr[i]).abs() < 1e-12);
+        for (i, &v) in y_csr.iter().enumerate() {
+            assert!((y_mf.get(i) - v).abs() < 1e-12);
         }
     }
 

@@ -52,7 +52,10 @@ mod tests {
         // f_KL = -f_LK for a symmetric coefficient — mass leaving K enters L.
         let coeff = 3.5f32;
         let (pk, pl) = (2.0f32, 7.0f32);
-        assert_eq!(interfacial_flux(coeff, pk, pl), -interfacial_flux(coeff, pl, pk));
+        assert_eq!(
+            interfacial_flux(coeff, pk, pl),
+            -interfacial_flux(coeff, pl, pk)
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::flux::{ax_contribution_spd, jx_contribution_paper};
 use crate::operator::LinearOperator;
-use mffv_mesh::{CellField, DirichletSet, Dims, Direction, Scalar, Transmissibilities};
+use mffv_mesh::{CellField, Dims, Direction, DirichletSet, Scalar, Transmissibilities};
 
 /// The matrix-free FV operator: owns (references to nothing — it clones the
 /// coefficient table into the requested precision) everything needed to apply the
@@ -27,7 +27,11 @@ impl<T: Scalar> MatrixFreeOperator<T> {
         for (idx, flag) in mask.iter_mut().enumerate() {
             *flag = dirichlet.contains_linear(idx);
         }
-        Self { dims, coeffs, dirichlet_mask: mask }
+        Self {
+            dims,
+            coeffs,
+            dirichlet_mask: mask,
+        }
     }
 
     /// Build from a workload, converting the coefficient table to precision `T`.
@@ -210,7 +214,10 @@ mod tests {
         let coeffs = Transmissibilities::<f64>::uniform(dims, 1.0);
         let dirichlet = DirichletSet::new(
             dims,
-            vec![DirichletCell { cell: CellIndex::new(0, 0, 0), value: 5.0 }],
+            vec![DirichletCell {
+                cell: CellIndex::new(0, 0, 0),
+                value: 5.0,
+            }],
         );
         let op = MatrixFreeOperator::new(coeffs, &dirichlet);
         // x = [10, 1, 2]; middle cell: coeff (x1 - x0_dropped) + coeff (x1 - x2)

@@ -69,7 +69,9 @@ pub fn symmetry_defect<T: Scalar, Op: LinearOperator<T>>(op: &Op, num_probes: us
         // dependency and is reproducible.
         let mut state = 0x9E37_79B9u64.wrapping_add(probe as u64);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let x = CellField::from_vec(dims, (0..n).map(|_| T::from_f64(next())).collect());
@@ -88,17 +90,16 @@ pub fn symmetry_defect<T: Scalar, Op: LinearOperator<T>>(op: &Op, num_probes: us
 /// quotient `⟨Ax, x⟩ / ⟨x, x⟩` on `num_probes` deterministic probe vectors; returns
 /// the smallest quotient found (positive for an SPD operator unless a probe happens
 /// to hit the null space).
-pub fn min_rayleigh_quotient<T: Scalar, Op: LinearOperator<T>>(
-    op: &Op,
-    num_probes: usize,
-) -> f64 {
+pub fn min_rayleigh_quotient<T: Scalar, Op: LinearOperator<T>>(op: &Op, num_probes: usize) -> f64 {
     let dims = op.dims();
     let n = dims.num_cells();
     let mut min_q = f64::INFINITY;
     for probe in 0..num_probes {
         let mut state = 0xDEAD_BEEFu64.wrapping_add((probe as u64) << 7);
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let x = CellField::from_vec(dims, (0..n).map(|_| T::from_f64(next())).collect());
@@ -129,7 +130,10 @@ mod tests {
         let op = ScaledIdentity::new(dims, 3.0f64);
         assert!(symmetry_defect(&op, 4) < 1e-12);
         let q = min_rayleigh_quotient(&op, 4);
-        assert!((q - 3.0).abs() < 1e-9, "Rayleigh quotient of 3·I must be 3, got {q}");
+        assert!(
+            (q - 3.0).abs() < 1e-9,
+            "Rayleigh quotient of 3·I must be 3, got {q}"
+        );
     }
 
     #[test]

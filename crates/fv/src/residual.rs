@@ -7,7 +7,7 @@
 //! right-hand side of the SPD system actually handed to CG (see `DESIGN.md` §4).
 
 use crate::flux::interfacial_flux;
-use mffv_mesh::{CellField, DirichletSet, Direction, Scalar, Transmissibilities};
+use mffv_mesh::{CellField, Direction, DirichletSet, Scalar, Transmissibilities};
 
 /// Evaluate the residual `r(p)` of Eq. (3).
 pub fn residual<T: Scalar>(
@@ -73,7 +73,7 @@ pub fn interior_mass_imbalance<T: Scalar>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mffv_mesh::{CellIndex, DirichletCell, Dims};
+    use mffv_mesh::{CellIndex, Dims, DirichletCell};
 
     #[test]
     fn residual_of_constant_pressure_without_dirichlet_is_zero() {
@@ -90,7 +90,10 @@ mod tests {
         let coeffs = Transmissibilities::<f64>::uniform(dims, 1.0);
         let dirichlet = DirichletSet::new(
             dims,
-            vec![DirichletCell { cell: CellIndex::new(1, 1, 0), value: 7.0 }],
+            vec![DirichletCell {
+                cell: CellIndex::new(1, 1, 0),
+                value: 7.0,
+            }],
         );
         let p = CellField::constant(dims, 3.0);
         let r = residual(&p, &coeffs, &dirichlet);
@@ -110,9 +113,16 @@ mod tests {
         for c in dims.iter_cells() {
             let k = dims.linear(c);
             if !dirichlet.contains_linear(k) {
-                assert!(r.get(k).abs() < 1e-14, "interior residual at {c:?}: {}", r.get(k));
+                assert!(
+                    r.get(k).abs() < 1e-14,
+                    "interior residual at {c:?}: {}",
+                    r.get(k)
+                );
             } else {
-                assert!(r.get(k).abs() < 1e-14, "Dirichlet residual should also vanish");
+                assert!(
+                    r.get(k).abs() < 1e-14,
+                    "Dirichlet residual should also vanish"
+                );
             }
         }
     }
@@ -137,7 +147,10 @@ mod tests {
         let dims = Dims::new(2, 2, 1);
         let dirichlet = DirichletSet::new(
             dims,
-            vec![DirichletCell { cell: CellIndex::new(0, 0, 0), value: 0.0 }],
+            vec![DirichletCell {
+                cell: CellIndex::new(0, 0, 0),
+                value: 0.0,
+            }],
         );
         let r = CellField::from_vec(dims, vec![100.0, 1.0, 2.0, 3.0]);
         assert_eq!(interior_mass_imbalance(&r, &dirichlet), 6.0);

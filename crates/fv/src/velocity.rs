@@ -9,7 +9,7 @@
 //! used by the examples and by conservation tests.
 
 use crate::flux::interfacial_flux;
-use mffv_mesh::{CellField, DirichletSet, Direction, Scalar, Transmissibilities};
+use mffv_mesh::{CellField, Direction, DirichletSet, Scalar, Transmissibilities};
 
 /// All six outward interfacial fluxes of every cell: `fluxes[cell][dir] = f_K,dir`
 /// with the Eq. (4) sign convention (positive = flow *into* cell K).
@@ -214,7 +214,10 @@ mod tests {
         let (w, pressure) = solved_quickstart();
         let coeffs = w.transmissibility().clone();
         let fluxes = FluxField::compute(&pressure, &coeffs);
-        assert!(fluxes.max_antisymmetry() < 1e-12, "flux antisymmetry violated");
+        assert!(
+            fluxes.max_antisymmetry() < 1e-12,
+            "flux antisymmetry violated"
+        );
         assert!(
             fluxes.max_mass_defect(w.dirichlet()) < 1e-8,
             "mass defect {} too large",

@@ -32,20 +32,26 @@ pub struct GpuSolveReport {
     pub host_wall_seconds: f64,
 }
 
-/// The GPU-style reference solver.
-pub struct GpuReferenceSolver {
-    workload: Workload,
+/// The GPU-style reference solver.  Borrows its workload: a solver is a
+/// one-shot driver and the workload's coefficient fields are large.
+pub struct GpuReferenceSolver<'w> {
+    workload: &'w Workload,
     spec: GpuSpec,
     tolerance: f64,
     max_iterations: usize,
 }
 
-impl GpuReferenceSolver {
+impl<'w> GpuReferenceSolver<'w> {
     /// A reference solver on a given modelled GPU.
-    pub fn new(workload: Workload, spec: GpuSpec) -> Self {
+    pub fn new(workload: &'w Workload, spec: GpuSpec) -> Self {
         let tolerance = workload.tolerance();
         let max_iterations = workload.max_iterations();
-        Self { workload, spec, tolerance, max_iterations }
+        Self {
+            workload,
+            spec,
+            tolerance,
+            max_iterations,
+        }
     }
 
     /// Override the tolerance on `rᵀr`.
@@ -63,7 +69,7 @@ impl GpuReferenceSolver {
     /// Run the reference solve.
     pub fn solve(&self) -> GpuSolveReport {
         let start = std::time::Instant::now();
-        let operator = GpuMatrixFreeOperator::from_workload(&self.workload);
+        let operator = GpuMatrixFreeOperator::from_workload(self.workload);
         let mut transfers = HostDeviceTransfers::default();
         // Initial upload: coefficients, mask, pressure, rhs (§IV copies all data
         // from host to device once).
@@ -71,7 +77,7 @@ impl GpuReferenceSolver {
         transfers.record_host_to_device(2 * self.workload.dims().num_cells() * 4);
 
         let solver = ConjugateGradient::with_tolerance(self.tolerance, self.max_iterations);
-        let solution = solve_pressure_with::<f32, _>(&self.workload, &operator, &solver);
+        let solution = solve_pressure_with::<f32, _>(self.workload, &operator, &solver);
         // Final download of the pressure field.
         transfers.record_device_to_host(self.workload.dims().num_cells() * 4);
 
@@ -90,20 +96,26 @@ impl GpuReferenceSolver {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::backend::GpuRefBackend;
     use mffv_mesh::workload::WorkloadSpec;
     use mffv_mesh::Dims;
+    use mffv_solver::backend::{SolveBackend, SolveConfig};
     use mffv_solver::newton::solve_pressure;
+
+    fn config(tolerance: f64) -> SolveConfig {
+        SolveConfig {
+            tolerance: Some(tolerance),
+            ..SolveConfig::default()
+        }
+    }
 
     #[test]
     fn reference_solve_matches_host_oracle() {
         let w = WorkloadSpec::quickstart().build();
-        let report = GpuReferenceSolver::new(w.clone(), GpuSpec::a100())
-            .with_tolerance(1e-10)
-            .solve();
-        assert!(report.history.converged);
+        let report = GpuRefBackend::a100().solve(&w, &config(1e-10)).unwrap();
+        assert!(report.converged());
         let oracle = solve_pressure::<f64>(&w);
-        let diff = oracle.pressure.max_abs_diff(&report.pressure.convert());
+        let diff = oracle.pressure.max_abs_diff(&report.pressure);
         assert!(diff < 1e-3, "gpu reference vs oracle gap {diff}");
         assert!(report.final_residual_max < 1e-3);
     }
@@ -111,18 +123,21 @@ mod tests {
     #[test]
     fn transfers_and_model_are_populated() {
         let w = WorkloadSpec::fig5(Dims::new(8, 6, 5)).build();
-        let report = GpuReferenceSolver::new(w, GpuSpec::h100()).with_tolerance(1e-12).solve();
-        assert!(report.transfers.host_to_device_bytes > 0);
-        assert!(report.transfers.device_to_host_bytes > 0);
-        assert!(report.modelled_kernel_time > 0.0);
+        let report = GpuRefBackend::h100().solve(&w, &config(1e-12)).unwrap();
+        let device = report.device.as_ref().unwrap();
+        assert!(device.counter("host_to_device_bytes").unwrap() > 0.0);
+        assert!(device.counter("device_to_host_bytes").unwrap() > 0.0);
+        assert!(device.modelled_time_seconds > 0.0);
         assert!(report.host_wall_seconds > 0.0);
     }
 
     #[test]
     fn a100_is_modelled_slower_than_h100() {
         let w = WorkloadSpec::quickstart().build();
-        let a = GpuReferenceSolver::new(w.clone(), GpuSpec::a100()).with_tolerance(1e-8).solve();
-        let h = GpuReferenceSolver::new(w, GpuSpec::h100()).with_tolerance(1e-8).solve();
-        assert!(a.modelled_kernel_time > h.modelled_kernel_time);
+        let a = GpuRefBackend::a100()
+            .solve(&w.clone(), &config(1e-8))
+            .unwrap();
+        let h = GpuRefBackend::h100().solve(&w, &config(1e-8)).unwrap();
+        assert!(a.modelled_time().unwrap() > h.modelled_time().unwrap());
     }
 }

@@ -138,11 +138,17 @@ mod tests {
         // the A100.  The analytic model must land in the same order of magnitude.
         let model = GpuTimeModel::new(GpuSpec::a100());
         let t = model.cg_time(Dims::new(750, 994, 922), 225);
-        assert!(t > 5.0 && t < 60.0, "modelled A100 time {t} s out of expected range");
+        assert!(
+            t > 5.0 && t < 60.0,
+            "modelled A100 time {t} s out of expected range"
+        );
         // And the H100 is faster but in the same order (paper: ≈11.4 s).
         let th = GpuTimeModel::new(GpuSpec::h100()).cg_time(Dims::new(750, 994, 922), 225);
         assert!(th < t);
-        assert!(th > 2.0 && th < 30.0, "modelled H100 time {th} s out of expected range");
+        assert!(
+            th > 2.0 && th < 30.0,
+            "modelled H100 time {th} s out of expected range"
+        );
     }
 
     #[test]

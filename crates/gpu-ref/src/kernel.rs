@@ -12,7 +12,7 @@
 
 use crate::launch::LaunchConfig;
 use mffv_fv::LinearOperator;
-use mffv_mesh::{CellField, CellIndex, DirichletSet, Dims, Direction, Transmissibilities};
+use mffv_mesh::{CellField, CellIndex, Dims, Direction, DirichletSet, Transmissibilities};
 
 /// Flattened, device-resident problem data (the arrays a CUDA implementation would
 /// copy to the GPU once at start-up).
@@ -32,13 +32,17 @@ impl DeviceArrays {
         let n = dims.num_cells();
         let mut flat = Vec::with_capacity(n);
         let mut mask = vec![0.0f32; n];
-        for idx in 0..n {
+        for (idx, m) in mask.iter_mut().enumerate() {
             flat.push(coeffs.all(idx));
             if dirichlet.contains_linear(idx) {
-                mask[idx] = 1.0;
+                *m = 1.0;
             }
         }
-        Self { dims, coeffs: flat, dirichlet: mask }
+        Self {
+            dims,
+            coeffs: flat,
+            dirichlet: mask,
+        }
     }
 
     /// Device-memory footprint in bytes (coefficients + mask), the quantity that
@@ -55,11 +59,7 @@ impl DeviceArrays {
 
 /// The per-thread device function: computes one entry of the SPD operator output.
 #[inline]
-pub fn device_thread(
-    arrays: &DeviceArrays,
-    x: &[f32],
-    cell: CellIndex,
-) -> f32 {
+pub fn device_thread(arrays: &DeviceArrays, x: &[f32], cell: CellIndex) -> f32 {
     let dims = arrays.dims;
     let k = dims.linear(cell);
     if arrays.dirichlet[k] != 0.0 {
@@ -71,7 +71,11 @@ pub fn device_thread(
         if let Some(nb) = dims.neighbor(cell, dir) {
             let l = dims.linear(nb);
             let coeff = arrays.coeffs[k][dir.index()];
-            let xl = if arrays.dirichlet[l] != 0.0 { 0.0 } else { x[l] };
+            let xl = if arrays.dirichlet[l] != 0.0 {
+                0.0
+            } else {
+                x[l]
+            };
             acc = coeff.mul_add(xk - xl, acc);
         }
     }
@@ -90,8 +94,14 @@ impl GpuMatrixFreeOperator {
     /// Build the operator from device arrays with the paper's launch configuration.
     pub fn new(arrays: DeviceArrays) -> Self {
         let launch = LaunchConfig::paper(arrays.dims());
-        let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Self { arrays, launch, host_threads }
+        let host_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self {
+            arrays,
+            launch,
+            host_threads,
+        }
     }
 
     /// Build directly from a workload (converts coefficients to `f32`).
@@ -150,7 +160,10 @@ impl GpuMatrixFreeOperator {
                     (chunk_idx, local)
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("block execution panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("block execution panicked"))
+                .collect()
         });
         for (_, entries) in block_outputs {
             for (k, v) in entries {
@@ -189,7 +202,10 @@ mod tests {
         let y_gpu = gpu.apply_new(&x);
         let y_seq = seq.apply_new(&x);
         let diff = y_gpu.max_abs_diff(&y_seq);
-        assert!(diff <= 1e-6 * y_seq.max_abs().max(1.0), "gpu vs sequential gap {diff}");
+        assert!(
+            diff <= 1e-6 * y_seq.max_abs().max(1.0),
+            "gpu vs sequential gap {diff}"
+        );
     }
 
     #[test]

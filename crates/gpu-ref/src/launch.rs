@@ -36,7 +36,10 @@ pub struct LaunchConfig {
 impl LaunchConfig {
     /// The paper's configuration for a mesh.
     pub fn paper(dims: Dims) -> Self {
-        Self { dims, block: BlockDims::PAPER }
+        Self {
+            dims,
+            block: BlockDims::PAPER,
+        }
     }
 
     /// Number of blocks along each axis (ceiling division, as a CUDA launch would).
@@ -68,7 +71,11 @@ impl LaunchConfig {
         bx: usize,
         by: usize,
         bz: usize,
-    ) -> (std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<usize>) {
+    ) -> (
+        std::ops::Range<usize>,
+        std::ops::Range<usize>,
+        std::ops::Range<usize>,
+    ) {
         let x0 = bx * self.block.x;
         let y0 = by * self.block.y;
         let z0 = bz * self.block.z;

@@ -14,12 +14,14 @@
 //! from the rooflines the paper publishes for the A100/H100 (memory-bound kernel,
 //! ≈78 % of the bandwidth ceiling).
 
+pub mod backend;
 pub mod cg;
 pub mod device_model;
 pub mod kernel;
 pub mod launch;
 pub mod memory;
 
+pub use backend::GpuRefBackend;
 pub use cg::GpuReferenceSolver;
 pub use device_model::{GpuSpec, GpuTimeModel};
 pub use kernel::GpuMatrixFreeOperator;
@@ -28,6 +30,7 @@ pub use memory::HostDeviceTransfers;
 
 /// Convenient glob import.
 pub mod prelude {
+    pub use crate::backend::GpuRefBackend;
     pub use crate::cg::GpuReferenceSolver;
     pub use crate::device_model::{GpuSpec, GpuTimeModel};
     pub use crate::kernel::GpuMatrixFreeOperator;

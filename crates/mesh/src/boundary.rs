@@ -34,13 +34,22 @@ impl DirichletSet {
 
     /// Build a set from explicit cells. Duplicate cells are rejected.
     pub fn new(dims: Dims, cells: Vec<DirichletCell>) -> Self {
-        let mut sorted: Vec<(usize, f64)> =
-            cells.iter().map(|d| (dims.linear(d.cell), d.value)).collect();
+        let mut sorted: Vec<(usize, f64)> = cells
+            .iter()
+            .map(|d| (dims.linear(d.cell), d.value))
+            .collect();
         sorted.sort_by_key(|&(idx, _)| idx);
         for w in sorted.windows(2) {
-            assert_ne!(w[0].0, w[1].0, "duplicate Dirichlet cell at linear index {}", w[0].0);
+            assert_ne!(
+                w[0].0, w[1].0,
+                "duplicate Dirichlet cell at linear index {}",
+                w[0].0
+            );
         }
-        Self { cells, sorted_indices: sorted }
+        Self {
+            cells,
+            sorted_indices: sorted,
+        }
     }
 
     /// Number of Dirichlet cells.
@@ -106,7 +115,10 @@ impl DirichletSet {
     pub fn well_column(dims: Dims, x: usize, y: usize, value: f64) -> Vec<DirichletCell> {
         assert!(x < dims.nx && y < dims.ny, "well column outside the grid");
         (0..dims.nz)
-            .map(|z| DirichletCell { cell: CellIndex::new(x, y, z), value })
+            .map(|z| DirichletCell {
+                cell: CellIndex::new(x, y, z),
+                value,
+            })
             .collect()
     }
 
@@ -158,8 +170,14 @@ mod tests {
         let set = DirichletSet::new(
             d,
             vec![
-                DirichletCell { cell: CellIndex::new(1, 1, 1), value: 10.0 },
-                DirichletCell { cell: CellIndex::new(3, 2, 4), value: -1.0 },
+                DirichletCell {
+                    cell: CellIndex::new(1, 1, 1),
+                    value: 10.0,
+                },
+                DirichletCell {
+                    cell: CellIndex::new(3, 2, 4),
+                    value: -1.0,
+                },
             ],
         );
         assert_eq!(set.len(), 2);
@@ -176,7 +194,10 @@ mod tests {
         let d = dims();
         let set = DirichletSet::new(
             d,
-            vec![DirichletCell { cell: CellIndex::new(0, 0, 0), value: 7.5 }],
+            vec![DirichletCell {
+                cell: CellIndex::new(0, 0, 0),
+                value: 7.5,
+            }],
         );
         let mask: CellField<f32> = set.mask(d);
         let vals: CellField<f64> = set.values(d);
@@ -212,7 +233,10 @@ mod tests {
         let d = dims();
         let set = DirichletSet::x_faces(d, 5.0, 1.0);
         assert_eq!(set.len(), 2 * d.ny * d.nz);
-        assert_eq!(set.value_at_linear(d.linear(CellIndex::new(0, 2, 3))), Some(5.0));
+        assert_eq!(
+            set.value_at_linear(d.linear(CellIndex::new(0, 2, 3))),
+            Some(5.0)
+        );
         assert_eq!(
             set.value_at_linear(d.linear(CellIndex::new(d.nx - 1, 0, 0))),
             Some(1.0)
@@ -226,8 +250,14 @@ mod tests {
         let _ = DirichletSet::new(
             d,
             vec![
-                DirichletCell { cell: CellIndex::new(0, 0, 0), value: 1.0 },
-                DirichletCell { cell: CellIndex::new(0, 0, 0), value: 2.0 },
+                DirichletCell {
+                    cell: CellIndex::new(0, 0, 0),
+                    value: 1.0,
+                },
+                DirichletCell {
+                    cell: CellIndex::new(0, 0, 0),
+                    value: 2.0,
+                },
             ],
         );
     }

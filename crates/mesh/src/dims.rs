@@ -36,7 +36,10 @@ impl CellIndex {
 impl Dims {
     /// Construct grid extents. Panics if any extent is zero.
     pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "all grid extents must be non-zero");
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "all grid extents must be non-zero"
+        );
         Self { nx, ny, nz }
     }
 
@@ -159,7 +162,7 @@ mod tests {
         assert_eq!(d.num_columns(), 12);
         assert_eq!(d.column_stride(), 12);
         assert_eq!(d.num_interior_cells(), 0);
-        assert_eq!(Dims::new(5, 4, 3).num_interior_cells(), 3 * 2 * 1);
+        assert_eq!(Dims::new(5, 4, 3).num_interior_cells(), (3 * 2));
     }
 
     #[test]
@@ -169,7 +172,10 @@ mod tests {
         assert_eq!(d.neighbor(corner, Direction::XM), None);
         assert_eq!(d.neighbor(corner, Direction::YM), None);
         assert_eq!(d.neighbor(corner, Direction::ZM), None);
-        assert_eq!(d.neighbor(corner, Direction::XP), Some(CellIndex::new(1, 0, 0)));
+        assert_eq!(
+            d.neighbor(corner, Direction::XP),
+            Some(CellIndex::new(1, 0, 0))
+        );
         let center = CellIndex::new(1, 1, 1);
         for dir in Direction::ALL {
             assert!(d.neighbor(center, dir).is_some());

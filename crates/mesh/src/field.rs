@@ -18,12 +18,18 @@ pub struct CellField<T: Scalar> {
 impl<T: Scalar> CellField<T> {
     /// A field of zeros.
     pub fn zeros(dims: Dims) -> Self {
-        Self { dims, data: vec![T::ZERO; dims.num_cells()] }
+        Self {
+            dims,
+            data: vec![T::ZERO; dims.num_cells()],
+        }
     }
 
     /// A field filled with `value`.
     pub fn constant(dims: Dims, value: T) -> Self {
-        Self { dims, data: vec![value; dims.num_cells()] }
+        Self {
+            dims,
+            data: vec![value; dims.num_cells()],
+        }
     }
 
     /// Build a field by evaluating `f` at every cell.
@@ -106,7 +112,9 @@ impl<T: Scalar> CellField<T> {
     pub fn column(&self, x: usize, y: usize) -> Vec<T> {
         let base = self.dims.column_base(x, y);
         let stride = self.dims.column_stride();
-        (0..self.dims.nz).map(|z| self.data[base + z * stride]).collect()
+        (0..self.dims.nz)
+            .map(|z| self.data[base + z * stride])
+            .collect()
     }
 
     /// Overwrite the z-column at `(x, y)` from a slice of length `nz`.

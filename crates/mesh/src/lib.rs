@@ -28,6 +28,7 @@ pub mod field;
 pub mod mesh;
 pub mod neighbors;
 pub mod permeability;
+pub mod rng;
 pub mod scalar;
 pub mod transmissibility;
 pub mod workload;

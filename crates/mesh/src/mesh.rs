@@ -20,13 +20,22 @@ impl CartesianMesh {
     /// A mesh with unit cell spacing — the canonical setting for kernel-level
     /// experiments where only the algebraic structure matters.
     pub fn unit(dims: Dims) -> Self {
-        Self { dims, spacing: [1.0, 1.0, 1.0] }
+        Self {
+            dims,
+            spacing: [1.0, 1.0, 1.0],
+        }
     }
 
     /// A mesh with explicit cell spacing `(dx, dy, dz)` in metres.
     pub fn with_spacing(dims: Dims, dx: f64, dy: f64, dz: f64) -> Self {
-        assert!(dx > 0.0 && dy > 0.0 && dz > 0.0, "cell spacing must be positive");
-        Self { dims, spacing: [dx, dy, dz] }
+        assert!(
+            dx > 0.0 && dy > 0.0 && dz > 0.0,
+            "cell spacing must be positive"
+        );
+        Self {
+            dims,
+            spacing: [dx, dy, dz],
+        }
     }
 
     /// Grid extents.

@@ -16,8 +16,7 @@
 
 use crate::dims::Dims;
 use crate::field::CellField;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::DeterministicRng;
 
 /// Millidarcy expressed in square metres, the usual unit conversion for reservoir
 /// permeability.
@@ -34,7 +33,11 @@ pub enum PermeabilityModel {
     Layered { layer_values: Vec<f64> },
     /// Log-normal permeability: `exp(N(mean_log, std_log))` per cell, reproducible
     /// from `seed`.
-    LogNormal { mean_log: f64, std_log: f64, seed: u64 },
+    LogNormal {
+        mean_log: f64,
+        std_log: f64,
+        seed: u64,
+    },
     /// Sinusoidal high-permeability channels embedded in a background.
     Channelized {
         background: f64,
@@ -52,7 +55,9 @@ pub enum PermeabilityModel {
 impl PermeabilityModel {
     /// A reasonable default: 100 mD homogeneous.
     pub fn default_homogeneous() -> Self {
-        PermeabilityModel::Homogeneous { value: 100.0 * MILLIDARCY }
+        PermeabilityModel::Homogeneous {
+            value: 100.0 * MILLIDARCY,
+        }
     }
 
     /// Evaluate the model on a grid, producing a per-cell permeability field in m².
@@ -74,9 +79,13 @@ impl PermeabilityModel {
                     layer_values[layer.min(n_layers - 1)]
                 })
             }
-            PermeabilityModel::LogNormal { mean_log, std_log, seed } => {
+            PermeabilityModel::LogNormal {
+                mean_log,
+                std_log,
+                seed,
+            } => {
                 assert!(*std_log >= 0.0, "standard deviation must be non-negative");
-                let mut rng = StdRng::seed_from_u64(*seed);
+                let mut rng = DeterministicRng::seed_from_u64(*seed);
                 let mut values = Vec::with_capacity(dims.num_cells());
                 for _ in 0..dims.num_cells() {
                     let z = sample_standard_normal(&mut rng);
@@ -92,12 +101,16 @@ impl PermeabilityModel {
                 amplitude,
                 seed,
             } => {
-                assert!(*background > 0.0 && *channel > 0.0, "permeability must be positive");
+                assert!(
+                    *background > 0.0 && *channel > 0.0,
+                    "permeability must be positive"
+                );
                 assert!(*num_channels > 0, "at least one channel required");
-                let mut rng = StdRng::seed_from_u64(*seed);
+                let mut rng = DeterministicRng::seed_from_u64(*seed);
                 // Random phase per channel so different seeds give different geometries.
-                let phases: Vec<f64> =
-                    (0..*num_channels).map(|_| rng.gen_range(0.0..std::f64::consts::TAU)).collect();
+                let phases: Vec<f64> = (0..*num_channels)
+                    .map(|_| rng.gen_range(0.0..std::f64::consts::TAU))
+                    .collect();
                 let spacing = dims.ny as f64 / *num_channels as f64;
                 CellField::from_fn(dims, |c| {
                     let x = c.x as f64;
@@ -134,7 +147,7 @@ impl PermeabilityModel {
 }
 
 /// Box–Muller sample of a standard normal variate.
-fn sample_standard_normal(rng: &mut StdRng) -> f64 {
+fn sample_standard_normal(rng: &mut DeterministicRng) -> f64 {
     loop {
         let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
         let u2: f64 = rng.gen_range(0.0..1.0);
@@ -187,7 +200,10 @@ mod tests {
     #[test]
     fn layered_respects_depth() {
         let layers = vec![1.0, 10.0, 100.0];
-        let f = PermeabilityModel::Layered { layer_values: layers.clone() }.generate(dims());
+        let f = PermeabilityModel::Layered {
+            layer_values: layers.clone(),
+        }
+        .generate(dims());
         // nz = 10 with 3 layers: z in 0..=3 -> layer 0, 4..=6 -> layer 1, 7..=9 -> layer 2
         assert_eq!(f.at(CellIndex::new(0, 0, 0)), 1.0);
         assert_eq!(f.at(CellIndex::new(0, 0, 9)), 100.0);
@@ -202,19 +218,31 @@ mod tests {
 
     #[test]
     fn log_normal_is_reproducible_and_positive() {
-        let m = PermeabilityModel::LogNormal { mean_log: 0.0, std_log: 1.0, seed: 42 };
+        let m = PermeabilityModel::LogNormal {
+            mean_log: 0.0,
+            std_log: 1.0,
+            seed: 42,
+        };
         let a = m.generate(dims());
         let b = m.generate(dims());
         assert_eq!(a, b);
         assert!(a.as_slice().iter().all(|&v| v > 0.0));
-        let c = PermeabilityModel::LogNormal { mean_log: 0.0, std_log: 1.0, seed: 43 }
-            .generate(dims());
+        let c = PermeabilityModel::LogNormal {
+            mean_log: 0.0,
+            std_log: 1.0,
+            seed: 43,
+        }
+        .generate(dims());
         assert_ne!(a, c);
     }
 
     #[test]
     fn log_normal_zero_std_is_exp_mean() {
-        let m = PermeabilityModel::LogNormal { mean_log: 2.0, std_log: 0.0, seed: 1 };
+        let m = PermeabilityModel::LogNormal {
+            mean_log: 2.0,
+            std_log: 0.0,
+            seed: 1,
+        };
         let f = m.generate(dims());
         for &v in f.as_slice() {
             assert!((v - 2.0f64.exp()).abs() < 1e-12);
@@ -232,17 +260,23 @@ mod tests {
             seed: 7,
         };
         let f = m.generate(Dims::new(32, 32, 4));
-        let has_bg = f.as_slice().iter().any(|&v| v == 1.0);
-        let has_ch = f.as_slice().iter().any(|&v| v == 1000.0);
+        let has_bg = f.as_slice().contains(&1.0);
+        let has_ch = f.as_slice().contains(&1000.0);
         assert!(has_bg && has_ch);
         assert_eq!(contrast_ratio(&f), 1000.0);
     }
 
     #[test]
     fn labels() {
-        assert_eq!(PermeabilityModel::default_homogeneous().label(), "homogeneous");
         assert_eq!(
-            PermeabilityModel::Layered { layer_values: vec![1.0] }.label(),
+            PermeabilityModel::default_homogeneous().label(),
+            "homogeneous"
+        );
+        assert_eq!(
+            PermeabilityModel::Layered {
+                layer_values: vec![1.0]
+            }
+            .label(),
             "layered"
         );
     }

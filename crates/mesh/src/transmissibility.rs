@@ -34,7 +34,11 @@ impl<T: Scalar> Transmissibilities<T> {
     /// `f32` device tables are rounded once rather than accumulating error.
     pub fn from_mesh(mesh: &CartesianMesh, permeability: &CellField<f64>, viscosity: f64) -> Self {
         assert!(viscosity > 0.0, "viscosity must be positive");
-        assert_eq!(mesh.dims(), permeability.dims(), "permeability grid mismatch");
+        assert_eq!(
+            mesh.dims(),
+            permeability.dims(),
+            "permeability grid mismatch"
+        );
         let dims = mesh.dims();
         let mobility = 1.0 / viscosity; // λ_K = λ_L = 1/μ, so λ_KL = 1/μ as well.
         let mut data = vec![[T::ZERO; 6]; dims.num_cells()];
@@ -99,7 +103,9 @@ impl<T: Scalar> Transmissibilities<T> {
     pub fn column_dir(&self, x: usize, y: usize, dir: Direction) -> Vec<T> {
         let base = self.dims.column_base(x, y);
         let stride = self.dims.column_stride();
-        (0..self.dims.nz).map(|z| self.data[base + z * stride][dir.index()]).collect()
+        (0..self.dims.nz)
+            .map(|z| self.data[base + z * stride][dir.index()])
+            .collect()
     }
 
     /// Sum of the six coefficients of a cell (the magnitude of the operator's
@@ -219,8 +225,12 @@ mod tests {
     fn symmetry_holds_for_heterogeneous_fields() {
         let dims = Dims::new(6, 5, 4);
         let mesh = CartesianMesh::with_spacing(dims, 2.0, 3.0, 1.0);
-        let perm = PermeabilityModel::LogNormal { mean_log: 0.0, std_log: 1.5, seed: 3 }
-            .generate(dims);
+        let perm = PermeabilityModel::LogNormal {
+            mean_log: 0.0,
+            std_log: 1.5,
+            seed: 3,
+        }
+        .generate(dims);
         let t = Transmissibilities::<f64>::from_mesh(&mesh, &perm, 0.5);
         assert!(t.max_asymmetry() < 1e-12);
     }

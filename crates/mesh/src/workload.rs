@@ -31,9 +31,15 @@ pub const PAPER_NZ: usize = 922;
 #[derive(Clone, Debug, PartialEq)]
 pub enum BoundarySpec {
     /// Source column at (0, 0) and producer column at (nx-1, ny-1), as in Figure 5.
-    SourceProducer { source_pressure: f64, producer_pressure: f64 },
+    SourceProducer {
+        source_pressure: f64,
+        producer_pressure: f64,
+    },
     /// Fixed pressures on the two X faces of the domain.
-    XFaces { left_pressure: f64, right_pressure: f64 },
+    XFaces {
+        left_pressure: f64,
+        right_pressure: f64,
+    },
     /// No Dirichlet cells (only usable with a pinned/regularised solver).
     None,
 }
@@ -141,7 +147,11 @@ impl WorkloadSpec {
     pub fn scaled(&self, factor: usize) -> Self {
         assert!(factor >= 1, "scale factor must be at least 1");
         let scale = |n: usize| (n / factor).max(2);
-        let dims = Dims::new(scale(self.dims.nx), scale(self.dims.ny), scale(self.dims.nz));
+        let dims = Dims::new(
+            scale(self.dims.nx),
+            scale(self.dims.ny),
+            scale(self.dims.nz),
+        );
         Self {
             name: format!("{}-scaled{}", self.name, factor),
             dims,
@@ -177,18 +187,25 @@ impl Workload {
             spec.spacing[2],
         );
         let permeability = spec.permeability.generate(spec.dims);
-        let transmissibility =
-            Transmissibilities::from_mesh(&mesh, &permeability, spec.viscosity);
+        let transmissibility = Transmissibilities::from_mesh(&mesh, &permeability, spec.viscosity);
         let dirichlet = match spec.boundary {
-            BoundarySpec::SourceProducer { source_pressure, producer_pressure } => {
-                DirichletSet::source_producer(spec.dims, source_pressure, producer_pressure)
-            }
-            BoundarySpec::XFaces { left_pressure, right_pressure } => {
-                DirichletSet::x_faces(spec.dims, left_pressure, right_pressure)
-            }
+            BoundarySpec::SourceProducer {
+                source_pressure,
+                producer_pressure,
+            } => DirichletSet::source_producer(spec.dims, source_pressure, producer_pressure),
+            BoundarySpec::XFaces {
+                left_pressure,
+                right_pressure,
+            } => DirichletSet::x_faces(spec.dims, left_pressure, right_pressure),
             BoundarySpec::None => DirichletSet::empty(),
         };
-        Self { spec: spec.clone(), mesh, permeability, transmissibility, dirichlet }
+        Self {
+            spec: spec.clone(),
+            mesh,
+            permeability,
+            transmissibility,
+            dirichlet,
+        }
     }
 
     /// The originating spec.
@@ -289,7 +306,9 @@ mod tests {
     fn fig5_has_corner_wells() {
         let w = WorkloadSpec::fig5(Dims::new(12, 10, 6)).build();
         let d = w.dims();
-        assert!(w.dirichlet().contains_linear(d.linear(crate::dims::CellIndex::new(0, 0, 0))));
+        assert!(w
+            .dirichlet()
+            .contains_linear(d.linear(crate::dims::CellIndex::new(0, 0, 0))));
         assert!(w
             .dirichlet()
             .contains_linear(d.linear(crate::dims::CellIndex::new(11, 9, 5))));
@@ -303,7 +322,10 @@ mod tests {
         let p: CellField<f64> = w.initial_pressure();
         let d = w.dims();
         assert_eq!(p.at(crate::dims::CellIndex::new(0, 0, 0)), 1.0);
-        assert_eq!(p.at(crate::dims::CellIndex::new(d.nx - 1, d.ny - 1, 0)), 0.0);
+        assert_eq!(
+            p.at(crate::dims::CellIndex::new(d.nx - 1, d.ny - 1, 0)),
+            0.0
+        );
         // interior initialised to the mean of the boundary values
         assert_eq!(p.at(crate::dims::CellIndex::new(4, 4, 4)), 0.5);
     }

@@ -32,8 +32,14 @@ impl MachineSpec {
             name: "CS-2",
             peak_flops: 1.785e15,
             bandwidths: vec![
-                BandwidthLevel { name: "Memory", bytes_per_second: 20.0e15 },
-                BandwidthLevel { name: "Fabric", bytes_per_second: 3.3e15 },
+                BandwidthLevel {
+                    name: "Memory",
+                    bytes_per_second: 20.0e15,
+                },
+                BandwidthLevel {
+                    name: "Fabric",
+                    bytes_per_second: 3.3e15,
+                },
             ],
         }
     }
@@ -44,9 +50,18 @@ impl MachineSpec {
             name: "A100",
             peak_flops: 14.7e12,
             bandwidths: vec![
-                BandwidthLevel { name: "L1", bytes_per_second: 19_353.6e9 },
-                BandwidthLevel { name: "L2", bytes_per_second: 3_705.0e9 },
-                BandwidthLevel { name: "HBM", bytes_per_second: 1_262.9e9 },
+                BandwidthLevel {
+                    name: "L1",
+                    bytes_per_second: 19_353.6e9,
+                },
+                BandwidthLevel {
+                    name: "L2",
+                    bytes_per_second: 3_705.0e9,
+                },
+                BandwidthLevel {
+                    name: "HBM",
+                    bytes_per_second: 1_262.9e9,
+                },
             ],
         }
     }
@@ -57,7 +72,10 @@ impl MachineSpec {
         Self {
             name: "H100",
             peak_flops: 66.9e12,
-            bandwidths: vec![BandwidthLevel { name: "HBM3", bytes_per_second: 3.35e12 }],
+            bandwidths: vec![BandwidthLevel {
+                name: "HBM3",
+                bytes_per_second: 3.35e12,
+            }],
         }
     }
 

@@ -89,16 +89,79 @@ impl CellOpCounts {
         use InstructionClass as I;
         let rows = vec![
             // Algorithm 2 (the matrix-free flux computation with six neighbours).
-            OpCountRow { area: "Alg. 2", class: I::Fmul, count: 36, mem_loads: 2, mem_stores: 1, fabric_loads: 0 },
-            OpCountRow { area: "Alg. 2", class: I::Fsub, count: 24, mem_loads: 2, mem_stores: 1, fabric_loads: 0 },
-            OpCountRow { area: "Alg. 2", class: I::Fneg, count: 6, mem_loads: 1, mem_stores: 1, fabric_loads: 0 },
-            OpCountRow { area: "Alg. 2", class: I::Fadd, count: 6, mem_loads: 2, mem_stores: 1, fabric_loads: 0 },
-            OpCountRow { area: "Alg. 2", class: I::Fma, count: 6, mem_loads: 3, mem_stores: 1, fabric_loads: 0 },
-            OpCountRow { area: "Alg. 2", class: I::Fmov, count: 4, mem_loads: 0, mem_stores: 1, fabric_loads: 1 },
+            OpCountRow {
+                area: "Alg. 2",
+                class: I::Fmul,
+                count: 36,
+                mem_loads: 2,
+                mem_stores: 1,
+                fabric_loads: 0,
+            },
+            OpCountRow {
+                area: "Alg. 2",
+                class: I::Fsub,
+                count: 24,
+                mem_loads: 2,
+                mem_stores: 1,
+                fabric_loads: 0,
+            },
+            OpCountRow {
+                area: "Alg. 2",
+                class: I::Fneg,
+                count: 6,
+                mem_loads: 1,
+                mem_stores: 1,
+                fabric_loads: 0,
+            },
+            OpCountRow {
+                area: "Alg. 2",
+                class: I::Fadd,
+                count: 6,
+                mem_loads: 2,
+                mem_stores: 1,
+                fabric_loads: 0,
+            },
+            OpCountRow {
+                area: "Alg. 2",
+                class: I::Fma,
+                count: 6,
+                mem_loads: 3,
+                mem_stores: 1,
+                fabric_loads: 0,
+            },
+            OpCountRow {
+                area: "Alg. 2",
+                class: I::Fmov,
+                count: 4,
+                mem_loads: 0,
+                mem_stores: 1,
+                fabric_loads: 1,
+            },
             // Rest of Algorithm 1 (vector updates and reductions).
-            OpCountRow { area: "Rest of Alg. 1", class: I::Fmul, count: 2, mem_loads: 2, mem_stores: 1, fabric_loads: 0 },
-            OpCountRow { area: "Rest of Alg. 1", class: I::Fma, count: 5, mem_loads: 3, mem_stores: 1, fabric_loads: 0 },
-            OpCountRow { area: "Rest of Alg. 1", class: I::Fmov, count: 4, mem_loads: 0, mem_stores: 1, fabric_loads: 1 },
+            OpCountRow {
+                area: "Rest of Alg. 1",
+                class: I::Fmul,
+                count: 2,
+                mem_loads: 2,
+                mem_stores: 1,
+                fabric_loads: 0,
+            },
+            OpCountRow {
+                area: "Rest of Alg. 1",
+                class: I::Fma,
+                count: 5,
+                mem_loads: 3,
+                mem_stores: 1,
+                fabric_loads: 0,
+            },
+            OpCountRow {
+                area: "Rest of Alg. 1",
+                class: I::Fmov,
+                count: 4,
+                mem_loads: 0,
+                mem_stores: 1,
+                fabric_loads: 1,
+            },
         ];
         Self { rows }
     }
@@ -115,7 +178,11 @@ impl CellOpCounts {
 
     /// FLOPs per cell attributable to Algorithm 2 only.
     pub fn alg2_flops_per_cell(&self) -> usize {
-        self.rows.iter().filter(|r| r.area == "Alg. 2").map(OpCountRow::total_flops).sum()
+        self.rows
+            .iter()
+            .filter(|r| r.area == "Alg. 2")
+            .map(OpCountRow::total_flops)
+            .sum()
     }
 
     /// Memory accesses (f32 words) per cell per iteration.
@@ -177,7 +244,10 @@ mod tests {
         // neighbour contribution.
         let per_neighbor = 6 + 4 + 1 + 2 + 1;
         assert_eq!(per_neighbor, 14);
-        assert_eq!(per_neighbor * 6, CellOpCounts::paper_table5().alg2_flops_per_cell());
+        assert_eq!(
+            per_neighbor * 6,
+            CellOpCounts::paper_table5().alg2_flops_per_cell()
+        );
     }
 
     #[test]
@@ -191,10 +261,19 @@ mod tests {
     #[test]
     fn row_helpers() {
         let t = CellOpCounts::paper_table5();
-        let fmov_rows: Vec<&OpCountRow> =
-            t.rows().iter().filter(|r| r.class == InstructionClass::Fmov).collect();
+        let fmov_rows: Vec<&OpCountRow> = t
+            .rows()
+            .iter()
+            .filter(|r| r.class == InstructionClass::Fmov)
+            .collect();
         assert_eq!(fmov_rows.len(), 2);
-        assert_eq!(fmov_rows.iter().map(|r| r.total_fabric_loads()).sum::<usize>(), 8);
+        assert_eq!(
+            fmov_rows
+                .iter()
+                .map(|r| r.total_fabric_loads())
+                .sum::<usize>(),
+            8
+        );
         assert_eq!(t.rows().len(), 9);
     }
 }

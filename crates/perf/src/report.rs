@@ -8,7 +8,11 @@
 pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let num_cols = headers.len();
     for row in rows {
-        assert_eq!(row.len(), num_cols, "every row must have {num_cols} columns");
+        assert_eq!(
+            row.len(),
+            num_cols,
+            "every row must have {num_cols} columns"
+        );
     }
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {

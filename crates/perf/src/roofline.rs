@@ -43,7 +43,10 @@ impl Roofline {
     pub fn attainable(&self, arithmetic_intensity: f64, bandwidth: Option<&str>) -> f64 {
         let bw = match bandwidth {
             Some(name) => {
-                self.spec.bandwidth(name).expect("unknown bandwidth level").bytes_per_second
+                self.spec
+                    .bandwidth(name)
+                    .expect("unknown bandwidth level")
+                    .bytes_per_second
             }
             None => self.spec.slowest_bandwidth().bytes_per_second,
         };
@@ -60,7 +63,10 @@ impl Roofline {
     pub fn ridge_intensity(&self, bandwidth: Option<&str>) -> f64 {
         let bw = match bandwidth {
             Some(name) => {
-                self.spec.bandwidth(name).expect("unknown bandwidth level").bytes_per_second
+                self.spec
+                    .bandwidth(name)
+                    .expect("unknown bandwidth level")
+                    .bytes_per_second
             }
             None => self.spec.slowest_bandwidth().bytes_per_second,
         };

@@ -78,8 +78,7 @@ impl AnalyticTiming {
     pub fn cs2_alg2_time(&self, dims: Dims, iterations: usize) -> f64 {
         let spec = WseSpec::cs2_region(dims.nx, dims.ny);
         let per_pe_flops = self.counts.alg2_flops_per_cell() as f64 * dims.nz as f64;
-        let per_pe_mem =
-            self.counts.mem_bytes_per_cell() as f64 * dims.nz as f64 * 84.0 / 96.0;
+        let per_pe_mem = self.counts.mem_bytes_per_cell() as f64 * dims.nz as f64 * 84.0 / 96.0;
         let per_iteration = (per_pe_flops / (spec.per_pe_flops() * self.cs2_efficiency))
             .max(per_pe_mem / spec.per_pe_memory_bandwidth());
         iterations as f64 * per_iteration + spec.launch_overhead
@@ -164,9 +163,8 @@ impl AnalyticTiming {
 
     /// Modelled achieved FLOP/s of the CS-2 Algorithm-1 run (the Figure-6 dot).
     pub fn cs2_achieved_flops(&self, dims: Dims, iterations: usize) -> f64 {
-        let flops = self.counts.flops_per_cell() as f64
-            * dims.num_cells() as f64
-            * iterations as f64;
+        let flops =
+            self.counts.flops_per_cell() as f64 * dims.num_cells() as f64 * iterations as f64;
         flops / self.cs2_alg1_time(dims, iterations)
     }
 
@@ -175,9 +173,8 @@ impl AnalyticTiming {
     /// (the reduction latency of the full Algorithm 1 is excluded, as it performs
     /// almost no floating-point work).
     pub fn cs2_alg2_achieved_flops(&self, dims: Dims, iterations: usize) -> f64 {
-        let flops = self.counts.alg2_flops_per_cell() as f64
-            * dims.num_cells() as f64
-            * iterations as f64;
+        let flops =
+            self.counts.alg2_flops_per_cell() as f64 * dims.num_cells() as f64 * iterations as f64;
         flops / self.cs2_alg2_time(dims, iterations)
     }
 }
@@ -199,7 +196,10 @@ mod tests {
             "modelled A100 speedup {speedup} not in the paper's order of magnitude (427x)"
         );
         let h100 = model.speedup_over_gpu(GpuSpec::h100(), paper_grid(), 225);
-        assert!(h100 > 50.0 && h100 < speedup, "H100 speedup {h100} must be below A100's");
+        assert!(
+            h100 > 50.0 && h100 < speedup,
+            "H100 speedup {h100} must be below A100's"
+        );
     }
 
     #[test]
@@ -220,7 +220,10 @@ mod tests {
         let t_large = model.cs2_alg1_time(Dims::new(750, 994, 922), 225);
         assert!(t_large > t_small, "Alg-1 time must grow with the fabric");
         let ratio = t_large / t_small;
-        assert!(ratio > 1.3 && ratio < 6.0, "growth ratio {ratio} outside the paper's shape (~2.2)");
+        assert!(
+            ratio > 1.3 && ratio < 6.0,
+            "growth ratio {ratio} outside the paper's shape (~2.2)"
+        );
     }
 
     #[test]
@@ -237,7 +240,10 @@ mod tests {
         let model = AnalyticTiming::paper();
         let (dm, comp, total) = model.cs2_time_split(paper_grid(), 225);
         let fraction = dm / total;
-        assert!(fraction > 0.005 && fraction < 0.35, "data-movement fraction {fraction}");
+        assert!(
+            fraction > 0.005 && fraction < 0.35,
+            "data-movement fraction {fraction}"
+        );
         assert!(comp > dm);
     }
 
@@ -246,13 +252,22 @@ mod tests {
         // Paper Table II/III: 0.0542 s for the full Algorithm 1 at the largest grid.
         let model = AnalyticTiming::paper();
         let t = model.cs2_alg1_time(paper_grid(), 225);
-        assert!(t > 0.005 && t < 0.5, "modelled CS-2 time {t} s out of range");
+        assert!(
+            t > 0.005 && t < 0.5,
+            "modelled CS-2 time {t} s out of range"
+        );
         let achieved = model.cs2_achieved_flops(paper_grid(), 225);
-        assert!(achieved > 0.1e15 && achieved <= 1.785e15, "achieved {achieved} FLOP/s");
+        assert!(
+            achieved > 0.1e15 && achieved <= 1.785e15,
+            "achieved {achieved} FLOP/s"
+        );
         // The Algorithm-2 kernel rate reproduces the paper's 1.217 PFLOP/s headline
         // figure to within ~10%.
         let alg2 = model.cs2_alg2_achieved_flops(paper_grid(), 225);
-        assert!((alg2 - 1.217e15).abs() / 1.217e15 < 0.1, "Alg-2 rate {alg2} FLOP/s");
+        assert!(
+            (alg2 - 1.217e15).abs() / 1.217e15 < 0.1,
+            "Alg-2 rate {alg2} FLOP/s"
+        );
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Minimal offline stand-in for the [criterion](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! small API subset the workspace's benches use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input, finish}`,
+//! `Bencher::iter`, `BenchmarkId::new` and the `criterion_group!` /
+//! `criterion_main!` macros.  Timing is a straightforward wall-clock mean over
+//! a fixed number of iterations — enough to run every bench end-to-end and
+//! print comparable numbers, without criterion's statistical machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box` (the real crate re-exports the
+/// std hint in current versions).
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param` as criterion does.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Passed to the closure given to `bench_function`/`bench_with_input`.
+pub struct Bencher {
+    iterations: usize,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One untimed warm-up call, then the timed loop.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Criterion's `sample_size` controls its statistics; here it directly sets
+    /// the number of timed iterations (clamped to at least one).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iterations: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            iterations: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id, &b);
+        self
+    }
+
+    /// Criterion requires an explicit `finish`; the shim has nothing to flush.
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let mean = b.elapsed.as_secs_f64() / b.iterations.max(1) as f64;
+        println!(
+            "{}/{:<40} {:>12.3e} s/iter ({} iters)",
+            self.name, id.id, mean, b.iterations
+        );
+    }
+}
+
+/// Entry point handed to every bench function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+        }
+    }
+
+    /// Criterion's standalone `bench_function`, for completeness.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Collect bench functions into a runnable group, as `criterion_group!` does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce `main` from the groups, as `criterion_main!` does.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut calls = 0usize;
+        group.bench_function("counting", |b| b.iter(|| calls += 1));
+        // warm-up + 3 timed iterations
+        assert_eq!(calls, 4);
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7usize, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("p").id, "p");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+}

@@ -1,0 +1,322 @@
+//! The backend-agnostic solve abstraction behind the `mffv::Simulation` facade.
+//!
+//! The paper's central experiment runs the *same* matrix-free FV pressure solve
+//! on three targets — a host f64 oracle, a GPU-style reference and the simulated
+//! dataflow fabric — and compares results (§V-B).  Historically every target had
+//! its own entry point, option struct and report type; this module defines the
+//! shared contract they all implement instead:
+//!
+//! * [`SolveConfig`] — the normalized cross-backend settings (tolerance,
+//!   iteration cap, host precision), with `None` meaning "use the workload's
+//!   own defaults";
+//! * [`SolveBackend`] — one object-safe trait every solver implements;
+//! * [`SolveReport`] — one report shape: pressure normalized to `f64`,
+//!   convergence history, final residual, and an optional [`DeviceSection`]
+//!   for backends that model device time;
+//! * [`SolveError`] — one error type (backends with richer internal errors,
+//!   like the fabric simulator, stringify into it);
+//! * [`HostBackend`] — the sequential host oracle, implemented right here.
+//!
+//! The GPU-style reference and the dataflow solver implement [`SolveBackend`]
+//! in their own crates (`mffv-gpu-ref`, `mffv-core`); the umbrella `mffv` crate
+//! wires all three into the `Simulation` builder.
+
+use crate::cg::ConjugateGradient;
+use crate::convergence::ConvergenceHistory;
+use crate::newton::solve_pressure_with;
+use mffv_fv::residual::residual;
+use mffv_fv::MatrixFreeOperator;
+use mffv_mesh::{CellField, Workload};
+
+/// Floating-point precision of a host solve.  The device-style backends are
+/// `f32` by construction (the paper's machines compute in single precision);
+/// the host oracle can run either way.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Precision {
+    /// IEEE single precision (the device precision of the paper).
+    F32,
+    /// IEEE double precision (the oracle precision of §V-B).
+    #[default]
+    F64,
+}
+
+impl Precision {
+    /// Short label used in backend names and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::F64 => "f64",
+        }
+    }
+}
+
+/// Cross-backend solve settings.
+///
+/// `None` fields fall back to the workload's own tolerance / iteration cap, so
+/// a default `SolveConfig` reproduces each backend's historical defaults.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SolveConfig {
+    /// Convergence tolerance on `rᵀr` (the paper's Algorithm 1, line 8).
+    pub tolerance: Option<f64>,
+    /// Iteration cap (`k_max`).
+    pub max_iterations: Option<usize>,
+    /// Host-solve precision; device-style backends always compute in `f32`.
+    pub precision: Precision,
+}
+
+impl SolveConfig {
+    /// The tolerance to use for `workload`.
+    pub fn effective_tolerance(&self, workload: &Workload) -> f64 {
+        self.tolerance.unwrap_or_else(|| workload.tolerance())
+    }
+
+    /// The iteration cap to use for `workload`.
+    pub fn effective_max_iterations(&self, workload: &Workload) -> usize {
+        self.max_iterations
+            .unwrap_or_else(|| workload.max_iterations())
+    }
+}
+
+/// Device-side section of a [`SolveReport`], for backends that model a device
+/// (modelled seconds plus backend-specific counters).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceSection {
+    /// Human-readable device description ("A100", "CS-2 region 16x16", …).
+    pub device: String,
+    /// Modelled device time of the solve, seconds.
+    pub modelled_time_seconds: f64,
+    /// Backend-specific named counters (fabric bytes, transfer bytes, FLOPs…).
+    pub counters: Vec<(String, f64)>,
+}
+
+impl DeviceSection {
+    /// Look up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<f64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// The unified result every backend produces.
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// Name of the backend that produced this report (unique within a run set).
+    pub backend: String,
+    /// The converged pressure field, normalized to `f64` for comparison across
+    /// backends regardless of their native precision.
+    pub pressure: CellField<f64>,
+    /// Convergence history of the underlying Krylov solve.
+    pub history: ConvergenceHistory,
+    /// Max-norm of the residual of Eq. (3) at the returned pressure, evaluated
+    /// on the host in `f64` — a backend-independent quality check.
+    pub final_residual_max: f64,
+    /// Wall-clock seconds of the host-side execution (not device time).
+    pub host_wall_seconds: f64,
+    /// Device-time model and counters, for backends that have one.
+    pub device: Option<DeviceSection>,
+}
+
+impl SolveReport {
+    /// Iterations performed by the underlying solve.
+    pub fn iterations(&self) -> usize {
+        self.history.iterations
+    }
+
+    /// Whether the solve met its tolerance before the iteration cap.
+    pub fn converged(&self) -> bool {
+        self.history.converged
+    }
+
+    /// Modelled device seconds, when the backend models a device.
+    pub fn modelled_time(&self) -> Option<f64> {
+        self.device.as_ref().map(|d| d.modelled_time_seconds)
+    }
+
+    /// Maximum absolute pressure difference against another backend's report.
+    pub fn max_abs_diff(&self, other: &SolveReport) -> f64 {
+        self.pressure.max_abs_diff(&other.pressure)
+    }
+}
+
+/// Unified error type of the facade.
+///
+/// Backends with structured internal errors (the fabric simulator's
+/// `FabricError`) stringify into `detail`; the backend name says where the
+/// failure came from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveError {
+    /// Name of the failing backend.
+    pub backend: String,
+    /// Human-readable failure description.
+    pub detail: String,
+}
+
+impl SolveError {
+    /// Build an error for `backend`.
+    pub fn new(backend: impl Into<String>, detail: impl Into<String>) -> Self {
+        Self {
+            backend: backend.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "backend `{}` failed: {}", self.backend, self.detail)
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Max-norm of the Eq. (3) residual at `pressure`, evaluated in `f64` with the
+/// workload's native `f64` coefficients — the backend-independent quality
+/// check every [`SolveReport`] must carry regardless of solve precision.
+pub fn final_residual_max_f64(workload: &Workload, pressure: &CellField<f64>) -> f64 {
+    residual(pressure, workload.transmissibility(), workload.dirichlet()).max_abs()
+}
+
+/// One pressure-solve target: host oracle, GPU-style reference, dataflow
+/// fabric, or anything future PRs register.
+pub trait SolveBackend {
+    /// Unique, stable name ("host-f64", "gpu-ref-A100", "dataflow"…).
+    fn name(&self) -> String;
+
+    /// Solve `workload`'s pressure problem under `config`.
+    fn solve(&self, workload: &Workload, config: &SolveConfig) -> Result<SolveReport, SolveError>;
+}
+
+/// The sequential host oracle (`solve_pressure` behind the trait): matrix-free
+/// CG at a selectable precision, no device model.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HostBackend {
+    /// Arithmetic precision of the solve.
+    pub precision: Precision,
+}
+
+impl HostBackend {
+    /// The §V-B oracle configuration: `f64`.
+    pub fn oracle() -> Self {
+        Self {
+            precision: Precision::F64,
+        }
+    }
+
+    /// A host solve at the paper's device precision, `f32`.
+    pub fn f32() -> Self {
+        Self {
+            precision: Precision::F32,
+        }
+    }
+}
+
+impl SolveBackend for HostBackend {
+    fn name(&self) -> String {
+        format!("host-{}", self.precision.label())
+    }
+
+    fn solve(&self, workload: &Workload, config: &SolveConfig) -> Result<SolveReport, SolveError> {
+        let start = std::time::Instant::now();
+        let solver = ConjugateGradient::with_tolerance(
+            config.effective_tolerance(workload),
+            config.effective_max_iterations(workload),
+        );
+        let (pressure, history, final_residual_max) = match self.precision {
+            Precision::F64 => {
+                let operator = MatrixFreeOperator::<f64>::from_workload(workload);
+                let solution = solve_pressure_with::<f64, _>(workload, &operator, &solver);
+                (
+                    solution.pressure,
+                    solution.history,
+                    solution.final_residual_max,
+                )
+            }
+            Precision::F32 => {
+                let operator = MatrixFreeOperator::<f32>::from_workload(workload);
+                let solution = solve_pressure_with::<f32, _>(workload, &operator, &solver);
+                let pressure: CellField<f64> = solution.pressure.convert();
+                // Re-evaluate the residual in f64 so the field keeps its
+                // backend-independent contract (the f32 solve evaluated it in
+                // device precision).
+                let final_residual_max = final_residual_max_f64(workload, &pressure);
+                (pressure, solution.history, final_residual_max)
+            }
+        };
+        Ok(SolveReport {
+            backend: self.name(),
+            pressure,
+            history,
+            final_residual_max,
+            host_wall_seconds: start.elapsed().as_secs_f64(),
+            device: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mffv_mesh::workload::WorkloadSpec;
+
+    #[test]
+    fn default_config_uses_workload_settings() {
+        let w = WorkloadSpec::quickstart().build();
+        let c = SolveConfig::default();
+        assert_eq!(c.effective_tolerance(&w), w.tolerance());
+        assert_eq!(c.effective_max_iterations(&w), w.max_iterations());
+        let tight = SolveConfig {
+            tolerance: Some(1e-14),
+            max_iterations: Some(7),
+            ..c
+        };
+        assert_eq!(tight.effective_tolerance(&w), 1e-14);
+        assert_eq!(tight.effective_max_iterations(&w), 7);
+    }
+
+    #[test]
+    fn host_backend_solves_and_reports() {
+        let w = WorkloadSpec::quickstart().build();
+        let report = HostBackend::oracle()
+            .solve(&w, &SolveConfig::default())
+            .unwrap();
+        assert_eq!(report.backend, "host-f64");
+        assert!(report.converged());
+        assert!(report.iterations() > 0);
+        assert!(report.final_residual_max < 1e-6);
+        assert!(report.device.is_none());
+        assert!(report.modelled_time().is_none());
+    }
+
+    #[test]
+    fn host_precisions_agree_to_single_precision() {
+        let w = WorkloadSpec::quickstart().build();
+        let config = SolveConfig {
+            tolerance: Some(1e-10),
+            ..SolveConfig::default()
+        };
+        let f64_report = HostBackend::oracle().solve(&w, &config).unwrap();
+        let f32_report = HostBackend::f32().solve(&w, &config).unwrap();
+        assert_eq!(f32_report.backend, "host-f32");
+        assert!(f64_report.max_abs_diff(&f32_report) < 1e-3);
+    }
+
+    #[test]
+    fn device_section_counter_lookup() {
+        let section = DeviceSection {
+            device: "test".into(),
+            modelled_time_seconds: 1.0,
+            counters: vec![("flops".into(), 42.0)],
+        };
+        assert_eq!(section.counter("flops"), Some(42.0));
+        assert_eq!(section.counter("missing"), None);
+    }
+
+    #[test]
+    fn solve_error_displays_backend_and_detail() {
+        let e = SolveError::new("dataflow", "out of local memory");
+        let msg = e.to_string();
+        assert!(msg.contains("dataflow") && msg.contains("out of local memory"));
+    }
+}

@@ -45,12 +45,16 @@ impl ConjugateGradient {
 
     /// The paper's evaluation setting.
     pub fn paper() -> Self {
-        Self { criterion: StoppingCriterion::paper() }
+        Self {
+            criterion: StoppingCriterion::paper(),
+        }
     }
 
     /// A solver with the given tolerance on `rᵀr` and iteration cap.
     pub fn with_tolerance(tolerance: f64, max_iterations: usize) -> Self {
-        Self { criterion: StoppingCriterion::new(tolerance, max_iterations) }
+        Self {
+            criterion: StoppingCriterion::new(tolerance, max_iterations),
+        }
     }
 
     /// Solve `A x = b` starting from `x0`.
@@ -118,14 +122,15 @@ mod tests {
     use mffv_fv::operator::ScaledIdentity;
     use mffv_fv::residual::{newton_rhs, residual};
     use mffv_mesh::workload::WorkloadSpec;
-    use mffv_mesh::{DirichletSet, Dims, Transmissibilities};
+    use mffv_mesh::{Dims, DirichletSet, Transmissibilities};
 
     #[test]
     fn identity_system_converges_in_one_iteration() {
         let dims = Dims::new(4, 4, 2);
         let op = ScaledIdentity::new(dims, 2.0f64);
         let b = CellField::from_fn(dims, |c| (c.x + c.y) as f64);
-        let out = ConjugateGradient::with_tolerance(1e-24, 10).solve(&op, &b, &CellField::zeros(dims));
+        let out =
+            ConjugateGradient::with_tolerance(1e-24, 10).solve(&op, &b, &CellField::zeros(dims));
         assert!(out.history.converged);
         assert!(out.history.iterations <= 1);
         for i in 0..b.len() {
@@ -146,13 +151,22 @@ mod tests {
         dirichlet.impose(&mut p0);
         let r = residual(&p0, &coeffs, &dirichlet);
         let b = newton_rhs(&r, &dirichlet);
-        let out = ConjugateGradient::with_tolerance(1e-20, 500).solve(&op, &b, &CellField::zeros(dims));
-        assert!(out.history.converged, "CG did not converge: {:?}", out.history);
+        let out =
+            ConjugateGradient::with_tolerance(1e-20, 500).solve(&op, &b, &CellField::zeros(dims));
+        assert!(
+            out.history.converged,
+            "CG did not converge: {:?}",
+            out.history
+        );
 
         let mut p = p0.clone();
         p.axpy(1.0, &out.solution);
         let exact = CellField::from_fn(dims, |c| 1.0 - c.x as f64 / (dims.nx - 1) as f64);
-        assert!(p.max_abs_diff(&exact) < 1e-8, "max error {}", p.max_abs_diff(&exact));
+        assert!(
+            p.max_abs_diff(&exact) < 1e-8,
+            "max error {}",
+            p.max_abs_diff(&exact)
+        );
     }
 
     #[test]
@@ -177,7 +191,8 @@ mod tests {
         let dirichlet = DirichletSet::source_producer(dims, 1.0, 0.0);
         let op = MatrixFreeOperator::new(coeffs, &dirichlet);
         let b = CellField::constant(dims, 1.0);
-        let out = ConjugateGradient::with_tolerance(1e-30, 3).solve(&op, &b, &CellField::zeros(dims));
+        let out =
+            ConjugateGradient::with_tolerance(1e-30, 3).solve(&op, &b, &CellField::zeros(dims));
         assert!(!out.history.converged);
         assert_eq!(out.history.iterations, 3);
     }
@@ -186,7 +201,8 @@ mod tests {
     fn zero_rhs_converges_immediately() {
         let dims = Dims::new(4, 4, 4);
         let op = ScaledIdentity::new(dims, 1.0f64);
-        let out = ConjugateGradient::paper().solve(&op, &CellField::zeros(dims), &CellField::zeros(dims));
+        let out =
+            ConjugateGradient::paper().solve(&op, &CellField::zeros(dims), &CellField::zeros(dims));
         assert!(out.history.converged);
         assert_eq!(out.history.iterations, 0);
         assert_eq!(out.solution.max_abs(), 0.0);
@@ -199,7 +215,11 @@ mod tests {
         let p0: CellField<f64> = w.initial_pressure();
         let r = residual(&p0, w.transmissibility(), w.dirichlet());
         let b = newton_rhs(&r, w.dirichlet());
-        let out = ConjugateGradient::with_tolerance(1e-16, 2000).solve(&op, &b, &CellField::zeros(w.dims()));
+        let out = ConjugateGradient::with_tolerance(1e-16, 2000).solve(
+            &op,
+            &b,
+            &CellField::zeros(w.dims()),
+        );
         assert!(out.history.converged);
         assert!(out.history.is_broadly_decreasing(50.0));
     }
@@ -211,7 +231,11 @@ mod tests {
         let p0: CellField<f32> = w.initial_pressure();
         let r = residual(&p0, &w.transmissibility().convert(), w.dirichlet());
         let b = newton_rhs(&r, w.dirichlet());
-        let out = ConjugateGradient::with_tolerance(1e-10, 2000).solve(&op, &b, &CellField::zeros(w.dims()));
+        let out = ConjugateGradient::with_tolerance(1e-10, 2000).solve(
+            &op,
+            &b,
+            &CellField::zeros(w.dims()),
+        );
         assert!(out.history.converged);
         assert!(out.solution.all_finite());
     }

@@ -18,7 +18,10 @@ impl StoppingCriterion {
     pub fn new(tolerance: f64, max_iterations: usize) -> Self {
         assert!(tolerance > 0.0, "tolerance must be positive");
         assert!(max_iterations > 0, "at least one iteration must be allowed");
-        Self { tolerance, max_iterations }
+        Self {
+            tolerance,
+            max_iterations,
+        }
     }
 
     /// The paper's evaluation setting: `2 × 10⁻¹⁰`, generous iteration cap.
@@ -53,7 +56,11 @@ pub struct ConvergenceHistory {
 impl ConvergenceHistory {
     /// Start a history from the initial `rᵀr`.
     pub fn starting_from(initial_rr: f64) -> Self {
-        Self { residual_norms_squared: vec![initial_rr], converged: false, iterations: 0 }
+        Self {
+            residual_norms_squared: vec![initial_rr],
+            converged: false,
+            iterations: 0,
+        }
     }
 
     /// Record the `rᵀr` after one more iteration.

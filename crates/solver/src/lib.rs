@@ -11,12 +11,16 @@
 //! CSR baseline, the GPU-style reference and (re-implemented as a state machine) the
 //! dataflow fabric.
 
+pub mod backend;
 pub mod cg;
 pub mod convergence;
 pub mod newton;
 pub mod pcg;
 pub mod reduction;
 
+pub use backend::{
+    DeviceSection, HostBackend, Precision, SolveBackend, SolveConfig, SolveError, SolveReport,
+};
 pub use cg::{ConjugateGradient, SolveOutcome};
 pub use convergence::{ConvergenceHistory, StoppingCriterion};
 pub use newton::{solve_pressure, PressureSolution};
@@ -24,6 +28,9 @@ pub use pcg::{JacobiPreconditioner, PreconditionedConjugateGradient};
 
 /// Convenient glob import.
 pub mod prelude {
+    pub use crate::backend::{
+        DeviceSection, HostBackend, Precision, SolveBackend, SolveConfig, SolveError, SolveReport,
+    };
     pub use crate::cg::{ConjugateGradient, SolveOutcome};
     pub use crate::convergence::{ConvergenceHistory, StoppingCriterion};
     pub use crate::newton::{solve_pressure, PressureSolution};

@@ -54,8 +54,7 @@ pub fn solve_pressure_with<T: Scalar, Op: LinearOperator<T>>(
 /// the workload's own tolerance settings.
 pub fn solve_pressure<T: Scalar>(workload: &Workload) -> PressureSolution<T> {
     let operator = MatrixFreeOperator::<T>::from_workload(workload);
-    let solver =
-        ConjugateGradient::with_tolerance(workload.tolerance(), workload.max_iterations());
+    let solver = ConjugateGradient::with_tolerance(workload.tolerance(), workload.max_iterations());
     solve_pressure_with(workload, &operator, &solver)
 }
 
@@ -75,7 +74,10 @@ mod tests {
         // Discrete maximum principle: interior pressures stay within the range of
         // the boundary values.
         for &p in sol.pressure.as_slice() {
-            assert!((-1e-9..=1.0 + 1e-9).contains(&p), "pressure {p} outside [0, 1]");
+            assert!(
+                (-1e-9..=1.0 + 1e-9).contains(&p),
+                "pressure {p} outside [0, 1]"
+            );
         }
         // Monotone decay away from the source towards the producer.
         let d = w.dims();

@@ -9,7 +9,7 @@
 
 use crate::convergence::{ConvergenceHistory, StoppingCriterion};
 use mffv_fv::LinearOperator;
-use mffv_mesh::{CellField, DirichletSet, Dims, Direction, Scalar, Transmissibilities};
+use mffv_mesh::{CellField, Dims, Direction, DirichletSet, Scalar, Transmissibilities};
 
 /// A diagonal (Jacobi) preconditioner `M⁻¹ = diag(A)⁻¹`.
 #[derive(Clone, Debug)]
@@ -26,7 +26,9 @@ impl<T: Scalar> JacobiPreconditioner<T> {
             let d = diagonal.get(i);
             inv.set(i, if d.to_f64() > 0.0 { T::ONE / d } else { T::ONE });
         }
-        Self { inverse_diagonal: inv }
+        Self {
+            inverse_diagonal: inv,
+        }
     }
 
     /// Build the diagonal of the SPD FV operator directly from the TPFA coefficient
@@ -86,7 +88,9 @@ impl PreconditionedConjugateGradient {
 
     /// A solver with the given tolerance on `rᵀr` and iteration cap.
     pub fn with_tolerance(tolerance: f64, max_iterations: usize) -> Self {
-        Self { criterion: StoppingCriterion::new(tolerance, max_iterations) }
+        Self {
+            criterion: StoppingCriterion::new(tolerance, max_iterations),
+        }
     }
 
     /// Solve `A x = b` with preconditioner `M⁻¹`, starting from `x0`.
@@ -161,7 +165,11 @@ mod tests {
             name: "pcg-test".to_string(),
             dims: Dims::new(10, 10, 6),
             spacing: [1.0, 1.0, 1.0],
-            permeability: PermeabilityModel::LogNormal { mean_log: 0.0, std_log: 2.0, seed: 11 },
+            permeability: PermeabilityModel::LogNormal {
+                mean_log: 0.0,
+                std_log: 2.0,
+                seed: 11,
+            },
             viscosity: 1.0,
             boundary: BoundarySpec::SourceProducer {
                 source_pressure: 1.0,
@@ -195,8 +203,8 @@ mod tests {
         let x0 = CellField::zeros(w.dims());
 
         let cg = ConjugateGradient::with_tolerance(1e-18, 5000).solve(&op, &b, &x0);
-        let pcg = PreconditionedConjugateGradient::with_tolerance(1e-18, 5000)
-            .solve(&op, &pc, &b, &x0);
+        let pcg =
+            PreconditionedConjugateGradient::with_tolerance(1e-18, 5000).solve(&op, &pc, &b, &x0);
         assert!(cg.history.converged && pcg.history.converged);
         assert!(
             pcg.solution.max_abs_diff(&cg.solution) < 1e-6,

@@ -74,8 +74,12 @@ pub fn pairwise_sum<T: Scalar>(values: &[T]) -> T {
 /// Dot product via pairwise summation of the per-cell products.
 pub fn pairwise_dot<T: Scalar>(a: &CellField<T>, b: &CellField<T>) -> T {
     assert_eq!(a.dims(), b.dims(), "field dimension mismatch");
-    let products: Vec<T> =
-        a.as_slice().iter().zip(b.as_slice().iter()).map(|(&x, &y)| x * y).collect();
+    let products: Vec<T> = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice().iter())
+        .map(|(&x, &y)| x * y)
+        .collect();
     pairwise_sum(&products)
 }
 
@@ -116,7 +120,7 @@ mod tests {
         // loses them all, pairwise keeps some.
         let n = 4096;
         let mut values = vec![1.0e8f32];
-        values.extend(std::iter::repeat(1.0f32).take(n));
+        values.extend(std::iter::repeat_n(1.0f32, n));
         let sequential: f32 = values.iter().copied().sum();
         let pairwise = pairwise_sum(&values);
         let exact = 1.0e8f64 + n as f64;

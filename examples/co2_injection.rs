@@ -19,32 +19,36 @@ fn main() {
         dims.ny - 1
     );
 
-    let report = DataflowFvSolver::new(
-        workload.clone(),
-        SolverOptions::paper().with_tolerance(1e-14),
-    )
-    .solve()
-    .expect("dataflow solve failed");
+    let report = Simulation::new(workload.clone())
+        .tolerance(1e-14)
+        .backend(Backend::dataflow())
+        .run()
+        .expect("dataflow solve failed");
     println!(
         "Converged in {} CG iterations (converged = {}), |r|_max = {:.3e}",
-        report.stats.iterations, report.history.converged, report.final_residual_max
+        report.iterations(),
+        report.converged(),
+        report.final_residual_max
     );
 
     // ASCII pressure map of the mid-depth slice (darker = higher pressure).
     let z = dims.nz / 2;
     let slice = report.pressure.horizontal_slice(z);
-    let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
     for &v in &slice {
         lo = lo.min(v);
         hi = hi.max(v);
     }
     let shades = b" .:-=+*#%@";
-    println!("\nPressure slice at z = {z} (range {:.3e} .. {:.3e} Pa):", lo, hi);
+    println!(
+        "\nPressure slice at z = {z} (range {:.3e} .. {:.3e} Pa):",
+        lo, hi
+    );
     for y in 0..dims.ny {
         let line: String = (0..dims.nx)
             .map(|x| {
-                let t = (slice[y * dims.nx + x] - lo) / (hi - lo).max(f32::MIN_POSITIVE);
-                shades[(t.clamp(0.0, 1.0) * (shades.len() - 1) as f32).round() as usize] as char
+                let t = (slice[y * dims.nx + x] - lo) / (hi - lo).max(f64::MIN_POSITIVE);
+                shades[(t.clamp(0.0, 1.0) * (shades.len() - 1) as f64).round() as usize] as char
             })
             .collect();
         println!("{line}");
@@ -60,10 +64,27 @@ fn main() {
         println!("  ({x:3}, {y:3})  {:8.3}", p / 1.0e6);
     }
 
-    // Communication/computation profile of the run.
-    println!("\nRun profile:");
-    println!("  fabric messages: {}", report.stats.fabric.messages_sent);
-    println!("  fabric payload bytes: {}", report.stats.fabric.link_bytes);
-    println!("  total FLOPs (all PEs): {}", report.stats.total_compute.flops);
-    println!("  modelled device time: {:.4e} s", report.modelled_time.total);
+    // Communication/computation profile of the run, from the unified report's
+    // device section.
+    let device = report
+        .device
+        .as_ref()
+        .expect("dataflow backend models a device");
+    println!("\nRun profile ({}):", device.device);
+    println!(
+        "  fabric messages: {}",
+        device.counter("fabric_messages").unwrap_or(0.0)
+    );
+    println!(
+        "  fabric payload bytes: {}",
+        device.counter("fabric_link_bytes").unwrap_or(0.0)
+    );
+    println!(
+        "  total FLOPs (all PEs): {}",
+        device.counter("total_flops").unwrap_or(0.0)
+    );
+    println!(
+        "  modelled device time: {:.4e} s",
+        device.modelled_time_seconds
+    );
 }

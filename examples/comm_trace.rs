@@ -21,8 +21,9 @@ fn main() {
         let pe_id = fabric.dims().unlinear(idx);
         let pe = fabric.pe_mut(pe_id);
         let bufs = PeColumnBuffers::allocate(pe, &workload, pe_id.x, pe_id.y).unwrap();
-        let column: Vec<f32> =
-            (0..dims.nz).map(|z| (pe_id.x * 100 + pe_id.y * 10 + z) as f32).collect();
+        let column: Vec<f32> = (0..dims.nz)
+            .map(|z| (pe_id.x * 100 + pe_id.y * 10 + z) as f32)
+            .collect();
         pe.memory_mut().write(bufs.direction, 0, &column).unwrap();
         buffers.push(bufs);
     }
@@ -44,7 +45,10 @@ fn main() {
     // Show the halos of the centre PE.
     let pe = PeId::new(1, 1);
     let idx = fabric.dims().linear(pe);
-    println!("\nHalos received by PE {pe} (its own column starts at {}):", 1 * 100 + 1 * 10);
+    println!(
+        "\nHalos received by PE {pe} (its own column starts at {}):",
+        100 + 10
+    );
     for (name, buf) in [
         ("west ", buffers[idx].halo_west),
         ("east ", buffers[idx].halo_east),

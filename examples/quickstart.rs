@@ -1,51 +1,39 @@
-//! Quickstart: solve a small single-phase pressure problem three ways — on the host
-//! (f64 oracle), with the GPU-style reference, and on the simulated dataflow fabric
-//! — and compare the results.
+//! Quickstart: solve a small single-phase pressure problem on all three
+//! backends — host f64 oracle, GPU-style reference, simulated dataflow fabric —
+//! through the one `Simulation` facade, and print the §V-B agreement table.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
 use mffv::prelude::*;
 
 fn main() {
-    // 1. Describe the problem: a 16×16×8 homogeneous box with a pressurised source
-    //    column in one corner and a producer column in the opposite corner.
+    // 1. Describe the problem: a 16×16×8 homogeneous box with a pressurised
+    //    source column in one corner and a producer column in the opposite one.
     let workload = WorkloadSpec::quickstart().build();
-    println!("Workload: {} ({} cells)", workload.name(), workload.dims().num_cells());
-
-    // 2. Host oracle: sequential matrix-free CG in f64.
-    let oracle = solve_pressure::<f64>(&workload);
     println!(
-        "Host oracle:        {} iterations, converged = {}, |r|_max = {:.2e}",
-        oracle.history.iterations, oracle.history.converged, oracle.final_residual_max
+        "Workload: {} ({} cells)\n",
+        workload.name(),
+        workload.dims().num_cells()
     );
 
-    // 3. GPU-style reference: 16×8×8 thread blocks, one thread per cell, f32.
-    let gpu = GpuReferenceSolver::new(workload.clone(), GpuSpec::a100())
-        .with_tolerance(1e-10)
-        .solve();
-    println!(
-        "GPU-style reference: {} iterations, modelled A100 kernel time = {:.4e} s",
-        gpu.history.iterations, gpu.modelled_kernel_time
-    );
+    // 2. One facade call runs every registered backend; with none registered,
+    //    the standard set (host oracle, GPU reference, dataflow fabric) runs.
+    let simulation = Simulation::new(workload).tolerance(1e-10);
+    let agreement = simulation.compare().expect("solve failed");
 
-    // 4. Dataflow fabric: one PE per vertical column, Table-I halo exchanges,
-    //    whole-fabric all-reduces, 14-state CG state machine.
-    let dataflow = DataflowFvSolver::new(
-        workload.clone(),
-        SolverOptions::paper().with_tolerance(1e-10),
-    )
-    .solve()
-    .expect("dataflow solve failed");
-    println!(
-        "Dataflow fabric:     {} iterations, modelled CS-2 region time = {:.4e} s",
-        dataflow.stats.iterations, dataflow.modelled_time.total
-    );
-
-    // 5. Numerical integrity (§V-B): all three agree.
-    let gpu_diff = oracle.pressure.max_abs_diff(&gpu.pressure.convert());
-    let dataflow_diff = oracle.pressure.max_abs_diff(&dataflow.pressure.convert());
-    println!("Max |oracle - GPU reference| = {gpu_diff:.3e}");
-    println!("Max |oracle - dataflow|      = {dataflow_diff:.3e}");
-    assert!(gpu_diff < 1e-3 && dataflow_diff < 1e-3, "implementations disagree");
+    // 3. The agreement report is the paper's numerical-integrity table.
+    println!("{agreement}");
+    assert!(agreement.agrees_within(1e-3), "implementations disagree");
     println!("All implementations agree to single precision.");
+
+    // 4. Individual reports stay accessible for backend-specific detail.
+    let dataflow = agreement.report("dataflow").expect("dataflow ran");
+    let device = dataflow.device.as_ref().expect("dataflow models a device");
+    println!(
+        "\nDataflow detail: {} iterations on {}, {} fabric bytes, modelled {:.4e} s",
+        dataflow.iterations(),
+        device.device,
+        device.counter("fabric_link_bytes").unwrap_or(0.0),
+        device.modelled_time_seconds,
+    );
 }

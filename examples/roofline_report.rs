@@ -9,8 +9,12 @@ use mffv_perf::report::{fmt_flops, fmt_percent};
 fn main() {
     let counts = CellOpCounts::paper_table5();
     println!("Per-cell work model (Table V):");
-    println!("  {} FLOPs, {} memory accesses, {} fabric loads",
-        counts.flops_per_cell(), counts.mem_accesses_per_cell(), counts.fabric_loads_per_cell());
+    println!(
+        "  {} FLOPs, {} memory accesses, {} fabric loads",
+        counts.flops_per_cell(),
+        counts.mem_accesses_per_cell(),
+        counts.fabric_loads_per_cell()
+    );
     println!(
         "  arithmetic intensity: {:.4} FLOP/B (memory), {:.1} FLOP/B (fabric)\n",
         counts.memory_arithmetic_intensity(),

@@ -26,7 +26,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["Grid", "CS-2 Alg2 [s]", "CS-2 Alg1 [s]", "Alg1 thpt [Gcell/s]", "A100 Alg1 [s]"],
+            &[
+                "Grid",
+                "CS-2 Alg2 [s]",
+                "CS-2 Alg1 [s]",
+                "Alg1 thpt [Gcell/s]",
+                "A100 Alg1 [s]"
+            ],
             &rows
         )
     );
@@ -37,27 +43,36 @@ fn main() {
     let mut rows = Vec::new();
     for side in [6usize, 10, 14, 18] {
         let workload = WorkloadSpec::paper_grid(side, side, 24).build();
-        let report = DataflowFvSolver::new(
-            workload,
-            SolverOptions::paper().with_max_iterations(15).with_tolerance(1e-30),
-        )
-        .solve()
-        .expect("solve failed");
+        let report = Simulation::new(workload)
+            .tolerance(1e-30)
+            .max_iterations(15)
+            .backend(Backend::dataflow())
+            .run()
+            .expect("solve failed");
+        let device = report.device.as_ref().expect("dataflow models a device");
         rows.push(vec![
             format!("{side} x {side} x 24"),
-            format!("{}", report.stats.iterations),
-            format!("{}", report.stats.critical_path_hops),
-            format!("{}", report.stats.fabric.link_bytes),
-            format!("{:.3e}", report.modelled_time.total),
+            format!("{}", report.iterations()),
+            format!("{}", device.counter("critical_path_hops").unwrap_or(0.0)),
+            format!("{}", device.counter("fabric_link_bytes").unwrap_or(0.0)),
+            format!("{:.3e}", device.modelled_time_seconds),
         ]);
     }
     println!(
         "{}",
         format_table(
-            &["Grid", "Iterations", "Critical-path hops", "Fabric bytes", "Modelled time [s]"],
+            &[
+                "Grid",
+                "Iterations",
+                "Critical-path hops",
+                "Fabric bytes",
+                "Modelled time [s]"
+            ],
             &rows
         )
     );
     println!("The critical-path hop count grows with the fabric perimeter — the reduction cost");
-    println!("that makes Algorithm 1 scale sub-linearly in Table III while Algorithm 2 stays flat.");
+    println!(
+        "that makes Algorithm 1 scale sub-linearly in Table III while Algorithm 2 stays flat."
+    );
 }

@@ -1,17 +1,38 @@
 //! # mffv — Matrix-Free Finite Volume Kernels on a (simulated) Dataflow Architecture
 //!
-//! Umbrella crate re-exporting the whole workspace.  See `README.md` for the project
-//! overview, `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
-//! paper-vs-measured record of every table and figure.
+//! Umbrella crate for the whole workspace, and home of the backend-agnostic
+//! [`Simulation`] facade: one builder API that runs the same matrix-free FV
+//! pressure solve on the host f64 oracle, the GPU-style reference, or the
+//! simulated WSE-2 dataflow fabric — and compares them, reproducing the
+//! paper's §V-B numerical-integrity experiment programmatically.
 //!
 //! ```
 //! use mffv::prelude::*;
 //!
 //! let workload = WorkloadSpec::quickstart().build();
-//! assert_eq!(workload.dims().num_cells(), 16 * 16 * 8);
+//!
+//! // One backend: returns a unified `SolveReport`.
+//! let report = Simulation::new(workload.clone())
+//!     .tolerance(1e-10)
+//!     .backend(Backend::dataflow())
+//!     .run()
+//!     .unwrap();
+//! assert!(report.converged());
+//! assert!(report.modelled_time().unwrap() > 0.0);
+//!
+//! // All three paper targets: returns the §V-B agreement table.
+//! let agreement = Simulation::new(workload).tolerance(1e-10).compare().unwrap();
+//! assert!(agreement.agrees_within(1e-3));
 //! ```
+//!
+//! The sub-crates remain available for lower-level work (fabric programming,
+//! operator mathematics, performance models); see the workspace `README.md`.
 
-pub use mffv_core as core;
+pub mod backend;
+pub mod report;
+pub mod simulation;
+
+pub use mffv_core as dataflow;
 pub use mffv_fabric as fabric;
 pub use mffv_fv as fv;
 pub use mffv_gpu_ref as gpu_ref;
@@ -19,8 +40,16 @@ pub use mffv_mesh as mesh;
 pub use mffv_perf as perf;
 pub use mffv_solver as solver;
 
-/// One-stop import of the most commonly used types across all crates.
+pub use backend::Backend;
+pub use report::{AgreementReport, PairwiseDisagreement, SolveReport};
+pub use simulation::Simulation;
+
+/// One-stop import of the most commonly used types across all crates,
+/// including the `Simulation` facade.
 pub mod prelude {
+    pub use crate::backend::Backend;
+    pub use crate::report::{AgreementReport, PairwiseDisagreement};
+    pub use crate::simulation::Simulation;
     pub use mffv_core::prelude::*;
     pub use mffv_fabric::prelude::*;
     pub use mffv_fv::prelude::*;

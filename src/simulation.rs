@@ -1,0 +1,238 @@
+//! The `Simulation` builder — one backend-agnostic entry point for every
+//! pressure solve in the workspace.
+//!
+//! ```
+//! use mffv::prelude::*;
+//!
+//! let workload = WorkloadSpec::quickstart().build();
+//! let report = Simulation::new(workload)
+//!     .tolerance(1e-10)
+//!     .backend(Backend::host())
+//!     .run()
+//!     .unwrap();
+//! assert!(report.converged());
+//! ```
+//!
+//! `run()` executes the primary (first-registered) backend; `run_all()`
+//! executes every registered backend — or the three paper targets when none
+//! was registered — and `compare()` condenses those runs into the §V-B
+//! numerical-integrity table ([`AgreementReport`]).
+
+use crate::backend::Backend;
+use crate::report::{AgreementReport, SolveReport};
+use mffv_mesh::{Workload, WorkloadSpec};
+use mffv_solver::backend::{Precision, SolveConfig, SolveError};
+
+/// Builder facade over the three solver implementations.
+#[derive(Clone, Debug)]
+pub struct Simulation {
+    workload: Workload,
+    config: SolveConfig,
+    backends: Vec<Backend>,
+}
+
+impl Simulation {
+    /// A simulation of `workload` with its own tolerance/iteration settings
+    /// and no backend registered yet (`run()` then uses the host oracle).
+    pub fn new(workload: Workload) -> Self {
+        Self {
+            workload,
+            config: SolveConfig::default(),
+            backends: Vec::new(),
+        }
+    }
+
+    /// Convenience: build the workload from a spec first.
+    pub fn from_spec(spec: &WorkloadSpec) -> Self {
+        Self::new(spec.build())
+    }
+
+    /// Override the convergence tolerance on `rᵀr` for every backend.
+    pub fn tolerance(mut self, tolerance: f64) -> Self {
+        self.config.tolerance = Some(tolerance);
+        self
+    }
+
+    /// Override the iteration cap for every backend.
+    pub fn max_iterations(mut self, max_iterations: usize) -> Self {
+        self.config.max_iterations = Some(max_iterations);
+        self
+    }
+
+    /// Set the host-solve precision used when no backend is registered (a
+    /// registered [`Backend::Host`] carries its own precision; the device
+    /// backends always run `f32`).
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.config.precision = precision;
+        self
+    }
+
+    /// Register a backend.  The first registered backend is the one `run()`
+    /// executes; `run_all()`/`compare()` execute all of them in order.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backends.push(backend);
+        self
+    }
+
+    /// Register several backends at once.
+    pub fn backends(mut self, backends: impl IntoIterator<Item = Backend>) -> Self {
+        self.backends.extend(backends);
+        self
+    }
+
+    /// The workload being solved.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The normalized cross-backend settings.
+    pub fn config(&self) -> &SolveConfig {
+        &self.config
+    }
+
+    /// Run the primary backend (the first registered one, or the host oracle
+    /// when none was registered) and return its unified report.
+    pub fn run(&self) -> Result<SolveReport, SolveError> {
+        let primary = self.backends.first().copied().unwrap_or(Backend::Host {
+            precision: self.config.precision,
+        });
+        self.run_backend(&primary)
+    }
+
+    /// Run one specific backend under this simulation's workload and config.
+    pub fn run_backend(&self, backend: &Backend) -> Result<SolveReport, SolveError> {
+        backend.instantiate().solve(&self.workload, &self.config)
+    }
+
+    /// Run every registered backend — or [`Backend::standard_set`] when none
+    /// was registered — and return their reports in execution order.
+    ///
+    /// Report names are kept unique within the returned set: a second backend
+    /// producing the same name (e.g. two dataflow configurations) is suffixed
+    /// `#2`, `#3`, … so [`AgreementReport`] lookups and the pairwise table
+    /// stay unambiguous.
+    pub fn run_all(&self) -> Result<Vec<SolveReport>, SolveError> {
+        let mut reports: Vec<SolveReport> = self
+            .effective_backends()
+            .iter()
+            .map(|b| self.run_backend(b))
+            .collect::<Result<_, _>>()?;
+        let mut seen: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        for report in &mut reports {
+            let count = seen.entry(report.backend.clone()).or_insert(0);
+            *count += 1;
+            if *count > 1 {
+                report.backend = format!("{}#{}", report.backend, count);
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Run every backend and condense the results into the cross-backend
+    /// agreement report (the programmatic §V-B integrity table).
+    pub fn compare(&self) -> Result<AgreementReport, SolveError> {
+        let reports = self.run_all()?;
+        Ok(AgreementReport::from_reports(
+            self.workload.name(),
+            self.workload.dims(),
+            reports,
+        ))
+    }
+
+    fn effective_backends(&self) -> Vec<Backend> {
+        if self.backends.is_empty() {
+            Backend::standard_set()
+        } else {
+            self.backends.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_defaults_to_the_host_oracle() {
+        let report = Simulation::from_spec(&WorkloadSpec::quickstart())
+            .tolerance(1e-10)
+            .run()
+            .unwrap();
+        assert_eq!(report.backend, "host-f64");
+        assert!(report.converged());
+    }
+
+    #[test]
+    fn run_executes_the_first_registered_backend() {
+        let report = Simulation::from_spec(&WorkloadSpec::quickstart())
+            .tolerance(1e-10)
+            .backend(Backend::gpu_ref())
+            .backend(Backend::dataflow())
+            .run()
+            .unwrap();
+        assert_eq!(report.backend, "gpu-ref-A100");
+    }
+
+    #[test]
+    fn run_all_defaults_to_the_standard_set_and_agrees() {
+        let agreement = Simulation::from_spec(&WorkloadSpec::quickstart())
+            .tolerance(1e-10)
+            .compare()
+            .unwrap();
+        assert_eq!(agreement.reports.len(), 3);
+        assert_eq!(agreement.pairwise.len(), 3);
+        assert!(
+            agreement.max_pairwise_diff() < 1e-3,
+            "backends disagree: {}",
+            agreement.max_pairwise_diff()
+        );
+        assert!(agreement
+            .report("dataflow")
+            .unwrap()
+            .modelled_time()
+            .is_some());
+    }
+
+    #[test]
+    fn facade_tolerance_reaches_every_backend() {
+        // A loose tolerance must reduce iteration counts on all backends.
+        let sim = Simulation::from_spec(&WorkloadSpec::quickstart());
+        let loose = sim.clone().tolerance(1e-2).run_all().unwrap();
+        let tight = sim.tolerance(1e-12).run_all().unwrap();
+        for (l, t) in loose.iter().zip(tight.iter()) {
+            assert_eq!(l.backend, t.backend);
+            assert!(
+                l.iterations() < t.iterations(),
+                "{}: {} !< {}",
+                l.backend,
+                l.iterations(),
+                t.iterations()
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_backend_names_are_disambiguated() {
+        use mffv_core::SolverOptions;
+        let reports = Simulation::from_spec(&WorkloadSpec::quickstart())
+            .tolerance(1e-10)
+            .backend(Backend::dataflow())
+            .backend(Backend::dataflow_with(
+                SolverOptions::paper().without_vectorization(),
+            ))
+            .run_all()
+            .unwrap();
+        assert_eq!(reports[0].backend, "dataflow");
+        assert_eq!(reports[1].backend, "dataflow#2");
+    }
+
+    #[test]
+    fn precision_selects_the_host_arithmetic() {
+        let report = Simulation::from_spec(&WorkloadSpec::quickstart())
+            .precision(Precision::F32)
+            .tolerance(1e-9)
+            .run()
+            .unwrap();
+        assert_eq!(report.backend, "host-f32");
+    }
+}

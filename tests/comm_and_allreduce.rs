@@ -36,7 +36,9 @@ fn exchanged_halos_plus_kernel_reproduce_the_host_operator() {
         let pe_id = fabric.dims().unlinear(idx);
         let pe = fabric.pe_mut(pe_id);
         let bufs = PeColumnBuffers::allocate(pe, &workload, pe_id.x, pe_id.y).unwrap();
-        pe.memory_mut().write(bufs.direction, 0, &direction.column(pe_id.x, pe_id.y)).unwrap();
+        pe.memory_mut()
+            .write(bufs.direction, 0, &direction.column(pe_id.x, pe_id.y))
+            .unwrap();
         buffers.push(bufs);
     }
     let mut colors = ColorAllocator::new();
@@ -44,15 +46,22 @@ fn exchanged_halos_plus_kernel_reproduce_the_host_operator() {
     exchange.exchange(&mut fabric, &buffers).unwrap();
 
     let mut got = CellField::<f32>::zeros(dims);
-    for idx in 0..fabric.num_pes() {
+    for (idx, bufs) in buffers.iter().enumerate() {
         let pe_id = fabric.dims().unlinear(idx);
-        kernel::compute_jd(fabric.pe_mut(pe_id), &buffers[idx]).unwrap();
-        let column = fabric.pe(pe_id).memory().read(buffers[idx].operator_out, 0, dims.nz).unwrap();
+        kernel::compute_jd(fabric.pe_mut(pe_id), bufs).unwrap();
+        let column = fabric
+            .pe(pe_id)
+            .memory()
+            .read(bufs.operator_out, 0, dims.nz)
+            .unwrap();
         got.set_column(pe_id.x, pe_id.y, &column);
     }
     let scale = expected.max_abs().max(1.0);
     let diff = got.max_abs_diff(&expected);
-    assert!(diff <= 1e-5 * scale, "fabric operator differs from host operator by {diff}");
+    assert!(
+        diff <= 1e-5 * scale,
+        "fabric operator differs from host operator by {diff}"
+    );
 }
 
 /// The fabric all-reduce must equal the host helper that mimics its reduction order
@@ -66,7 +75,7 @@ fn fabric_allreduce_matches_host_fabric_ordered_reduction() {
     // Per-PE partial dot products, then the fabric collective.
     let mut fabric = Fabric::new(FabricDims::new(dims.nx, dims.ny));
     let mut partials = vec![0.0f32; fabric.num_pes()];
-    for idx in 0..fabric.num_pes() {
+    for (idx, partial) in partials.iter_mut().enumerate() {
         let pe = fabric.dims().unlinear(idx);
         let col_a = a.column(pe.x, pe.y);
         let col_b = b.column(pe.x, pe.y);
@@ -74,16 +83,25 @@ fn fabric_allreduce_matches_host_fabric_ordered_reduction() {
         for (x, y) in col_a.iter().zip(col_b.iter()) {
             acc = x.mul_add(*y, acc);
         }
-        partials[idx] = acc;
+        *partial = acc;
     }
     let mut colors = ColorAllocator::new();
     let allreduce = AllReduce::new(&mut colors).unwrap();
     let (values, report) = allreduce.sum(&mut fabric, &partials).unwrap();
 
     let host = fabric_ordered_dot(&a, &b);
-    assert_eq!(values[0], host, "fabric and host reduction orders must agree bitwise");
-    assert!(values.iter().all(|&v| v == values[0]), "broadcast must reach every PE");
-    assert_eq!(report.critical_path_hops, 2 * ((dims.nx - 1) + (dims.ny - 1)));
+    assert_eq!(
+        values[0], host,
+        "fabric and host reduction orders must agree bitwise"
+    );
+    assert!(
+        values.iter().all(|&v| v == values[0]),
+        "broadcast must reach every PE"
+    );
+    assert_eq!(
+        report.critical_path_hops,
+        2 * ((dims.nx - 1) + (dims.ny - 1))
+    );
 }
 
 /// The full dataflow CG must report the same iteration count as the host CG driven
@@ -92,15 +110,13 @@ fn fabric_allreduce_matches_host_fabric_ordered_reduction() {
 #[test]
 fn dataflow_iteration_count_is_close_to_host_iteration_count() {
     let workload = WorkloadSpec::quickstart().scaled(2).build();
-    let host = solve_pressure::<f32>(&workload);
-    let dataflow = DataflowFvSolver::new(
-        workload.clone(),
-        SolverOptions::paper().with_tolerance(workload.tolerance()),
-    )
-    .solve()
-    .unwrap();
-    let host_iters = host.history.iterations as isize;
-    let fabric_iters = dataflow.stats.iterations as isize;
+    let reports = Simulation::new(workload)
+        .backend(Backend::host_f32())
+        .backend(Backend::dataflow())
+        .run_all()
+        .unwrap();
+    let host_iters = reports[0].iterations() as isize;
+    let fabric_iters = reports[1].iterations() as isize;
     assert!(
         (host_iters - fabric_iters).abs() <= 3,
         "iteration counts diverge: host {host_iters} vs fabric {fabric_iters}"

@@ -1,0 +1,111 @@
+//! Facade-level equivalence: `Simulation::run_all()` must produce agreeing
+//! pressure fields from the host oracle, the GPU-style reference and the
+//! dataflow fabric across qualitatively different workload shapes — the
+//! paper's §V-B integrity claim, exercised end-to-end through the public API.
+
+use mffv::prelude::*;
+use mffv_mesh::workload::BoundarySpec;
+
+/// An XFaces boundary case: fixed pressures on the two X faces with layered
+/// permeability, a different Dirichlet topology from the corner-well defaults.
+fn xfaces_workload() -> Workload {
+    WorkloadSpec {
+        name: "xfaces-12x10x6".to_string(),
+        dims: Dims::new(12, 10, 6),
+        spacing: [1.0, 1.0, 1.0],
+        permeability: PermeabilityModel::Layered {
+            layer_values: vec![1.0, 0.2, 0.5],
+        },
+        viscosity: 1.0,
+        boundary: BoundarySpec::XFaces {
+            left_pressure: 1.0,
+            right_pressure: 0.0,
+        },
+        tolerance: 1e-10,
+        max_iterations: 10_000,
+    }
+    .build()
+}
+
+fn equivalence_workloads() -> Vec<Workload> {
+    vec![
+        WorkloadSpec::quickstart().build(),
+        xfaces_workload(),
+        // The paper's full grid, scaled to host-executable size.
+        WorkloadSpec::paper_grid(750, 994, 922).scaled(50).build(),
+    ]
+}
+
+#[test]
+fn run_all_backends_agree_across_workload_shapes() {
+    for workload in equivalence_workloads() {
+        let name = workload.name().to_string();
+        let reports = Simulation::new(workload)
+            .tolerance(1e-10)
+            .run_all()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(reports.len(), 3, "{name}: expected the full standard set");
+        for report in &reports {
+            assert!(
+                report.converged(),
+                "{name}: {} did not converge",
+                report.backend
+            );
+        }
+        for i in 0..reports.len() {
+            for j in (i + 1)..reports.len() {
+                let diff = reports[i].max_abs_diff(&reports[j]);
+                assert!(
+                    diff < 1e-3,
+                    "{name}: {} vs {} disagree by {diff}",
+                    reports[i].backend,
+                    reports[j].backend
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn compare_summarises_the_same_runs() {
+    for workload in equivalence_workloads() {
+        let name = workload.name().to_string();
+        let agreement = Simulation::new(workload)
+            .tolerance(1e-10)
+            .compare()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            agreement.pairwise.len(),
+            3,
+            "{name}: 3 backend pairs expected"
+        );
+        assert!(
+            agreement.agrees_within(1e-3),
+            "{name}: max relative disagreement {}",
+            agreement.max_pairwise_rel_diff()
+        );
+        // The rendered table carries every backend name.
+        let table = agreement.to_string();
+        for backend in ["host-f64", "gpu-ref-A100", "dataflow"] {
+            assert!(table.contains(backend), "{name}: table misses {backend}");
+        }
+    }
+}
+
+#[test]
+fn facade_error_reports_the_failing_backend() {
+    // A column too deep for the 48 KiB PE memory makes the dataflow backend
+    // fail; the facade must surface that as a typed error naming the backend,
+    // not a panic.
+    let workload = WorkloadSpec::paper_grid(3, 3, 3000).build();
+    let error = Simulation::new(workload)
+        .backend(Backend::dataflow())
+        .run()
+        .expect_err("a 3000-deep column cannot fit a PE");
+    assert_eq!(error.backend, "dataflow");
+    assert!(
+        error.detail.contains("memory"),
+        "detail should mention the memory failure: {}",
+        error.detail
+    );
+}

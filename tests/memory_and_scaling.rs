@@ -2,8 +2,8 @@
 //! the paper reports in Tables II–IV.
 
 use mffv::prelude::*;
-use mffv_core::{MemoryPlan, ReuseStrategy};
 use mffv_core::mapping::PeColumnBuffers;
+use mffv_core::{MemoryPlan, ReuseStrategy};
 use mffv_fabric::memory::{PeMemory, PE_MEMORY_BYTES};
 use mffv_fabric::{PeId, ProcessingElement};
 
@@ -17,7 +17,13 @@ fn paper_column_depth_requires_buffer_reuse() {
     let reuse = MemoryPlan::new(922, ReuseStrategy::Aggressive);
     assert!(!naive.fits(PE_MEMORY_BYTES, KERNEL_CODE_BYTES));
     assert!(reuse.fits(PE_MEMORY_BYTES, KERNEL_CODE_BYTES));
-    assert!(MemoryPlan::max_nz(ReuseStrategy::Aggressive, PE_MEMORY_BYTES, KERNEL_CODE_BYTES) >= 922);
+    assert!(
+        MemoryPlan::max_nz(
+            ReuseStrategy::Aggressive,
+            PE_MEMORY_BYTES,
+            KERNEL_CODE_BYTES
+        ) >= 922
+    );
 }
 
 #[test]
@@ -29,7 +35,10 @@ fn executed_allocation_is_rejected_when_the_column_does_not_fit() {
     let small_memory = PeMemory::with_capacity(PeId::new(1, 1), 2 * 1024, 256);
     let mut pe = ProcessingElement::with_memory(PeId::new(1, 1), small_memory);
     let result = PeColumnBuffers::allocate(&mut pe, &workload, 1, 1);
-    assert!(result.is_err(), "allocation must fail on a 2 KiB PE for a 64-deep column");
+    assert!(
+        result.is_err(),
+        "allocation must fail on a 2 KiB PE for a 64-deep column"
+    );
 }
 
 #[test]
@@ -51,8 +60,14 @@ fn modelled_speedup_shape_matches_the_paper() {
     let dims = Dims::new(750, 994, 922);
     let a100 = model.speedup_over_gpu(GpuSpec::a100(), dims, 225);
     let h100 = model.speedup_over_gpu(GpuSpec::h100(), dims, 225);
-    assert!(a100 > 100.0, "A100 speedup {a100} must be two orders of magnitude");
-    assert!(h100 > 50.0 && h100 < a100, "H100 speedup {h100} must sit below the A100's {a100}");
+    assert!(
+        a100 > 100.0,
+        "A100 speedup {a100} must be two orders of magnitude"
+    );
+    assert!(
+        h100 > 50.0 && h100 < a100,
+        "H100 speedup {h100} must sit below the A100's {a100}"
+    );
 }
 
 #[test]
@@ -66,7 +81,9 @@ fn weak_scaling_shapes_match_table3() {
     // Algorithm-2 time is flat; Algorithm-1 time is non-decreasing along the sweep;
     // A100 time grows with the cell count.
     for pair in rows.windows(2) {
-        assert!((pair[1].cs2_alg2_time - pair[0].cs2_alg2_time).abs() / pair[0].cs2_alg2_time < 0.02);
+        assert!(
+            (pair[1].cs2_alg2_time - pair[0].cs2_alg2_time).abs() / pair[0].cs2_alg2_time < 0.02
+        );
         assert!(pair[1].cs2_alg1_time >= pair[0].cs2_alg1_time * 0.999);
         assert!(pair[1].a100_alg1_time > pair[0].a100_alg1_time);
         assert!(pair[1].cs2_alg1_throughput > pair[0].cs2_alg1_throughput * 0.999);
@@ -81,7 +98,11 @@ fn data_movement_fraction_is_small_at_paper_scale() {
     // Table IV shape: the data-movement share of device time is a small fraction.
     let model = AnalyticTiming::paper();
     let (dm, comp, total) = model.cs2_time_split(Dims::new(750, 994, 922), 225);
-    assert!(dm / total < 0.35, "data movement share {} too large", dm / total);
+    assert!(
+        dm / total < 0.35,
+        "data movement share {} too large",
+        dm / total
+    );
     assert!(comp / total > 0.65);
 }
 
@@ -89,19 +110,25 @@ fn data_movement_fraction_is_small_at_paper_scale() {
 fn executed_critical_path_grows_with_fabric_perimeter() {
     // The executed counterpart of the Table-III Alg-1 trend: with a fixed iteration
     // count, the accumulated critical-path hops grow as the fabric grows.
-    let mut previous = 0usize;
+    let mut previous = 0.0f64;
     for side in [4usize, 8, 12] {
         let workload = WorkloadSpec::paper_grid(side, side, 6).build();
-        let report = DataflowFvSolver::new(
-            workload,
-            SolverOptions::paper().with_max_iterations(5).with_tolerance(1e-30),
-        )
-        .solve()
-        .unwrap();
+        let report = Simulation::new(workload)
+            .tolerance(1e-30)
+            .max_iterations(5)
+            .backend(Backend::dataflow())
+            .run()
+            .unwrap();
+        let hops = report
+            .device
+            .as_ref()
+            .unwrap()
+            .counter("critical_path_hops")
+            .unwrap();
         assert!(
-            report.stats.critical_path_hops > previous,
+            hops > previous,
             "critical path must grow with the fabric ({side}x{side})"
         );
-        previous = report.stats.critical_path_hops;
+        previous = hops;
     }
 }

@@ -1,6 +1,7 @@
-//! Cross-crate numerical integrity (§V-B of the paper): the sequential oracle, the
-//! assembled-CSR baseline, the GPU-style reference and the dataflow-fabric solver
-//! must produce the same pressure field on shared workloads.
+//! Cross-crate numerical integrity (§V-B of the paper): the sequential oracle,
+//! the assembled-CSR baseline, the GPU-style reference and the dataflow-fabric
+//! solver must produce the same pressure field on shared workloads — now
+//! exercised through the one `Simulation` facade.
 
 use mffv::prelude::*;
 use mffv_fv::csr::AssembledOperator;
@@ -19,7 +20,9 @@ fn workloads() -> Vec<Workload> {
 fn assembled_baseline_matches_oracle_to_solver_precision() {
     for workload in workloads() {
         // Run both operators through the identical CG configuration so the
-        // comparison isolates the operator implementations.
+        // comparison isolates the operator implementations.  The assembled
+        // baseline is an operator, not a facade backend, so this test stays on
+        // the lower-level driver deliberately.
         let solver = ConjugateGradient::with_tolerance(1e-16, workload.max_iterations());
         let oracle = solve_pressure_with::<f64, _>(
             &workload,
@@ -34,77 +37,120 @@ fn assembled_baseline_matches_oracle_to_solver_precision() {
         assert!(oracle.history.converged && assembled.history.converged);
         let scale = oracle.pressure.max_abs().max(f64::MIN_POSITIVE);
         let rel = oracle.pressure.max_abs_diff(&assembled.pressure) / scale;
-        assert!(rel < 1e-9, "{}: assembled baseline off by {rel}", workload.name());
+        assert!(
+            rel < 1e-9,
+            "{}: assembled baseline off by {rel}",
+            workload.name()
+        );
     }
 }
 
 #[test]
 fn gpu_reference_matches_oracle_to_single_precision() {
     for workload in workloads() {
-        let oracle = solve_pressure::<f64>(&workload);
-        let gpu = GpuReferenceSolver::new(workload.clone(), GpuSpec::a100())
-            .with_tolerance(1e-12)
-            .solve();
-        assert!(gpu.history.converged, "{}: GPU reference did not converge", workload.name());
-        let scale = oracle.pressure.max_abs().max(f64::MIN_POSITIVE);
-        let rel = oracle.pressure.max_abs_diff(&gpu.pressure.convert()) / scale;
-        assert!(rel < 1e-3, "{}: GPU reference off by {rel}", workload.name());
+        let agreement = Simulation::new(workload.clone())
+            .tolerance(1e-12)
+            .backend(Backend::host())
+            .backend(Backend::gpu_ref())
+            .compare()
+            .expect("solve failed");
+        let gpu = agreement.report("gpu-ref-A100").unwrap();
+        assert!(
+            gpu.converged(),
+            "{}: GPU reference did not converge",
+            workload.name()
+        );
+        assert!(
+            agreement.agrees_within(1e-3),
+            "{}: GPU reference off by {}",
+            workload.name(),
+            agreement.max_pairwise_rel_diff()
+        );
     }
 }
 
 #[test]
 fn dataflow_solver_matches_oracle_to_single_precision() {
     for workload in workloads() {
-        let oracle = solve_pressure::<f64>(&workload);
-        let dataflow = DataflowFvSolver::new(
-            workload.clone(),
-            SolverOptions::paper().with_tolerance(1e-12),
-        )
-        .solve()
-        .expect("dataflow solve failed");
-        assert!(dataflow.history.converged, "{}: dataflow did not converge", workload.name());
-        let scale = oracle.pressure.max_abs().max(f64::MIN_POSITIVE);
-        let rel = oracle.pressure.max_abs_diff(&dataflow.pressure.convert()) / scale;
-        assert!(rel < 1e-3, "{}: dataflow solver off by {rel}", workload.name());
+        let agreement = Simulation::new(workload.clone())
+            .tolerance(1e-12)
+            .backend(Backend::host())
+            .backend(Backend::dataflow())
+            .compare()
+            .expect("solve failed");
+        let dataflow = agreement.report("dataflow").unwrap();
+        assert!(
+            dataflow.converged(),
+            "{}: dataflow did not converge",
+            workload.name()
+        );
+        assert!(
+            agreement.agrees_within(1e-3),
+            "{}: dataflow solver off by {}",
+            workload.name(),
+            agreement.max_pairwise_rel_diff()
+        );
     }
 }
 
 #[test]
 fn dataflow_and_gpu_reference_agree_with_each_other() {
     let workload = WorkloadSpec::fig5(Dims::new(9, 7, 5)).build();
-    let gpu = GpuReferenceSolver::new(workload.clone(), GpuSpec::h100())
-        .with_tolerance(1e-12)
-        .solve();
-    let dataflow =
-        DataflowFvSolver::new(workload, SolverOptions::paper().with_tolerance(1e-12))
-            .solve()
-            .expect("dataflow solve failed");
-    let gpu64: CellField<f64> = gpu.pressure.convert();
-    let dataflow64: CellField<f64> = dataflow.pressure.convert();
-    let scale = gpu64.max_abs().max(f64::MIN_POSITIVE);
-    let rel = gpu64.max_abs_diff(&dataflow64) / scale;
-    assert!(rel < 1e-3, "dataflow vs GPU reference differ by {rel}");
+    let agreement = Simulation::new(workload)
+        .tolerance(1e-12)
+        .backend(Backend::gpu_ref_on(GpuSpec::h100()))
+        .backend(Backend::dataflow())
+        .compare()
+        .expect("solve failed");
+    assert_eq!(agreement.pairwise.len(), 1);
+    assert!(
+        agreement.agrees_within(1e-3),
+        "dataflow vs GPU reference differ by {}",
+        agreement.max_pairwise_rel_diff()
+    );
+}
+
+#[test]
+fn run_all_executes_the_full_standard_set() {
+    // The facade's default backend set is the §V-B experiment: all three
+    // targets on one workload, pairwise agreement below single precision.
+    let agreement = Simulation::from_spec(&WorkloadSpec::quickstart())
+        .tolerance(1e-10)
+        .compare()
+        .expect("solve failed");
+    assert_eq!(agreement.reports.len(), 3);
+    assert_eq!(agreement.pairwise.len(), 3);
+    assert!(agreement.max_pairwise_diff() < 1e-3);
+    // Device sections exist exactly where a device is modelled.
+    assert!(agreement.report("host-f64").unwrap().device.is_none());
+    assert!(agreement.report("gpu-ref-A100").unwrap().device.is_some());
+    assert!(agreement.report("dataflow").unwrap().device.is_some());
 }
 
 #[test]
 fn converged_pressure_satisfies_the_discrete_maximum_principle() {
-    // The single-phase operator has no sources except the Dirichlet columns, so the
-    // converged pressure must stay inside the range of the boundary values — on
-    // every implementation.
-    let workload = WorkloadSpec::quickstart().build();
+    // The single-phase operator has no sources except the Dirichlet columns, so
+    // the converged pressure must stay inside the range of the boundary values
+    // — on every implementation.
     let (lo, hi) = (0.0f64, 1.0f64);
-    let oracle = solve_pressure::<f64>(&workload);
-    let dataflow =
-        DataflowFvSolver::new(workload.clone(), SolverOptions::paper().with_tolerance(1e-12))
-            .solve()
-            .unwrap();
-    for &p in oracle.pressure.as_slice() {
-        assert!(p >= lo - 1e-8 && p <= hi + 1e-8, "oracle violates maximum principle: {p}");
-    }
-    for &p in dataflow.pressure.as_slice() {
-        assert!(
-            p >= (lo - 1e-4) as f32 && p <= (hi + 1e-4) as f32,
-            "dataflow violates maximum principle: {p}"
-        );
+    let reports = Simulation::from_spec(&WorkloadSpec::quickstart())
+        .tolerance(1e-12)
+        .backend(Backend::host())
+        .backend(Backend::dataflow())
+        .run_all()
+        .expect("solve failed");
+    for report in &reports {
+        let slack = if report.backend == "host-f64" {
+            1e-8
+        } else {
+            1e-4
+        };
+        for &p in report.pressure.as_slice() {
+            assert!(
+                p >= lo - slack && p <= hi + slack,
+                "{} violates maximum principle: {p}",
+                report.backend
+            );
+        }
     }
 }

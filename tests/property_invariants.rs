@@ -13,20 +13,21 @@ use mffv_mesh::workload::{BoundarySpec, WorkloadSpec};
 use mffv_mesh::CellIndex;
 use proptest::prelude::*;
 
-fn random_workload_spec(
-    nx: usize,
-    ny: usize,
-    nz: usize,
-    std_log: f64,
-    seed: u64,
-) -> WorkloadSpec {
+fn random_workload_spec(nx: usize, ny: usize, nz: usize, std_log: f64, seed: u64) -> WorkloadSpec {
     WorkloadSpec {
         name: format!("prop-{nx}x{ny}x{nz}-{seed}"),
         dims: Dims::new(nx, ny, nz),
         spacing: [1.0, 1.0, 1.0],
-        permeability: PermeabilityModel::LogNormal { mean_log: 0.0, std_log, seed },
+        permeability: PermeabilityModel::LogNormal {
+            mean_log: 0.0,
+            std_log,
+            seed,
+        },
         viscosity: 1.0,
-        boundary: BoundarySpec::SourceProducer { source_pressure: 1.0, producer_pressure: 0.0 },
+        boundary: BoundarySpec::SourceProducer {
+            source_pressure: 1.0,
+            producer_pressure: 0.0,
+        },
         tolerance: 1e-14,
         max_iterations: 10_000,
     }
@@ -111,7 +112,7 @@ proptest! {
         let mut p = p0;
         p.axpy(1.0, &out.solution);
         for &v in p.as_slice() {
-            prop_assert!(v >= -1e-8 && v <= 1.0 + 1e-8, "maximum principle violated: {v}");
+            prop_assert!((-1e-8..=1.0 + 1e-8).contains(&v), "maximum principle violated: {v}");
         }
     }
 
@@ -122,16 +123,14 @@ proptest! {
         nx in 3usize..6, ny in 3usize..6, nz in 3usize..6, seed in 0u64..200,
     ) {
         let workload = random_workload_spec(nx, ny, nz, 0.8, seed).build();
-        let oracle = solve_pressure::<f64>(&workload);
-        let dataflow = DataflowFvSolver::new(
-            workload,
-            SolverOptions::paper().with_tolerance(1e-12),
-        )
-        .solve()
-        .unwrap();
-        prop_assert!(dataflow.history.converged);
-        let scale = oracle.pressure.max_abs().max(f64::MIN_POSITIVE);
-        let rel = oracle.pressure.max_abs_diff(&dataflow.pressure.convert()) / scale;
+        let agreement = Simulation::new(workload)
+            .tolerance(1e-12)
+            .backend(Backend::host())
+            .backend(Backend::dataflow())
+            .compare()
+            .unwrap();
+        prop_assert!(agreement.report("dataflow").unwrap().converged());
+        let rel = agreement.max_pairwise_rel_diff();
         prop_assert!(rel < 2e-3, "dataflow vs oracle relative gap {rel}");
     }
 }

@@ -35,9 +35,18 @@ fn table2_modelled_times_have_the_papers_ordering_and_magnitude() {
     // Ordering: CS-2 << H100 < A100 (Table II).
     assert!(cs2 < h100 && h100 < a100);
     // Magnitudes within a factor of ~3 of the paper's measurements.
-    assert!(cs2 > 0.0542 / 3.0 && cs2 < 0.0542 * 3.0, "CS-2 modelled time {cs2}");
-    assert!(a100 > 23.19 / 3.0 && a100 < 23.19 * 3.0, "A100 modelled time {a100}");
-    assert!(h100 > 11.39 / 3.0 && h100 < 11.39 * 3.0, "H100 modelled time {h100}");
+    assert!(
+        cs2 > 0.0542 / 3.0 && cs2 < 0.0542 * 3.0,
+        "CS-2 modelled time {cs2}"
+    );
+    assert!(
+        a100 > 23.19 / 3.0 && a100 < 23.19 * 3.0,
+        "A100 modelled time {a100}"
+    );
+    assert!(
+        h100 > 11.39 / 3.0 && h100 < 11.39 * 3.0,
+        "H100 modelled time {h100}"
+    );
 }
 
 #[test]
@@ -46,14 +55,20 @@ fn table3_throughput_column_is_reproduced_in_order_of_magnitude() {
     let model = AnalyticTiming::paper();
     let row = model.scaling_row(Dims::new(750, 994, 922), 225);
     let gcells = row.cs2_alg2_throughput / 1e9;
-    assert!(gcells > 4_000.0 && gcells < 40_000.0, "Alg2 throughput {gcells} Gcell/s");
+    assert!(
+        gcells > 4_000.0 && gcells < 40_000.0,
+        "Alg2 throughput {gcells} Gcell/s"
+    );
 }
 
 #[test]
 fn table4_split_is_dominated_by_computation() {
     let model = AnalyticTiming::paper();
     let (dm, comp, total) = model.cs2_time_split(Dims::new(750, 994, 922), 225);
-    assert!(comp > dm, "computation must dominate (paper: 93.73% vs 6.27%)");
+    assert!(
+        comp > dm,
+        "computation must dominate (paper: 93.73% vs 6.27%)"
+    );
     assert!(dm > 0.0);
     assert!((dm + comp - total).abs() / total < 0.2);
 }
@@ -62,15 +77,24 @@ fn table4_split_is_dominated_by_computation() {
 fn fig5_executed_pressure_field_decays_from_source_to_producer() {
     let dims = Dims::new(20, 14, 6);
     let workload = WorkloadSpec::fig5(dims).build();
-    let report = DataflowFvSolver::new(workload, SolverOptions::paper().with_tolerance(1e-14))
-        .solve()
+    let report = Simulation::new(workload)
+        .tolerance(1e-14)
+        .backend(Backend::dataflow())
+        .run()
         .unwrap();
-    assert!(report.history.converged);
+    assert!(report.converged());
     let z = dims.nz / 2;
     let near_source = report.pressure.at(mffv_mesh::CellIndex::new(1, 1, z));
-    let mid = report.pressure.at(mffv_mesh::CellIndex::new(dims.nx / 2, dims.ny / 2, z));
-    let near_producer = report.pressure.at(mffv_mesh::CellIndex::new(dims.nx - 2, dims.ny - 2, z));
-    assert!(near_source > mid && mid > near_producer, "pressure must decay along the diagonal");
+    let mid = report
+        .pressure
+        .at(mffv_mesh::CellIndex::new(dims.nx / 2, dims.ny / 2, z));
+    let near_producer = report
+        .pressure
+        .at(mffv_mesh::CellIndex::new(dims.nx - 2, dims.ny - 2, z));
+    assert!(
+        near_source > mid && mid > near_producer,
+        "pressure must decay along the diagonal"
+    );
 }
 
 #[test]
@@ -80,7 +104,10 @@ fn gpu_memory_bound_model_matches_measured_ratio_shape() {
     let a100 = GpuTimeModel::new(GpuSpec::a100()).cg_time(dims, 225);
     let h100 = GpuTimeModel::new(GpuSpec::h100()).cg_time(dims, 225);
     let ratio = a100 / h100;
-    assert!(ratio > 1.5 && ratio < 3.0, "A100/H100 ratio {ratio} (paper: 2.04)");
+    assert!(
+        ratio > 1.5 && ratio < 3.0,
+        "A100/H100 ratio {ratio} (paper: 2.04)"
+    );
 }
 
 #[test]
@@ -88,16 +115,24 @@ fn communication_only_run_reproduces_table4_methodology() {
     // The executed Table-IV methodology: a communication-only run moves exactly the
     // same fabric traffic as the full run over the same number of iterations.
     let workload = WorkloadSpec::paper_grid(10, 8, 12).build();
-    let full = DataflowFvSolver::new(workload.clone(), SolverOptions::paper().with_tolerance(1e-8))
-        .solve()
+    let simulation = Simulation::new(workload).tolerance(1e-8);
+    let full = simulation.run_backend(&Backend::dataflow()).unwrap();
+    let full_device = full.device.as_ref().unwrap();
+    let full_iterations = full.iterations();
+    let comm = Simulation::new(simulation.workload().clone())
+        .backend(Backend::dataflow_with(SolverOptions::communication_only(
+            full_iterations,
+        )))
+        .run()
         .unwrap();
-    let comm = DataflowFvSolver::new(
-        workload,
-        SolverOptions::communication_only(full.stats.iterations),
-    )
-    .solve()
-    .unwrap();
-    assert_eq!(comm.stats.iterations, full.stats.iterations);
-    assert_eq!(comm.stats.fabric.link_bytes, full.stats.fabric.link_bytes);
-    assert!(comm.stats.total_compute.flops < full.stats.total_compute.flops / 10);
+    let comm_device = comm.device.as_ref().unwrap();
+    assert_eq!(comm.iterations(), full_iterations);
+    assert_eq!(
+        comm_device.counter("fabric_link_bytes"),
+        full_device.counter("fabric_link_bytes")
+    );
+    assert!(
+        comm_device.counter("total_flops").unwrap()
+            < full_device.counter("total_flops").unwrap() / 10.0
+    );
 }
