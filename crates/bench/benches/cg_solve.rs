@@ -1,14 +1,16 @@
 //! End-to-end CG solve benchmarks (the executed counterpart of Table II): the
 //! sequential matrix-free oracle, the assembled baseline, plain CG vs Jacobi PCG,
-//! and the dataflow-fabric solve.
+//! the dataflow-fabric solve, and the `mffv-engine` batch executor at worker
+//! counts 1 / 2 / 8.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mffv::{Backend, Simulation};
+use mffv::{Backend, Engine, Simulation, SweepBuilder};
 use mffv_bench::bench_workload;
 use mffv_fv::csr::AssembledOperator;
 use mffv_fv::residual::{newton_rhs, residual};
 use mffv_fv::MatrixFreeOperator;
 use mffv_mesh::CellField;
+use mffv_mesh::Dims;
 use mffv_solver::cg::ConjugateGradient;
 use mffv_solver::newton::solve_pressure_with;
 use mffv_solver::pcg::{JacobiPreconditioner, PreconditionedConjugateGradient};
@@ -53,5 +55,47 @@ fn bench_cg_solves(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cg_solves);
+/// The host solve fanned out as an engine batch: six distinct scenarios
+/// (three grid sizes × two log-normal permeability seeds), executed at 1, 2
+/// and 8 workers.  On a multi-core host the wall time drops with the worker
+/// count; the per-job results are bitwise identical either way.
+fn bench_engine_batch(c: &mut Criterion) {
+    // A stochastic permeability base, so the seed axis genuinely changes the
+    // problem (reseeding is a no-op on the homogeneous bench workload).
+    let base = mffv_mesh::WorkloadSpec {
+        name: "bench-engine".to_string(),
+        permeability: mffv_mesh::PermeabilityModel::LogNormal {
+            mean_log: 0.0,
+            std_log: 0.4,
+            seed: 0,
+        },
+        tolerance: 1e-8,
+        ..bench_workload().spec().clone()
+    };
+    let jobs = SweepBuilder::new(base)
+        .grids([
+            Dims::new(12, 10, 16),
+            Dims::new(16, 12, 24),
+            Dims::new(20, 16, 24),
+        ])
+        .seeds([1, 2])
+        .backends([Backend::host()])
+        .jobs();
+    let mut group = c.benchmark_group("engine_batch");
+    group.sample_size(10);
+    for workers in [1usize, 2, 8] {
+        let jobs = jobs.clone();
+        group.bench_function(format!("host_6jobs_w{workers}"), |b| {
+            let engine = Engine::new(workers);
+            b.iter(|| {
+                let report = engine.run(jobs.clone());
+                assert!(report.all_succeeded());
+                black_box(report)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cg_solves, bench_engine_batch);
 criterion_main!(benches);

@@ -70,12 +70,14 @@ fn main() {
         (paper_dims.nz / DEFAULT_EXECUTED_SCALE).max(2),
     );
     println!("Executed cross-check at scaled grid {scaled} (same code paths, smaller mesh):\n");
-    let reports = Simulation::new(executed_workload(scaled))
+    let reports: Vec<_> = Simulation::new(executed_workload(scaled))
         .tolerance(1e-10)
         .backend(Backend::dataflow())
         .backend(Backend::gpu_ref())
         .run_all()
-        .expect("facade solve failed");
+        .into_iter()
+        .map(|(_, outcome)| outcome.expect("facade solve failed"))
+        .collect();
 
     let rows: Vec<Vec<String>> = reports
         .iter()

@@ -1,0 +1,250 @@
+//! Job descriptions and per-job results for the batch engine.
+//!
+//! A [`JobSpec`] is a *value*: a declarative description of one solve
+//! (workload spec, target backend, solve settings, permeability seed) that can
+//! be cloned, queued, and executed on any worker thread.  Workloads are
+//! materialised on the worker — the heavy permeability/transmissibility
+//! fields are never built on the submitting thread, and never shared between
+//! jobs — which is what makes batch results independent of worker count.
+
+use crate::backend::Backend;
+use mffv_mesh::{Workload, WorkloadSpec};
+use mffv_solver::backend::{SolveConfig, SolveError, SolveReport};
+
+/// One unit of work for the engine: solve `workload_spec` on `backend` under
+/// `solve_config`, with stochastic permeability reseeded from `seed`.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// The problem to solve (materialised on the worker thread).
+    pub workload_spec: WorkloadSpec,
+    /// The solve target.
+    pub backend: Backend,
+    /// Cross-backend solve settings (`None` fields fall back to the
+    /// workload's own tolerance / iteration cap).
+    pub solve_config: SolveConfig,
+    /// Optional seed override for stochastic permeability models
+    /// ([`WorkloadSpec::with_permeability_seed`]).  `None` (the default)
+    /// solves the spec exactly as written — its own seed included — so a
+    /// default job is bitwise identical to a serial solve of the same spec;
+    /// deterministic models ignore the seed either way.
+    pub seed: Option<u64>,
+}
+
+impl JobSpec {
+    /// A job with default solve settings and no seed override.
+    pub fn new(workload_spec: WorkloadSpec, backend: Backend) -> Self {
+        Self {
+            workload_spec,
+            backend,
+            solve_config: SolveConfig::default(),
+            seed: None,
+        }
+    }
+
+    /// Override the solve settings.
+    pub fn with_config(mut self, solve_config: SolveConfig) -> Self {
+        self.solve_config = solve_config;
+        self
+    }
+
+    /// Override the permeability seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// The workload spec the job actually solves: `workload_spec` with the
+    /// job's seed override (when set) applied to stochastic permeability
+    /// models.  Exposed so serial reference runs (tests, examples) can
+    /// reproduce a job exactly.
+    pub fn effective_spec(&self) -> WorkloadSpec {
+        match self.seed {
+            Some(seed) => self.workload_spec.with_permeability_seed(seed),
+            None => self.workload_spec.clone(),
+        }
+    }
+
+    /// Display label: `workload @ backend`.
+    pub fn label(&self) -> String {
+        format!("{} @ {}", self.workload_spec.name, self.backend.name())
+    }
+
+    /// Validate the job before it is queued, mapping spec problems into the
+    /// unified [`SolveError`] (the engine's job-intake check).
+    pub fn validate(&self) -> Result<(), SolveError> {
+        self.workload_spec
+            .validate()
+            .map_err(|e| SolveError::new(self.backend.name(), format!("invalid workload: {e}")))?;
+        if let Some(t) = self.solve_config.tolerance {
+            if !t.is_finite() || t <= 0.0 {
+                return Err(SolveError::new(
+                    self.backend.name(),
+                    format!("invalid solve config: tolerance must be finite and positive, got {t}"),
+                ));
+            }
+        }
+        if self.solve_config.max_iterations == Some(0) {
+            return Err(SolveError::new(
+                self.backend.name(),
+                "invalid solve config: max_iterations must be non-zero",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Run the job to completion on the calling thread (validation, workload
+    /// materialisation, solve).  The engine calls this from its workers,
+    /// wrapped in panic isolation; it is also the serial reference path.
+    pub fn execute(&self) -> Result<SolveReport, SolveError> {
+        self.validate()?;
+        let workload = Workload::try_from_spec(&self.effective_spec())
+            .map_err(|e| SolveError::new(self.backend.name(), format!("invalid workload: {e}")))?;
+        self.backend
+            .instantiate()
+            .solve(&workload, &self.solve_config)
+    }
+}
+
+/// How one job ended.
+#[derive(Clone, Debug)]
+pub enum JobStatus {
+    /// The solve ran to completion (converged or hit its iteration cap — see
+    /// [`SolveReport::converged`]).
+    Completed(SolveReport),
+    /// The backend (or job intake) returned a typed error.
+    Failed(SolveError),
+    /// The job panicked on its worker; the pool survives and the panic
+    /// message is captured here.
+    Panicked(String),
+}
+
+/// The result of one job, in submission order within a
+/// [`BatchReport`](crate::BatchReport).
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// Index of the job in the submitted batch.
+    pub index: usize,
+    /// Human-readable job label (`workload @ backend`).
+    pub label: String,
+    /// How the job ended.
+    pub status: JobStatus,
+    /// Wall-clock seconds the job spent on its worker (validation +
+    /// materialisation + solve).
+    pub latency_seconds: f64,
+}
+
+impl JobOutcome {
+    /// The solve report, when the job completed.
+    pub fn report(&self) -> Option<&SolveReport> {
+        match &self.status {
+            JobStatus::Completed(report) => Some(report),
+            _ => None,
+        }
+    }
+
+    /// Whether the job produced a report.
+    pub fn is_success(&self) -> bool {
+        matches!(self.status, JobStatus::Completed(_))
+    }
+
+    /// The failure description for failed or panicked jobs.
+    pub fn failure(&self) -> Option<String> {
+        match &self.status {
+            JobStatus::Completed(_) => None,
+            JobStatus::Failed(e) => Some(e.to_string()),
+            JobStatus::Panicked(msg) => Some(format!("panicked: {msg}")),
+        }
+    }
+
+    /// Short status cell for tables: `ok`, `failed`, or `panicked`.
+    pub fn status_label(&self) -> &'static str {
+        match &self.status {
+            JobStatus::Completed(_) => "ok",
+            JobStatus::Failed(_) => "failed",
+            JobStatus::Panicked(_) => "panicked",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_intake_rejects_invalid_specs_with_a_typed_error() {
+        let bad_spec = WorkloadSpec {
+            max_iterations: 0,
+            ..WorkloadSpec::quickstart()
+        };
+        let err = JobSpec::new(bad_spec, Backend::host())
+            .validate()
+            .unwrap_err();
+        assert_eq!(err.backend, "host-f64");
+        assert!(err.detail.contains("max_iterations"), "{}", err.detail);
+    }
+
+    #[test]
+    fn job_intake_rejects_invalid_solve_configs() {
+        let nan_tol =
+            JobSpec::new(WorkloadSpec::quickstart(), Backend::host()).with_config(SolveConfig {
+                tolerance: Some(f64::NAN),
+                ..SolveConfig::default()
+            });
+        assert!(nan_tol.validate().unwrap_err().detail.contains("tolerance"));
+
+        let zero_cap =
+            JobSpec::new(WorkloadSpec::quickstart(), Backend::host()).with_config(SolveConfig {
+                max_iterations: Some(0),
+                ..SolveConfig::default()
+            });
+        assert!(zero_cap
+            .validate()
+            .unwrap_err()
+            .detail
+            .contains("max_iterations"));
+    }
+
+    #[test]
+    fn default_jobs_preserve_the_specs_own_permeability_seed() {
+        use mffv_mesh::PermeabilityModel;
+        let spec = WorkloadSpec {
+            permeability: PermeabilityModel::LogNormal {
+                mean_log: 0.0,
+                std_log: 0.5,
+                seed: 42,
+            },
+            ..WorkloadSpec::quickstart()
+        };
+        let job = JobSpec::new(spec.clone(), Backend::host());
+        assert_eq!(job.effective_spec(), spec);
+        assert_ne!(
+            job.with_seed(0).effective_spec().permeability,
+            spec.permeability
+        );
+    }
+
+    #[test]
+    fn execute_solves_on_the_requested_backend() {
+        let report = JobSpec::new(WorkloadSpec::quickstart(), Backend::host())
+            .execute()
+            .unwrap();
+        assert_eq!(report.backend, "host-f64");
+        assert!(report.converged());
+    }
+
+    #[test]
+    fn labels_and_status_helpers() {
+        let job = JobSpec::new(WorkloadSpec::quickstart(), Backend::dataflow());
+        assert_eq!(job.label(), "quickstart-16x16x8 @ dataflow");
+        let outcome = JobOutcome {
+            index: 0,
+            label: job.label(),
+            status: JobStatus::Panicked("boom".into()),
+            latency_seconds: 0.0,
+        };
+        assert!(!outcome.is_success());
+        assert!(outcome.report().is_none());
+        assert_eq!(outcome.failure().unwrap(), "panicked: boom");
+        assert_eq!(outcome.status_label(), "panicked");
+    }
+}

@@ -1,0 +1,81 @@
+//! # mffv-engine — concurrent batch-solve engine
+//!
+//! The execution subsystem that turns the one-solve-at-a-time `Simulation`
+//! facade into a multi-scenario solve service: a `std::thread` worker pool
+//! (no external dependencies) that executes many independent pressure solves
+//! concurrently and reports service-style throughput.
+//!
+//! ## Queue / worker / report design
+//!
+//! ```text
+//!  JobSpec, JobSpec, …            (index, JobSpec)
+//!  ───────────────────▶ BoundedQueue ──▶ worker 0 ──▶ slots[index]
+//!   submitting thread        │     └───▶ worker 1 ──▶ slots[index]
+//!   (blocks when full)       └─────────▶ worker N ──▶ slots[index]
+//!                                                         │
+//!                                 BatchReport  ◀──────────┘
+//!                    (outcomes in submission order + throughput/latency)
+//! ```
+//!
+//! * **Jobs are values.**  A [`JobSpec`] carries a `WorkloadSpec`, a
+//!   [`Backend`], a `SolveConfig` and a seed; the heavy workload fields are
+//!   materialised *on the worker*, never shared, so jobs are independent by
+//!   construction.
+//! * **Bounded intake.**  Jobs flow through a [`queue::BoundedQueue`]
+//!   (`Mutex` + `Condvar`), giving back-pressure on the submitter instead of
+//!   unbounded buffering.
+//! * **Failure isolation.**  Workers run each job behind
+//!   `std::panic::catch_unwind`; a panicking or failing job becomes a
+//!   [`JobStatus::Panicked`] / [`JobStatus::Failed`] outcome and the pool
+//!   keeps draining.  Invalid specs are rejected at job intake with a
+//!   descriptive `SolveError` (see `WorkloadSpec::validate`).
+//! * **Deterministic results.**  Outcomes land in slots addressed by
+//!   submission index, so [`BatchReport::outcomes`] is ordered identically
+//!   for 1 or 64 workers — and because every solve is sequential and
+//!   self-contained, per-job results are **bitwise identical** across worker
+//!   counts and to a serial run of the same spec.
+//! * **Seed reproducibility.**  [`JobSpec::seed`] reseeds stochastic
+//!   permeability models through `WorkloadSpec::with_permeability_seed`;
+//!   `(spec, backend, config, seed)` fully determines a job's result, so any
+//!   row of a [`BatchReport`] can be replayed exactly with
+//!   [`JobSpec::execute`].
+//!
+//! ## Scenario sweeps
+//!
+//! [`SweepBuilder`] fans one base spec across grids × anisotropy ratios ×
+//! tolerances × permeability seeds × backends:
+//!
+//! ```
+//! use mffv_engine::{Backend, Engine, SweepBuilder};
+//! use mffv_mesh::{Dims, WorkloadSpec};
+//!
+//! let jobs = SweepBuilder::new(WorkloadSpec::quickstart())
+//!     .grids([Dims::new(8, 8, 4), Dims::new(12, 12, 6)])
+//!     .backends([Backend::host(), Backend::dataflow()])
+//!     .jobs();
+//! let report = Engine::new(2).run(jobs);
+//! assert!(report.all_succeeded());
+//! println!("{report}"); // per-job status + throughput + p50/p95 latency
+//! ```
+
+pub mod backend;
+pub mod job;
+pub mod pool;
+pub mod queue;
+pub mod report;
+pub mod sweep;
+
+pub use backend::Backend;
+pub use job::{JobOutcome, JobSpec, JobStatus};
+pub use pool::Engine;
+pub use report::BatchReport;
+pub use sweep::SweepBuilder;
+
+/// Convenient glob import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::backend::Backend;
+    pub use crate::job::{JobOutcome, JobSpec, JobStatus};
+    pub use crate::pool::Engine;
+    pub use crate::report::BatchReport;
+    pub use crate::sweep::SweepBuilder;
+}

@@ -1,0 +1,203 @@
+//! The worker-pool batch executor.
+//!
+//! [`Engine::run`] pushes `(index, JobSpec)` pairs through a
+//! [`BoundedQueue`] to a pool of scoped `std::thread` workers.  Each worker
+//! pops jobs, executes them behind [`std::panic::catch_unwind`], and writes
+//! the outcome into a result slot addressed by the job's submission index —
+//! so the returned [`BatchReport`] lists outcomes in submission order no
+//! matter how many workers ran or how execution interleaved, and a panicking
+//! job costs exactly one result slot, never the pool.
+
+use crate::job::{JobOutcome, JobSpec, JobStatus};
+use crate::queue::BoundedQueue;
+use crate::report::BatchReport;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// The concurrent batch-solve engine.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    workers: usize,
+    queue_capacity: usize,
+}
+
+impl Engine {
+    /// An engine with `workers` worker threads (at least 1) and a default
+    /// queue bound of twice the worker count.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        Self {
+            workers,
+            queue_capacity: workers * 2,
+        }
+    }
+
+    /// An engine sized to the machine: one worker per available hardware
+    /// thread (1 when parallelism cannot be determined).
+    pub fn with_available_parallelism() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::new(workers)
+    }
+
+    /// Override the job-queue bound (back-pressure on the submitting thread).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Bound of the job queue.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Execute `jobs` across the worker pool and aggregate the results.
+    ///
+    /// Guarantees:
+    /// * **deterministic ordering** — `report.outcomes[i]` is job `i`, for
+    ///   any worker count;
+    /// * **failure isolation** — a job that returns an error or panics is
+    ///   reported as [`JobStatus::Failed`] / [`JobStatus::Panicked`] without
+    ///   affecting other jobs or the pool;
+    /// * **determinism of results** — each job materialises its own workload
+    ///   from its spec and seed, so its report is bitwise identical to a
+    ///   serial run of the same spec.
+    pub fn run(&self, jobs: Vec<JobSpec>) -> BatchReport {
+        let started = Instant::now();
+        let total = jobs.len();
+        let queue: BoundedQueue<(usize, JobSpec)> = BoundedQueue::new(self.queue_capacity);
+        let slots: Mutex<Vec<Option<JobOutcome>>> = Mutex::new((0..total).map(|_| None).collect());
+
+        std::thread::scope(|scope| {
+            let spawned = self.workers.min(total.max(1));
+            for _ in 0..spawned {
+                scope.spawn(|| {
+                    while let Some((index, job)) = queue.pop() {
+                        let outcome = execute_job(index, &job);
+                        let mut slots = slots.lock().unwrap_or_else(PoisonError::into_inner);
+                        slots[index] = Some(outcome);
+                    }
+                });
+            }
+            for (index, job) in jobs.into_iter().enumerate() {
+                queue.push((index, job));
+            }
+            queue.close();
+        });
+
+        let outcomes: Vec<JobOutcome> = slots
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+            .into_iter()
+            .map(|slot| slot.expect("every queued job writes its result slot"))
+            .collect();
+        BatchReport::new(
+            outcomes,
+            self.workers.min(total.max(1)),
+            started.elapsed().as_secs_f64(),
+        )
+    }
+}
+
+/// Run one job behind panic isolation, timing it.
+fn execute_job(index: usize, job: &JobSpec) -> JobOutcome {
+    let label = job.label();
+    let started = Instant::now();
+    let status = match catch_unwind(AssertUnwindSafe(|| job.execute())) {
+        Ok(Ok(report)) => JobStatus::Completed(report),
+        Ok(Err(error)) => JobStatus::Failed(error),
+        Err(payload) => JobStatus::Panicked(panic_message(payload.as_ref())),
+    };
+    JobOutcome {
+        index,
+        label,
+        status,
+        latency_seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::Backend;
+    use mffv_mesh::WorkloadSpec;
+
+    fn tiny_jobs(n: usize) -> Vec<JobSpec> {
+        (0..n)
+            .map(|i| {
+                JobSpec::new(
+                    WorkloadSpec::quickstart().scaled(2 + (i % 2)),
+                    Backend::host(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outcomes_keep_submission_order_for_any_worker_count() {
+        let jobs = tiny_jobs(6);
+        for workers in [1, 3, 8] {
+            let report = Engine::new(workers).run(jobs.clone());
+            assert_eq!(report.outcomes.len(), 6);
+            for (i, outcome) in report.outcomes.iter().enumerate() {
+                assert_eq!(outcome.index, i);
+                assert_eq!(outcome.label, jobs[i].label());
+                assert!(outcome.is_success(), "{:?}", outcome.failure());
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_jobs_fail_at_intake_without_stopping_the_batch() {
+        let mut jobs = tiny_jobs(3);
+        jobs.insert(
+            1,
+            JobSpec::new(
+                WorkloadSpec {
+                    max_iterations: 0,
+                    ..WorkloadSpec::quickstart()
+                },
+                Backend::host(),
+            ),
+        );
+        let report = Engine::new(2).run(jobs);
+        assert_eq!(report.succeeded(), 3);
+        assert_eq!(report.failed(), 1);
+        let failure = report.outcomes[1].failure().unwrap();
+        assert!(failure.contains("max_iterations"), "{failure}");
+    }
+
+    #[test]
+    fn an_empty_batch_reports_zero_jobs() {
+        let report = Engine::new(4).run(Vec::new());
+        assert_eq!(report.jobs(), 0);
+        assert!(report.all_succeeded());
+        assert_eq!(report.latency.samples, 0);
+    }
+
+    #[test]
+    fn worker_and_queue_floors() {
+        let engine = Engine::new(0).with_queue_capacity(0);
+        assert_eq!(engine.workers(), 1);
+        assert_eq!(engine.queue_capacity(), 1);
+        assert!(Engine::with_available_parallelism().workers() >= 1);
+    }
+}

@@ -1,0 +1,213 @@
+//! Aggregated results of one engine batch.
+//!
+//! A [`BatchReport`] keeps every per-job [`JobOutcome`] (in submission order)
+//! and summarises the run as a service would: wall-clock time, throughput in
+//! jobs/s and cells/s, and latency percentiles over the per-job solve times
+//! (via [`mffv_perf::LatencyStats`]).  Its `Display` impl prints the per-job
+//! status table followed by the aggregate line — the output the sweep report
+//! binary and the CI smoke step show.
+
+use crate::job::JobOutcome;
+use mffv_perf::report::format_table;
+use mffv_perf::LatencyStats;
+use mffv_solver::backend::SolveReport;
+
+/// Aggregated outcome of one [`Engine::run`](crate::Engine::run) call.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-job outcomes, in submission order (independent of worker count).
+    pub outcomes: Vec<JobOutcome>,
+    /// Number of worker threads the batch ran on.
+    pub workers: usize,
+    /// Wall-clock seconds from submission of the first job to completion of
+    /// the last.
+    pub wall_seconds: f64,
+    /// Latency percentiles over the per-job wall times.
+    pub latency: LatencyStats,
+}
+
+impl BatchReport {
+    /// Aggregate `outcomes` (already in submission order).
+    pub fn new(outcomes: Vec<JobOutcome>, workers: usize, wall_seconds: f64) -> Self {
+        let latencies: Vec<f64> = outcomes.iter().map(|o| o.latency_seconds).collect();
+        Self {
+            outcomes,
+            workers,
+            wall_seconds,
+            latency: LatencyStats::from_samples(&latencies),
+        }
+    }
+
+    /// Number of jobs in the batch.
+    pub fn jobs(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Number of jobs that produced a report.
+    pub fn succeeded(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_success()).count()
+    }
+
+    /// Number of jobs that failed or panicked.
+    pub fn failed(&self) -> usize {
+        self.jobs() - self.succeeded()
+    }
+
+    /// Whether every job produced a report.
+    pub fn all_succeeded(&self) -> bool {
+        self.failed() == 0
+    }
+
+    /// Completed solve reports, in submission order.
+    pub fn reports(&self) -> impl Iterator<Item = &SolveReport> {
+        self.outcomes.iter().filter_map(|o| o.report())
+    }
+
+    /// Batch throughput in jobs per wall-clock second.
+    pub fn jobs_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.jobs() as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Aggregate solve throughput in cell·iterations per wall-clock second,
+    /// summed over completed jobs — the engine-level analogue of the paper's
+    /// cells/s weak-scaling metric.
+    pub fn cell_iterations_per_second(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        let work: f64 = self
+            .reports()
+            .map(|r| r.pressure.dims().num_cells() as f64 * r.iterations() as f64)
+            .sum();
+        work / self.wall_seconds
+    }
+
+    /// Sum of per-job latencies — the serial-execution time the pool
+    /// amortised; `busy_seconds / wall_seconds` is the effective parallelism.
+    pub fn busy_seconds(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.latency_seconds).sum()
+    }
+}
+
+impl std::fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rows: Vec<Vec<String>> = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                let (iterations, converged, detail) = match o.report() {
+                    Some(r) => (
+                        r.iterations().to_string(),
+                        r.converged().to_string(),
+                        String::new(),
+                    ),
+                    None => ("-".into(), "-".into(), o.failure().unwrap_or_default()),
+                };
+                vec![
+                    o.index.to_string(),
+                    o.label.clone(),
+                    o.status_label().to_string(),
+                    iterations,
+                    converged,
+                    format!("{:.3e}", o.latency_seconds),
+                    detail,
+                ]
+            })
+            .collect();
+        writeln!(
+            f,
+            "{}",
+            format_table(
+                &[
+                    "#",
+                    "Job",
+                    "Status",
+                    "Iterations",
+                    "Converged",
+                    "Latency [s]",
+                    "Detail"
+                ],
+                &rows
+            )
+        )?;
+        writeln!(
+            f,
+            "{} jobs on {} workers: {} ok, {} failed in {:.3} s wall ({:.2} jobs/s, {:.3e} cell-iter/s)",
+            self.jobs(),
+            self.workers,
+            self.succeeded(),
+            self.failed(),
+            self.wall_seconds,
+            self.jobs_per_second(),
+            self.cell_iterations_per_second(),
+        )?;
+        write!(
+            f,
+            "latency: p50 {:.3e} s, p95 {:.3e} s, mean {:.3e} s, max {:.3e} s",
+            self.latency.p50, self.latency.p95, self.latency.mean, self.latency.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobStatus;
+    use mffv_solver::backend::SolveError;
+
+    fn outcome(index: usize, status: JobStatus, latency: f64) -> JobOutcome {
+        JobOutcome {
+            index,
+            label: format!("job-{index} @ host-f64"),
+            status,
+            latency_seconds: latency,
+        }
+    }
+
+    #[test]
+    fn aggregates_counts_and_latencies() {
+        let report = BatchReport::new(
+            vec![
+                outcome(
+                    0,
+                    JobStatus::Failed(SolveError::new("host-f64", "bad")),
+                    0.1,
+                ),
+                outcome(1, JobStatus::Panicked("boom".into()), 0.2),
+            ],
+            4,
+            0.5,
+        );
+        assert_eq!(report.jobs(), 2);
+        assert_eq!(report.succeeded(), 0);
+        assert_eq!(report.failed(), 2);
+        assert!(!report.all_succeeded());
+        assert_eq!(report.latency.samples, 2);
+        assert!((report.jobs_per_second() - 4.0).abs() < 1e-12);
+        assert!((report.busy_seconds() - 0.3).abs() < 1e-12);
+        assert_eq!(report.cell_iterations_per_second(), 0.0);
+    }
+
+    #[test]
+    fn display_shows_status_throughput_and_percentiles() {
+        let report = BatchReport::new(
+            vec![outcome(
+                0,
+                JobStatus::Failed(SolveError::new("host-f64", "invalid workload")),
+                0.25,
+            )],
+            2,
+            1.0,
+        );
+        let text = report.to_string();
+        assert!(text.contains("failed"), "{text}");
+        assert!(text.contains("invalid workload"), "{text}");
+        assert!(text.contains("jobs/s"), "{text}");
+        assert!(text.contains("p50"), "{text}");
+        assert!(text.contains("p95"), "{text}");
+    }
+}

@@ -1,0 +1,292 @@
+//! Scenario sweeps: fan one base [`WorkloadSpec`] across axes of variation.
+//!
+//! A [`SweepBuilder`] is the comparison-study generator the batch engine
+//! feeds on: from a single base spec it produces the cartesian product of
+//! grid sizes × vertical-anisotropy ratios × tolerances × permeability seeds
+//! × backends as a flat, deterministically ordered `Vec<JobSpec>`.  Axes you
+//! do not set stay at the base spec's own value, so
+//! `SweepBuilder::new(spec).jobs()` is exactly one host job.
+//!
+//! Job names encode the varied axes (`-az2`, `-tol1e-8`, `-seed3`, and the
+//! grid extents), so every row of the resulting
+//! [`BatchReport`](crate::BatchReport) is self-describing.
+
+use crate::backend::Backend;
+use crate::job::JobSpec;
+use mffv_mesh::{Dims, WorkloadSpec};
+
+/// Builder for a cartesian scenario sweep over one base workload.
+#[derive(Clone, Debug)]
+pub struct SweepBuilder {
+    base: WorkloadSpec,
+    grids: Vec<Dims>,
+    anisotropy: Vec<f64>,
+    tolerances: Vec<f64>,
+    seeds: Vec<Option<u64>>,
+    backends: Vec<Backend>,
+    max_iterations: Option<usize>,
+}
+
+impl SweepBuilder {
+    /// A sweep around `base`, with every axis at the base value: one grid
+    /// (the base dims), isotropic spacing, the base tolerance, the base
+    /// spec's own permeability seed, and
+    /// the host backend.
+    pub fn new(base: WorkloadSpec) -> Self {
+        let dims = base.dims;
+        let tolerance = base.tolerance;
+        Self {
+            base,
+            grids: vec![dims],
+            anisotropy: vec![1.0],
+            tolerances: vec![tolerance],
+            seeds: vec![None],
+            backends: vec![Backend::host()],
+            max_iterations: None,
+        }
+    }
+
+    /// Sweep over explicit grid extents.
+    pub fn grids(mut self, grids: impl IntoIterator<Item = Dims>) -> Self {
+        self.grids = grids.into_iter().collect();
+        assert!(!self.grids.is_empty(), "at least one grid required");
+        self
+    }
+
+    /// Sweep over down-scalings of the base grid: each factor divides every
+    /// extent (floored at 2 cells), like [`WorkloadSpec::scaled`].
+    pub fn scales(self, factors: impl IntoIterator<Item = usize>) -> Self {
+        let base = self.base.dims;
+        let scale = |n: usize, f: usize| (n / f.max(1)).max(2);
+        let grids: Vec<Dims> = factors
+            .into_iter()
+            .map(|f| Dims::new(scale(base.nx, f), scale(base.ny, f), scale(base.nz, f)))
+            .collect();
+        self.grids(grids)
+    }
+
+    /// Sweep over vertical anisotropy ratios: each ratio multiplies the base
+    /// Z cell spacing, stretching (ratio > 1) or flattening (ratio < 1) the
+    /// cells and thereby the Z-transmissibility contrast.
+    pub fn anisotropy_ratios(mut self, ratios: impl IntoIterator<Item = f64>) -> Self {
+        self.anisotropy = ratios.into_iter().collect();
+        assert!(!self.anisotropy.is_empty(), "at least one ratio required");
+        self
+    }
+
+    /// Sweep over CG tolerances (set on the workload spec).
+    pub fn tolerances(mut self, tolerances: impl IntoIterator<Item = f64>) -> Self {
+        self.tolerances = tolerances.into_iter().collect();
+        assert!(
+            !self.tolerances.is_empty(),
+            "at least one tolerance required"
+        );
+        self
+    }
+
+    /// Sweep over permeability seeds (reproducible realisations of stochastic
+    /// permeability models; a no-op axis for deterministic models).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().map(Some).collect();
+        assert!(!self.seeds.is_empty(), "at least one seed required");
+        self
+    }
+
+    /// Sweep over solve backends.
+    pub fn backends(mut self, backends: impl IntoIterator<Item = Backend>) -> Self {
+        self.backends = backends.into_iter().collect();
+        assert!(!self.backends.is_empty(), "at least one backend required");
+        self
+    }
+
+    /// Cap the iteration count of every generated workload.
+    pub fn max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = Some(max_iterations);
+        self
+    }
+
+    /// Number of jobs the sweep will generate.
+    pub fn job_count(&self) -> usize {
+        self.grids.len()
+            * self.anisotropy.len()
+            * self.tolerances.len()
+            * self.seeds.len()
+            * self.backends.len()
+    }
+
+    /// Generate the jobs: the cartesian product in deterministic order
+    /// (grids, then anisotropy, then tolerances, then seeds, with backends
+    /// innermost so cross-backend comparisons of one scenario sit adjacent).
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        let mut jobs = Vec::with_capacity(self.job_count());
+        for &dims in &self.grids {
+            for &ratio in &self.anisotropy {
+                for &tolerance in &self.tolerances {
+                    for &seed in &self.seeds {
+                        let spec = self.scenario_spec(dims, ratio, tolerance, seed);
+                        for &backend in &self.backends {
+                            let mut job = JobSpec::new(spec.clone(), backend);
+                            if let Some(seed) = seed {
+                                job = job.with_seed(seed);
+                            }
+                            jobs.push(job);
+                        }
+                    }
+                }
+            }
+        }
+        jobs
+    }
+
+    /// The workload spec of one scenario, named after its varied axes.
+    fn scenario_spec(
+        &self,
+        dims: Dims,
+        ratio: f64,
+        tolerance: f64,
+        seed: Option<u64>,
+    ) -> WorkloadSpec {
+        let mut name = self.base.name.clone();
+        if self.grids.len() > 1 || dims != self.base.dims {
+            name = format!("{name}-{dims}");
+        }
+        if self.anisotropy.len() > 1 || ratio != 1.0 {
+            name = format!("{name}-az{ratio}");
+        }
+        if self.tolerances.len() > 1 {
+            name = format!("{name}-tol{tolerance:e}");
+        }
+        if let (Some(seed), true) = (seed, self.seeds.len() > 1) {
+            name = format!("{name}-seed{seed}");
+        }
+        WorkloadSpec {
+            name,
+            dims,
+            spacing: [
+                self.base.spacing[0],
+                self.base.spacing[1],
+                self.base.spacing[2] * ratio,
+            ],
+            tolerance,
+            max_iterations: self.max_iterations.unwrap_or(self.base.max_iterations),
+            ..self.base.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mffv_mesh::PermeabilityModel;
+
+    #[test]
+    fn default_sweep_is_one_host_job_of_the_base_spec() {
+        let jobs = SweepBuilder::new(WorkloadSpec::quickstart()).jobs();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].workload_spec, WorkloadSpec::quickstart());
+        assert_eq!(jobs[0].backend.name(), "host-f64");
+    }
+
+    #[test]
+    fn cartesian_product_covers_every_axis_combination() {
+        let sweep = SweepBuilder::new(WorkloadSpec::quickstart())
+            .grids([
+                Dims::new(8, 8, 4),
+                Dims::new(12, 12, 6),
+                Dims::new(16, 16, 8),
+            ])
+            .seeds([1, 2])
+            .backends([Backend::host(), Backend::dataflow()]);
+        assert_eq!(sweep.job_count(), 12);
+        let jobs = sweep.jobs();
+        assert_eq!(jobs.len(), 12);
+        // Backends innermost: jobs 0 and 1 share a scenario.
+        assert_eq!(jobs[0].workload_spec.name, jobs[1].workload_spec.name);
+        assert_eq!(jobs[0].backend.name(), "host-f64");
+        assert_eq!(jobs[1].backend.name(), "dataflow");
+        // All scenario names are distinct.
+        let mut names: Vec<String> = jobs
+            .iter()
+            .map(|j| format!("{} @ {}", j.workload_spec.name, j.backend.name()))
+            .collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn scales_divide_the_base_grid_with_a_floor() {
+        let sweep = SweepBuilder::new(WorkloadSpec::paper_grid(100, 80, 60)).scales([2, 100]);
+        let jobs = sweep.jobs();
+        assert_eq!(jobs[0].workload_spec.dims, Dims::new(50, 40, 30));
+        assert_eq!(jobs[1].workload_spec.dims, Dims::new(2, 2, 2));
+    }
+
+    #[test]
+    fn anisotropy_scales_the_z_spacing_and_names_the_job() {
+        let jobs = SweepBuilder::new(WorkloadSpec::quickstart())
+            .anisotropy_ratios([1.0, 4.0])
+            .jobs();
+        assert_eq!(jobs[0].workload_spec.spacing, [1.0, 1.0, 1.0]);
+        assert_eq!(jobs[1].workload_spec.spacing, [1.0, 1.0, 4.0]);
+        assert!(jobs[1].workload_spec.name.contains("az4"));
+    }
+
+    #[test]
+    fn tolerances_and_max_iterations_reach_the_spec() {
+        let jobs = SweepBuilder::new(WorkloadSpec::quickstart())
+            .tolerances([1e-6, 1e-12])
+            .max_iterations(123)
+            .jobs();
+        assert_eq!(jobs[0].workload_spec.tolerance, 1e-6);
+        assert_eq!(jobs[1].workload_spec.tolerance, 1e-12);
+        assert!(jobs.iter().all(|j| j.workload_spec.max_iterations == 123));
+        assert!(jobs[0].workload_spec.name.contains("tol1e-6"));
+    }
+
+    #[test]
+    fn default_sweep_preserves_the_base_specs_own_seed() {
+        let base = WorkloadSpec {
+            permeability: PermeabilityModel::LogNormal {
+                mean_log: 0.0,
+                std_log: 0.5,
+                seed: 42,
+            },
+            ..WorkloadSpec::quickstart()
+        };
+        let jobs = SweepBuilder::new(base.clone()).jobs();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].seed, None);
+        assert_eq!(jobs[0].effective_spec(), base);
+    }
+
+    #[test]
+    fn seeds_reach_stochastic_permeability_via_effective_spec() {
+        let base = WorkloadSpec {
+            permeability: PermeabilityModel::LogNormal {
+                mean_log: 0.0,
+                std_log: 0.5,
+                seed: 0,
+            },
+            ..WorkloadSpec::quickstart()
+        };
+        let jobs = SweepBuilder::new(base).seeds([3, 4]).jobs();
+        assert_eq!(jobs.len(), 2);
+        assert_ne!(
+            jobs[0].effective_spec().permeability,
+            jobs[1].effective_spec().permeability
+        );
+        assert!(jobs[0].workload_spec.name.contains("seed3"));
+    }
+
+    #[test]
+    fn every_generated_job_passes_intake_validation() {
+        let sweep = SweepBuilder::new(WorkloadSpec::fig5(Dims::new(12, 10, 6)))
+            .scales([1, 2])
+            .anisotropy_ratios([0.5, 2.0])
+            .backends(Backend::standard_set());
+        for job in sweep.jobs() {
+            job.validate().expect("sweep jobs must be valid");
+        }
+    }
+}

@@ -41,7 +41,7 @@ pub use neighbors::Direction;
 pub use permeability::PermeabilityModel;
 pub use scalar::Scalar;
 pub use transmissibility::Transmissibilities;
-pub use workload::{Workload, WorkloadSpec};
+pub use workload::{Workload, WorkloadError, WorkloadSpec};
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
@@ -53,5 +53,5 @@ pub mod prelude {
     pub use crate::permeability::PermeabilityModel;
     pub use crate::scalar::Scalar;
     pub use crate::transmissibility::Transmissibilities;
-    pub use crate::workload::{Workload, WorkloadSpec};
+    pub use crate::workload::{Workload, WorkloadError, WorkloadSpec};
 }

@@ -135,6 +135,21 @@ impl PermeabilityModel {
         }
     }
 
+    /// The model with its random seed replaced, for stochastic models
+    /// ([`LogNormal`](PermeabilityModel::LogNormal) /
+    /// [`Channelized`](PermeabilityModel::Channelized)); deterministic models
+    /// are returned unchanged.  Scenario sweeps use this to fan one spec
+    /// across reproducible permeability realisations.
+    pub fn reseeded(&self, seed: u64) -> Self {
+        let mut model = self.clone();
+        match &mut model {
+            PermeabilityModel::LogNormal { seed: s, .. } => *s = seed,
+            PermeabilityModel::Channelized { seed: s, .. } => *s = seed,
+            PermeabilityModel::Homogeneous { .. } | PermeabilityModel::Layered { .. } => {}
+        }
+        model
+    }
+
     /// Short human-readable label used in workload names and reports.
     pub fn label(&self) -> &'static str {
         match self {

@@ -18,6 +18,33 @@ use crate::mesh::CartesianMesh;
 use crate::permeability::PermeabilityModel;
 use crate::transmissibility::Transmissibilities;
 
+/// A [`WorkloadSpec`] that cannot be materialised into a solvable problem.
+///
+/// Produced by [`WorkloadSpec::validate`]; callers above the mesh layer (the
+/// `Simulation` facade, the `mffv-engine` batch executor) convert it into
+/// their own error types so invalid specs surface as descriptive errors
+/// instead of downstream panics or silent overflow.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkloadError {
+    message: String,
+}
+
+impl WorkloadError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
 /// The CG convergence tolerance used throughout the paper's evaluation (§V-C).
 pub const PAPER_TOLERANCE: f64 = 2e-10;
 
@@ -159,8 +186,75 @@ impl WorkloadSpec {
         }
     }
 
+    /// Replace the seed of a stochastic permeability model ([`LogNormal`] /
+    /// [`Channelized`]), leaving deterministic models untouched — the hook the
+    /// engine's `JobSpec::seed` and scenario sweeps use to fan one spec across
+    /// reproducible permeability realisations.
+    ///
+    /// [`LogNormal`]: PermeabilityModel::LogNormal
+    /// [`Channelized`]: PermeabilityModel::Channelized
+    pub fn with_permeability_seed(&self, seed: u64) -> Self {
+        Self {
+            permeability: self.permeability.reseeded(seed),
+            ..self.clone()
+        }
+    }
+
+    /// Check that the spec describes a solvable problem: non-zero grid extents
+    /// whose cell count does not overflow `usize`, finite positive spacing and
+    /// viscosity, a finite positive tolerance, and a non-zero iteration cap.
+    ///
+    /// [`Workload::from_spec`] and the engine's job intake call this, so a bad
+    /// spec fails with a descriptive [`WorkloadError`] instead of panicking
+    /// (or wrapping around) somewhere deep in field allocation or the solver.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        let Dims { nx, ny, nz } = self.dims;
+        if nx == 0 || ny == 0 || nz == 0 {
+            return Err(WorkloadError::new(format!(
+                "grid extents must all be non-zero, got {}x{}x{}",
+                nx, ny, nz
+            )));
+        }
+        if nx
+            .checked_mul(ny)
+            .and_then(|xy| xy.checked_mul(nz))
+            .is_none()
+        {
+            return Err(WorkloadError::new(format!(
+                "grid {}x{}x{} overflows the addressable cell count",
+                nx, ny, nz
+            )));
+        }
+        for (axis, &h) in ["dx", "dy", "dz"].iter().zip(self.spacing.iter()) {
+            if !h.is_finite() || h <= 0.0 {
+                return Err(WorkloadError::new(format!(
+                    "cell spacing {axis} must be finite and positive, got {h}"
+                )));
+            }
+        }
+        if !self.viscosity.is_finite() || self.viscosity <= 0.0 {
+            return Err(WorkloadError::new(format!(
+                "viscosity must be finite and positive, got {}",
+                self.viscosity
+            )));
+        }
+        if !self.tolerance.is_finite() || self.tolerance <= 0.0 {
+            return Err(WorkloadError::new(format!(
+                "tolerance must be finite and positive, got {}",
+                self.tolerance
+            )));
+        }
+        if self.max_iterations == 0 {
+            return Err(WorkloadError::new(
+                "max_iterations must be non-zero (the solver could never step)",
+            ));
+        }
+        Ok(())
+    }
+
     /// Materialise the spec into a [`Workload`] (computes permeability and
-    /// transmissibility fields).
+    /// transmissibility fields).  Panics on an invalid spec; use
+    /// [`Workload::try_from_spec`] for a fallible build.
     pub fn build(&self) -> Workload {
         Workload::from_spec(self)
     }
@@ -178,8 +272,17 @@ pub struct Workload {
 }
 
 impl Workload {
-    /// Materialise a [`WorkloadSpec`].
+    /// Materialise a [`WorkloadSpec`], panicking with the validation message
+    /// when the spec is invalid (see [`Workload::try_from_spec`]).
     pub fn from_spec(spec: &WorkloadSpec) -> Self {
+        Self::try_from_spec(spec)
+            .unwrap_or_else(|e| panic!("invalid workload `{}`: {e}", spec.name))
+    }
+
+    /// Materialise a [`WorkloadSpec`], rejecting invalid specs with a
+    /// descriptive [`WorkloadError`] instead of a downstream panic.
+    pub fn try_from_spec(spec: &WorkloadSpec) -> Result<Self, WorkloadError> {
+        spec.validate()?;
         let mesh = CartesianMesh::with_spacing(
             spec.dims,
             spec.spacing[0],
@@ -199,13 +302,13 @@ impl Workload {
             } => DirichletSet::x_faces(spec.dims, left_pressure, right_pressure),
             BoundarySpec::None => DirichletSet::empty(),
         };
-        Self {
+        Ok(Self {
             spec: spec.clone(),
             mesh,
             permeability,
             transmissibility,
             dirichlet,
-        }
+        })
     }
 
     /// The originating spec.
@@ -341,5 +444,136 @@ mod tests {
     fn transmissibilities_are_symmetric_for_fig5() {
         let w = WorkloadSpec::fig5(Dims::new(6, 5, 8)).build();
         assert!(w.transmissibility().max_asymmetry() < 1e-12);
+    }
+
+    #[test]
+    fn validate_accepts_every_named_spec() {
+        assert!(WorkloadSpec::quickstart().validate().is_ok());
+        assert!(WorkloadSpec::fig5(Dims::new(12, 10, 6)).validate().is_ok());
+        assert!(WorkloadSpec::paper_grid(750, 994, 922).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_specs() {
+        let base = WorkloadSpec::quickstart();
+
+        let zero = WorkloadSpec {
+            dims: Dims {
+                nx: 0,
+                ny: 4,
+                nz: 4,
+            },
+            ..base.clone()
+        };
+        assert!(zero
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("non-zero"));
+
+        let huge = WorkloadSpec {
+            dims: Dims {
+                nx: usize::MAX,
+                ny: 2,
+                nz: 2,
+            },
+            ..base.clone()
+        };
+        assert!(huge
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("overflow"));
+
+        let bad_tol = WorkloadSpec {
+            tolerance: f64::NAN,
+            ..base.clone()
+        };
+        assert!(bad_tol
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("tolerance"));
+        let neg_tol = WorkloadSpec {
+            tolerance: -1e-10,
+            ..base.clone()
+        };
+        assert!(neg_tol.validate().is_err());
+
+        let no_iters = WorkloadSpec {
+            max_iterations: 0,
+            ..base.clone()
+        };
+        assert!(no_iters
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("max_iterations"));
+
+        let bad_spacing = WorkloadSpec {
+            spacing: [1.0, 0.0, 1.0],
+            ..base.clone()
+        };
+        assert!(bad_spacing
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("spacing"));
+
+        let bad_viscosity = WorkloadSpec {
+            viscosity: f64::INFINITY,
+            ..base
+        };
+        assert!(bad_viscosity
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("viscosity"));
+    }
+
+    #[test]
+    fn try_from_spec_surfaces_the_validation_error() {
+        let bad = WorkloadSpec {
+            max_iterations: 0,
+            ..WorkloadSpec::quickstart()
+        };
+        let err = Workload::try_from_spec(&bad).unwrap_err();
+        assert!(err.to_string().contains("max_iterations"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid workload")]
+    fn from_spec_panics_with_the_validation_message() {
+        let bad = WorkloadSpec {
+            tolerance: 0.0,
+            ..WorkloadSpec::quickstart()
+        };
+        let _ = bad.build();
+    }
+
+    #[test]
+    fn permeability_seed_reseeds_only_stochastic_models() {
+        let deterministic = WorkloadSpec::quickstart().with_permeability_seed(7);
+        assert_eq!(
+            deterministic.permeability,
+            WorkloadSpec::quickstart().permeability
+        );
+
+        let stochastic = WorkloadSpec {
+            permeability: crate::permeability::PermeabilityModel::LogNormal {
+                mean_log: 0.0,
+                std_log: 0.5,
+                seed: 1,
+            },
+            ..WorkloadSpec::quickstart()
+        };
+        let a = stochastic.with_permeability_seed(2);
+        let b = stochastic.with_permeability_seed(2);
+        assert_eq!(a.permeability, b.permeability);
+        assert_ne!(a.permeability, stochastic.permeability);
+        assert_ne!(
+            a.build().permeability().as_slice(),
+            stochastic.build().permeability().as_slice()
+        );
     }
 }

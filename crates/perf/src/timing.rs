@@ -17,6 +17,60 @@ use mffv_fabric::timing::WseSpec;
 use mffv_gpu_ref::device_model::{GpuSpec, GpuTimeModel};
 use mffv_mesh::Dims;
 
+/// Nearest-rank percentile of an **ascending-sorted** sample set; `q` in
+/// `[0, 1]`.  Empty samples yield `0.0`.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Summary statistics over a set of measured latencies (seconds) — the
+/// aggregate the batch engine's `BatchReport` prints alongside throughput.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples summarised.
+    pub samples: usize,
+    /// Smallest sample, s.
+    pub min: f64,
+    /// Largest sample, s.
+    pub max: f64,
+    /// Arithmetic mean, s.
+    pub mean: f64,
+    /// Median (nearest-rank 50th percentile), s.
+    pub p50: f64,
+    /// Nearest-rank 95th percentile, s.
+    pub p95: f64,
+}
+
+impl LatencyStats {
+    /// Summarise `samples` (any order; an empty set yields all-zero stats).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                samples: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies must not be NaN"));
+        Self {
+            samples: sorted.len(),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: percentile(&sorted, 0.50),
+            p95: percentile(&sorted, 0.95),
+        }
+    }
+}
+
 /// One row of the weak-scaling table (Table III).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ScalingRow {
@@ -185,6 +239,37 @@ mod tests {
 
     fn paper_grid() -> Dims {
         Dims::new(750, 994, 922)
+    }
+
+    #[test]
+    fn latency_stats_summarise_unsorted_samples() {
+        let stats = LatencyStats::from_samples(&[0.3, 0.1, 0.2, 0.4, 1.0]);
+        assert_eq!(stats.samples, 5);
+        assert_eq!(stats.min, 0.1);
+        assert_eq!(stats.max, 1.0);
+        assert!((stats.mean - 0.4).abs() < 1e-12);
+        assert_eq!(stats.p50, 0.3);
+        assert_eq!(stats.p95, 1.0);
+    }
+
+    #[test]
+    fn latency_stats_handle_empty_and_single_samples() {
+        let empty = LatencyStats::from_samples(&[]);
+        assert_eq!(empty.samples, 0);
+        assert_eq!(empty.p95, 0.0);
+        let one = LatencyStats::from_samples(&[2.5]);
+        assert_eq!((one.min, one.max, one.p50, one.p95), (2.5, 2.5, 2.5, 2.5));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 0.25), 1.0);
+        assert_eq!(percentile(&sorted, 0.5), 2.0);
+        assert_eq!(percentile(&sorted, 0.75), 3.0);
+        assert_eq!(percentile(&sorted, 1.0), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
     }
 
     #[test]

@@ -39,19 +39,29 @@ fn main() {
 
     // Executed sweep on the simulated fabric at small sizes with a fixed iteration
     // count, reporting the measured critical-path growth that causes the Alg-1 trend.
+    // The grid family is generated with `SweepBuilder` and the four solves run
+    // concurrently on the `mffv-engine` worker pool.
     println!("Executed sweep (simulated fabric, 15 iterations, Nz = 24):\n");
+    let base = WorkloadSpec {
+        name: "weak-scaling".to_string(),
+        tolerance: 1e-30, // unreachable: run exactly max_iterations steps
+        max_iterations: 15,
+        ..WorkloadSpec::paper_grid(6, 6, 24)
+    };
+    let jobs = SweepBuilder::new(base)
+        .grids([6usize, 10, 14, 18].map(|side| Dims::new(side, side, 24)))
+        .backends([Backend::dataflow()])
+        .jobs();
+    let engine = Engine::with_available_parallelism();
+    let batch = engine.run(jobs);
     let mut rows = Vec::new();
-    for side in [6usize, 10, 14, 18] {
-        let workload = WorkloadSpec::paper_grid(side, side, 24).build();
-        let report = Simulation::new(workload)
-            .tolerance(1e-30)
-            .max_iterations(15)
-            .backend(Backend::dataflow())
-            .run()
-            .expect("solve failed");
+    for outcome in &batch.outcomes {
+        let report = outcome
+            .report()
+            .unwrap_or_else(|| panic!("{}: {:?}", outcome.label, outcome.failure()));
         let device = report.device.as_ref().expect("dataflow models a device");
         rows.push(vec![
-            format!("{side} x {side} x 24"),
+            format!("{}", report.pressure.dims()),
             format!("{}", report.iterations()),
             format!("{}", device.counter("critical_path_hops").unwrap_or(0.0)),
             format!("{}", device.counter("fabric_link_bytes").unwrap_or(0.0)),
@@ -70,6 +80,14 @@ fn main() {
             ],
             &rows
         )
+    );
+    println!(
+        "Engine: {} jobs on {} workers in {:.3} s wall ({:.2} jobs/s, p95 latency {:.3e} s)\n",
+        batch.jobs(),
+        batch.workers,
+        batch.wall_seconds,
+        batch.jobs_per_second(),
+        batch.latency.p95,
     );
     println!("The critical-path hop count grows with the fabric perimeter — the reduction cost");
     println!(

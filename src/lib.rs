@@ -25,6 +25,23 @@
 //! assert!(agreement.agrees_within(1e-3));
 //! ```
 //!
+//! For many solves at once — scenario sweeps, cross-backend comparison
+//! studies, throughput measurements — the [`Engine`] executes batches of
+//! [`JobSpec`]s on a worker pool with deterministic, panic-isolated results
+//! (see [`mffv_engine`] and [`Simulation::batch`]):
+//!
+//! ```
+//! use mffv::prelude::*;
+//!
+//! let jobs = SweepBuilder::new(WorkloadSpec::quickstart())
+//!     .grids([Dims::new(8, 8, 4), Dims::new(12, 12, 6)])
+//!     .backends([Backend::host(), Backend::dataflow()])
+//!     .jobs();
+//! let report = Engine::new(2).run(jobs);
+//! assert!(report.all_succeeded());
+//! println!("{report}"); // per-job status + jobs/s + p50/p95 latency
+//! ```
+//!
 //! The sub-crates remain available for lower-level work (fabric programming,
 //! operator mathematics, performance models); see the workspace `README.md`.
 
@@ -33,6 +50,7 @@ pub mod report;
 pub mod simulation;
 
 pub use mffv_core as dataflow;
+pub use mffv_engine as engine;
 pub use mffv_fabric as fabric;
 pub use mffv_fv as fv;
 pub use mffv_gpu_ref as gpu_ref;
@@ -41,6 +59,7 @@ pub use mffv_perf as perf;
 pub use mffv_solver as solver;
 
 pub use backend::Backend;
+pub use mffv_engine::{BatchReport, Engine, JobOutcome, JobSpec, JobStatus, SweepBuilder};
 pub use report::{AgreementReport, PairwiseDisagreement, SolveReport};
 pub use simulation::Simulation;
 
@@ -51,6 +70,7 @@ pub mod prelude {
     pub use crate::report::{AgreementReport, PairwiseDisagreement};
     pub use crate::simulation::Simulation;
     pub use mffv_core::prelude::*;
+    pub use mffv_engine::{BatchReport, Engine, JobOutcome, JobSpec, JobStatus, SweepBuilder};
     pub use mffv_fabric::prelude::*;
     pub use mffv_fv::prelude::*;
     pub use mffv_gpu_ref::prelude::*;

@@ -37,6 +37,10 @@ pub struct AgreementReport {
     pub reports: Vec<SolveReport>,
     /// All backend pairs and their maximum pressure disagreements.
     pub pairwise: Vec<PairwiseDisagreement>,
+    /// Backends that failed to produce a report (their errors, in execution
+    /// order).  The agreement table is computed over the successful backends
+    /// only, so one failing backend no longer discards the completed runs.
+    pub failures: Vec<SolveError>,
 }
 
 impl AgreementReport {
@@ -68,7 +72,15 @@ impl AgreementReport {
             dims,
             reports,
             pairwise,
+            failures: Vec::new(),
         }
+    }
+
+    /// Attach the errors of backends that failed to run (see
+    /// [`Simulation::compare`](crate::Simulation::compare)).
+    pub fn with_failures(mut self, failures: Vec<SolveError>) -> Self {
+        self.failures = failures;
+        self
     }
 
     /// The report of a named backend, if it ran.
@@ -94,8 +106,12 @@ impl AgreementReport {
 
     /// Whether every pair of backends agrees to `tolerance` in the relative
     /// max-norm (the §V-B integrity criterion: f32 device precision ⇒ `1e-3`).
+    ///
+    /// A backend that failed to run cannot agree with anything, so this is
+    /// `false` whenever [`failures`](Self::failures) is non-empty — agreement
+    /// over the surviving subset must not pass vacuously.
     pub fn agrees_within(&self, tolerance: f64) -> bool {
-        self.max_pairwise_rel_diff() < tolerance
+        self.failures.is_empty() && self.max_pairwise_rel_diff() < tolerance
     }
 }
 
@@ -152,7 +168,11 @@ impl std::fmt::Display for AgreementReport {
             f,
             "{}",
             format_table(&["Pair", "max |Δp| [Pa]", "max |Δp| / scale"], &rows)
-        )
+        )?;
+        for failure in &self.failures {
+            write!(f, "\nFAILED: {failure}")?;
+        }
+        Ok(())
     }
 }
 
@@ -199,9 +219,24 @@ mod tests {
             dims,
             vec![fake_report("a", 1.0), fake_report("b", 1.0)],
         );
+        assert!(agreement.failures.is_empty());
         let text = agreement.to_string();
         assert!(text.contains("Numerical integrity"));
         assert!(text.contains("a vs b"));
         assert!(text.contains("Backend"));
+        assert!(!text.contains("FAILED"));
+    }
+
+    #[test]
+    fn failures_are_carried_and_rendered() {
+        let dims = Dims::new(2, 2, 2);
+        let agreement =
+            AgreementReport::from_reports("quickstart", dims, vec![fake_report("a", 1.0)])
+                .with_failures(vec![SolveError::new("dataflow", "out of local memory")]);
+        assert_eq!(agreement.failures.len(), 1);
+        // A failed backend forbids vacuous agreement at any tolerance.
+        assert!(!agreement.agrees_within(f64::INFINITY));
+        let text = agreement.to_string();
+        assert!(text.contains("FAILED: backend `dataflow` failed: out of local memory"));
     }
 }

@@ -15,11 +15,16 @@
 //!
 //! `run()` executes the primary (first-registered) backend; `run_all()`
 //! executes every registered backend — or the three paper targets when none
-//! was registered — and `compare()` condenses those runs into the §V-B
-//! numerical-integrity table ([`AgreementReport`]).
+//! was registered — returning a per-backend outcome for each (one failing
+//! backend does not discard the completed reports); `compare()` condenses the
+//! successful runs into the §V-B numerical-integrity table
+//! ([`AgreementReport`]), carrying any failures alongside; and `batch()`
+//! executes the registered backends concurrently on the `mffv-engine` worker
+//! pool, returning its [`BatchReport`].
 
 use crate::backend::Backend;
 use crate::report::{AgreementReport, SolveReport};
+use mffv_engine::{BatchReport, Engine, JobSpec};
 use mffv_mesh::{Workload, WorkloadSpec};
 use mffv_solver::backend::{Precision, SolveConfig, SolveError};
 
@@ -105,38 +110,93 @@ impl Simulation {
     }
 
     /// Run every registered backend — or [`Backend::standard_set`] when none
-    /// was registered — and return their reports in execution order.
+    /// was registered — and return a per-backend outcome for each, in
+    /// execution order.  One failing backend no longer discards the reports
+    /// the other backends completed.
     ///
     /// Report names are kept unique within the returned set: a second backend
     /// producing the same name (e.g. two dataflow configurations) is suffixed
     /// `#2`, `#3`, … so [`AgreementReport`] lookups and the pairwise table
     /// stay unambiguous.
-    pub fn run_all(&self) -> Result<Vec<SolveReport>, SolveError> {
-        let mut reports: Vec<SolveReport> = self
+    pub fn run_all(&self) -> Vec<(Backend, Result<SolveReport, SolveError>)> {
+        let mut outcomes: Vec<(Backend, Result<SolveReport, SolveError>)> = self
             .effective_backends()
-            .iter()
-            .map(|b| self.run_backend(b))
-            .collect::<Result<_, _>>()?;
+            .into_iter()
+            .map(|b| {
+                let outcome = self.run_backend(&b);
+                (b, outcome)
+            })
+            .collect();
         let mut seen: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
-        for report in &mut reports {
-            let count = seen.entry(report.backend.clone()).or_insert(0);
-            *count += 1;
-            if *count > 1 {
-                report.backend = format!("{}#{}", report.backend, count);
+        for (_, outcome) in &mut outcomes {
+            if let Ok(report) = outcome {
+                let count = seen.entry(report.backend.clone()).or_insert(0);
+                *count += 1;
+                if *count > 1 {
+                    report.backend = format!("{}#{}", report.backend, count);
+                }
             }
         }
-        Ok(reports)
+        outcomes
     }
 
-    /// Run every backend and condense the results into the cross-backend
-    /// agreement report (the programmatic §V-B integrity table).
+    /// Run every backend and condense the successful results into the
+    /// cross-backend agreement report (the programmatic §V-B integrity
+    /// table).  Backends that fail are recorded in
+    /// [`AgreementReport::failures`] instead of discarding the completed
+    /// runs; `Err` is returned only when *no* backend produced a report.
     pub fn compare(&self) -> Result<AgreementReport, SolveError> {
-        let reports = self.run_all()?;
-        Ok(AgreementReport::from_reports(
-            self.workload.name(),
-            self.workload.dims(),
-            reports,
-        ))
+        let mut reports = Vec::new();
+        let mut failures = Vec::new();
+        for (_, outcome) in self.run_all() {
+            match outcome {
+                Ok(report) => reports.push(report),
+                Err(error) => failures.push(error),
+            }
+        }
+        if reports.is_empty() {
+            return Err(failures
+                .into_iter()
+                .next()
+                .unwrap_or_else(|| SolveError::new("simulation", "no backend produced a report")));
+        }
+        Ok(
+            AgreementReport::from_reports(self.workload.name(), self.workload.dims(), reports)
+                .with_failures(failures),
+        )
+    }
+
+    /// Run every registered backend (or the standard set) concurrently on a
+    /// `workers`-thread [`Engine`] — the batch counterpart of [`run_all`].
+    /// Per-job outcomes arrive in backend registration order regardless of
+    /// worker count, and each report is bitwise identical to the
+    /// corresponding serial [`run_backend`] result.
+    ///
+    /// [`run_all`]: Simulation::run_all
+    /// [`run_backend`]: Simulation::run_backend
+    pub fn batch(&self, workers: usize) -> BatchReport {
+        let jobs: Vec<JobSpec> = self
+            .effective_backends()
+            .into_iter()
+            .map(|backend| {
+                JobSpec::new(self.workload.spec().clone(), backend).with_config(self.config)
+            })
+            .collect();
+        let mut batch = Engine::new(workers).run(jobs);
+        // The same duplicate-name disambiguation `run_all` applies, so two
+        // configurations of one backend stay distinguishable in the report.
+        let mut seen: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        for outcome in &mut batch.outcomes {
+            if let mffv_engine::JobStatus::Completed(report) = &mut outcome.status {
+                let count = seen.entry(report.backend.clone()).or_insert(0);
+                *count += 1;
+                if *count > 1 {
+                    report.backend = format!("{}#{}", report.backend, count);
+                    outcome.label = format!("{} @ {}", self.workload.spec().name, report.backend);
+                }
+            }
+        }
+        batch
     }
 
     fn effective_backends(&self) -> Vec<Backend> {
@@ -193,12 +253,20 @@ mod tests {
             .is_some());
     }
 
+    /// Unwrap every outcome of a `run_all`, panicking on the first failure.
+    fn all_reports(outcomes: Vec<(Backend, Result<SolveReport, SolveError>)>) -> Vec<SolveReport> {
+        outcomes
+            .into_iter()
+            .map(|(b, outcome)| outcome.unwrap_or_else(|e| panic!("{}: {e}", b.name())))
+            .collect()
+    }
+
     #[test]
     fn facade_tolerance_reaches_every_backend() {
         // A loose tolerance must reduce iteration counts on all backends.
         let sim = Simulation::from_spec(&WorkloadSpec::quickstart());
-        let loose = sim.clone().tolerance(1e-2).run_all().unwrap();
-        let tight = sim.tolerance(1e-12).run_all().unwrap();
+        let loose = all_reports(sim.clone().tolerance(1e-2).run_all());
+        let tight = all_reports(sim.tolerance(1e-12).run_all());
         for (l, t) in loose.iter().zip(tight.iter()) {
             assert_eq!(l.backend, t.backend);
             assert!(
@@ -214,16 +282,105 @@ mod tests {
     #[test]
     fn duplicate_backend_names_are_disambiguated() {
         use mffv_core::SolverOptions;
-        let reports = Simulation::from_spec(&WorkloadSpec::quickstart())
+        let reports = all_reports(
+            Simulation::from_spec(&WorkloadSpec::quickstart())
+                .tolerance(1e-10)
+                .backend(Backend::dataflow())
+                .backend(Backend::dataflow_with(
+                    SolverOptions::paper().without_vectorization(),
+                ))
+                .run_all(),
+        );
+        assert_eq!(reports[0].backend, "dataflow");
+        assert_eq!(reports[1].backend, "dataflow#2");
+    }
+
+    #[test]
+    fn run_all_keeps_completed_reports_when_one_backend_fails() {
+        // A 3000-deep column overflows a PE's memory, so the dataflow backend
+        // fails — but the host outcomes must survive alongside the error.
+        let workload = WorkloadSpec::paper_grid(3, 3, 3000).build();
+        let outcomes = Simulation::new(workload)
+            .tolerance(1e-8)
+            .backend(Backend::host())
+            .backend(Backend::dataflow())
+            .backend(Backend::host_f32())
+            .run_all();
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[0].1.as_ref().unwrap().backend, "host-f64");
+        let error = outcomes[1].1.as_ref().unwrap_err();
+        assert_eq!(error.backend, "dataflow");
+        assert!(error.detail.contains("memory"), "{}", error.detail);
+        assert_eq!(outcomes[2].1.as_ref().unwrap().backend, "host-f32");
+    }
+
+    #[test]
+    fn compare_summarises_successes_and_carries_failures() {
+        let workload = WorkloadSpec::paper_grid(3, 3, 3000).build();
+        let agreement = Simulation::new(workload)
+            .tolerance(1e-8)
+            .backend(Backend::host())
+            .backend(Backend::dataflow())
+            .backend(Backend::host_f32())
+            .compare()
+            .unwrap();
+        assert_eq!(agreement.reports.len(), 2);
+        assert_eq!(agreement.pairwise.len(), 1);
+        assert_eq!(agreement.failures.len(), 1);
+        assert_eq!(agreement.failures[0].backend, "dataflow");
+        assert!(agreement.to_string().contains("FAILED"));
+    }
+
+    #[test]
+    fn compare_errors_only_when_every_backend_fails() {
+        let workload = WorkloadSpec::paper_grid(3, 3, 3000).build();
+        let error = Simulation::new(workload)
+            .backend(Backend::dataflow())
+            .compare()
+            .expect_err("the only backend fails, so compare must");
+        assert_eq!(error.backend, "dataflow");
+    }
+
+    #[test]
+    fn batch_disambiguates_duplicate_backend_names() {
+        use mffv_core::SolverOptions;
+        let batch = Simulation::from_spec(&WorkloadSpec::quickstart())
             .tolerance(1e-10)
             .backend(Backend::dataflow())
             .backend(Backend::dataflow_with(
                 SolverOptions::paper().without_vectorization(),
             ))
-            .run_all()
-            .unwrap();
-        assert_eq!(reports[0].backend, "dataflow");
-        assert_eq!(reports[1].backend, "dataflow#2");
+            .batch(2);
+        assert!(batch.all_succeeded());
+        let names: Vec<&str> = batch
+            .outcomes
+            .iter()
+            .map(|o| o.report().unwrap().backend.as_str())
+            .collect();
+        assert_eq!(names, vec!["dataflow", "dataflow#2"]);
+        assert!(batch.outcomes[1].label.ends_with("dataflow#2"));
+    }
+
+    #[test]
+    fn batch_matches_the_serial_backends_bitwise() {
+        let sim = Simulation::from_spec(&WorkloadSpec::quickstart())
+            .tolerance(1e-10)
+            .backend(Backend::host())
+            .backend(Backend::dataflow());
+        let batch = sim.batch(2);
+        assert_eq!(batch.jobs(), 2);
+        assert!(batch.all_succeeded());
+        assert_eq!(batch.workers, 2);
+        assert!(batch.latency.p95 >= batch.latency.p50);
+        let serial: Vec<SolveReport> = all_reports(sim.run_all());
+        for (outcome, reference) in batch.outcomes.iter().zip(serial.iter()) {
+            let report = outcome.report().unwrap();
+            assert_eq!(report.backend, reference.backend);
+            let bits = |r: &SolveReport| -> Vec<u64> {
+                r.pressure.as_slice().iter().map(|v| v.to_bits()).collect()
+            };
+            assert_eq!(bits(report), bits(reference), "{}", report.backend);
+        }
     }
 
     #[test]

@@ -110,11 +110,13 @@ fn fabric_allreduce_matches_host_fabric_ordered_reduction() {
 #[test]
 fn dataflow_iteration_count_is_close_to_host_iteration_count() {
     let workload = WorkloadSpec::quickstart().scaled(2).build();
-    let reports = Simulation::new(workload)
+    let reports: Vec<_> = Simulation::new(workload)
         .backend(Backend::host_f32())
         .backend(Backend::dataflow())
         .run_all()
-        .unwrap();
+        .into_iter()
+        .map(|(_, outcome)| outcome.unwrap())
+        .collect();
     let host_iters = reports[0].iterations() as isize;
     let fabric_iters = reports[1].iterations() as isize;
     assert!(

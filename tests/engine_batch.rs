@@ -1,0 +1,137 @@
+//! Engine-level integration through the public `mffv` API: batch results must
+//! be **bitwise identical** across worker counts and against serial
+//! `Simulation::run` executions of the same specs (determinism under
+//! concurrency), and a panicking job must be reported as failed without
+//! poisoning the pool.
+
+use mffv::prelude::*;
+
+/// A 12-job sweep (3 grids × 2 permeability seeds × 2 backends) over a
+/// stochastic log-normal workload, so the seed axis genuinely changes the
+/// problem each job solves.
+fn sweep_jobs() -> Vec<JobSpec> {
+    let base = WorkloadSpec {
+        name: "engine-itest".to_string(),
+        permeability: PermeabilityModel::LogNormal {
+            mean_log: 0.0,
+            std_log: 0.4,
+            seed: 0,
+        },
+        tolerance: 1e-8,
+        ..WorkloadSpec::quickstart()
+    };
+    SweepBuilder::new(base)
+        .grids([
+            Dims::new(8, 8, 6),
+            Dims::new(10, 8, 8),
+            Dims::new(12, 10, 8),
+        ])
+        .seeds([1, 2])
+        .backends([Backend::host(), Backend::dataflow()])
+        .jobs()
+}
+
+fn pressure_bits(report: &mffv::SolveReport) -> Vec<u64> {
+    report
+        .pressure
+        .as_slice()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+#[test]
+fn batch_results_are_bitwise_identical_across_worker_counts_and_to_serial_runs() {
+    let jobs = sweep_jobs();
+    assert_eq!(jobs.len(), 12);
+
+    // Serial reference: each job's effective spec solved through the facade.
+    let serial: Vec<mffv::SolveReport> = jobs
+        .iter()
+        .map(|job| {
+            Simulation::from_spec(&job.effective_spec())
+                .backend(job.backend)
+                .run()
+                .expect("serial solve failed")
+        })
+        .collect();
+
+    for workers in [1usize, 2, 8] {
+        let batch = Engine::new(workers).run(jobs.clone());
+        assert_eq!(batch.jobs(), 12, "{workers} workers");
+        assert!(batch.all_succeeded(), "{workers} workers");
+        assert_eq!(batch.workers, workers);
+        for (i, (outcome, reference)) in batch.outcomes.iter().zip(serial.iter()).enumerate() {
+            assert_eq!(outcome.index, i, "{workers} workers: order must be stable");
+            let report = outcome.report().unwrap();
+            assert_eq!(
+                report.backend, reference.backend,
+                "{workers} workers, job {i}"
+            );
+            assert_eq!(
+                report.iterations(),
+                reference.iterations(),
+                "{workers} workers, job {i}"
+            );
+            assert_eq!(
+                pressure_bits(report),
+                pressure_bits(reference),
+                "{workers} workers, job {i}: pressure must be bitwise identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn panicking_and_invalid_jobs_are_reported_without_poisoning_the_pool() {
+    let good = JobSpec::new(WorkloadSpec::quickstart().scaled(2), Backend::host());
+    // An empty layer list passes intake validation but panics inside
+    // permeability generation on the worker thread.
+    let panicking = JobSpec::new(
+        WorkloadSpec {
+            permeability: PermeabilityModel::Layered {
+                layer_values: Vec::new(),
+            },
+            ..WorkloadSpec::quickstart().scaled(2)
+        },
+        Backend::host(),
+    );
+    // A zero iteration cap is rejected at job intake with a typed error.
+    let invalid = JobSpec::new(
+        WorkloadSpec {
+            max_iterations: 0,
+            ..WorkloadSpec::quickstart().scaled(2)
+        },
+        Backend::host(),
+    );
+    let jobs = vec![good.clone(), panicking, good.clone(), invalid, good];
+
+    let batch = Engine::new(2).run(jobs);
+    assert_eq!(batch.jobs(), 5);
+    assert_eq!(batch.succeeded(), 3);
+    assert_eq!(batch.failed(), 2);
+
+    assert!(matches!(batch.outcomes[1].status, JobStatus::Panicked(_)));
+    let panic_msg = batch.outcomes[1].failure().unwrap();
+    assert!(panic_msg.contains("layer"), "{panic_msg}");
+
+    assert!(matches!(batch.outcomes[3].status, JobStatus::Failed(_)));
+    let intake_msg = batch.outcomes[3].failure().unwrap();
+    assert!(intake_msg.contains("max_iterations"), "{intake_msg}");
+
+    // The jobs around the failures completed normally on the same pool.
+    for i in [0usize, 2, 4] {
+        assert!(batch.outcomes[i].is_success(), "job {i} must survive");
+        assert!(batch.outcomes[i].report().unwrap().converged());
+    }
+
+    // The rendered report carries per-job status plus the aggregate line.
+    let text = batch.to_string();
+    for needle in ["ok", "panicked", "failed", "jobs/s", "p50", "p95"] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+
+    // And the engine remains fully usable afterwards.
+    let again = Engine::new(2).run(sweep_jobs());
+    assert!(again.all_succeeded());
+}

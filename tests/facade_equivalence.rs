@@ -40,10 +40,12 @@ fn equivalence_workloads() -> Vec<Workload> {
 fn run_all_backends_agree_across_workload_shapes() {
     for workload in equivalence_workloads() {
         let name = workload.name().to_string();
-        let reports = Simulation::new(workload)
+        let reports: Vec<_> = Simulation::new(workload)
             .tolerance(1e-10)
             .run_all()
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+            .into_iter()
+            .map(|(b, outcome)| outcome.unwrap_or_else(|e| panic!("{name}: {} {e}", b.name())))
+            .collect();
         assert_eq!(reports.len(), 3, "{name}: expected the full standard set");
         for report in &reports {
             assert!(

@@ -133,12 +133,14 @@ fn converged_pressure_satisfies_the_discrete_maximum_principle() {
     // the converged pressure must stay inside the range of the boundary values
     // — on every implementation.
     let (lo, hi) = (0.0f64, 1.0f64);
-    let reports = Simulation::from_spec(&WorkloadSpec::quickstart())
+    let reports: Vec<_> = Simulation::from_spec(&WorkloadSpec::quickstart())
         .tolerance(1e-12)
         .backend(Backend::host())
         .backend(Backend::dataflow())
         .run_all()
-        .expect("solve failed");
+        .into_iter()
+        .map(|(_, outcome)| outcome.expect("solve failed"))
+        .collect();
     for report in &reports {
         let slack = if report.backend == "host-f64" {
             1e-8
