@@ -8,10 +8,11 @@
 //! [`SolverOptions`].
 
 use crate::options::SolverOptions;
-use crate::solver::DataflowFvSolver;
+use crate::solver::{DataflowFvSolver, DataflowSolveReport};
 use mffv_fabric::WseSpec;
 use mffv_mesh::Workload;
 use mffv_solver::backend::{DeviceSection, SolveBackend, SolveConfig, SolveError, SolveReport};
+use mffv_solver::monitor::{NullMonitor, SolveMonitor};
 
 /// The simulated WSE-2 dataflow fabric as a facade backend.
 #[derive(Clone, Copy, Debug, Default)]
@@ -49,14 +50,17 @@ impl DataflowBackend {
     }
 }
 
-impl SolveBackend for DataflowBackend {
-    fn name(&self) -> String {
-        "dataflow".to_string()
-    }
-
-    fn solve(&self, workload: &Workload, config: &SolveConfig) -> Result<SolveReport, SolveError> {
-        // The facade's settings win over any overrides baked into the options;
-        // communication-only runs keep their forced iteration count.
+impl DataflowBackend {
+    /// Run the solve behind the facade's config, threading `monitor` through
+    /// the state machine.  The facade's settings win over any overrides baked
+    /// into the options; communication-only runs keep their forced iteration
+    /// count.
+    fn run(
+        &self,
+        workload: &Workload,
+        config: &SolveConfig,
+        monitor: &mut dyn SolveMonitor,
+    ) -> Result<SolveReport, SolveError> {
         let mut options = self.options;
         if let Some(tolerance) = config.tolerance {
             options = options.with_tolerance(tolerance);
@@ -70,8 +74,13 @@ impl SolveBackend for DataflowBackend {
         };
         let spec = *solver.spec();
         let report = solver
-            .solve()
+            .solve_monitored(monitor)
             .map_err(|e| SolveError::new(self.name(), e.to_string()))?;
+        Ok(self.unify(spec, report))
+    }
+
+    /// Wrap the internal [`DataflowSolveReport`] into the unified shape.
+    fn unify(&self, spec: WseSpec, report: DataflowSolveReport) -> SolveReport {
         let device = DeviceSection {
             device: format!("CS-2 region {}x{}", spec.fabric.width, spec.fabric.height),
             modelled_time_seconds: report.modelled_time.total,
@@ -118,14 +127,34 @@ impl SolveBackend for DataflowBackend {
                 ),
             ],
         };
-        Ok(SolveReport {
+        SolveReport {
             backend: self.name(),
             pressure: report.pressure.convert(),
             history: report.history,
             final_residual_max: report.final_residual_max,
             host_wall_seconds: report.stats.host_wall_seconds,
             device: Some(device),
-        })
+            stopped: report.stopped,
+        }
+    }
+}
+
+impl SolveBackend for DataflowBackend {
+    fn name(&self) -> String {
+        "dataflow".to_string()
+    }
+
+    fn solve(&self, workload: &Workload, config: &SolveConfig) -> Result<SolveReport, SolveError> {
+        self.run(workload, config, &mut NullMonitor)
+    }
+
+    fn solve_monitored(
+        &self,
+        workload: &Workload,
+        config: &SolveConfig,
+        monitor: &mut dyn SolveMonitor,
+    ) -> Result<SolveReport, SolveError> {
+        self.run(workload, config, monitor)
     }
 }
 

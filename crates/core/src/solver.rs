@@ -25,6 +25,7 @@ use mffv_fabric::{ColorAllocator, Fabric, WseSpec};
 use mffv_fv::residual::{newton_rhs, residual};
 use mffv_mesh::{CellField, Workload};
 use mffv_solver::convergence::{ConvergenceHistory, StoppingCriterion};
+use mffv_solver::monitor::{Flow, NullMonitor, SolveEvent, SolveMonitor, StopReason};
 use std::time::Instant;
 
 /// Result of a dataflow solve.
@@ -43,6 +44,9 @@ pub struct DataflowSolveReport {
     /// Max-norm of the residual of Eq. (3) evaluated (on the host, in f64) at the
     /// returned pressure.
     pub final_residual_max: f64,
+    /// `Some(reason)` when a monitor or stop policy ended the solve early;
+    /// the pressure then carries the Newton update of the partial iterate.
+    pub stopped: Option<StopReason>,
 }
 
 /// The dataflow matrix-free FV solver.  Borrows its workload: a solver is a
@@ -89,6 +93,18 @@ impl<'w> DataflowFvSolver<'w> {
 
     /// Run the solve.
     pub fn solve(&self) -> Result<DataflowSolveReport> {
+        self.solve_monitored(&mut NullMonitor)
+    }
+
+    /// Run the solve as an observable, cancellable session.
+    ///
+    /// The state machine reports every `ThresholdCheck` (the paper's line-8
+    /// convergence test, the natural iteration boundary of the dataflow
+    /// loop) to `monitor` with the fabric-reduced `rᵀr` — bitwise the value
+    /// recorded in the returned [`ConvergenceHistory`].  A [`Flow::Stop`]
+    /// exits the state machine at that boundary; the partial solution columns
+    /// are still extracted from the PEs and reported.
+    pub fn solve_monitored(&self, monitor: &mut dyn SolveMonitor) -> Result<DataflowSolveReport> {
         let start = Instant::now();
         let dims = self.workload.dims();
         let mapping = ProblemMapping::new(dims);
@@ -145,15 +161,28 @@ impl<'w> DataflowFvSolver<'w> {
         let mut d_ad = 0.0f32;
         let mut alpha = 0.0f32;
         let mut rr_new = rr;
+        let mut stopped: Option<StopReason> = None;
 
         if self.options.compute_enabled && criterion.is_converged(rr as f64) {
             history.converged = true;
+            monitor.on_event(&SolveEvent::Started {
+                initial_rr: rr as f64,
+            });
+            monitor.on_event(&SolveEvent::Converged {
+                iterations: 0,
+                rr: rr as f64,
+            });
             machine
                 .advance(CgEvent::BudgetExhausted)
                 .expect("IterCheck -> Done");
+        } else if let Flow::Stop(reason) = monitor.on_event(&SolveEvent::Started {
+            initial_rr: rr as f64,
+        }) {
+            monitor.on_event(&SolveEvent::Stopped(reason));
+            stopped = Some(reason);
         }
 
-        while !machine.is_done() {
+        while stopped.is_none() && !machine.is_done() {
             let state = machine.state();
             let event = match state {
                 CgState::IterCheck => machine.budget_event(),
@@ -247,8 +276,25 @@ impl<'w> DataflowFvSolver<'w> {
                     history.record(rr_new as f64);
                     if self.options.compute_enabled && criterion.is_converged(rr_new as f64) {
                         history.converged = true;
+                        monitor.on_event(&SolveEvent::Iteration {
+                            k: history.iterations,
+                            rr: rr_new as f64,
+                        });
+                        monitor.on_event(&SolveEvent::Converged {
+                            iterations: history.iterations,
+                            rr: rr_new as f64,
+                        });
                         CgEvent::Converged
                     } else {
+                        if let Flow::Stop(reason) = monitor.on_event(&SolveEvent::Iteration {
+                            k: history.iterations,
+                            rr: rr_new as f64,
+                        }) {
+                            // Exit at this iteration boundary: the loop
+                            // condition sees `stopped` before the next state.
+                            monitor.on_event(&SolveEvent::Stopped(reason));
+                            stopped = Some(reason);
+                        }
                         CgEvent::NotConverged
                     }
                 }
@@ -314,6 +360,7 @@ impl<'w> DataflowFvSolver<'w> {
             modelled_time,
             memory_plan,
             final_residual_max,
+            stopped,
         })
     }
 

@@ -10,9 +10,11 @@
 use crate::backend::Backend;
 use mffv_mesh::{Workload, WorkloadSpec};
 use mffv_solver::backend::{SolveConfig, SolveError, SolveReport};
+use mffv_solver::monitor::{CancelToken, StopPolicy, StopReason};
 
 /// One unit of work for the engine: solve `workload_spec` on `backend` under
-/// `solve_config`, with stochastic permeability reseeded from `seed`.
+/// `solve_config`, with stochastic permeability reseeded from `seed` and the
+/// solve session governed by `stop_policy`.
 #[derive(Clone, Debug)]
 pub struct JobSpec {
     /// The problem to solve (materialised on the worker thread).
@@ -28,6 +30,10 @@ pub struct JobSpec {
     /// default job is bitwise identical to a serial solve of the same spec;
     /// deterministic models ignore the seed either way.
     pub seed: Option<u64>,
+    /// Per-job stop rules (deadline, iteration budget, stagnation /
+    /// divergence detection, cancellation).  An empty policy (the default)
+    /// runs the exact unmonitored solve path.
+    pub stop_policy: StopPolicy,
 }
 
 impl JobSpec {
@@ -38,6 +44,7 @@ impl JobSpec {
             backend,
             solve_config: SolveConfig::default(),
             seed: None,
+            stop_policy: StopPolicy::new(),
         }
     }
 
@@ -50,6 +57,12 @@ impl JobSpec {
     /// Override the permeability seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Attach stop rules to the job's solve session.
+    pub fn with_stop_policy(mut self, stop_policy: StopPolicy) -> Self {
+        self.stop_policy = stop_policy;
         self
     }
 
@@ -96,12 +109,38 @@ impl JobSpec {
     /// materialisation, solve).  The engine calls this from its workers,
     /// wrapped in panic isolation; it is also the serial reference path.
     pub fn execute(&self) -> Result<SolveReport, SolveError> {
+        self.execute_cancellable(None)
+    }
+
+    /// [`execute`](Self::execute), additionally watching `engine_token` (the
+    /// engine threads its batch-level [`CancelToken`] through here so a
+    /// tripped token stops an in-flight job at its next iteration boundary).
+    ///
+    /// A job whose effective policy is empty takes the plain unmonitored
+    /// solve path; monitored and unmonitored solves perform identical
+    /// arithmetic either way, so batch results stay bitwise deterministic.
+    pub fn execute_cancellable(
+        &self,
+        engine_token: Option<&CancelToken>,
+    ) -> Result<SolveReport, SolveError> {
         self.validate()?;
         let workload = Workload::try_from_spec(&self.effective_spec())
             .map_err(|e| SolveError::new(self.backend.name(), format!("invalid workload: {e}")))?;
-        self.backend
-            .instantiate()
-            .solve(&workload, &self.solve_config)
+        let mut policy = self.stop_policy.clone();
+        if let Some(token) = engine_token {
+            policy = policy.cancel_token(token.clone());
+        }
+        if policy.is_empty() {
+            return self
+                .backend
+                .instantiate()
+                .solve(&workload, &self.solve_config);
+        }
+        self.backend.instantiate().solve_monitored(
+            &workload,
+            &self.solve_config,
+            &mut policy.session(),
+        )
     }
 }
 
@@ -111,6 +150,18 @@ pub enum JobStatus {
     /// The solve ran to completion (converged or hit its iteration cap — see
     /// [`SolveReport::converged`]).
     Completed(SolveReport),
+    /// The solve session was stopped early — by its [`StopPolicy`], a
+    /// [`CancelToken`], or batch-level cancellation.  Distinct from
+    /// [`Failed`](Self::Failed): nothing went wrong, the job was told to
+    /// stop.  `report` carries the partial state for jobs stopped mid-solve
+    /// and is `None` for queued jobs cancelled before they started.
+    Stopped {
+        /// Why the session ended.
+        reason: StopReason,
+        /// The partial report (pressure + history at the stop boundary),
+        /// when the job had started solving.
+        report: Option<SolveReport>,
+    },
     /// The backend (or job intake) returned a typed error.
     Failed(SolveError),
     /// The job panicked on its worker; the pool survives and the panic
@@ -134,7 +185,7 @@ pub struct JobOutcome {
 }
 
 impl JobOutcome {
-    /// The solve report, when the job completed.
+    /// The solve report, when the job ran to completion.
     pub fn report(&self) -> Option<&SolveReport> {
         match &self.status {
             JobStatus::Completed(report) => Some(report),
@@ -142,24 +193,49 @@ impl JobOutcome {
         }
     }
 
-    /// Whether the job produced a report.
+    /// The partial report of a job stopped mid-solve (pressure and
+    /// convergence history at the stop boundary).
+    pub fn partial_report(&self) -> Option<&SolveReport> {
+        match &self.status {
+            JobStatus::Stopped { report, .. } => report.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// Whether the job produced a completed report.
     pub fn is_success(&self) -> bool {
         matches!(self.status, JobStatus::Completed(_))
     }
 
-    /// The failure description for failed or panicked jobs.
+    /// Whether the job was stopped early (policy, deadline or cancellation).
+    pub fn is_stopped(&self) -> bool {
+        matches!(self.status, JobStatus::Stopped { .. })
+    }
+
+    /// Why the job was stopped, when it was.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        match &self.status {
+            JobStatus::Stopped { reason, .. } => Some(*reason),
+            _ => None,
+        }
+    }
+
+    /// The failure description for failed or panicked jobs.  Stopped jobs
+    /// are not failures — see [`stop_reason`](Self::stop_reason).
     pub fn failure(&self) -> Option<String> {
         match &self.status {
-            JobStatus::Completed(_) => None,
+            JobStatus::Completed(_) | JobStatus::Stopped { .. } => None,
             JobStatus::Failed(e) => Some(e.to_string()),
             JobStatus::Panicked(msg) => Some(format!("panicked: {msg}")),
         }
     }
 
-    /// Short status cell for tables: `ok`, `failed`, or `panicked`.
+    /// Short status cell for tables: `ok`, `stopped`, `failed`, or
+    /// `panicked`.
     pub fn status_label(&self) -> &'static str {
         match &self.status {
             JobStatus::Completed(_) => "ok",
+            JobStatus::Stopped { .. } => "stopped",
             JobStatus::Failed(_) => "failed",
             JobStatus::Panicked(_) => "panicked",
         }
@@ -179,8 +255,8 @@ mod tests {
         let err = JobSpec::new(bad_spec, Backend::host())
             .validate()
             .unwrap_err();
-        assert_eq!(err.backend, "host-f64");
-        assert!(err.detail.contains("max_iterations"), "{}", err.detail);
+        assert_eq!(err.backend_name(), "host-f64");
+        assert!(err.detail().contains("max_iterations"), "{}", err.detail());
     }
 
     #[test]
@@ -190,7 +266,11 @@ mod tests {
                 tolerance: Some(f64::NAN),
                 ..SolveConfig::default()
             });
-        assert!(nan_tol.validate().unwrap_err().detail.contains("tolerance"));
+        assert!(nan_tol
+            .validate()
+            .unwrap_err()
+            .detail()
+            .contains("tolerance"));
 
         let zero_cap =
             JobSpec::new(WorkloadSpec::quickstart(), Backend::host()).with_config(SolveConfig {
@@ -200,7 +280,7 @@ mod tests {
         assert!(zero_cap
             .validate()
             .unwrap_err()
-            .detail
+            .detail()
             .contains("max_iterations"));
     }
 

@@ -70,6 +70,10 @@ pub use job::{JobOutcome, JobSpec, JobStatus};
 pub use pool::Engine;
 pub use report::BatchReport;
 pub use sweep::SweepBuilder;
+// The session-control vocabulary of `mffv-solver`, re-exported so engine
+// users can cancel batches and attach stop policies without a direct
+// `mffv-solver` dependency.
+pub use mffv_solver::monitor::{CancelToken, StopPolicy, StopReason};
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
@@ -78,4 +82,5 @@ pub mod prelude {
     pub use crate::pool::Engine;
     pub use crate::report::BatchReport;
     pub use crate::sweep::SweepBuilder;
+    pub use mffv_solver::monitor::{CancelToken, StopPolicy, StopReason};
 }

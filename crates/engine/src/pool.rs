@@ -11,6 +11,7 @@
 use crate::job::{JobOutcome, JobSpec, JobStatus};
 use crate::queue::BoundedQueue;
 use crate::report::BatchReport;
+use mffv_solver::monitor::{CancelToken, StopReason};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
@@ -20,6 +21,7 @@ use std::time::Instant;
 pub struct Engine {
     workers: usize,
     queue_capacity: usize,
+    cancel: Option<CancelToken>,
 }
 
 impl Engine {
@@ -30,6 +32,7 @@ impl Engine {
         Self {
             workers,
             queue_capacity: workers * 2,
+            cancel: None,
         }
     }
 
@@ -45,6 +48,17 @@ impl Engine {
     /// Override the job-queue bound (back-pressure on the submitting thread).
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Watch `token` for batch-level cancellation.  When the token trips,
+    /// in-flight solves stop at their next iteration boundary and every job
+    /// still queued is drained as [`JobStatus::Stopped`] with
+    /// [`StopReason::Cancelled`] — the pool never blocks on a cancelled
+    /// batch, and [`Engine::run`] still returns a complete, submission-
+    /// ordered [`BatchReport`].
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -80,7 +94,23 @@ impl Engine {
             for _ in 0..spawned {
                 scope.spawn(|| {
                     while let Some((index, job)) = queue.pop() {
-                        let outcome = execute_job(index, &job);
+                        // A tripped batch token drains the queue instead of
+                        // blocking the pool: jobs that never started report
+                        // `Stopped(Cancelled)` with no partial state.
+                        let outcome = if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+                        {
+                            JobOutcome {
+                                index,
+                                label: job.label(),
+                                status: JobStatus::Stopped {
+                                    reason: StopReason::Cancelled,
+                                    report: None,
+                                },
+                                latency_seconds: 0.0,
+                            }
+                        } else {
+                            execute_job(index, &job, self.cancel.as_ref())
+                        };
                         let mut slots = slots.lock().unwrap_or_else(PoisonError::into_inner);
                         slots[index] = Some(outcome);
                     }
@@ -106,13 +136,27 @@ impl Engine {
     }
 }
 
-/// Run one job behind panic isolation, timing it.
-fn execute_job(index: usize, job: &JobSpec) -> JobOutcome {
+/// Run one job behind panic isolation, timing it.  An early-stopped solve
+/// (job policy or batch cancellation) becomes [`JobStatus::Stopped`] carrying
+/// the partial report.
+fn execute_job(index: usize, job: &JobSpec, engine_token: Option<&CancelToken>) -> JobOutcome {
     let label = job.label();
     let started = Instant::now();
-    let status = match catch_unwind(AssertUnwindSafe(|| job.execute())) {
-        Ok(Ok(report)) => JobStatus::Completed(report),
-        Ok(Err(error)) => JobStatus::Failed(error),
+    let status = match catch_unwind(AssertUnwindSafe(|| job.execute_cancellable(engine_token))) {
+        Ok(Ok(report)) => match report.stopped {
+            Some(reason) => JobStatus::Stopped {
+                reason,
+                report: Some(report),
+            },
+            None => JobStatus::Completed(report),
+        },
+        Ok(Err(error)) => match error.stop_reason() {
+            Some(reason) => JobStatus::Stopped {
+                reason,
+                report: None,
+            },
+            None => JobStatus::Failed(error),
+        },
         Err(payload) => JobStatus::Panicked(panic_message(payload.as_ref())),
     };
     JobOutcome {

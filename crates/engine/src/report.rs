@@ -28,8 +28,17 @@ pub struct BatchReport {
 
 impl BatchReport {
     /// Aggregate `outcomes` (already in submission order).
+    ///
+    /// Latency percentiles cover only jobs that actually ran on a worker:
+    /// queued jobs drained by a cancellation (stopped with no partial
+    /// report) never experienced a latency and would skew the percentiles
+    /// toward zero.
     pub fn new(outcomes: Vec<JobOutcome>, workers: usize, wall_seconds: f64) -> Self {
-        let latencies: Vec<f64> = outcomes.iter().map(|o| o.latency_seconds).collect();
+        let latencies: Vec<f64> = outcomes
+            .iter()
+            .filter(|o| !(o.is_stopped() && o.partial_report().is_none()))
+            .map(|o| o.latency_seconds)
+            .collect();
         Self {
             outcomes,
             workers,
@@ -43,19 +52,26 @@ impl BatchReport {
         self.outcomes.len()
     }
 
-    /// Number of jobs that produced a report.
+    /// Number of jobs that produced a completed report.
     pub fn succeeded(&self) -> usize {
         self.outcomes.iter().filter(|o| o.is_success()).count()
     }
 
-    /// Number of jobs that failed or panicked.
-    pub fn failed(&self) -> usize {
-        self.jobs() - self.succeeded()
+    /// Number of jobs stopped early (policy, deadline or cancellation) —
+    /// deliberately not counted as failures.
+    pub fn stopped(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_stopped()).count()
     }
 
-    /// Whether every job produced a report.
+    /// Number of jobs that failed or panicked.
+    pub fn failed(&self) -> usize {
+        self.jobs() - self.succeeded() - self.stopped()
+    }
+
+    /// Whether every job produced a completed report (no failures *and* no
+    /// early stops).
     pub fn all_succeeded(&self) -> bool {
-        self.failed() == 0
+        self.succeeded() == self.jobs()
     }
 
     /// Completed solve reports, in submission order.
@@ -99,13 +115,20 @@ impl std::fmt::Display for BatchReport {
             .outcomes
             .iter()
             .map(|o| {
-                let (iterations, converged, detail) = match o.report() {
-                    Some(r) => (
+                let (iterations, converged, detail) = match (o.report(), o.stop_reason()) {
+                    (Some(r), _) => (
                         r.iterations().to_string(),
                         r.converged().to_string(),
                         String::new(),
                     ),
-                    None => ("-".into(), "-".into(), o.failure().unwrap_or_default()),
+                    (None, Some(reason)) => (
+                        o.partial_report()
+                            .map(|r| r.iterations().to_string())
+                            .unwrap_or_else(|| "-".into()),
+                        "-".into(),
+                        format!("stopped: {reason}"),
+                    ),
+                    (None, None) => ("-".into(), "-".into(), o.failure().unwrap_or_default()),
                 };
                 vec![
                     o.index.to_string(),
@@ -136,10 +159,11 @@ impl std::fmt::Display for BatchReport {
         )?;
         writeln!(
             f,
-            "{} jobs on {} workers: {} ok, {} failed in {:.3} s wall ({:.2} jobs/s, {:.3e} cell-iter/s)",
+            "{} jobs on {} workers: {} ok, {} stopped, {} failed in {:.3} s wall ({:.2} jobs/s, {:.3e} cell-iter/s)",
             self.jobs(),
             self.workers,
             self.succeeded(),
+            self.stopped(),
             self.failed(),
             self.wall_seconds,
             self.jobs_per_second(),
@@ -190,6 +214,41 @@ mod tests {
         assert!((report.jobs_per_second() - 4.0).abs() < 1e-12);
         assert!((report.busy_seconds() - 0.3).abs() < 1e-12);
         assert_eq!(report.cell_iterations_per_second(), 0.0);
+    }
+
+    #[test]
+    fn stopped_jobs_are_counted_apart_from_failures() {
+        use mffv_solver::monitor::StopReason;
+        let report = BatchReport::new(
+            vec![
+                outcome(
+                    0,
+                    JobStatus::Stopped {
+                        reason: StopReason::Cancelled,
+                        report: None,
+                    },
+                    0.0,
+                ),
+                outcome(
+                    1,
+                    JobStatus::Failed(SolveError::new("host-f64", "bad")),
+                    0.1,
+                ),
+            ],
+            2,
+            0.5,
+        );
+        assert_eq!(report.jobs(), 2);
+        assert_eq!(report.stopped(), 1);
+        assert_eq!(report.failed(), 1);
+        assert_eq!(report.succeeded(), 0);
+        assert!(!report.all_succeeded());
+        // The drained job never ran: its synthetic 0.0 latency must not
+        // enter the percentile samples.
+        assert_eq!(report.latency.samples, 1);
+        let text = report.to_string();
+        assert!(text.contains("stopped: cancelled"), "{text}");
+        assert!(text.contains("1 stopped"), "{text}");
     }
 
     #[test]

@@ -4,12 +4,13 @@
 //! everything else (examples, benches, tests) goes through the `mffv`
 //! `Simulation` facade, which instantiates this backend.
 
-use crate::cg::GpuReferenceSolver;
+use crate::cg::{GpuReferenceSolver, GpuSolveReport};
 use crate::device_model::GpuSpec;
 use mffv_mesh::{CellField, Workload};
 use mffv_solver::backend::{
     final_residual_max_f64, DeviceSection, SolveBackend, SolveConfig, SolveError, SolveReport,
 };
+use mffv_solver::monitor::SolveMonitor;
 
 /// The GPU-style reference as a facade backend: the CUDA block/thread kernel
 /// structure executed on the host, with device time modelled on `spec`.
@@ -42,16 +43,9 @@ impl Default for GpuRefBackend {
     }
 }
 
-impl SolveBackend for GpuRefBackend {
-    fn name(&self) -> String {
-        format!("gpu-ref-{}", self.spec.name)
-    }
-
-    fn solve(&self, workload: &Workload, config: &SolveConfig) -> Result<SolveReport, SolveError> {
-        let report = GpuReferenceSolver::new(workload, self.spec)
-            .with_tolerance(config.effective_tolerance(workload))
-            .with_max_iterations(config.effective_max_iterations(workload))
-            .solve();
+impl GpuRefBackend {
+    /// Wrap the internal [`GpuSolveReport`] into the unified report shape.
+    fn unify(&self, workload: &Workload, report: GpuSolveReport) -> SolveReport {
         let device = DeviceSection {
             device: self.spec.name.to_string(),
             modelled_time_seconds: report.modelled_kernel_time,
@@ -71,14 +65,42 @@ impl SolveBackend for GpuRefBackend {
         // precision; re-evaluate in f64 so the unified field stays
         // backend-independent.
         let final_residual_max = final_residual_max_f64(workload, &pressure);
-        Ok(SolveReport {
+        SolveReport {
             backend: self.name(),
             pressure,
             history: report.history,
             final_residual_max,
             host_wall_seconds: report.host_wall_seconds,
             device: Some(device),
-        })
+            stopped: report.stopped,
+        }
+    }
+}
+
+impl SolveBackend for GpuRefBackend {
+    fn name(&self) -> String {
+        format!("gpu-ref-{}", self.spec.name)
+    }
+
+    fn solve(&self, workload: &Workload, config: &SolveConfig) -> Result<SolveReport, SolveError> {
+        let report = GpuReferenceSolver::new(workload, self.spec)
+            .with_tolerance(config.effective_tolerance(workload))
+            .with_max_iterations(config.effective_max_iterations(workload))
+            .solve();
+        Ok(self.unify(workload, report))
+    }
+
+    fn solve_monitored(
+        &self,
+        workload: &Workload,
+        config: &SolveConfig,
+        monitor: &mut dyn SolveMonitor,
+    ) -> Result<SolveReport, SolveError> {
+        let report = GpuReferenceSolver::new(workload, self.spec)
+            .with_tolerance(config.effective_tolerance(workload))
+            .with_max_iterations(config.effective_max_iterations(workload))
+            .solve_monitored(monitor);
+        Ok(self.unify(workload, report))
     }
 }
 

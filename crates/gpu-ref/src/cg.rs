@@ -12,7 +12,8 @@ use crate::memory::HostDeviceTransfers;
 use mffv_mesh::{CellField, Workload};
 use mffv_solver::cg::ConjugateGradient;
 use mffv_solver::convergence::ConvergenceHistory;
-use mffv_solver::newton::solve_pressure_with;
+use mffv_solver::monitor::{NullMonitor, SolveMonitor, StopReason};
+use mffv_solver::newton::solve_pressure_monitored;
 
 /// Result of a reference solve.
 #[derive(Clone, Debug)]
@@ -30,6 +31,8 @@ pub struct GpuSolveReport {
     /// Host wall-clock of the CPU-executed reference, seconds (not comparable to
     /// device time; reported for transparency).
     pub host_wall_seconds: f64,
+    /// `Some(reason)` when a monitor or stop policy ended the solve early.
+    pub stopped: Option<StopReason>,
 }
 
 /// The GPU-style reference solver.  Borrows its workload: a solver is a
@@ -68,6 +71,15 @@ impl<'w> GpuReferenceSolver<'w> {
 
     /// Run the reference solve.
     pub fn solve(&self) -> GpuSolveReport {
+        self.solve_monitored(&mut NullMonitor)
+    }
+
+    /// Run the reference solve as an observable, cancellable session: the
+    /// host-resident CG loop (§IV keeps the loop on the host, one kernel
+    /// launch per operator application) reports every iteration boundary to
+    /// `monitor`, which may stop the solve early — the partial pressure and
+    /// history are still downloaded and reported.
+    pub fn solve_monitored(&self, monitor: &mut dyn SolveMonitor) -> GpuSolveReport {
         let start = std::time::Instant::now();
         let operator = GpuMatrixFreeOperator::from_workload(self.workload);
         let mut transfers = HostDeviceTransfers::default();
@@ -77,7 +89,8 @@ impl<'w> GpuReferenceSolver<'w> {
         transfers.record_host_to_device(2 * self.workload.dims().num_cells() * 4);
 
         let solver = ConjugateGradient::with_tolerance(self.tolerance, self.max_iterations);
-        let solution = solve_pressure_with::<f32, _>(self.workload, &operator, &solver);
+        let solution =
+            solve_pressure_monitored::<f32, _>(self.workload, &operator, &solver, monitor);
         // Final download of the pressure field.
         transfers.record_device_to_host(self.workload.dims().num_cells() * 4);
 
@@ -90,6 +103,7 @@ impl<'w> GpuReferenceSolver<'w> {
             transfers,
             modelled_kernel_time,
             host_wall_seconds: start.elapsed().as_secs_f64(),
+            stopped: solution.stopped,
         }
     }
 }

@@ -23,7 +23,8 @@
 
 use crate::cg::ConjugateGradient;
 use crate::convergence::ConvergenceHistory;
-use crate::newton::solve_pressure_with;
+use crate::monitor::{replay_history, NullMonitor, SolveMonitor, StopReason};
+use crate::newton::solve_pressure_monitored;
 use mffv_fv::residual::residual;
 use mffv_fv::MatrixFreeOperator;
 use mffv_mesh::{CellField, Workload};
@@ -116,6 +117,11 @@ pub struct SolveReport {
     pub host_wall_seconds: f64,
     /// Device-time model and counters, for backends that have one.
     pub device: Option<DeviceSection>,
+    /// `Some(reason)` when a [`SolveMonitor`] or stop policy ended the solve
+    /// early; the pressure and history then carry the partial state reached
+    /// at the stop boundary.  `None` for solves that converged or exhausted
+    /// their own iteration cap.
+    pub stopped: Option<StopReason>,
 }
 
 impl SolveReport {
@@ -127,6 +133,27 @@ impl SolveReport {
     /// Whether the solve met its tolerance before the iteration cap.
     pub fn converged(&self) -> bool {
         self.history.converged
+    }
+
+    /// Why the solve was stopped early, when it was.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.stopped
+    }
+
+    /// Whether a monitor or stop policy ended the solve early.
+    pub fn was_stopped(&self) -> bool {
+        self.stopped.is_some()
+    }
+
+    /// Treat an early stop as an error: returns the report unchanged when the
+    /// solve ran to its natural end, or [`SolveError::Stopped`] otherwise —
+    /// the `?`-friendly strict form for callers that cannot use partial
+    /// results.
+    pub fn require_completed(self) -> Result<SolveReport, SolveError> {
+        match self.stopped {
+            None => Ok(self),
+            Some(reason) => Err(SolveError::stopped(self.backend, reason)),
+        }
     }
 
     /// Modelled device seconds, when the backend models a device.
@@ -142,30 +169,104 @@ impl SolveReport {
 
 /// Unified error type of the facade.
 ///
-/// Backends with structured internal errors (the fabric simulator's
-/// `FabricError`) stringify into `detail`; the backend name says where the
-/// failure came from.
+/// [`SolveError::Backend`] is a genuine failure: backends with structured
+/// internal errors (the fabric simulator's `FabricError`) stringify into its
+/// `detail`, and the backend name says where the failure came from.
+/// [`SolveError::Stopped`] is the strict-caller form of an early stop (see
+/// [`SolveReport::require_completed`]): not a failure of the backend, but an
+/// error for code paths that need a completed solve.
+///
+/// Implements [`std::error::Error`], so `?` works against
+/// `Box<dyn std::error::Error>`:
+///
+/// ```
+/// use mffv_solver::backend::{HostBackend, SolveBackend, SolveConfig};
+/// use mffv_mesh::WorkloadSpec;
+///
+/// fn main() -> Result<(), Box<dyn std::error::Error>> {
+///     let w = WorkloadSpec::quickstart().build();
+///     let report = HostBackend::oracle().solve(&w, &SolveConfig::default())?;
+///     assert!(report.converged());
+///     Ok(())
+/// }
+/// ```
 #[derive(Clone, Debug, PartialEq)]
-pub struct SolveError {
-    /// Name of the failing backend.
-    pub backend: String,
-    /// Human-readable failure description.
-    pub detail: String,
+pub enum SolveError {
+    /// The backend failed to produce a report.
+    Backend {
+        /// Name of the failing backend.
+        backend: String,
+        /// Human-readable failure description.
+        detail: String,
+    },
+    /// The solve was stopped early by a monitor, stop policy or cancellation
+    /// — before it could run to its natural end.
+    Stopped {
+        /// Name of the stopped backend.
+        backend: String,
+        /// Why the session ended.
+        reason: StopReason,
+    },
 }
 
 impl SolveError {
-    /// Build an error for `backend`.
+    /// Build a failure error for `backend`.
     pub fn new(backend: impl Into<String>, detail: impl Into<String>) -> Self {
-        Self {
+        SolveError::Backend {
             backend: backend.into(),
             detail: detail.into(),
         }
+    }
+
+    /// Build a stopped-session error for `backend`.
+    pub fn stopped(backend: impl Into<String>, reason: StopReason) -> Self {
+        SolveError::Stopped {
+            backend: backend.into(),
+            reason,
+        }
+    }
+
+    /// Name of the backend the error came from.
+    pub fn backend_name(&self) -> &str {
+        match self {
+            SolveError::Backend { backend, .. } | SolveError::Stopped { backend, .. } => backend,
+        }
+    }
+
+    /// Human-readable description of what went wrong.
+    pub fn detail(&self) -> String {
+        match self {
+            SolveError::Backend { detail, .. } => detail.clone(),
+            SolveError::Stopped { reason, .. } => reason.to_string(),
+        }
+    }
+
+    /// The stop reason, when this error records an early stop rather than a
+    /// backend failure.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        match self {
+            SolveError::Backend { .. } => None,
+            SolveError::Stopped { reason, .. } => Some(*reason),
+        }
+    }
+
+    /// Whether this error records an early stop (cancellation, deadline, …)
+    /// rather than a backend failure.
+    pub fn is_stopped(&self) -> bool {
+        matches!(self, SolveError::Stopped { .. })
     }
 }
 
 impl std::fmt::Display for SolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "backend `{}` failed: {}", self.backend, self.detail)
+        match self {
+            SolveError::Backend { backend, detail } => {
+                write!(f, "backend `{backend}` failed: {detail}")
+            }
+            SolveError::Stopped { backend, reason } => {
+                write!(f, "backend `{backend}` stopped: {reason}")
+            }
+        }
     }
 }
 
@@ -180,12 +281,42 @@ pub fn final_residual_max_f64(workload: &Workload, pressure: &CellField<f64>) ->
 
 /// One pressure-solve target: host oracle, GPU-style reference, dataflow
 /// fabric, or anything future PRs register.
+///
+/// The trait is object-safe and stays so: [`solve_monitored`] has a default
+/// implementation, so existing backends (and trait objects) keep compiling
+/// and working unchanged.
+///
+/// [`solve_monitored`]: Self::solve_monitored
 pub trait SolveBackend {
     /// Unique, stable name ("host-f64", "gpu-ref-A100", "dataflow"…).
     fn name(&self) -> String;
 
     /// Solve `workload`'s pressure problem under `config`.
     fn solve(&self, workload: &Workload, config: &SolveConfig) -> Result<SolveReport, SolveError>;
+
+    /// Solve `workload` as an observable, cancellable session: `monitor`
+    /// receives a [`SolveEvent`](crate::monitor::SolveEvent) at every
+    /// iteration boundary — with `rr` payloads bitwise identical to the
+    /// report's `ConvergenceHistory` entries — and may stop the solve by
+    /// returning [`Flow::Stop`](crate::monitor::Flow::Stop), in which case
+    /// the partial report is returned with [`SolveReport::stopped`] set.
+    ///
+    /// The default implementation runs [`solve`](Self::solve) to completion
+    /// and *replays* the finished history as an event stream: observation
+    /// works, control does not.  Backends with live inner loops (the three
+    /// paper targets all do) override this with real mid-solve event
+    /// threading, which is what makes deadlines and cancellation take effect
+    /// within one iteration boundary.
+    fn solve_monitored(
+        &self,
+        workload: &Workload,
+        config: &SolveConfig,
+        monitor: &mut dyn SolveMonitor,
+    ) -> Result<SolveReport, SolveError> {
+        let report = self.solve(workload, config)?;
+        replay_history(&report.history, report.stopped, monitor);
+        Ok(report)
+    }
 }
 
 /// The sequential host oracle (`solve_pressure` behind the trait): matrix-free
@@ -218,30 +349,47 @@ impl SolveBackend for HostBackend {
     }
 
     fn solve(&self, workload: &Workload, config: &SolveConfig) -> Result<SolveReport, SolveError> {
+        self.solve_monitored(workload, config, &mut NullMonitor)
+    }
+
+    fn solve_monitored(
+        &self,
+        workload: &Workload,
+        config: &SolveConfig,
+        monitor: &mut dyn SolveMonitor,
+    ) -> Result<SolveReport, SolveError> {
         let start = std::time::Instant::now();
         let solver = ConjugateGradient::with_tolerance(
             config.effective_tolerance(workload),
             config.effective_max_iterations(workload),
         );
-        let (pressure, history, final_residual_max) = match self.precision {
+        let (pressure, history, final_residual_max, stopped) = match self.precision {
             Precision::F64 => {
                 let operator = MatrixFreeOperator::<f64>::from_workload(workload);
-                let solution = solve_pressure_with::<f64, _>(workload, &operator, &solver);
+                let solution =
+                    solve_pressure_monitored::<f64, _>(workload, &operator, &solver, monitor);
                 (
                     solution.pressure,
                     solution.history,
                     solution.final_residual_max,
+                    solution.stopped,
                 )
             }
             Precision::F32 => {
                 let operator = MatrixFreeOperator::<f32>::from_workload(workload);
-                let solution = solve_pressure_with::<f32, _>(workload, &operator, &solver);
+                let solution =
+                    solve_pressure_monitored::<f32, _>(workload, &operator, &solver, monitor);
                 let pressure: CellField<f64> = solution.pressure.convert();
                 // Re-evaluate the residual in f64 so the field keeps its
                 // backend-independent contract (the f32 solve evaluated it in
                 // device precision).
                 let final_residual_max = final_residual_max_f64(workload, &pressure);
-                (pressure, solution.history, final_residual_max)
+                (
+                    pressure,
+                    solution.history,
+                    final_residual_max,
+                    solution.stopped,
+                )
             }
         };
         Ok(SolveReport {
@@ -251,6 +399,7 @@ impl SolveBackend for HostBackend {
             final_residual_max,
             host_wall_seconds: start.elapsed().as_secs_f64(),
             device: None,
+            stopped,
         })
     }
 }
@@ -318,5 +467,82 @@ mod tests {
         let e = SolveError::new("dataflow", "out of local memory");
         let msg = e.to_string();
         assert!(msg.contains("dataflow") && msg.contains("out of local memory"));
+        assert_eq!(e.backend_name(), "dataflow");
+        assert!(!e.is_stopped());
+        let s = SolveError::stopped("host-f64", StopReason::DeadlineExpired);
+        assert_eq!(s.stop_reason(), Some(StopReason::DeadlineExpired));
+        assert!(s.to_string().contains("stopped: deadline expired"), "{s}");
+        // Both variants box into std::error::Error.
+        let _: Box<dyn std::error::Error> = Box::new(s);
+    }
+
+    /// A third-party backend that only implements the required methods: the
+    /// default `solve_monitored` must replay the finished history so
+    /// observation keeps working without live threading.
+    struct ReplayOnlyBackend;
+
+    impl SolveBackend for ReplayOnlyBackend {
+        fn name(&self) -> String {
+            "replay-only".into()
+        }
+        fn solve(
+            &self,
+            workload: &Workload,
+            config: &SolveConfig,
+        ) -> Result<SolveReport, SolveError> {
+            HostBackend::oracle()
+                .solve(workload, config)
+                .map(|mut report| {
+                    report.backend = self.name();
+                    report
+                })
+        }
+    }
+
+    #[test]
+    fn default_solve_monitored_replays_the_history() {
+        use crate::monitor::RecordingMonitor;
+        let w = WorkloadSpec::quickstart().build();
+        let mut recorder = RecordingMonitor::new();
+        let report = ReplayOnlyBackend
+            .solve_monitored(&w, &SolveConfig::default(), &mut recorder)
+            .unwrap();
+        assert_eq!(report.backend, "replay-only");
+        let streamed: Vec<u64> = recorder
+            .iteration_rrs()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let recorded: Vec<u64> = report.history.residual_norms_squared[1..]
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(streamed, recorded);
+        assert_eq!(
+            recorder.initial_rr().unwrap().to_bits(),
+            report.history.initial_rr().to_bits()
+        );
+    }
+
+    #[test]
+    fn host_backend_reports_a_deadline_stop_with_partial_state() {
+        use crate::monitor::StopPolicy;
+        let w = WorkloadSpec::quickstart().build();
+        let config = SolveConfig {
+            tolerance: Some(1e-14),
+            ..SolveConfig::default()
+        };
+        let mut session = StopPolicy::new()
+            .deadline(std::time::Duration::ZERO)
+            .session();
+        let report = HostBackend::oracle()
+            .solve_monitored(&w, &config, &mut session)
+            .unwrap();
+        assert_eq!(report.stopped, Some(StopReason::DeadlineExpired));
+        assert!(!report.converged());
+        assert_eq!(report.iterations(), 0);
+        assert!(report.history.initial_rr() > 0.0);
+        let err = report.require_completed().unwrap_err();
+        assert_eq!(err.stop_reason(), Some(StopReason::DeadlineExpired));
     }
 }

@@ -18,6 +18,7 @@
 //! the whole-fabric all-reduce for the dot products.
 
 use crate::convergence::{ConvergenceHistory, StoppingCriterion};
+use crate::monitor::{Flow, NullMonitor, SolveEvent, SolveMonitor, StopReason};
 use mffv_fv::LinearOperator;
 use mffv_mesh::{CellField, Scalar};
 
@@ -28,6 +29,9 @@ pub struct SolveOutcome<T: Scalar> {
     pub solution: CellField<T>,
     /// Convergence record.
     pub history: ConvergenceHistory,
+    /// `Some(reason)` when a [`SolveMonitor`] or stop policy ended the solve
+    /// early; `None` when it converged or exhausted its own iteration cap.
+    pub stopped: Option<StopReason>,
 }
 
 /// Conjugate-gradient solver configuration.
@@ -68,6 +72,25 @@ impl ConjugateGradient {
         rhs: &CellField<T>,
         x0: &CellField<T>,
     ) -> SolveOutcome<T> {
+        self.solve_monitored(operator, rhs, x0, &mut NullMonitor)
+    }
+
+    /// Solve `A x = b` as an observable, cancellable session.
+    ///
+    /// `monitor` receives a [`SolveEvent`] at every iteration boundary — the
+    /// `rr` payloads are bitwise identical to the entries recorded in the
+    /// returned [`ConvergenceHistory`] — and may end the solve early by
+    /// returning [`Flow::Stop`], in which case the partial solution and
+    /// history are returned with [`SolveOutcome::stopped`] set.  Monitoring
+    /// performs no extra arithmetic: an unstopped monitored solve is bitwise
+    /// identical to [`solve`](Self::solve).
+    pub fn solve_monitored<T: Scalar, Op: LinearOperator<T>>(
+        &self,
+        operator: &Op,
+        rhs: &CellField<T>,
+        x0: &CellField<T>,
+        monitor: &mut dyn SolveMonitor,
+    ) -> SolveOutcome<T> {
         let dims = operator.dims();
         assert_eq!(rhs.dims(), dims, "rhs dimension mismatch");
         assert_eq!(x0.dims(), dims, "initial guess dimension mismatch");
@@ -85,9 +108,24 @@ impl ConjugateGradient {
         let mut history = ConvergenceHistory::starting_from(rr);
         if self.criterion.is_converged(rr) {
             history.converged = true;
-            return SolveOutcome { solution, history };
+            monitor.on_event(&SolveEvent::Started { initial_rr: rr });
+            monitor.on_event(&SolveEvent::Converged { iterations: 0, rr });
+            return SolveOutcome {
+                solution,
+                history,
+                stopped: None,
+            };
+        }
+        if let Flow::Stop(reason) = monitor.on_event(&SolveEvent::Started { initial_rr: rr }) {
+            monitor.on_event(&SolveEvent::Stopped(reason));
+            return SolveOutcome {
+                solution,
+                history,
+                stopped: Some(reason),
+            };
         }
 
+        let mut stopped = None;
         for _ in 0..self.criterion.max_iterations {
             operator.apply(&direction, &mut operator_times_direction);
             let d_ad = direction.dot(&operator_times_direction).to_f64();
@@ -104,13 +142,33 @@ impl ConjugateGradient {
             history.record(rr_new);
             if self.criterion.is_converged(rr_new) {
                 history.converged = true;
+                monitor.on_event(&SolveEvent::Iteration {
+                    k: history.iterations,
+                    rr: rr_new,
+                });
+                monitor.on_event(&SolveEvent::Converged {
+                    iterations: history.iterations,
+                    rr: rr_new,
+                });
+                break;
+            }
+            if let Flow::Stop(reason) = monitor.on_event(&SolveEvent::Iteration {
+                k: history.iterations,
+                rr: rr_new,
+            }) {
+                monitor.on_event(&SolveEvent::Stopped(reason));
+                stopped = Some(reason);
                 break;
             }
             let beta = T::from_f64(rr_new / rr);
             direction.xpby(&residual, beta);
             rr = rr_new;
         }
-        SolveOutcome { solution, history }
+        SolveOutcome {
+            solution,
+            history,
+            stopped,
+        }
     }
 }
 
@@ -222,6 +280,60 @@ mod tests {
         );
         assert!(out.history.converged);
         assert!(out.history.is_broadly_decreasing(50.0));
+    }
+
+    #[test]
+    fn monitored_solve_is_bitwise_identical_and_streams_the_history() {
+        use crate::monitor::{RecordingMonitor, SolveEvent};
+        let w = WorkloadSpec::quickstart().build();
+        let op = MatrixFreeOperator::<f64>::from_workload(&w);
+        let p0: CellField<f64> = w.initial_pressure();
+        let r = residual(&p0, w.transmissibility(), w.dirichlet());
+        let b = newton_rhs(&r, w.dirichlet());
+        let solver = ConjugateGradient::with_tolerance(1e-12, 2000);
+        let x0 = CellField::zeros(w.dims());
+
+        let plain = solver.solve(&op, &b, &x0);
+        let mut recorder = RecordingMonitor::new();
+        let monitored = solver.solve_monitored(&op, &b, &x0, &mut recorder);
+
+        assert_eq!(plain.history, monitored.history);
+        assert_eq!(monitored.stopped, None);
+        for i in 0..plain.solution.len() {
+            assert_eq!(
+                plain.solution.get(i).to_bits(),
+                monitored.solution.get(i).to_bits()
+            );
+        }
+        let streamed: Vec<u64> = recorder
+            .iteration_rrs()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let recorded: Vec<u64> = monitored.history.residual_norms_squared[1..]
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(streamed, recorded);
+        assert!(matches!(
+            recorder.terminal(),
+            Some(SolveEvent::Converged { .. })
+        ));
+    }
+
+    #[test]
+    fn policy_session_stops_the_solve_with_partial_history() {
+        use crate::monitor::{StopPolicy, StopReason};
+        let w = WorkloadSpec::quickstart().build();
+        let op = MatrixFreeOperator::<f64>::from_workload(&w);
+        let b = CellField::constant(w.dims(), 1.0);
+        let solver = ConjugateGradient::with_tolerance(1e-20, 2000);
+        let mut session = StopPolicy::new().iteration_budget(5).session();
+        let out = solver.solve_monitored(&op, &b, &CellField::zeros(w.dims()), &mut session);
+        assert_eq!(out.stopped, Some(StopReason::IterationBudget));
+        assert!(!out.history.converged);
+        assert_eq!(out.history.iterations, 5);
+        assert_eq!(out.history.residual_norms_squared.len(), 6);
     }
 
     #[test]

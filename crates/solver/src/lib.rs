@@ -14,6 +14,7 @@
 pub mod backend;
 pub mod cg;
 pub mod convergence;
+pub mod monitor;
 pub mod newton;
 pub mod pcg;
 pub mod reduction;
@@ -23,6 +24,10 @@ pub use backend::{
 };
 pub use cg::{ConjugateGradient, SolveOutcome};
 pub use convergence::{ConvergenceHistory, StoppingCriterion};
+pub use monitor::{
+    monitor_fn, CancelToken, Flow, FnMonitor, MonitorFanout, NullMonitor, PolicySession,
+    RecordingMonitor, SolveEvent, SolveMonitor, StopPolicy, StopReason,
+};
 pub use newton::{solve_pressure, PressureSolution};
 pub use pcg::{JacobiPreconditioner, PreconditionedConjugateGradient};
 
@@ -33,6 +38,10 @@ pub mod prelude {
     };
     pub use crate::cg::{ConjugateGradient, SolveOutcome};
     pub use crate::convergence::{ConvergenceHistory, StoppingCriterion};
+    pub use crate::monitor::{
+        monitor_fn, CancelToken, Flow, FnMonitor, MonitorFanout, NullMonitor, PolicySession,
+        RecordingMonitor, SolveEvent, SolveMonitor, StopPolicy, StopReason,
+    };
     pub use crate::newton::{solve_pressure, PressureSolution};
     pub use crate::pcg::{JacobiPreconditioner, PreconditionedConjugateGradient};
     pub use crate::reduction::{fabric_ordered_dot, fabric_ordered_sum};

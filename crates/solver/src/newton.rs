@@ -8,6 +8,7 @@
 
 use crate::cg::ConjugateGradient;
 use crate::convergence::ConvergenceHistory;
+use crate::monitor::{NullMonitor, SolveMonitor, StopReason};
 use mffv_fv::residual::{newton_rhs, residual};
 use mffv_fv::{LinearOperator, MatrixFreeOperator};
 use mffv_mesh::{CellField, Scalar, Workload};
@@ -22,6 +23,9 @@ pub struct PressureSolution<T: Scalar> {
     /// Max-norm of the residual evaluated at the returned pressure (a direct check
     /// of Eq. (3), independent of the CG stopping criterion).
     pub final_residual_max: f64,
+    /// `Some(reason)` when a monitor or stop policy ended the CG solve early;
+    /// the pressure then carries the partial Newton update reached so far.
+    pub stopped: Option<StopReason>,
 }
 
 /// Solve a workload's pressure problem with CG on an arbitrary operator.
@@ -34,11 +38,24 @@ pub fn solve_pressure_with<T: Scalar, Op: LinearOperator<T>>(
     operator: &Op,
     solver: &ConjugateGradient,
 ) -> PressureSolution<T> {
+    solve_pressure_monitored(workload, operator, solver, &mut NullMonitor)
+}
+
+/// [`solve_pressure_with`] as an observable, cancellable session: `monitor`
+/// sees every iteration boundary of the inner CG loop and may stop the solve,
+/// in which case the partial pressure update and history are still returned
+/// (with [`PressureSolution::stopped`] set).
+pub fn solve_pressure_monitored<T: Scalar, Op: LinearOperator<T>>(
+    workload: &Workload,
+    operator: &Op,
+    solver: &ConjugateGradient,
+    monitor: &mut dyn SolveMonitor,
+) -> PressureSolution<T> {
     let coeffs = workload.transmissibility().convert::<T>();
     let p0: CellField<T> = workload.initial_pressure();
     let r0 = residual(&p0, &coeffs, workload.dirichlet());
     let b = newton_rhs(&r0, workload.dirichlet());
-    let outcome = solver.solve(operator, &b, &CellField::zeros(workload.dims()));
+    let outcome = solver.solve_monitored(operator, &b, &CellField::zeros(workload.dims()), monitor);
 
     let mut pressure = p0;
     pressure.axpy(T::ONE, &outcome.solution);
@@ -47,6 +64,7 @@ pub fn solve_pressure_with<T: Scalar, Op: LinearOperator<T>>(
         pressure,
         history: outcome.history,
         final_residual_max: r_final.max_abs().to_f64(),
+        stopped: outcome.stopped,
     }
 }
 

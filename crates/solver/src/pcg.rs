@@ -8,6 +8,7 @@
 //! provides that extension and the ablation benchmarks compare it against plain CG.
 
 use crate::convergence::{ConvergenceHistory, StoppingCriterion};
+use crate::monitor::{Flow, NullMonitor, SolveEvent, SolveMonitor};
 use mffv_fv::LinearOperator;
 use mffv_mesh::{CellField, Dims, Direction, DirichletSet, Scalar, Transmissibilities};
 
@@ -101,6 +102,22 @@ impl PreconditionedConjugateGradient {
         rhs: &CellField<T>,
         x0: &CellField<T>,
     ) -> crate::cg::SolveOutcome<T> {
+        self.solve_monitored(operator, preconditioner, rhs, x0, &mut NullMonitor)
+    }
+
+    /// Solve `A x = b` as an observable, cancellable session (the PCG
+    /// counterpart of
+    /// [`ConjugateGradient::solve_monitored`](crate::cg::ConjugateGradient::solve_monitored)):
+    /// `monitor` sees the recorded *unpreconditioned* `rᵀr` at every
+    /// iteration boundary and may stop the solve early.
+    pub fn solve_monitored<T: Scalar, Op: LinearOperator<T>>(
+        &self,
+        operator: &Op,
+        preconditioner: &JacobiPreconditioner<T>,
+        rhs: &CellField<T>,
+        x0: &CellField<T>,
+        monitor: &mut dyn SolveMonitor,
+    ) -> crate::cg::SolveOutcome<T> {
         let dims = operator.dims();
         assert_eq!(rhs.dims(), dims);
         assert_eq!(x0.dims(), dims);
@@ -121,9 +138,27 @@ impl PreconditionedConjugateGradient {
         let mut history = ConvergenceHistory::starting_from(rr0);
         if self.criterion.is_converged(rr0) {
             history.converged = true;
-            return crate::cg::SolveOutcome { solution, history };
+            monitor.on_event(&SolveEvent::Started { initial_rr: rr0 });
+            monitor.on_event(&SolveEvent::Converged {
+                iterations: 0,
+                rr: rr0,
+            });
+            return crate::cg::SolveOutcome {
+                solution,
+                history,
+                stopped: None,
+            };
+        }
+        if let Flow::Stop(reason) = monitor.on_event(&SolveEvent::Started { initial_rr: rr0 }) {
+            monitor.on_event(&SolveEvent::Stopped(reason));
+            return crate::cg::SolveOutcome {
+                solution,
+                history,
+                stopped: Some(reason),
+            };
         }
 
+        let mut stopped = None;
         for _ in 0..self.criterion.max_iterations {
             operator.apply(&direction, &mut ad);
             let d_ad = direction.dot(&ad).to_f64();
@@ -138,6 +173,22 @@ impl PreconditionedConjugateGradient {
             history.record(rr);
             if self.criterion.is_converged(rr) {
                 history.converged = true;
+                monitor.on_event(&SolveEvent::Iteration {
+                    k: history.iterations,
+                    rr,
+                });
+                monitor.on_event(&SolveEvent::Converged {
+                    iterations: history.iterations,
+                    rr,
+                });
+                break;
+            }
+            if let Flow::Stop(reason) = monitor.on_event(&SolveEvent::Iteration {
+                k: history.iterations,
+                rr,
+            }) {
+                monitor.on_event(&SolveEvent::Stopped(reason));
+                stopped = Some(reason);
                 break;
             }
             preconditioner.apply(&residual, &mut z);
@@ -146,7 +197,11 @@ impl PreconditionedConjugateGradient {
             direction.xpby(&z, beta);
             rz = rz_new;
         }
-        crate::cg::SolveOutcome { solution, history }
+        crate::cg::SolveOutcome {
+            solution,
+            history,
+            stopped,
+        }
     }
 }
 

@@ -1,0 +1,87 @@
+//! Live convergence monitoring: watch the residual trajectory of the
+//! paper's Algorithm 1 *while it runs*, on each of the three backends, then
+//! demonstrate the two serving-path controls — a wall-clock deadline and a
+//! mid-flight cancellation.
+//!
+//! Run with `cargo run --release --example live_convergence`.
+
+use mffv::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    let workload = WorkloadSpec::quickstart().build();
+    println!(
+        "Workload: {} ({} cells), tolerance 1e-10\n",
+        workload.name(),
+        workload.dims().num_cells()
+    );
+
+    // 1. Live residual trajectory per backend.  The monitor receives every
+    //    iteration boundary of the inner CG loop; the printed `rr` values are
+    //    bitwise the entries of the report's ConvergenceHistory.
+    for backend in [Backend::host(), Backend::gpu_ref(), Backend::dataflow()] {
+        let simulation = Simulation::new(workload.clone())
+            .tolerance(1e-10)
+            .backend(backend);
+        println!("--- {} ---", backend.name());
+        let mut printer = monitor_fn(|event: &SolveEvent| {
+            match *event {
+                SolveEvent::Started { initial_rr } => {
+                    println!("  start      rr = {initial_rr:.6e}");
+                }
+                SolveEvent::Iteration { k, rr } if k % 10 == 0 => {
+                    println!("  iter {k:>4}  rr = {rr:.6e}");
+                }
+                SolveEvent::Iteration { .. } => {}
+                SolveEvent::Converged { iterations, rr } => {
+                    println!("  converged after {iterations} iterations, rr = {rr:.6e}");
+                }
+                SolveEvent::Stopped(reason) => println!("  stopped: {reason}"),
+            }
+            Flow::Continue
+        });
+        let report = simulation.monitor(&mut printer).expect("solve failed");
+        assert!(report.converged());
+        println!();
+    }
+
+    // 2. A wall-clock deadline: the solve stops at the first iteration
+    //    boundary past the budget and still reports its partial history.
+    let deadlined = Simulation::new(workload.clone())
+        .tolerance(1e-14)
+        .deadline(Duration::ZERO)
+        .run()
+        .expect("a stopped solve is not an error");
+    println!(
+        "Deadline demo: stopped = {:?} after {} iterations ({} history entries kept)",
+        deadlined.stop_reason().expect("deadline must fire"),
+        deadlined.iterations(),
+        deadlined.history.residual_norms_squared.len(),
+    );
+
+    // 3. Cooperative cancellation: any thread holding a clone of the token
+    //    can stop the solve; here a monitor trips it at iteration 3 and the
+    //    session ends one boundary later.
+    let token = CancelToken::new();
+    let trip = token.clone();
+    let mut tripper = monitor_fn(move |event: &SolveEvent| {
+        if matches!(event, SolveEvent::Iteration { k: 3, .. }) {
+            trip.cancel();
+        }
+        Flow::Continue
+    });
+    let cancelled = Simulation::new(workload)
+        .tolerance(1e-14)
+        .backend(Backend::dataflow())
+        .cancel_token(token)
+        .monitor(&mut tripper)
+        .expect("a cancelled solve is not an error");
+    println!(
+        "Cancellation demo: stopped = {:?} after {} iterations",
+        cancelled
+            .stop_reason()
+            .expect("the token must stop the solve"),
+        cancelled.iterations(),
+    );
+    assert_eq!(cancelled.stop_reason(), Some(StopReason::Cancelled));
+}

@@ -25,6 +25,15 @@
 //! assert!(agreement.agrees_within(1e-3));
 //! ```
 //!
+//! Every solve can run as an **observable, cancellable session**: attach a
+//! `SolveMonitor` with [`Simulation::monitor`] to stream typed per-iteration
+//! events (`Started`, `Iteration { k, rr }`, `Converged`, `Stopped`), or a
+//! `StopPolicy` ([`Simulation::deadline`], [`Simulation::cancel_token`],
+//! [`Simulation::stop_policy`]) to bound wall-clock, budget iterations, or
+//! cancel mid-flight — on any backend, with the partial convergence history
+//! still reported.  See the README's "Monitoring, deadlines & cancellation"
+//! and `examples/live_convergence.rs`.
+//!
 //! For many solves at once — scenario sweeps, cross-backend comparison
 //! studies, throughput measurements — the [`Engine`] executes batches of
 //! [`JobSpec`]s on a worker pool with deterministic, panic-isolated results

@@ -191,6 +191,7 @@ mod tests {
             final_residual_max: 0.0,
             host_wall_seconds: 0.0,
             device: None,
+            stopped: None,
         }
     }
 

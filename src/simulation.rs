@@ -21,12 +21,20 @@
 //! ([`AgreementReport`]), carrying any failures alongside; and `batch()`
 //! executes the registered backends concurrently on the `mffv-engine` worker
 //! pool, returning its [`BatchReport`].
+//!
+//! Solves are observable, cancellable *sessions*: `monitor()` streams typed
+//! per-iteration events to a [`SolveMonitor`], and `deadline()` /
+//! `cancel_token()` / `stop_policy()` attach declarative stop rules that end
+//! a solve at an iteration boundary with its partial history reported.
 
 use crate::backend::Backend;
 use crate::report::{AgreementReport, SolveReport};
 use mffv_engine::{BatchReport, Engine, JobSpec};
 use mffv_mesh::{Workload, WorkloadSpec};
 use mffv_solver::backend::{Precision, SolveConfig, SolveError};
+use mffv_solver::monitor::{CancelToken, MonitorFanout, SolveMonitor, StopPolicy};
+use std::collections::HashMap;
+use std::time::Duration;
 
 /// Builder facade over the three solver implementations.
 #[derive(Clone, Debug)]
@@ -34,6 +42,7 @@ pub struct Simulation {
     workload: Workload,
     config: SolveConfig,
     backends: Vec<Backend>,
+    policy: StopPolicy,
 }
 
 impl Simulation {
@@ -44,6 +53,7 @@ impl Simulation {
             workload,
             config: SolveConfig::default(),
             backends: Vec::new(),
+            policy: StopPolicy::new(),
         }
     }
 
@@ -85,6 +95,31 @@ impl Simulation {
         self
     }
 
+    /// Attach a full [`StopPolicy`] (iteration budget, deadline, stagnation
+    /// and divergence rules, cancellation) to every solve this simulation
+    /// runs.  Stopped solves return their partial report with
+    /// [`SolveReport::stopped`](mffv_solver::SolveReport) set rather than an
+    /// error — use [`SolveReport::require_completed`] for the strict form.
+    pub fn stop_policy(mut self, policy: StopPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Bound every solve by `deadline` of wall-clock time (a serving-path
+    /// SLA): the solve stops at the first iteration boundary past the
+    /// deadline, reporting the partial convergence history.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.policy = self.policy.deadline(deadline);
+        self
+    }
+
+    /// Watch `token`: cancelling it (from any thread) stops an in-flight
+    /// solve at its next iteration boundary.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.policy = self.policy.cancel_token(token);
+        self
+    }
+
     /// The workload being solved.
     pub fn workload(&self) -> &Workload {
         &self.workload
@@ -97,16 +132,54 @@ impl Simulation {
 
     /// Run the primary backend (the first registered one, or the host oracle
     /// when none was registered) and return its unified report.
+    ///
+    /// With no stop policy attached this is the exact unmonitored solve path
+    /// (bitwise identical to earlier releases); with one, the solve runs as
+    /// a monitored session governed by the policy.
     pub fn run(&self) -> Result<SolveReport, SolveError> {
-        let primary = self.backends.first().copied().unwrap_or(Backend::Host {
-            precision: self.config.precision,
-        });
-        self.run_backend(&primary)
+        self.run_backend(&self.primary_backend())
     }
 
-    /// Run one specific backend under this simulation's workload and config.
+    /// Run the primary backend as an observable session: `monitor` receives
+    /// every [`SolveEvent`](mffv_solver::SolveEvent) of the inner CG loop
+    /// (with `rr` payloads bitwise equal to the report's convergence
+    /// history) and can stop the solve by returning
+    /// [`Flow::Stop`](mffv_solver::Flow::Stop).  Any attached stop policy is
+    /// active alongside and takes precedence.
+    pub fn monitor(&self, monitor: &mut dyn SolveMonitor) -> Result<SolveReport, SolveError> {
+        let backend = self.primary_backend();
+        let mut session = self.policy.session();
+        let fanout = MonitorFanout::new().push(&mut session).push(monitor);
+        self.solve_on(&backend, Some(fanout))
+    }
+
+    /// Run one specific backend under this simulation's workload, config and
+    /// stop policy.
     pub fn run_backend(&self, backend: &Backend) -> Result<SolveReport, SolveError> {
-        backend.instantiate().solve(&self.workload, &self.config)
+        self.solve_on(backend, None)
+    }
+
+    /// The backend `run()`/`monitor()` executes.
+    fn primary_backend(&self) -> Backend {
+        self.backends.first().copied().unwrap_or(Backend::Host {
+            precision: self.config.precision,
+        })
+    }
+
+    /// Dispatch one backend solve, monitored only when there is something to
+    /// observe or enforce — the policy-free, monitor-free path stays the
+    /// plain `solve()` call.
+    fn solve_on(
+        &self,
+        backend: &Backend,
+        extra: Option<MonitorFanout<'_>>,
+    ) -> Result<SolveReport, SolveError> {
+        let live = backend.instantiate();
+        match extra {
+            Some(mut fanout) => live.solve_monitored(&self.workload, &self.config, &mut fanout),
+            None if self.policy.is_empty() => live.solve(&self.workload, &self.config),
+            None => live.solve_monitored(&self.workload, &self.config, &mut self.policy.session()),
+        }
     }
 
     /// Run every registered backend — or [`Backend::standard_set`] when none
@@ -127,13 +200,11 @@ impl Simulation {
                 (b, outcome)
             })
             .collect();
-        let mut seen: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        let mut seen = NameDisambiguator::new();
         for (_, outcome) in &mut outcomes {
             if let Ok(report) = outcome {
-                let count = seen.entry(report.backend.clone()).or_insert(0);
-                *count += 1;
-                if *count > 1 {
-                    report.backend = format!("{}#{}", report.backend, count);
+                if let Some(unique) = seen.disambiguate(&report.backend) {
+                    report.backend = unique;
                 }
             }
         }
@@ -179,21 +250,27 @@ impl Simulation {
             .effective_backends()
             .into_iter()
             .map(|backend| {
-                JobSpec::new(self.workload.spec().clone(), backend).with_config(self.config)
+                JobSpec::new(self.workload.spec().clone(), backend)
+                    .with_config(self.config)
+                    .with_stop_policy(self.policy.clone())
             })
             .collect();
         let mut batch = Engine::new(workers).run(jobs);
         // The same duplicate-name disambiguation `run_all` applies, so two
         // configurations of one backend stay distinguishable in the report.
-        let mut seen: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        let mut seen = NameDisambiguator::new();
         for outcome in &mut batch.outcomes {
-            if let mffv_engine::JobStatus::Completed(report) = &mut outcome.status {
-                let count = seen.entry(report.backend.clone()).or_insert(0);
-                *count += 1;
-                if *count > 1 {
-                    report.backend = format!("{}#{}", report.backend, count);
-                    outcome.label = format!("{} @ {}", self.workload.spec().name, report.backend);
-                }
+            let report = match &mut outcome.status {
+                mffv_engine::JobStatus::Completed(report) => report,
+                mffv_engine::JobStatus::Stopped {
+                    report: Some(report),
+                    ..
+                } => report,
+                _ => continue,
+            };
+            if let Some(unique) = seen.disambiguate(&report.backend) {
+                report.backend = unique;
+                outcome.label = format!("{} @ {}", self.workload.spec().name, report.backend);
             }
         }
         batch
@@ -205,6 +282,31 @@ impl Simulation {
         } else {
             self.backends.clone()
         }
+    }
+}
+
+/// Keeps report names unique within one run set: the second, third, …
+/// occurrence of a name gains a `#2`, `#3`, … suffix (two dataflow
+/// configurations in one comparison stay distinguishable in
+/// [`AgreementReport`] lookups and pairwise tables).  Shared by
+/// [`Simulation::run_all`] and [`Simulation::batch`].
+struct NameDisambiguator {
+    seen: HashMap<String, usize>,
+}
+
+impl NameDisambiguator {
+    fn new() -> Self {
+        Self {
+            seen: HashMap::new(),
+        }
+    }
+
+    /// Register one occurrence of `name`; returns the suffixed replacement
+    /// when this is a repeat, `None` when the name is still unique.
+    fn disambiguate(&mut self, name: &str) -> Option<String> {
+        let count = self.seen.entry(name.to_string()).or_insert(0);
+        *count += 1;
+        (*count > 1).then(|| format!("{name}#{count}"))
     }
 }
 
@@ -309,8 +411,8 @@ mod tests {
         assert_eq!(outcomes.len(), 3);
         assert_eq!(outcomes[0].1.as_ref().unwrap().backend, "host-f64");
         let error = outcomes[1].1.as_ref().unwrap_err();
-        assert_eq!(error.backend, "dataflow");
-        assert!(error.detail.contains("memory"), "{}", error.detail);
+        assert_eq!(error.backend_name(), "dataflow");
+        assert!(error.detail().contains("memory"), "{}", error.detail());
         assert_eq!(outcomes[2].1.as_ref().unwrap().backend, "host-f32");
     }
 
@@ -327,7 +429,7 @@ mod tests {
         assert_eq!(agreement.reports.len(), 2);
         assert_eq!(agreement.pairwise.len(), 1);
         assert_eq!(agreement.failures.len(), 1);
-        assert_eq!(agreement.failures[0].backend, "dataflow");
+        assert_eq!(agreement.failures[0].backend_name(), "dataflow");
         assert!(agreement.to_string().contains("FAILED"));
     }
 
@@ -338,7 +440,7 @@ mod tests {
             .backend(Backend::dataflow())
             .compare()
             .expect_err("the only backend fails, so compare must");
-        assert_eq!(error.backend, "dataflow");
+        assert_eq!(error.backend_name(), "dataflow");
     }
 
     #[test]

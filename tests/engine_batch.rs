@@ -135,3 +135,120 @@ fn panicking_and_invalid_jobs_are_reported_without_poisoning_the_pool() {
     let again = Engine::new(2).run(sweep_jobs());
     assert!(again.all_succeeded());
 }
+
+#[test]
+fn a_tripped_cancel_token_drains_queued_jobs_as_stopped_not_failed() {
+    // Regression: a cancelled batch must drain-and-stop cleanly — queued
+    // jobs report `Stopped(Cancelled)` instead of blocking the pool, and
+    // `BatchReport` separates them from genuine failures.
+    let token = CancelToken::new();
+    token.cancel();
+    let jobs = sweep_jobs();
+    let total = jobs.len();
+    let batch = Engine::new(2).with_cancel_token(token).run(jobs);
+
+    assert_eq!(batch.jobs(), total, "every job gets an outcome slot");
+    assert_eq!(batch.stopped(), total, "all jobs were cancelled, none ran");
+    assert_eq!(batch.failed(), 0, "cancellation is not failure");
+    assert_eq!(batch.succeeded(), 0);
+    assert!(!batch.all_succeeded());
+    for (i, outcome) in batch.outcomes.iter().enumerate() {
+        assert_eq!(outcome.index, i, "submission order survives cancellation");
+        assert_eq!(outcome.stop_reason(), Some(StopReason::Cancelled));
+        assert!(outcome.partial_report().is_none(), "job {i} never started");
+        assert!(outcome.failure().is_none(), "stopped jobs are not failures");
+    }
+    let text = batch.to_string();
+    assert!(text.contains("stopped: cancelled"), "{text}");
+    assert!(text.contains("0 ok"), "{text}");
+}
+
+#[test]
+fn mid_batch_cancellation_stops_remaining_jobs_and_keeps_finished_ones_exact() {
+    // Cancel a saturated pool mid-flight: the batch must drain (no hang),
+    // every outcome must be either a bitwise-exact completed report or a
+    // clean `Stopped(Cancelled)`, and nothing may fail or panic.
+    let jobs: Vec<JobSpec> = (0..24)
+        .map(|i| {
+            JobSpec::new(
+                WorkloadSpec {
+                    name: format!("cancel-itest-{i}"),
+                    tolerance: 1e-10,
+                    ..WorkloadSpec::quickstart().scaled(2)
+                },
+                Backend::host(),
+            )
+        })
+        .collect();
+    let serial: Vec<mffv::SolveReport> = jobs
+        .iter()
+        .map(|job| job.execute().expect("serial solve failed"))
+        .collect();
+
+    let token = CancelToken::new();
+    let batch = std::thread::scope(|scope| {
+        let handle = {
+            let jobs = jobs.clone();
+            let token = token.clone();
+            scope.spawn(move || Engine::new(2).with_cancel_token(token).run(jobs))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        token.cancel();
+        handle.join().expect("the engine must not panic")
+    });
+
+    assert_eq!(batch.jobs(), 24);
+    assert_eq!(batch.failed(), 0, "cancellation must not produce failures");
+    assert_eq!(batch.succeeded() + batch.stopped(), 24);
+    for (i, outcome) in batch.outcomes.iter().enumerate() {
+        match outcome.report() {
+            Some(report) => {
+                // Jobs that finished before the trip are untouched by the
+                // cancellation machinery: bitwise identical to serial runs.
+                let bits = |r: &mffv::SolveReport| -> Vec<u64> {
+                    r.pressure.as_slice().iter().map(|v| v.to_bits()).collect()
+                };
+                assert_eq!(bits(report), bits(&serial[i]), "job {i}");
+            }
+            None => {
+                assert_eq!(
+                    outcome.stop_reason(),
+                    Some(StopReason::Cancelled),
+                    "job {i}: non-completed outcomes must be clean cancellations"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn per_job_stop_policies_ride_through_the_engine() {
+    // One job with an iteration budget, one without: the budgeted job stops
+    // with a partial report, the other completes — in one batch.
+    let spec = WorkloadSpec {
+        tolerance: 1e-12,
+        ..WorkloadSpec::quickstart()
+    };
+    let jobs = vec![
+        JobSpec::new(spec.clone(), Backend::host())
+            .with_stop_policy(StopPolicy::new().iteration_budget(3)),
+        JobSpec::new(spec, Backend::host()),
+    ];
+    let batch = Engine::new(2).run(jobs);
+    assert_eq!(batch.stopped(), 1);
+    assert_eq!(batch.succeeded(), 1);
+
+    let stopped = &batch.outcomes[0];
+    assert_eq!(stopped.stop_reason(), Some(StopReason::IterationBudget));
+    let partial = stopped.partial_report().expect("partial state reported");
+    assert_eq!(partial.iterations(), 3);
+    assert!(!partial.converged());
+
+    let full = batch.outcomes[1].report().unwrap();
+    assert!(full.converged());
+    // The stopped job's history is a bitwise prefix of the full solve.
+    assert_eq!(
+        partial.history.residual_norms_squared,
+        full.history.residual_norms_squared[..4].to_vec()
+    );
+}

@@ -104,10 +104,10 @@ fn facade_error_reports_the_failing_backend() {
         .backend(Backend::dataflow())
         .run()
         .expect_err("a 3000-deep column cannot fit a PE");
-    assert_eq!(error.backend, "dataflow");
+    assert_eq!(error.backend_name(), "dataflow");
     assert!(
-        error.detail.contains("memory"),
+        error.detail().contains("memory"),
         "detail should mention the memory failure: {}",
-        error.detail
+        error.detail()
     );
 }

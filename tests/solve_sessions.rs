@@ -1,0 +1,260 @@
+//! Observable, cancellable solve sessions through the public `mffv` API.
+//!
+//! The contract under test, on all three paper backends:
+//!
+//! * a monitored solve emits an `Iteration` event stream whose `rr` values
+//!   **bitwise-match** the report's `ConvergenceHistory` — and monitoring
+//!   does not perturb the solve (bitwise-identical pressure);
+//! * a `Flow::Stop` (monitor, deadline, stagnation, cancellation) ends the
+//!   solve at an iteration boundary with the **partial** history reported;
+//! * non-convergence paths (iteration cap, stagnation, deadline) are
+//!   reported faithfully, never as panics.
+
+use mffv::prelude::*;
+use std::time::Duration;
+
+fn workload() -> Workload {
+    WorkloadSpec::quickstart().build()
+}
+
+fn standard_backends() -> Vec<Backend> {
+    vec![Backend::host(), Backend::gpu_ref(), Backend::dataflow()]
+}
+
+fn pressure_bits(report: &mffv::SolveReport) -> Vec<u64> {
+    report
+        .pressure
+        .as_slice()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+#[test]
+fn iteration_events_bitwise_match_the_convergence_history_on_every_backend() {
+    for backend in standard_backends() {
+        let sim = Simulation::new(workload())
+            .tolerance(1e-10)
+            .backend(backend);
+        let mut recorder = RecordingMonitor::new();
+        let report = sim.monitor(&mut recorder).unwrap();
+        assert!(report.converged(), "{}", report.backend);
+        assert!(report.stopped.is_none());
+
+        // Started carries the history's first entry, bitwise.
+        assert_eq!(
+            recorder.initial_rr().unwrap().to_bits(),
+            report.history.initial_rr().to_bits(),
+            "{}: Started.initial_rr",
+            report.backend
+        );
+        // One Iteration event per recorded iteration, values bitwise equal.
+        let event_bits: Vec<u64> = recorder
+            .iteration_rrs()
+            .iter()
+            .map(|rr| rr.to_bits())
+            .collect();
+        let history_bits: Vec<u64> = report.history.residual_norms_squared[1..]
+            .iter()
+            .map(|rr| rr.to_bits())
+            .collect();
+        assert_eq!(
+            event_bits, history_bits,
+            "{}: event stream must bitwise-match the history",
+            report.backend
+        );
+        // The stream terminates in Converged with the final state.
+        match recorder.terminal() {
+            Some(SolveEvent::Converged { iterations, rr }) => {
+                assert_eq!(*iterations, report.iterations(), "{}", report.backend);
+                assert_eq!(
+                    rr.to_bits(),
+                    report.history.final_rr().to_bits(),
+                    "{}",
+                    report.backend
+                );
+            }
+            other => panic!("{}: expected Converged, got {other:?}", report.backend),
+        }
+    }
+}
+
+#[test]
+fn monitoring_does_not_perturb_the_solve() {
+    for backend in standard_backends() {
+        let sim = Simulation::new(workload())
+            .tolerance(1e-10)
+            .backend(backend);
+        let unmonitored = sim.run().unwrap();
+        let monitored = sim.monitor(&mut RecordingMonitor::new()).unwrap();
+        assert_eq!(
+            pressure_bits(&unmonitored),
+            pressure_bits(&monitored),
+            "{}: monitored and unmonitored solves must be bitwise identical",
+            unmonitored.backend
+        );
+        assert_eq!(unmonitored.history, monitored.history);
+    }
+}
+
+#[test]
+fn a_monitor_stop_ends_the_solve_at_the_iteration_boundary() {
+    for backend in standard_backends() {
+        let sim = Simulation::new(workload())
+            .tolerance(1e-12)
+            .backend(backend);
+        let full = sim.run().unwrap();
+        assert!(
+            full.iterations() > 5,
+            "{}: need a multi-iteration solve",
+            full.backend
+        );
+
+        let mut stopper = monitor_fn(|event: &SolveEvent| match event {
+            SolveEvent::Iteration { k: 3, .. } => Flow::Stop(StopReason::MonitorRequest),
+            _ => Flow::Continue,
+        });
+        let partial = sim.monitor(&mut stopper).unwrap();
+        assert_eq!(
+            partial.stopped,
+            Some(StopReason::MonitorRequest),
+            "{}",
+            partial.backend
+        );
+        assert!(!partial.converged());
+        // The partial history holds exactly the iterations that ran, bitwise
+        // equal to the prefix of the full solve's history.
+        assert_eq!(partial.iterations(), 3, "{}", partial.backend);
+        assert_eq!(
+            partial.history.residual_norms_squared,
+            full.history.residual_norms_squared[..4].to_vec(),
+            "{}",
+            partial.backend
+        );
+        // Strict callers can turn the early stop into a typed error.
+        let err = partial.require_completed().unwrap_err();
+        assert!(err.is_stopped());
+        assert_eq!(err.stop_reason(), Some(StopReason::MonitorRequest));
+    }
+}
+
+#[test]
+fn an_expired_deadline_stops_each_backend_with_partial_history() {
+    for backend in standard_backends() {
+        let report = Simulation::new(workload())
+            .tolerance(1e-12)
+            .backend(backend)
+            .deadline(Duration::ZERO)
+            .run()
+            .unwrap();
+        assert_eq!(
+            report.stopped,
+            Some(StopReason::DeadlineExpired),
+            "{}",
+            report.backend
+        );
+        assert!(!report.converged());
+        // The partial history is still reported: the initial residual was
+        // recorded before the deadline check fired.
+        assert_eq!(report.iterations(), 0, "{}", report.backend);
+        assert_eq!(report.history.residual_norms_squared.len(), 1);
+        assert!(report.history.initial_rr() > 0.0, "{}", report.backend);
+    }
+}
+
+#[test]
+fn stagnation_detection_fires_on_every_backend() {
+    // Demanding a 99.99% residual drop per iteration over a 2-iteration
+    // window is unsatisfiable for this problem, so the policy must trip.
+    for backend in standard_backends() {
+        let report = Simulation::new(workload())
+            .tolerance(1e-12)
+            .backend(backend)
+            .stop_policy(StopPolicy::new().stagnation(2, 0.9999))
+            .run()
+            .unwrap();
+        assert_eq!(
+            report.stopped,
+            Some(StopReason::Stagnated),
+            "{}",
+            report.backend
+        );
+        assert!(!report.converged());
+        assert!(report.iterations() >= 2, "{}", report.backend);
+        assert_eq!(
+            report.history.residual_norms_squared.len(),
+            report.iterations() + 1
+        );
+    }
+}
+
+#[test]
+fn hitting_the_iteration_cap_is_completion_not_a_stop() {
+    for backend in standard_backends() {
+        let report = Simulation::new(workload())
+            .tolerance(1e-30)
+            .max_iterations(3)
+            .backend(backend)
+            .run()
+            .unwrap();
+        assert!(!report.converged(), "{}", report.backend);
+        assert_eq!(report.iterations(), 3, "{}", report.backend);
+        // Exhausting the solver's own k_max is a completed (if unconverged)
+        // solve: `stopped` stays empty and no error is raised.
+        assert_eq!(report.stopped, None, "{}", report.backend);
+        assert!(report.clone().require_completed().is_ok());
+    }
+}
+
+#[test]
+fn a_cancel_token_stops_an_in_flight_simulation() {
+    // Trip the token from inside the event stream, as another thread would:
+    // the solve must end at the very next iteration boundary.
+    let token = CancelToken::new();
+    let trip = token.clone();
+    let mut tripper = monitor_fn(move |event: &SolveEvent| {
+        if matches!(event, SolveEvent::Iteration { k: 2, .. }) {
+            trip.cancel();
+        }
+        Flow::Continue
+    });
+    let report = Simulation::new(workload())
+        .tolerance(1e-12)
+        .backend(Backend::dataflow())
+        .cancel_token(token.clone())
+        .monitor(&mut tripper)
+        .unwrap();
+    assert_eq!(report.stopped, Some(StopReason::Cancelled));
+    assert_eq!(report.iterations(), 3, "one boundary after the trip");
+    assert!(token.is_cancelled());
+}
+
+#[test]
+fn policy_iteration_budget_is_an_explicit_stop() {
+    let report = Simulation::new(workload())
+        .tolerance(1e-12)
+        .stop_policy(StopPolicy::new().iteration_budget(4))
+        .run()
+        .unwrap();
+    assert_eq!(report.stopped, Some(StopReason::IterationBudget));
+    assert_eq!(report.iterations(), 4);
+}
+
+#[test]
+fn solve_errors_box_into_std_error() -> Result<(), Box<dyn std::error::Error>> {
+    // `?` must work against Box<dyn Error> for both error variants.
+    let report = Simulation::new(workload()).tolerance(1e-8).run()?;
+    assert!(report.converged());
+
+    let stopped: mffv::solver::SolveError =
+        mffv::solver::SolveError::stopped("host-f64", StopReason::Cancelled);
+    let rendered = stopped.to_string();
+    assert!(
+        rendered.contains("host-f64") && rendered.contains("cancelled"),
+        "{rendered}"
+    );
+    let failed = mffv::solver::SolveError::new("dataflow", "out of local memory");
+    assert!(failed.to_string().contains("failed"), "{}", failed);
+    assert!(!failed.is_stopped());
+    Ok(())
+}
