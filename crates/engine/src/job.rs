@@ -60,6 +60,15 @@ impl JobSpec {
         self
     }
 
+    /// Run the host backend's planned stencil kernels on `threads` scoped
+    /// threads (bitwise-identical results for every thread count; ignored by
+    /// device-style backends).  Composes with the engine's worker pool: a
+    /// 4-worker engine running jobs with 2 apply threads uses up to 8 cores.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.solve_config.threads = Some(threads);
+        self
+    }
+
     /// Attach stop rules to the job's solve session.
     pub fn with_stop_policy(mut self, stop_policy: StopPolicy) -> Self {
         self.stop_policy = stop_policy;

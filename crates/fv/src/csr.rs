@@ -25,34 +25,53 @@ pub struct CsrMatrix<T: Scalar> {
 impl<T: Scalar> CsrMatrix<T> {
     /// Build a CSR matrix from a list of `(row, col, value)` triplets.  Duplicate
     /// entries are summed; rows and columns beyond the given dimensions panic.
+    ///
+    /// Assembly is the classic two-pass count/prefix-sum scheme: one pass
+    /// counts entries per row, a prefix sum turns the counts into scatter
+    /// offsets, and a second pass scatters the triplets into a single flat
+    /// buffer — no per-row `Vec` allocations, regardless of matrix size.
     pub fn from_triplets(num_rows: usize, num_cols: usize, triplets: &[(usize, usize, T)]) -> Self {
-        let mut per_row: Vec<Vec<(usize, T)>> = vec![Vec::new(); num_rows];
-        for &(r, c, v) in triplets {
+        // Pass 1: count entries per row (shifted by one so the prefix sum
+        // yields scatter offsets in place).
+        let mut offsets = vec![0usize; num_rows + 1];
+        for &(r, c, _) in triplets {
             assert!(
                 r < num_rows && c < num_cols,
                 "triplet ({r}, {c}) out of bounds"
             );
-            per_row[r].push((c, v));
+            offsets[r + 1] += 1;
         }
+        for i in 0..num_rows {
+            offsets[i + 1] += offsets[i];
+        }
+        // Pass 2: scatter every triplet into its row segment of one flat buffer.
+        let mut entries: Vec<(usize, T)> = vec![(0, T::ZERO); triplets.len()];
+        let mut cursor = offsets.clone();
+        for &(r, c, v) in triplets {
+            entries[cursor[r]] = (c, v);
+            cursor[r] += 1;
+        }
+        // Sort each row segment by column and merge duplicates while writing
+        // the final arrays.
         let mut row_offsets = Vec::with_capacity(num_rows + 1);
-        let mut col_indices = Vec::new();
-        let mut values = Vec::new();
+        let mut col_indices = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
         row_offsets.push(0);
-        for row in &mut per_row {
-            row.sort_by_key(|&(c, _)| c);
-            let mut merged: Vec<(usize, T)> = Vec::with_capacity(row.len());
-            for &(c, v) in row.iter() {
-                if let Some(last) = merged.last_mut() {
-                    if last.0 == c {
-                        last.1 += v;
-                        continue;
-                    }
+        for r in 0..num_rows {
+            let segment = &mut entries[offsets[r]..offsets[r + 1]];
+            // Stable sort: duplicates keep their insertion order, so they are
+            // summed deterministically first-to-last (rows of the 7-point
+            // operator are tiny, so this stays on the allocation-free
+            // small-slice path).
+            segment.sort_by_key(|&(c, _)| c);
+            let row_start = col_indices.len();
+            for &(c, v) in segment.iter() {
+                if col_indices.len() > row_start && *col_indices.last().unwrap() == c {
+                    *values.last_mut().unwrap() += v;
+                } else {
+                    col_indices.push(c);
+                    values.push(v);
                 }
-                merged.push((c, v));
-            }
-            for (c, v) in merged {
-                col_indices.push(c);
-                values.push(v);
             }
             row_offsets.push(col_indices.len());
         }

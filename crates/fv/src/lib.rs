@@ -6,9 +6,12 @@
 //! baseline the matrix-free approach is motivated against — an explicitly assembled
 //! CSR Jacobian with a standard sparse matrix-vector product.
 //!
-//! The crate is host-side and sequential: it defines the *mathematics* that both the
-//! dataflow implementation (`mffv-core`) and the GPU-style reference
-//! (`mffv-gpu-ref`) must reproduce, and is the oracle used by their tests.
+//! The crate is host-side: it defines the *mathematics* that both the dataflow
+//! implementation (`mffv-core`) and the GPU-style reference (`mffv-gpu-ref`) must
+//! reproduce, and is the oracle used by their tests.  The hot apply path runs
+//! through a precomputed [`plan::StencilPlan`] — branch-free interior x-line
+//! runs, fused CG kernels, and an optional scoped-thread parallel apply whose
+//! results are bitwise identical for every thread count.
 //!
 //! ## Sign convention
 //!
@@ -24,12 +27,16 @@ pub mod csr;
 pub mod flux;
 pub mod matrix_free;
 pub mod operator;
+pub mod plan;
 pub mod residual;
 pub mod velocity;
 
 pub use csr::{AssembledOperator, CsrMatrix};
 pub use matrix_free::MatrixFreeOperator;
 pub use operator::LinearOperator;
+pub use plan::{
+    det_dot, det_norm_squared, PlanStats, StencilPlan, APPLY_STREAMS_PER_CELL, SLAB_CELLS,
+};
 pub use residual::{newton_rhs, residual};
 pub use velocity::FluxField;
 
@@ -39,6 +46,9 @@ pub mod prelude {
     pub use crate::flux::{interfacial_flux, FLOPS_PER_NEIGHBOR};
     pub use crate::matrix_free::MatrixFreeOperator;
     pub use crate::operator::LinearOperator;
+    pub use crate::plan::{
+        det_dot, det_norm_squared, PlanStats, StencilPlan, APPLY_STREAMS_PER_CELL, SLAB_CELLS,
+    };
     pub use crate::residual::{newton_rhs, residual};
     pub use crate::velocity::{cell_velocity, FluxField};
 }

@@ -7,16 +7,27 @@
 
 use crate::flux::{ax_contribution_spd, jx_contribution_paper};
 use crate::operator::LinearOperator;
+use crate::plan::{PlanStats, StencilPlan};
 use mffv_mesh::{CellField, Dims, Direction, DirichletSet, Scalar, Transmissibilities};
 
 /// The matrix-free FV operator: owns (references to nothing — it clones the
 /// coefficient table into the requested precision) everything needed to apply the
 /// Jacobian without assembling it.
+///
+/// At construction the operator precomputes a [`StencilPlan`] — the partition
+/// of the grid into branch-free interior x-line runs and a general remainder —
+/// so [`apply_spd`](Self::apply_spd) runs the planned kernel by default.  The
+/// planned apply is bitwise identical to the naive per-neighbour loop (kept as
+/// [`apply_spd_naive`](Self::apply_spd_naive)) for every thread count; see the
+/// [`plan`](crate::plan) module for the determinism contract.
 #[derive(Clone, Debug)]
 pub struct MatrixFreeOperator<T: Scalar> {
     dims: Dims,
     coeffs: Transmissibilities<T>,
     dirichlet_mask: Vec<bool>,
+    num_dirichlet: usize,
+    plan: StencilPlan,
+    threads: usize,
 }
 
 impl<T: Scalar> MatrixFreeOperator<T> {
@@ -27,16 +38,42 @@ impl<T: Scalar> MatrixFreeOperator<T> {
         for (idx, flag) in mask.iter_mut().enumerate() {
             *flag = dirichlet.contains_linear(idx);
         }
+        let plan = StencilPlan::new(dims, &mask);
         Self {
             dims,
             coeffs,
+            num_dirichlet: plan.stats().dirichlet_cells,
             dirichlet_mask: mask,
+            plan,
+            threads: 1,
         }
     }
 
     /// Build from a workload, converting the coefficient table to precision `T`.
     pub fn from_workload(workload: &mffv_mesh::Workload) -> Self {
         Self::new(workload.transmissibility().convert(), workload.dirichlet())
+    }
+
+    /// Set the number of scoped threads the planned kernels use (clamped to at
+    /// least 1).  Results are bitwise identical for every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Number of scoped threads the planned kernels use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The precomputed stencil execution plan.
+    pub fn plan(&self) -> &StencilPlan {
+        &self.plan
+    }
+
+    /// Summary counters of the stencil plan (fast-path coverage, slab count).
+    pub fn plan_stats(&self) -> PlanStats {
+        self.plan.stats()
     }
 
     /// The coefficient table.
@@ -50,9 +87,9 @@ impl<T: Scalar> MatrixFreeOperator<T> {
         self.dirichlet_mask[linear_index]
     }
 
-    /// Number of Dirichlet cells.
+    /// Number of Dirichlet cells (cached at construction).
     pub fn num_dirichlet(&self) -> usize {
-        self.dirichlet_mask.iter().filter(|&&d| d).count()
+        self.num_dirichlet
     }
 
     /// Literal Eq. (6): `(Jx)_K = Σ_L Υλ (x_L − x_K)` for non-Dirichlet cells and
@@ -82,7 +119,27 @@ impl<T: Scalar> MatrixFreeOperator<T> {
     /// The SPD form handed to CG: `(A x)_K = Σ_L Υλ (x_K − x_L·[L ∉ T_D])` for
     /// non-Dirichlet cells and `x_K` for Dirichlet cells (Dirichlet elimination,
     /// `DESIGN.md` §4).
+    ///
+    /// Runs the planned branch-free kernel on [`threads`](Self::threads)
+    /// scoped threads; bitwise identical to
+    /// [`apply_spd_naive`](Self::apply_spd_naive) for every thread count.
     pub fn apply_spd(&self, x: &CellField<T>, y: &mut CellField<T>) {
+        self.check_dims(x, y);
+        self.plan.apply(
+            self.coeffs.cell_rows(),
+            &self.dirichlet_mask,
+            x,
+            y,
+            self.threads,
+        );
+    }
+
+    /// The naive per-cell, per-neighbour reference implementation of
+    /// [`apply_spd`](Self::apply_spd) (Algorithm 2 as literally written): an
+    /// `Option`-checked neighbour lookup and a Dirichlet branch for all six
+    /// directions of every cell.  Kept as the equivalence oracle for the
+    /// planned kernel and as the benchmark baseline.
+    pub fn apply_spd_naive(&self, x: &CellField<T>, y: &mut CellField<T>) {
         self.check_dims(x, y);
         for c in self.dims.iter_cells() {
             let k = self.dims.linear(c);
@@ -120,6 +177,33 @@ impl<T: Scalar> LinearOperator<T> for MatrixFreeOperator<T> {
 
     fn apply(&self, x: &CellField<T>, y: &mut CellField<T>) {
         self.apply_spd(x, y);
+    }
+
+    /// Fused slab-level apply + reduction (bitwise identical to the default
+    /// `apply` + `det_dot` sequence, one pass over memory instead of two).
+    fn apply_dot(&self, d: &CellField<T>, ad: &mut CellField<T>) -> T {
+        self.check_dims(d, ad);
+        self.plan.apply_dot(
+            self.coeffs.cell_rows(),
+            &self.dirichlet_mask,
+            d,
+            ad,
+            self.threads,
+        )
+    }
+
+    /// Fused slab-level CG update (bitwise identical to the default
+    /// axpy/axpy/`det_norm_squared` sequence, one pass over memory instead of
+    /// three).
+    fn cg_update(
+        &self,
+        alpha: T,
+        d: &CellField<T>,
+        ad: &CellField<T>,
+        x: &mut CellField<T>,
+        r: &mut CellField<T>,
+    ) -> T {
+        self.plan.cg_update(alpha, d, ad, x, r, self.threads)
     }
 }
 

@@ -5,9 +5,20 @@
 //! top of the matrix-free kernel (Algorithm 2), the assembled CSR baseline, the
 //! GPU-style reference and the dataflow fabric implementation.
 
+use crate::plan::{det_dot, det_norm_squared};
 use mffv_mesh::{CellField, Dims, Scalar};
 
 /// Something that can compute `y = A x` for cell-sized vectors.
+///
+/// Beyond the plain apply, the trait carries the two **fused CG kernels** the
+/// host Krylov loops are built on — `apply` + `dᵀ(A d)` in one pass, and
+/// `x += α d` / `r −= α (A d)` / `rᵀr` in a second pass.  The default
+/// implementations run the unfused passes with the deterministic slab-ordered
+/// reductions of [`crate::plan`]; implementations with a precomputed plan
+/// (the [`MatrixFreeOperator`](crate::MatrixFreeOperator)) override them with
+/// genuinely fused, multithreaded single-pass kernels that are **bitwise
+/// identical** to these defaults.  Solver iterates therefore do not depend on
+/// which implementation (or thread count) computed them.
 pub trait LinearOperator<T: Scalar> {
     /// Grid extents of the vectors this operator acts on.
     fn dims(&self) -> Dims;
@@ -25,6 +36,28 @@ pub trait LinearOperator<T: Scalar> {
     /// Number of unknowns.
     fn num_rows(&self) -> usize {
         self.dims().num_cells()
+    }
+
+    /// Fused CG kernel 1: `ad = A d`, returning `dᵀ(A d)` in the
+    /// deterministic slab order of [`det_dot`].
+    fn apply_dot(&self, d: &CellField<T>, ad: &mut CellField<T>) -> T {
+        self.apply(d, ad);
+        det_dot(d, ad)
+    }
+
+    /// Fused CG kernel 2: `x += α d`, `r −= α (A d)`, returning the new
+    /// `rᵀr` in the deterministic slab order of [`det_norm_squared`].
+    fn cg_update(
+        &self,
+        alpha: T,
+        d: &CellField<T>,
+        ad: &CellField<T>,
+        x: &mut CellField<T>,
+        r: &mut CellField<T>,
+    ) -> T {
+        x.axpy(alpha, d);
+        r.axpy(-alpha, ad);
+        det_norm_squared(r)
     }
 }
 

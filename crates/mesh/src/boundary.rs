@@ -154,6 +154,28 @@ impl DirichletSet {
         }
         Self::new(dims, cells)
     }
+
+    /// Dirichlet conditions on every boundary face of the domain (each cell
+    /// touching the box boundary pinned to `pressure`).  On 1-cell-thin grids
+    /// this is the whole domain — a useful degenerate case for kernel tests.
+    pub fn all_faces(dims: Dims, pressure: f64) -> Self {
+        let cells: Vec<DirichletCell> = dims
+            .iter_cells()
+            .filter(|c| {
+                c.x == 0
+                    || c.x == dims.nx - 1
+                    || c.y == 0
+                    || c.y == dims.ny - 1
+                    || c.z == 0
+                    || c.z == dims.nz - 1
+            })
+            .map(|cell| DirichletCell {
+                cell,
+                value: pressure,
+            })
+            .collect();
+        Self::new(dims, cells)
+    }
 }
 
 #[cfg(test)]
@@ -241,6 +263,23 @@ mod tests {
             set.value_at_linear(d.linear(CellIndex::new(d.nx - 1, 0, 0))),
             Some(1.0)
         );
+    }
+
+    #[test]
+    fn all_faces_pin_exactly_the_boundary_shell() {
+        let d = Dims::new(4, 3, 5);
+        let set = DirichletSet::all_faces(d, 2.0);
+        // Interior cells: (4-2)*(3-2)*(5-2) = 6; everything else is boundary.
+        assert_eq!(set.len(), d.num_cells() - d.num_interior_cells());
+        assert!(set.contains_linear(d.linear(CellIndex::new(0, 1, 2))));
+        assert!(!set.contains_linear(d.linear(CellIndex::new(1, 1, 1))));
+        assert_eq!(
+            set.value_at_linear(d.linear(CellIndex::new(3, 2, 4))),
+            Some(2.0)
+        );
+        // A 1-cell-thin grid is all boundary.
+        let thin = Dims::new(1, 3, 3);
+        assert_eq!(DirichletSet::all_faces(thin, 1.0).len(), thin.num_cells());
     }
 
     #[test]

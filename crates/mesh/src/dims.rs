@@ -125,6 +125,44 @@ impl Dims {
         self.nx * self.ny
     }
 
+    /// Linear index of the first (x = 0) cell of the x-line at `(y, z)` — the
+    /// contiguous stretch of `nx` cells the planned stencil kernels sweep.
+    #[inline]
+    pub fn line_base(&self, y: usize, z: usize) -> usize {
+        debug_assert!(y < self.ny && z < self.nz);
+        self.nx * (y + self.ny * z)
+    }
+
+    /// Linear-index range of the whole x-line at `(y, z)`: the cells
+    /// `(0..nx, y, z)`, contiguous in the memory layout.
+    #[inline]
+    pub fn x_line(&self, y: usize, z: usize) -> std::ops::Range<usize> {
+        let base = self.line_base(y, z);
+        base..base + self.nx
+    }
+
+    /// Linear-index stride between a cell and its `y + 1` neighbour.
+    #[inline]
+    pub fn y_stride(&self) -> usize {
+        self.nx
+    }
+
+    /// Linear-index stride between a cell and its `z + 1` neighbour (alias of
+    /// [`Dims::column_stride`], named for stencil-offset arithmetic).
+    #[inline]
+    pub fn z_stride(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Iterate over the `(y, z)` coordinates of every x-line in memory order
+    /// (y fastest), pairing each with its linear-index range.
+    pub fn iter_x_lines(
+        &self,
+    ) -> impl Iterator<Item = (usize, usize, std::ops::Range<usize>)> + '_ {
+        let (ny, nz) = (self.ny, self.nz);
+        (0..nz).flat_map(move |z| (0..ny).map(move |y| (y, z, self.x_line(y, z))))
+    }
+
     /// Number of interior cells (cells whose six neighbours all exist).
     pub fn num_interior_cells(&self) -> usize {
         let ix = self.nx.saturating_sub(2);
@@ -188,6 +226,23 @@ mod tests {
         let order: Vec<usize> = d.iter_cells().map(|c| d.linear(c)).collect();
         let expected: Vec<usize> = (0..d.num_cells()).collect();
         assert_eq!(order, expected);
+    }
+
+    #[test]
+    fn x_lines_tile_the_grid_contiguously() {
+        let d = Dims::new(5, 3, 2);
+        assert_eq!(d.line_base(0, 0), 0);
+        assert_eq!(d.line_base(2, 1), 25);
+        assert_eq!(d.x_line(1, 1), 20..25);
+        assert_eq!(d.y_stride(), 5);
+        assert_eq!(d.z_stride(), 15);
+        let mut next = 0;
+        for (y, z, range) in d.iter_x_lines() {
+            assert_eq!(range.start, next, "line ({y}, {z}) not contiguous");
+            assert_eq!(range.len(), d.nx);
+            next = range.end;
+        }
+        assert_eq!(next, d.num_cells());
     }
 
     #[test]

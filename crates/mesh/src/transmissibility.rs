@@ -98,6 +98,14 @@ impl<T: Scalar> Transmissibilities<T> {
         self.data[cell_linear]
     }
 
+    /// The whole coefficient table as a raw slice — one `[T; 6]` row per cell
+    /// in linear-layout order, each row in [`Direction::ALL`] order.  This is
+    /// the zero-copy view the planned stencil kernels stream through.
+    #[inline]
+    pub fn cell_rows(&self) -> &[[T; 6]] {
+        &self.data
+    }
+
     /// The coefficients of the z-column at `(x, y)` for one direction, ordered
     /// z = 0 .. nz-1 — the layout a PE keeps in local memory.
     pub fn column_dir(&self, x: usize, y: usize, dir: Direction) -> Vec<T> {
@@ -245,6 +253,19 @@ mod tests {
         assert_eq!(col[0], 1.0);
         let col_down = t.column_dir(1, 1, Direction::ZM);
         assert_eq!(col_down[0], 0.0); // bottom face is a boundary
+    }
+
+    #[test]
+    fn cell_rows_exposes_the_linear_layout() {
+        let dims = Dims::new(3, 2, 2);
+        let t = Transmissibilities::<f64>::uniform(dims, 4.0);
+        let rows = t.cell_rows();
+        assert_eq!(rows.len(), dims.num_cells());
+        for (idx, row) in rows.iter().enumerate() {
+            for dir in Direction::ALL {
+                assert_eq!(row[dir.index()], t.get(idx, dir));
+            }
+        }
     }
 
     #[test]

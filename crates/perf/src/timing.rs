@@ -17,6 +17,20 @@ use mffv_fabric::timing::WseSpec;
 use mffv_gpu_ref::device_model::{GpuSpec, GpuTimeModel};
 use mffv_mesh::Dims;
 
+/// Best-of-`reps` wall time of `f` in seconds, after one untimed warmup —
+/// the measurement discipline shared by the kernel report binaries
+/// (`spmv_bench`) and the measured section of `roofline_report`.
+pub fn time_best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = std::time::Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
 /// Nearest-rank percentile of an **ascending-sorted** sample set; `q` in
 /// `[0, 1]`.  Empty samples yield `0.0`.
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {

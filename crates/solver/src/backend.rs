@@ -63,6 +63,11 @@ pub struct SolveConfig {
     pub max_iterations: Option<usize>,
     /// Host-solve precision; device-style backends always compute in `f32`.
     pub precision: Precision,
+    /// Scoped threads for the host backend's planned stencil kernels (`None`
+    /// = 1, the sequential path).  Results are bitwise identical for every
+    /// thread count; device-style backends model their own parallelism and
+    /// ignore this knob.
+    pub threads: Option<usize>,
 }
 
 impl SolveConfig {
@@ -75,6 +80,11 @@ impl SolveConfig {
     pub fn effective_max_iterations(&self, workload: &Workload) -> usize {
         self.max_iterations
             .unwrap_or_else(|| workload.max_iterations())
+    }
+
+    /// The host apply-thread count (at least 1).
+    pub fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or(1).max(1)
     }
 }
 
@@ -363,9 +373,11 @@ impl SolveBackend for HostBackend {
             config.effective_tolerance(workload),
             config.effective_max_iterations(workload),
         );
+        let threads = config.effective_threads();
         let (pressure, history, final_residual_max, stopped) = match self.precision {
             Precision::F64 => {
-                let operator = MatrixFreeOperator::<f64>::from_workload(workload);
+                let operator =
+                    MatrixFreeOperator::<f64>::from_workload(workload).with_threads(threads);
                 let solution =
                     solve_pressure_monitored::<f64, _>(workload, &operator, &solver, monitor);
                 (
@@ -376,7 +388,8 @@ impl SolveBackend for HostBackend {
                 )
             }
             Precision::F32 => {
-                let operator = MatrixFreeOperator::<f32>::from_workload(workload);
+                let operator =
+                    MatrixFreeOperator::<f32>::from_workload(workload).with_threads(threads);
                 let solution =
                     solve_pressure_monitored::<f32, _>(workload, &operator, &solver, monitor);
                 let pressure: CellField<f64> = solution.pressure.convert();

@@ -16,9 +16,28 @@
 //! One operator application and two dot products per iteration — exactly the
 //! structure the dataflow implementation reproduces with Algorithm 2 for `A d` and
 //! the whole-fabric all-reduce for the dot products.
+//!
+//! The host loop executes those passes through the two **fused kernels** of
+//! [`LinearOperator`]: [`apply_dot`](LinearOperator::apply_dot) computes `A d`
+//! and `dᵀ(A d)` in one sweep, and [`cg_update`](LinearOperator::cg_update)
+//! performs both axpy updates and the new `rᵀr` in a second sweep.  Every
+//! reduction uses the deterministic slab order of [`mffv_fv::plan`], so the
+//! history is bitwise identical whether the operator runs the fused planned
+//! kernels (on any thread count) or the unfused defaults.
+//!
+//! Note on reduction order: on grids larger than
+//! [`SLAB_CELLS`](mffv_fv::SLAB_CELLS) cells the slab-ordered reductions
+//! associate differently from the single global FMA chain earlier releases
+//! used, so recorded residual trajectories are not bit-comparable across that
+//! boundary (they are within solver precision of each other).  This is the
+//! deliberate trade that makes histories *thread-count independent*: a global
+//! FMA chain cannot be split across threads without changing its value.
+//! Grids of at most `SLAB_CELLS` cells have a single slab and are bitwise
+//! unchanged.
 
 use crate::convergence::{ConvergenceHistory, StoppingCriterion};
 use crate::monitor::{Flow, NullMonitor, SolveEvent, SolveMonitor, StopReason};
+use mffv_fv::plan::det_norm_squared;
 use mffv_fv::LinearOperator;
 use mffv_mesh::{CellField, Scalar};
 
@@ -104,7 +123,7 @@ impl ConjugateGradient {
         let mut direction = residual.clone();
         let mut operator_times_direction = CellField::zeros(dims);
 
-        let mut rr = residual.norm_squared().to_f64();
+        let mut rr = det_norm_squared(&residual).to_f64();
         let mut history = ConvergenceHistory::starting_from(rr);
         if self.criterion.is_converged(rr) {
             history.converged = true;
@@ -127,18 +146,26 @@ impl ConjugateGradient {
 
         let mut stopped = None;
         for _ in 0..self.criterion.max_iterations {
-            operator.apply(&direction, &mut operator_times_direction);
-            let d_ad = direction.dot(&operator_times_direction).to_f64();
+            // Fused kernel 1: A d and dᵀ(A d) in one pass.
+            let d_ad = operator
+                .apply_dot(&direction, &mut operator_times_direction)
+                .to_f64();
             if d_ad <= 0.0 || !d_ad.is_finite() {
                 // Operator is not positive definite along this direction (or numerics
                 // broke down); stop rather than produce garbage.
                 break;
             }
             let alpha = T::from_f64(rr / d_ad);
-            solution.axpy(alpha, &direction);
-            residual.axpy(-alpha, &operator_times_direction);
-
-            let rr_new = residual.norm_squared().to_f64();
+            // Fused kernel 2: x += α d, r −= α (A d), and the new rᵀr.
+            let rr_new = operator
+                .cg_update(
+                    alpha,
+                    &direction,
+                    &operator_times_direction,
+                    &mut solution,
+                    &mut residual,
+                )
+                .to_f64();
             history.record(rr_new);
             if self.criterion.is_converged(rr_new) {
                 history.converged = true;

@@ -9,6 +9,7 @@
 
 use crate::convergence::{ConvergenceHistory, StoppingCriterion};
 use crate::monitor::{Flow, NullMonitor, SolveEvent, SolveMonitor};
+use mffv_fv::plan::{det_dot, det_norm_squared};
 use mffv_fv::LinearOperator;
 use mffv_mesh::{CellField, Dims, Direction, DirichletSet, Scalar, Transmissibilities};
 
@@ -133,8 +134,8 @@ impl PreconditionedConjugateGradient {
         let mut direction = z.clone();
         let mut ad = CellField::zeros(dims);
 
-        let mut rz = residual.dot(&z).to_f64();
-        let rr0 = residual.norm_squared().to_f64();
+        let mut rz = det_dot(&residual, &z).to_f64();
+        let rr0 = det_norm_squared(&residual).to_f64();
         let mut history = ConvergenceHistory::starting_from(rr0);
         if self.criterion.is_converged(rr0) {
             history.converged = true;
@@ -160,16 +161,16 @@ impl PreconditionedConjugateGradient {
 
         let mut stopped = None;
         for _ in 0..self.criterion.max_iterations {
-            operator.apply(&direction, &mut ad);
-            let d_ad = direction.dot(&ad).to_f64();
+            // Fused kernels (see `mffv_fv::LinearOperator`): one pass for
+            // A d + dᵀ(A d), one pass for both axpy updates + rᵀr.
+            let d_ad = operator.apply_dot(&direction, &mut ad).to_f64();
             if d_ad <= 0.0 || !d_ad.is_finite() {
                 break;
             }
             let alpha = T::from_f64(rz / d_ad);
-            solution.axpy(alpha, &direction);
-            residual.axpy(-alpha, &ad);
-
-            let rr = residual.norm_squared().to_f64();
+            let rr = operator
+                .cg_update(alpha, &direction, &ad, &mut solution, &mut residual)
+                .to_f64();
             history.record(rr);
             if self.criterion.is_converged(rr) {
                 history.converged = true;
@@ -192,7 +193,7 @@ impl PreconditionedConjugateGradient {
                 break;
             }
             preconditioner.apply(&residual, &mut z);
-            let rz_new = residual.dot(&z).to_f64();
+            let rz_new = det_dot(&residual, &z).to_f64();
             let beta = T::from_f64(rz_new / rz);
             direction.xpby(&z, beta);
             rz = rz_new;

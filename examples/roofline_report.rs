@@ -1,5 +1,8 @@
 //! Roofline analysis (the Figure-6 experiment): where the matrix-free FV kernel
-//! sits on the CS-2 and A100 rooflines, from the Table-V per-cell work model.
+//! sits on the CS-2 and A100 rooflines, from the Table-V per-cell work model —
+//! plus a *measured* section that times the planned host kernel and reports its
+//! achieved bandwidth next to the modelled numbers, so the op-count model is
+//! checked against reality on every run.
 //!
 //! Run with `cargo run --release --example roofline_report`.
 
@@ -53,4 +56,49 @@ fn main() {
         !a100.is_compute_bound(ai_dram, Some("HBM")),
     );
     println!("  (paper: memory-bound, ~78% of the bandwidth ceiling)");
+
+    measured_host_section();
+}
+
+/// Time the planned branch-free apply on this host and report its achieved
+/// bandwidth and FLOP rate next to the modelled arithmetic intensities above.
+fn measured_host_section() {
+    let dims = Dims::new(64, 64, 64);
+    let workload = WorkloadSpec::paper_grid(dims.nx, dims.ny, dims.nz).build();
+    let op = MatrixFreeOperator::<f32>::from_workload(&workload);
+    let stats = op.plan_stats();
+    let x = CellField::<f32>::from_fn(dims, |c| ((c.x + c.y * 3 + c.z * 7) % 16) as f32 * 0.125);
+    let mut y = CellField::<f32>::zeros(dims);
+
+    let naive = time_best_of(5, || op.apply_spd_naive(&x, &mut y));
+    let planned = time_best_of(5, || op.apply_spd(&x, &mut y));
+
+    // Traffic model shared with the spmv_bench report bin; FLOPs: 3 per
+    // neighbour (1 sub, 1 mul, 1 add — the pre-multiplied coefficient form of
+    // `mffv_fv::flux`).
+    let bytes_per_cell = APPLY_STREAMS_PER_CELL * std::mem::size_of::<f32>();
+    let flops_per_cell = 6 * FLOPS_PER_NEIGHBOR;
+    let cells = dims.num_cells() as f64;
+    let gbps = cells * bytes_per_cell as f64 / planned / 1e9;
+    let flops = cells * flops_per_cell as f64 / planned;
+    println!("\nMeasured planned host kernel ({dims}, f32, 1 thread):");
+    println!(
+        "  plan: {:.1}% of cells branch-free ({} runs, {} slabs)",
+        100.0 * stats.run_fraction(),
+        stats.num_runs,
+        stats.num_slabs
+    );
+    println!(
+        "  naive {:.3} ms -> planned {:.3} ms ({:.2}x); achieved {} at {:.2} GB/s",
+        naive * 1e3,
+        planned * 1e3,
+        naive / planned,
+        fmt_flops(flops),
+        gbps
+    );
+    println!(
+        "  measured intensity {:.3} FLOP/B vs modelled memory intensity {:.3} FLOP/B",
+        flops_per_cell as f64 / bytes_per_cell as f64,
+        CellOpCounts::paper_table5().memory_arithmetic_intensity()
+    );
 }

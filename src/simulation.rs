@@ -82,6 +82,16 @@ impl Simulation {
         self
     }
 
+    /// Run the host backend's planned stencil kernels on `threads` scoped
+    /// threads.  Results — pressure fields and convergence histories — are
+    /// bitwise identical for every thread count; the knob only changes how
+    /// fast the hot apply/update passes run.  Device-style backends model
+    /// their own parallelism and ignore it.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = Some(threads);
+        self
+    }
+
     /// Register a backend.  The first registered backend is the one `run()`
     /// executes; `run_all()`/`compare()` execute all of them in order.
     pub fn backend(mut self, backend: Backend) -> Self {

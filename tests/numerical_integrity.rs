@@ -127,6 +127,103 @@ fn run_all_executes_the_full_standard_set() {
     assert!(agreement.report("dataflow").unwrap().device.is_some());
 }
 
+/// The grids the planned-kernel equivalence contract is pinned on: the
+/// quickstart and scaled workloads, an all-Dirichlet-faces configuration, and
+/// 1-cell-thin extents in each axis (no branch-free runs at all).
+fn planned_kernel_workloads() -> Vec<(String, Transmissibilities<f64>, DirichletSet)> {
+    let mut cases: Vec<(String, Transmissibilities<f64>, DirichletSet)> = Vec::new();
+    for spec in [
+        WorkloadSpec::quickstart(),
+        WorkloadSpec::quickstart().scaled(2),
+    ] {
+        let w = spec.build();
+        cases.push((
+            w.name().to_string(),
+            w.transmissibility().clone(),
+            w.dirichlet().clone(),
+        ));
+    }
+    // Every boundary face Dirichlet: the fast path shrinks to the inner core.
+    let dims = Dims::new(8, 7, 6);
+    cases.push((
+        "all-dirichlet-faces".into(),
+        Transmissibilities::uniform(dims, 1.0),
+        DirichletSet::all_faces(dims, 1.0),
+    ));
+    // 1-cell-thin grids: no cell has all six neighbours, pure general path.
+    // (On the 1xNxM grid the "left face" is the whole domain — also a useful
+    // degenerate case.)
+    for dims in [Dims::new(1, 9, 7), Dims::new(9, 1, 7), Dims::new(9, 7, 1)] {
+        let left_face: Vec<mffv_mesh::DirichletCell> = dims
+            .iter_cells()
+            .filter(|c| c.x == 0)
+            .map(|cell| mffv_mesh::DirichletCell { cell, value: 1.0 })
+            .collect();
+        cases.push((
+            format!("thin-{dims}"),
+            Transmissibilities::uniform(dims, 2.0),
+            DirichletSet::new(dims, left_face),
+        ));
+    }
+    cases
+}
+
+#[test]
+fn planned_apply_is_bitwise_identical_to_naive_on_pinned_workloads() {
+    for (name, coeffs, dirichlet) in planned_kernel_workloads() {
+        let dims = coeffs.dims();
+        let op = mffv_fv::MatrixFreeOperator::new(coeffs, &dirichlet);
+        let x = CellField::<f64>::from_fn(dims, |c| {
+            (c.x as f64 * 1.7 - c.y as f64 * 0.9 + c.z as f64 * 0.4).sin()
+        });
+        let mut naive = CellField::zeros(dims);
+        op.apply_spd_naive(&x, &mut naive);
+        for threads in [1usize, 2, 8] {
+            let planned = op.clone().with_threads(threads).apply_new(&x);
+            for i in 0..dims.num_cells() {
+                assert_eq!(
+                    planned.get(i).to_bits(),
+                    naive.get(i).to_bits(),
+                    "{name}: cell {i} differs with {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn host_solves_are_bitwise_identical_across_apply_thread_counts() {
+    // 32x32x16 = 16384 cells: four deterministic slabs, so 2 and 8 threads
+    // genuinely split the work.  Pressure fields and residual histories must
+    // not depend on the thread count in a single bit.
+    let spec = WorkloadSpec::quickstart().scaled(2);
+    let reference = Simulation::from_spec(&spec).tolerance(1e-12).run().unwrap();
+    for threads in [2usize, 8] {
+        let report = Simulation::from_spec(&spec)
+            .tolerance(1e-12)
+            .threads(threads)
+            .run()
+            .unwrap();
+        assert!(report.converged());
+        let bits = |r: &mffv::SolveReport| -> Vec<u64> {
+            r.pressure.as_slice().iter().map(|v| v.to_bits()).collect()
+        };
+        assert_eq!(bits(&report), bits(&reference), "{threads} threads");
+        let history_bits = |r: &mffv::SolveReport| -> Vec<u64> {
+            r.history
+                .residual_norms_squared
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        };
+        assert_eq!(
+            history_bits(&report),
+            history_bits(&reference),
+            "{threads} threads"
+        );
+    }
+}
+
 #[test]
 fn converged_pressure_satisfies_the_discrete_maximum_principle() {
     // The single-phase operator has no sources except the Dirichlet columns, so

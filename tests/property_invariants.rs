@@ -1,7 +1,8 @@
 //! Property-based tests of cross-crate invariants: operator symmetry/positivity on
 //! random heterogeneous problems, matrix-free vs assembled vs GPU-reference
 //! agreement, conservation of the transmissibility symmetry through every layer,
-//! and solver convergence on random well placements.
+//! solver convergence on random well placements, and the bitwise-equivalence
+//! contract of the planned/fused/threaded stencil kernels against the naive path.
 
 use mffv::prelude::*;
 use mffv_fv::csr::AssembledOperator;
@@ -12,6 +13,58 @@ use mffv_mesh::permeability::PermeabilityModel;
 use mffv_mesh::workload::{BoundarySpec, WorkloadSpec};
 use mffv_mesh::CellIndex;
 use proptest::prelude::*;
+
+/// A Dirichlet set of the requested flavour that is valid on *any* dims,
+/// including 1-cell-thin grids: 0 = empty, 1 = the two X faces, 2 = every
+/// boundary face, 3 = a pseudorandom sprinkle of cells.
+fn dirichlet_variant(dims: Dims, variant: usize, seed: u64) -> DirichletSet {
+    match variant % 4 {
+        0 => DirichletSet::empty(),
+        1 if dims.nx > 1 => DirichletSet::x_faces(dims, 1.0, 0.0),
+        1 => {
+            // On a 1-cell-wide grid the two X faces coincide: pin the single face.
+            let cells: Vec<DirichletCell> = dims
+                .iter_cells()
+                .map(|cell| DirichletCell { cell, value: 1.0 })
+                .collect();
+            DirichletSet::new(dims, cells)
+        }
+        2 => DirichletSet::all_faces(dims, 1.0),
+        _ => {
+            let cells: Vec<DirichletCell> = (0..dims.num_cells())
+                .filter(|&k| {
+                    (k as u64)
+                        .wrapping_mul(0x9E37_79B9)
+                        .wrapping_add(seed)
+                        .is_multiple_of(5)
+                })
+                .map(|k| DirichletCell {
+                    cell: dims.unlinear(k),
+                    value: 0.5,
+                })
+                .collect();
+            DirichletSet::new(dims, cells)
+        }
+    }
+}
+
+fn field_bits(f: &CellField<f64>) -> Vec<u64> {
+    f.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// The unfused reference path: delegates only `apply`, so the CG loop falls
+/// back to the default (separate-pass, slab-ordered) kernels of
+/// `LinearOperator`.
+struct UnfusedOp<'a>(&'a MatrixFreeOperator<f64>);
+
+impl LinearOperator<f64> for UnfusedOp<'_> {
+    fn dims(&self) -> Dims {
+        self.0.dims()
+    }
+    fn apply(&self, x: &CellField<f64>, y: &mut CellField<f64>) {
+        self.0.apply_spd_naive(x, y);
+    }
+}
 
 fn random_workload_spec(nx: usize, ny: usize, nz: usize, std_log: f64, seed: u64) -> WorkloadSpec {
     WorkloadSpec {
@@ -114,6 +167,64 @@ proptest! {
         for &v in p.as_slice() {
             prop_assert!((-1e-8..=1.0 + 1e-8).contains(&v), "maximum principle violated: {v}");
         }
+    }
+
+    /// The planned branch-free kernel — on 1, 2 and 8 scoped threads — is
+    /// bitwise identical to the naive per-neighbour loop, for every Dirichlet
+    /// topology (empty / X faces / all faces / random sprinkle) and for
+    /// arbitrary grid shapes including 1-cell-thin ones.
+    #[test]
+    fn planned_apply_is_bitwise_identical_to_naive(
+        nx in 1usize..10, ny in 1usize..10, nz in 1usize..10,
+        std_log in 0.0f64..2.0, seed in 0u64..1000, variant in 0usize..4,
+    ) {
+        let dims = Dims::new(nx, ny, nz);
+        let permeability =
+            PermeabilityModel::LogNormal { mean_log: 0.0, std_log, seed }.generate(dims);
+        let mesh = CartesianMesh::unit(dims);
+        let coeffs = Transmissibilities::<f64>::from_mesh(&mesh, &permeability, 1.0);
+        let dirichlet = dirichlet_variant(dims, variant, seed);
+        let op = MatrixFreeOperator::new(coeffs, &dirichlet);
+        let x = CellField::<f64>::from_fn(dims, |c| {
+            ((c.x * 31 + c.y * 17 + c.z * 5 + seed as usize) % 23) as f64 * 0.17 - 1.9
+        });
+        let mut naive = CellField::zeros(dims);
+        op.apply_spd_naive(&x, &mut naive);
+        for threads in [1usize, 2, 8] {
+            let threaded = op.clone().with_threads(threads);
+            let planned = threaded.apply_new(&x);
+            prop_assert!(
+                field_bits(&planned) == field_bits(&naive),
+                "planned/naive mismatch: threads = {threads}, dirichlet variant = {variant}"
+            );
+        }
+    }
+
+    /// Fused CG (planned apply+dot and fused update kernels) produces residual
+    /// histories and solutions bitwise identical to the unfused reference path
+    /// on random heterogeneous problems.
+    #[test]
+    fn fused_cg_matches_unfused_cg_bitwise(
+        nx in 3usize..8, ny in 3usize..8, nz in 3usize..7, seed in 0u64..1000,
+    ) {
+        let workload = random_workload_spec(nx, ny, nz, 1.0, seed).build();
+        let op = MatrixFreeOperator::<f64>::from_workload(&workload);
+        let p0: CellField<f64> = workload.initial_pressure();
+        let r = mffv_fv::residual::residual(&p0, workload.transmissibility(), workload.dirichlet());
+        let b = mffv_fv::residual::newton_rhs(&r, workload.dirichlet());
+        let solver = mffv_solver::cg::ConjugateGradient::with_tolerance(1e-14, 2000);
+        let x0 = CellField::zeros(workload.dims());
+
+        let fused = solver.solve(&op, &b, &x0);
+        let unfused = solver.solve(&UnfusedOp(&op), &b, &x0);
+        let bits = |h: &[f64]| h.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(
+            bits(&fused.history.residual_norms_squared),
+            bits(&unfused.history.residual_norms_squared)
+        );
+        prop_assert_eq!(fused.history.iterations, unfused.history.iterations);
+        prop_assert_eq!(fused.history.converged, unfused.history.converged);
+        prop_assert_eq!(field_bits(&fused.solution), field_bits(&unfused.solution));
     }
 
     /// The whole-fabric dataflow solve converges on random heterogeneous problems
