@@ -11,7 +11,9 @@ use crate::options::SolverOptions;
 use crate::solver::{DataflowFvSolver, DataflowSolveReport};
 use mffv_fabric::WseSpec;
 use mffv_mesh::Workload;
-use mffv_solver::backend::{DeviceSection, SolveBackend, SolveConfig, SolveError, SolveReport};
+use mffv_solver::backend::{
+    DeviceSection, Precision, SolveBackend, SolveConfig, SolveError, SolveReport,
+};
 use mffv_solver::monitor::{NullMonitor, SolveMonitor};
 
 /// The simulated WSE-2 dataflow fabric as a facade backend.
@@ -142,6 +144,12 @@ impl DataflowBackend {
 impl SolveBackend for DataflowBackend {
     fn name(&self) -> String {
         "dataflow".to_string()
+    }
+
+    /// Transient steps run at the fabric's native precision (`f32`, §III —
+    /// the PEs compute in single precision).
+    fn step_precision(&self) -> Precision {
+        Precision::F32
     }
 
     fn solve(&self, workload: &Workload, config: &SolveConfig) -> Result<SolveReport, SolveError> {

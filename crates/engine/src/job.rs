@@ -8,9 +8,10 @@
 //! jobs — which is what makes batch results independent of worker count.
 
 use crate::backend::Backend;
-use mffv_mesh::{Workload, WorkloadSpec};
+use mffv_mesh::{TransientSpec, Workload, WorkloadSpec};
 use mffv_solver::backend::{SolveConfig, SolveError, SolveReport};
 use mffv_solver::monitor::{CancelToken, StopPolicy, StopReason};
+use mffv_solver::transient::run_transient;
 
 /// One unit of work for the engine: solve `workload_spec` on `backend` under
 /// `solve_config`, with stochastic permeability reseeded from `seed` and the
@@ -34,6 +35,11 @@ pub struct JobSpec {
     /// divergence detection, cancellation).  An empty policy (the default)
     /// runs the exact unmonitored solve path.
     pub stop_policy: StopPolicy,
+    /// When set, the job runs the transient scenario instead of a single
+    /// steady solve: the full backward-Euler schedule executes on the
+    /// worker and the job completes with the run's summary report (final
+    /// pressure, concatenated per-step CG history).
+    pub transient: Option<TransientSpec>,
 }
 
 impl JobSpec {
@@ -45,7 +51,24 @@ impl JobSpec {
             solve_config: SolveConfig::default(),
             seed: None,
             stop_policy: StopPolicy::new(),
+            transient: None,
         }
+    }
+
+    /// A transient job: run `transient_spec`'s whole backward-Euler schedule
+    /// on `backend` (see [`mffv_solver::transient`]).
+    pub fn transient(
+        workload_spec: WorkloadSpec,
+        backend: Backend,
+        transient_spec: TransientSpec,
+    ) -> Self {
+        Self::new(workload_spec, backend).with_transient(transient_spec)
+    }
+
+    /// Turn the job into a transient run of `transient_spec`.
+    pub fn with_transient(mut self, transient_spec: TransientSpec) -> Self {
+        self.transient = Some(transient_spec);
+        self
     }
 
     /// Override the solve settings.
@@ -111,6 +134,11 @@ impl JobSpec {
                 "invalid solve config: max_iterations must be non-zero",
             ));
         }
+        if let Some(transient) = &self.transient {
+            transient.validate(self.workload_spec.dims).map_err(|e| {
+                SolveError::new(self.backend.name(), format!("invalid transient spec: {e}"))
+            })?;
+        }
         Ok(())
     }
 
@@ -138,6 +166,17 @@ impl JobSpec {
         let mut policy = self.stop_policy.clone();
         if let Some(token) = engine_token {
             policy = policy.cancel_token(token.clone());
+        }
+        if let Some(transient) = &self.transient {
+            let backend = self.backend.instantiate();
+            let report = run_transient(
+                backend.as_ref(),
+                &workload,
+                transient,
+                &self.solve_config,
+                &policy,
+            )?;
+            return Ok(report.summary_report());
         }
         if policy.is_empty() {
             return self
@@ -319,6 +358,48 @@ mod tests {
             .unwrap();
         assert_eq!(report.backend, "host-f64");
         assert!(report.converged());
+    }
+
+    #[test]
+    fn transient_jobs_execute_the_whole_schedule() {
+        use mffv_mesh::workload::BoundarySpec;
+        use mffv_mesh::{CellIndex, TransientSpec, Well, WellSet};
+        let spec = WorkloadSpec {
+            name: "engine-transient".into(),
+            boundary: BoundarySpec::None,
+            dims: mffv_mesh::Dims::new(5, 4, 3),
+            tolerance: 1e-18,
+            ..WorkloadSpec::quickstart()
+        };
+        let transient = TransientSpec::new(1.0, 0.25, 1e-3)
+            .with_wells(WellSet::empty().with(Well::rate("inj", CellIndex::new(2, 2, 1), 1.0)))
+            .with_initial_pressure(1.0);
+        let job = JobSpec::transient(spec, Backend::host(), transient);
+        let report = job.execute().unwrap();
+        assert_eq!(report.backend, "host-f64");
+        assert!(report.converged());
+        assert!(
+            report.iterations() > 4,
+            "4 steps of CG merged into one history"
+        );
+        assert!(report.pressure.get(0) > 1.0, "injection raises pressure");
+
+        // Re-execution is bitwise identical (worker-count independence rests
+        // on this).
+        let again = job.execute().unwrap();
+        let bits = |r: &SolveReport| -> Vec<u64> {
+            r.pressure.as_slice().iter().map(|v| v.to_bits()).collect()
+        };
+        assert_eq!(bits(&report), bits(&again));
+    }
+
+    #[test]
+    fn job_intake_rejects_invalid_transient_specs() {
+        use mffv_mesh::TransientSpec;
+        let job = JobSpec::new(WorkloadSpec::quickstart(), Backend::host())
+            .with_transient(TransientSpec::new(1.0, -0.5, 1e-9));
+        let err = job.validate().unwrap_err();
+        assert!(err.detail().contains("transient"), "{}", err.detail());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use crate::backend::Backend;
 use crate::job::JobSpec;
-use mffv_mesh::{Dims, WorkloadSpec};
+use mffv_mesh::{Dims, DtPolicy, TransientSpec, WellSet, WorkloadSpec};
 
 /// Builder for a cartesian scenario sweep over one base workload.
 #[derive(Clone, Debug)]
@@ -25,6 +25,12 @@ pub struct SweepBuilder {
     seeds: Vec<Option<u64>>,
     backends: Vec<Backend>,
     max_iterations: Option<usize>,
+    /// Base transient scenario; `None` keeps the sweep steady-state.
+    transient: Option<TransientSpec>,
+    /// Transient axes (`None` = the base transient value).
+    dts: Vec<Option<f64>>,
+    compressibilities: Vec<Option<f64>>,
+    well_schedules: Vec<Option<WellSet>>,
 }
 
 impl SweepBuilder {
@@ -43,7 +49,49 @@ impl SweepBuilder {
             seeds: vec![None],
             backends: vec![Backend::host()],
             max_iterations: None,
+            transient: None,
+            dts: vec![None],
+            compressibilities: vec![None],
+            well_schedules: vec![None],
         }
+    }
+
+    /// Make every generated job a transient run of `spec` (the base
+    /// scenario the [`dts`](Self::dts) / [`compressibilities`](Self::compressibilities)
+    /// / [`well_schedules`](Self::well_schedules) axes vary around).
+    pub fn transient(mut self, spec: TransientSpec) -> Self {
+        self.transient = Some(spec);
+        self
+    }
+
+    /// Sweep transient runs over fixed time-step sizes (seconds).  Requires
+    /// [`transient`](Self::transient).
+    pub fn dts(mut self, dts: impl IntoIterator<Item = f64>) -> Self {
+        self.dts = dts.into_iter().map(Some).collect();
+        assert!(!self.dts.is_empty(), "at least one dt required");
+        self
+    }
+
+    /// Sweep transient runs over total compressibilities (1/Pa).  Requires
+    /// [`transient`](Self::transient).
+    pub fn compressibilities(mut self, cts: impl IntoIterator<Item = f64>) -> Self {
+        self.compressibilities = cts.into_iter().map(Some).collect();
+        assert!(
+            !self.compressibilities.is_empty(),
+            "at least one compressibility required"
+        );
+        self
+    }
+
+    /// Sweep transient runs over well schedules (each [`WellSet`] replaces
+    /// the base scenario's wells).  Requires [`transient`](Self::transient).
+    pub fn well_schedules(mut self, sets: impl IntoIterator<Item = WellSet>) -> Self {
+        self.well_schedules = sets.into_iter().map(Some).collect();
+        assert!(
+            !self.well_schedules.is_empty(),
+            "at least one well schedule required"
+        );
+        self
     }
 
     /// Sweep over explicit grid extents.
@@ -111,31 +159,98 @@ impl SweepBuilder {
             * self.anisotropy.len()
             * self.tolerances.len()
             * self.seeds.len()
+            * self.dts.len()
+            * self.compressibilities.len()
+            * self.well_schedules.len()
             * self.backends.len()
     }
 
     /// Generate the jobs: the cartesian product in deterministic order
-    /// (grids, then anisotropy, then tolerances, then seeds, with backends
+    /// (grids, then anisotropy, then tolerances, then seeds, then the
+    /// transient axes dt / compressibility / well schedule, with backends
     /// innermost so cross-backend comparisons of one scenario sit adjacent).
+    ///
+    /// Panics when a transient axis was set without a base
+    /// [`transient`](Self::transient) scenario.
     pub fn jobs(&self) -> Vec<JobSpec> {
+        let transient_axes_set = self.dts != [None]
+            || self.compressibilities != [None]
+            || self.well_schedules.iter().any(Option::is_some);
+        assert!(
+            self.transient.is_some() || !transient_axes_set,
+            "dt/compressibility/well-schedule axes require a base `.transient(spec)`"
+        );
         let mut jobs = Vec::with_capacity(self.job_count());
         for &dims in &self.grids {
             for &ratio in &self.anisotropy {
                 for &tolerance in &self.tolerances {
                     for &seed in &self.seeds {
                         let spec = self.scenario_spec(dims, ratio, tolerance, seed);
-                        for &backend in &self.backends {
-                            let mut job = JobSpec::new(spec.clone(), backend);
-                            if let Some(seed) = seed {
-                                job = job.with_seed(seed);
+                        for &dt in &self.dts {
+                            for &ct in &self.compressibilities {
+                                for (wi, wells) in self.well_schedules.iter().enumerate() {
+                                    let transient = self.transient_variant(dt, ct, wells.as_ref());
+                                    let mut spec = spec.clone();
+                                    spec.name = self.transient_name(spec.name, dt, ct, wi);
+                                    for &backend in &self.backends {
+                                        let mut job = JobSpec::new(spec.clone(), backend);
+                                        if let Some(seed) = seed {
+                                            job = job.with_seed(seed);
+                                        }
+                                        if let Some(transient) = transient.clone() {
+                                            job = job.with_transient(transient);
+                                        }
+                                        jobs.push(job);
+                                    }
+                                }
                             }
-                            jobs.push(job);
                         }
                     }
                 }
             }
         }
         jobs
+    }
+
+    /// The base transient scenario with one sweep point's dt /
+    /// compressibility / wells applied (`None` when the sweep is steady).
+    fn transient_variant(
+        &self,
+        dt: Option<f64>,
+        ct: Option<f64>,
+        wells: Option<&WellSet>,
+    ) -> Option<TransientSpec> {
+        let mut spec = self.transient.clone()?;
+        if let Some(dt) = dt {
+            spec.dt = DtPolicy::fixed(dt);
+        }
+        if let Some(ct) = ct {
+            spec.total_compressibility = ct;
+        }
+        if let Some(wells) = wells {
+            spec.wells = wells.clone();
+        }
+        Some(spec)
+    }
+
+    /// Append the varied transient axes to a scenario name.
+    fn transient_name(
+        &self,
+        mut name: String,
+        dt: Option<f64>,
+        ct: Option<f64>,
+        wi: usize,
+    ) -> String {
+        if let (Some(dt), true) = (dt, self.dts.len() > 1) {
+            name = format!("{name}-dt{dt}");
+        }
+        if let (Some(ct), true) = (ct, self.compressibilities.len() > 1) {
+            name = format!("{name}-ct{ct:e}");
+        }
+        if self.well_schedules.len() > 1 {
+            name = format!("{name}-wells{wi}");
+        }
+        name
     }
 
     /// The workload spec of one scenario, named after its varied axes.
@@ -212,6 +327,54 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn transient_axes_fan_out_dt_compressibility_and_schedules() {
+        use mffv_mesh::{CellIndex, Well};
+        let base = TransientSpec::new(1.0, 0.25, 1e-3);
+        let schedules = [
+            WellSet::empty().with(Well::rate("inj", CellIndex::new(1, 1, 1), 1.0)),
+            WellSet::empty().with(Well::rate("inj", CellIndex::new(1, 1, 1), 2.0)),
+        ];
+        let sweep = SweepBuilder::new(WorkloadSpec::quickstart())
+            .transient(base.clone())
+            .dts([0.25, 0.5])
+            .compressibilities([1e-3, 1e-4, 1e-5])
+            .well_schedules(schedules.clone());
+        assert_eq!(sweep.job_count(), 12);
+        let jobs = sweep.jobs();
+        assert_eq!(jobs.len(), 12);
+        for job in &jobs {
+            let t = job.transient.as_ref().expect("every job is transient");
+            assert!(matches!(t.dt, DtPolicy::Fixed { dt } if dt == 0.25 || dt == 0.5));
+            assert_eq!(t.total_time, base.total_time);
+        }
+        // Axis order: dt outermost, then ct, then schedule.
+        assert_eq!(jobs[0].transient.as_ref().unwrap().wells, schedules[0]);
+        assert_eq!(jobs[1].transient.as_ref().unwrap().wells, schedules[1]);
+        assert_eq!(
+            jobs[1].transient.as_ref().unwrap().total_compressibility,
+            1e-3
+        );
+        assert_eq!(
+            jobs[2].transient.as_ref().unwrap().total_compressibility,
+            1e-4
+        );
+        // Names encode the varied axes and stay unique.
+        let mut names: Vec<&str> = jobs.iter().map(|j| j.workload_spec.name.as_str()).collect();
+        assert!(names[0].contains("-dt0.25") && names[0].contains("-wells0"));
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "transient")]
+    fn transient_axes_without_a_base_scenario_panic() {
+        let _ = SweepBuilder::new(WorkloadSpec::quickstart())
+            .dts([0.1])
+            .jobs();
     }
 
     #[test]

@@ -195,22 +195,30 @@ impl StencilPlan {
         self.stats
     }
 
-    /// `y = A x` through the plan, on `threads` scoped threads.
+    /// `y = (A + diag(d)) x` through the plan, on `threads` scoped threads.
     ///
-    /// Bitwise identical to the naive `apply_spd` loop for every thread count.
+    /// `diag` is the optional **diagonal shift** of the transient
+    /// (accumulation-augmented) operator: when present, every non-Dirichlet
+    /// cell `K` gains `diag[K] · x_K` *after* its six stencil terms — the
+    /// exact operation order of the naive shifted loop, so planned and naive
+    /// shifted applies stay bitwise identical.  Dirichlet rows remain the
+    /// identity regardless of their `diag` entry.  `None` is the steady
+    /// operator, bitwise unchanged from earlier releases.
     pub fn apply<T: Scalar>(
         &self,
         coeffs: &[[T; 6]],
         mask: &[bool],
+        diag: Option<&[T]>,
         x: &CellField<T>,
         y: &mut CellField<T>,
         threads: usize,
     ) {
-        self.check_fields(coeffs, mask, x.dims(), y.dims());
+        self.check_fields(coeffs, mask, diag, x.dims(), y.dims());
         let ctx = KernelCtx {
             dims: self.dims,
             coeffs,
             mask,
+            diag,
         };
         let xs = x.as_slice();
         let groups = self.thread_groups(threads);
@@ -239,8 +247,9 @@ impl StencilPlan {
         });
     }
 
-    /// Fused `ad = A d` and `dᵀ(A d)` in a single pass: each slab is applied
-    /// and immediately reduced while its output is cache-hot.
+    /// Fused `ad = (A + diag) d` and `dᵀ(A d)` in a single pass: each slab is
+    /// applied and immediately reduced while its output is cache-hot.
+    /// `diag` is the optional diagonal shift (see [`apply`](Self::apply)).
     ///
     /// The returned value is bitwise identical to `apply` followed by
     /// [`det_dot`]`(d, ad)`, for every thread count.
@@ -248,15 +257,17 @@ impl StencilPlan {
         &self,
         coeffs: &[[T; 6]],
         mask: &[bool],
+        diag: Option<&[T]>,
         d: &CellField<T>,
         ad: &mut CellField<T>,
         threads: usize,
     ) -> T {
-        self.check_fields(coeffs, mask, d.dims(), ad.dims());
+        self.check_fields(coeffs, mask, diag, d.dims(), ad.dims());
         let ctx = KernelCtx {
             dims: self.dims,
             coeffs,
             mask,
+            diag,
         };
         let ds = d.as_slice();
         let groups = self.thread_groups(threads);
@@ -385,13 +396,27 @@ impl StencilPlan {
         groups
     }
 
-    fn check_fields<T: Scalar>(&self, coeffs: &[[T; 6]], mask: &[bool], xd: Dims, yd: Dims) {
+    fn check_fields<T: Scalar>(
+        &self,
+        coeffs: &[[T; 6]],
+        mask: &[bool],
+        diag: Option<&[T]>,
+        xd: Dims,
+        yd: Dims,
+    ) {
         assert_eq!(
             coeffs.len(),
             self.dims.num_cells(),
             "coefficient table mismatch"
         );
         assert_eq!(mask.len(), self.dims.num_cells(), "Dirichlet mask mismatch");
+        if let Some(diag) = diag {
+            assert_eq!(
+                diag.len(),
+                self.dims.num_cells(),
+                "diagonal shift length mismatch"
+            );
+        }
         assert_eq!(xd, self.dims, "input field dimension mismatch");
         assert_eq!(yd, self.dims, "output field dimension mismatch");
     }
@@ -420,6 +445,9 @@ struct KernelCtx<'a, T: Scalar> {
     dims: Dims,
     coeffs: &'a [[T; 6]],
     mask: &'a [bool],
+    /// Optional diagonal shift (the transient accumulation term); ignored on
+    /// Dirichlet rows.
+    diag: Option<&'a [T]>,
 }
 
 /// Apply one slab into `y_part`, the output sub-slice starting at global cell
@@ -431,10 +459,8 @@ fn apply_slab<T: Scalar>(
     y_part: &mut [T],
     offset: usize,
 ) {
-    let sy = ctx.dims.y_stride();
-    let sz = ctx.dims.z_stride();
     for run in &slab.runs {
-        apply_run(*run, ctx.coeffs, x, y_part, offset, sy, sz);
+        apply_run(*run, ctx, x, y_part, offset);
     }
     for &k in &slab.general {
         y_part[k - offset] = general_cell(k, ctx, x);
@@ -446,13 +472,14 @@ fn apply_slab<T: Scalar>(
 #[inline]
 fn apply_run<T: Scalar>(
     run: Run,
-    coeffs: &[[T; 6]],
+    ctx: &KernelCtx<'_, T>,
     x: &[T],
     y_part: &mut [T],
     offset: usize,
-    sy: usize,
-    sz: usize,
 ) {
+    let (coeffs, diag) = (ctx.coeffs, ctx.diag);
+    let sy = ctx.dims.y_stride();
+    let sz = ctx.dims.z_stride();
     let Run { start, len } = run;
     let out = &mut y_part[start - offset..start - offset + len];
     let cs = &coeffs[start..start + len];
@@ -463,19 +490,42 @@ fn apply_run<T: Scalar>(
     let xn = &x[start - sy..start - sy + len];
     let xu = &x[start + sz..start + sz + len];
     let xd = &x[start - sz..start - sz + len];
-    for (i, o) in out.iter_mut().enumerate() {
-        let c = &cs[i];
-        let xk = xc[i];
-        // Same operations in the same Direction::ALL order as the naive
-        // kernel: acc += coeff · (x_K − x_L), six times.
-        let mut acc = T::ZERO;
-        acc += c[0] * (xk - xe[i]);
-        acc += c[1] * (xk - xw[i]);
-        acc += c[2] * (xk - xs[i]);
-        acc += c[3] * (xk - xn[i]);
-        acc += c[4] * (xk - xu[i]);
-        acc += c[5] * (xk - xd[i]);
-        *o = acc;
+    match diag {
+        None => {
+            for (i, o) in out.iter_mut().enumerate() {
+                let c = &cs[i];
+                let xk = xc[i];
+                // Same operations in the same Direction::ALL order as the
+                // naive kernel: acc += coeff · (x_K − x_L), six times.
+                let mut acc = T::ZERO;
+                acc += c[0] * (xk - xe[i]);
+                acc += c[1] * (xk - xw[i]);
+                acc += c[2] * (xk - xs[i]);
+                acc += c[3] * (xk - xn[i]);
+                acc += c[4] * (xk - xu[i]);
+                acc += c[5] * (xk - xd[i]);
+                *o = acc;
+            }
+        }
+        Some(dg) => {
+            // The shifted kernel stays branch-free: the diagonal is a dense
+            // pre-sliced stream, one extra multiply/add per cell appended in
+            // the same order the naive shifted loop uses.
+            let dgs = &dg[start..start + len];
+            for (i, o) in out.iter_mut().enumerate() {
+                let c = &cs[i];
+                let xk = xc[i];
+                let mut acc = T::ZERO;
+                acc += c[0] * (xk - xe[i]);
+                acc += c[1] * (xk - xw[i]);
+                acc += c[2] * (xk - xs[i]);
+                acc += c[3] * (xk - xn[i]);
+                acc += c[4] * (xk - xu[i]);
+                acc += c[5] * (xk - xd[i]);
+                acc += dgs[i] * xk;
+                *o = acc;
+            }
+        }
     }
 }
 
@@ -495,6 +545,9 @@ fn general_cell<T: Scalar>(k: usize, ctx: &KernelCtx<'_, T>, x: &[T]) -> T {
             let l = ctx.dims.linear(nb);
             acc += ax_contribution_spd(row[dir.index()], xk, x[l], ctx.mask[l]);
         }
+    }
+    if let Some(dg) = ctx.diag {
+        acc += dg[k] * xk;
     }
     acc
 }
@@ -674,10 +727,10 @@ mod tests {
         for threads in [1, 2, 8] {
             // apply + det_dot == apply_dot
             let mut ad_ref = CellField::zeros(dims);
-            plan.apply(coeffs.cell_rows(), &mask, &d, &mut ad_ref, 1);
+            plan.apply(coeffs.cell_rows(), &mask, None, &d, &mut ad_ref, 1);
             let unfused = det_dot(&d, &ad_ref);
             let mut ad = CellField::zeros(dims);
-            let fused = plan.apply_dot(coeffs.cell_rows(), &mask, &d, &mut ad, threads);
+            let fused = plan.apply_dot(coeffs.cell_rows(), &mask, None, &d, &mut ad, threads);
             assert_eq!(fused.to_bits(), unfused.to_bits(), "threads = {threads}");
             assert_eq!(ad, ad_ref);
 
@@ -694,6 +747,52 @@ mod tests {
             assert_eq!(rr.to_bits(), rr_ref.to_bits(), "threads = {threads}");
             assert_eq!(x, x_ref);
             assert_eq!(r, r_ref);
+        }
+    }
+
+    #[test]
+    fn diagonal_shift_adds_dx_on_non_dirichlet_rows_only() {
+        let dims = Dims::new(9, 7, 5);
+        let coeffs = Transmissibilities::<f64>::uniform(dims, 1.25);
+        let dirichlet = DirichletSet::x_faces(dims, 1.0, 0.0);
+        let mask: Vec<bool> = (0..dims.num_cells())
+            .map(|k| dirichlet.contains_linear(k))
+            .collect();
+        let plan = StencilPlan::new(dims, &mask);
+        let x = pseudorandom_field(dims, 11);
+        let diag: Vec<f64> = (0..dims.num_cells())
+            .map(|k| 0.5 + (k % 7) as f64)
+            .collect();
+
+        let mut plain = CellField::zeros(dims);
+        plan.apply(coeffs.cell_rows(), &mask, None, &x, &mut plain, 1);
+        for threads in [1, 2, 8] {
+            let mut shifted = CellField::zeros(dims);
+            plan.apply(
+                coeffs.cell_rows(),
+                &mask,
+                Some(&diag),
+                &x,
+                &mut shifted,
+                threads,
+            );
+            for k in 0..dims.num_cells() {
+                let expect = if mask[k] {
+                    plain.get(k)
+                } else {
+                    plain.get(k) + diag[k] * x.get(k)
+                };
+                assert_eq!(shifted.get(k).to_bits(), expect.to_bits(), "cell {k}");
+            }
+
+            // The fused shifted apply_dot matches apply + det_dot bitwise.
+            let mut ad = CellField::zeros(dims);
+            let fused =
+                plan.apply_dot(coeffs.cell_rows(), &mask, Some(&diag), &x, &mut ad, threads);
+            let mut ad_ref = CellField::zeros(dims);
+            plan.apply(coeffs.cell_rows(), &mask, Some(&diag), &x, &mut ad_ref, 1);
+            assert_eq!(fused.to_bits(), det_dot(&x, &ad_ref).to_bits());
+            assert_eq!(ad, ad_ref);
         }
     }
 }

@@ -8,7 +8,8 @@ use crate::cg::{GpuReferenceSolver, GpuSolveReport};
 use crate::device_model::GpuSpec;
 use mffv_mesh::{CellField, Workload};
 use mffv_solver::backend::{
-    final_residual_max_f64, DeviceSection, SolveBackend, SolveConfig, SolveError, SolveReport,
+    final_residual_max_f64, DeviceSection, Precision, SolveBackend, SolveConfig, SolveError,
+    SolveReport,
 };
 use mffv_solver::monitor::SolveMonitor;
 
@@ -80,6 +81,12 @@ impl GpuRefBackend {
 impl SolveBackend for GpuRefBackend {
     fn name(&self) -> String {
         format!("gpu-ref-{}", self.spec.name)
+    }
+
+    /// Transient steps run at the device precision (`f32`), like every other
+    /// computation this backend models.
+    fn step_precision(&self) -> Precision {
+        Precision::F32
     }
 
     fn solve(&self, workload: &Workload, config: &SolveConfig) -> Result<SolveReport, SolveError> {

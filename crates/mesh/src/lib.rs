@@ -30,7 +30,9 @@ pub mod neighbors;
 pub mod permeability;
 pub mod rng;
 pub mod scalar;
+pub mod transient;
 pub mod transmissibility;
+pub mod wells;
 pub mod workload;
 
 pub use boundary::{DirichletCell, DirichletSet};
@@ -40,7 +42,9 @@ pub use mesh::CartesianMesh;
 pub use neighbors::Direction;
 pub use permeability::PermeabilityModel;
 pub use scalar::Scalar;
+pub use transient::{DtPolicy, TransientSpec};
 pub use transmissibility::Transmissibilities;
+pub use wells::{Well, WellControl, WellSet};
 pub use workload::{Workload, WorkloadError, WorkloadSpec};
 
 /// Convenient glob import for downstream crates and examples.
@@ -52,6 +56,8 @@ pub mod prelude {
     pub use crate::neighbors::Direction;
     pub use crate::permeability::PermeabilityModel;
     pub use crate::scalar::Scalar;
+    pub use crate::transient::{DtPolicy, TransientSpec};
     pub use crate::transmissibility::Transmissibilities;
+    pub use crate::wells::{Well, WellControl, WellSet};
     pub use crate::workload::{Workload, WorkloadError, WorkloadSpec};
 }

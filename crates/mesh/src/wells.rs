@@ -1,0 +1,295 @@
+//! Wells: rate- and BHP-controlled source terms for transient simulation.
+//!
+//! The steady-state workloads model wells as Dirichlet pressure columns
+//! (`DirichletSet`).  Transient simulation needs genuine *source terms*: a
+//! [`Well`] completes in one cell and either injects/produces at a fixed
+//! volumetric rate or is controlled by a bottom-hole pressure (BHP) through a
+//! productivity index.  A [`WellSet`] is the declarative collection a
+//! `TransientSpec` carries.
+//!
+//! # Units and sign conventions
+//!
+//! * Rates are **volumetric**, in m³/s.  **Positive = injection** (fluid enters
+//!   the reservoir cell), **negative = production** — the same sign the
+//!   residual convention uses for inflow.
+//! * A BHP well contributes `q = WI · (p_bhp − p_cell)` where `WI` is the
+//!   productivity index in m³/(Pa·s): the well injects while the cell pressure
+//!   is below `p_bhp` and produces once it rises above — so the same control
+//!   models an injector (high BHP) or a producer (low BHP).
+//! * Schedules are half-open activity windows `[start, end)` in seconds; a
+//!   well contributes nothing outside its window.
+
+use crate::dims::{CellIndex, Dims};
+use crate::workload::WorkloadError;
+
+/// How a well is controlled.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WellControl {
+    /// Fixed volumetric rate in m³/s (positive = injection, negative =
+    /// production).
+    Rate {
+        /// Volumetric rate, m³/s.
+        volumetric_rate: f64,
+    },
+    /// Bottom-hole-pressure control: the well exchanges `WI · (p_bhp −
+    /// p_cell)` m³/s with its completion cell.
+    Bhp {
+        /// Bottom-hole pressure, Pa.
+        pressure: f64,
+        /// Productivity index `WI`, m³/(Pa·s); must be positive (it is the
+        /// well-to-cell transmissibility and lands on the system diagonal).
+        productivity_index: f64,
+    },
+}
+
+/// One well, completed in a single cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Well {
+    /// Human-readable name used in reports and well totals.
+    pub name: String,
+    /// Completion cell.
+    pub cell: CellIndex,
+    /// Control mode (rate or BHP).
+    pub control: WellControl,
+    /// Activity window start, seconds (inclusive).
+    pub start_time: f64,
+    /// Activity window end, seconds (exclusive); `f64::INFINITY` = never
+    /// shuts in.
+    pub end_time: f64,
+}
+
+impl Well {
+    /// A rate-controlled well active for the whole simulation (positive rate
+    /// = injection, negative = production).
+    pub fn rate(name: impl Into<String>, cell: CellIndex, volumetric_rate: f64) -> Self {
+        Self {
+            name: name.into(),
+            cell,
+            control: WellControl::Rate { volumetric_rate },
+            start_time: 0.0,
+            end_time: f64::INFINITY,
+        }
+    }
+
+    /// A BHP-controlled well active for the whole simulation.
+    pub fn bhp(
+        name: impl Into<String>,
+        cell: CellIndex,
+        pressure: f64,
+        productivity_index: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            cell,
+            control: WellControl::Bhp {
+                pressure,
+                productivity_index,
+            },
+            start_time: 0.0,
+            end_time: f64::INFINITY,
+        }
+    }
+
+    /// Restrict the well to the half-open activity window `[start, end)`
+    /// (seconds).
+    pub fn scheduled(mut self, start_time: f64, end_time: f64) -> Self {
+        self.start_time = start_time;
+        self.end_time = end_time;
+        self
+    }
+
+    /// Whether the well is active at time `t` (seconds).
+    pub fn is_active(&self, t: f64) -> bool {
+        t >= self.start_time && t < self.end_time
+    }
+
+    /// The productivity index the well adds to the system diagonal when
+    /// active (zero for rate wells — their contribution is pure RHS).
+    pub fn diagonal_coefficient(&self) -> f64 {
+        match self.control {
+            WellControl::Rate { .. } => 0.0,
+            WellControl::Bhp {
+                productivity_index, ..
+            } => productivity_index,
+        }
+    }
+
+    /// The well's volumetric rate (m³/s, positive = injection) at cell
+    /// pressure `p_cell`.
+    pub fn rate_at(&self, p_cell: f64) -> f64 {
+        match self.control {
+            WellControl::Rate { volumetric_rate } => volumetric_rate,
+            WellControl::Bhp {
+                pressure,
+                productivity_index,
+            } => productivity_index * (pressure - p_cell),
+        }
+    }
+
+    fn validate(&self, dims: Dims) -> Result<(), WorkloadError> {
+        let c = self.cell;
+        if c.x >= dims.nx || c.y >= dims.ny || c.z >= dims.nz {
+            return Err(WorkloadError::new(format!(
+                "well `{}` completes outside the {}x{}x{} grid at ({}, {}, {})",
+                self.name, dims.nx, dims.ny, dims.nz, c.x, c.y, c.z
+            )));
+        }
+        match self.control {
+            WellControl::Rate { volumetric_rate } => {
+                if !volumetric_rate.is_finite() {
+                    return Err(WorkloadError::new(format!(
+                        "well `{}`: rate must be finite, got {volumetric_rate}",
+                        self.name
+                    )));
+                }
+            }
+            WellControl::Bhp {
+                pressure,
+                productivity_index,
+            } => {
+                if !pressure.is_finite() {
+                    return Err(WorkloadError::new(format!(
+                        "well `{}`: BHP must be finite, got {pressure}",
+                        self.name
+                    )));
+                }
+                if !productivity_index.is_finite() || productivity_index <= 0.0 {
+                    return Err(WorkloadError::new(format!(
+                        "well `{}`: productivity index must be finite and positive, got {productivity_index}",
+                        self.name
+                    )));
+                }
+            }
+        }
+        if self.start_time.is_nan() || self.end_time.is_nan() || self.end_time <= self.start_time {
+            return Err(WorkloadError::new(format!(
+                "well `{}`: schedule window [{}, {}) is empty or not ordered",
+                self.name, self.start_time, self.end_time
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The wells of one transient scenario.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WellSet {
+    wells: Vec<Well>,
+}
+
+impl WellSet {
+    /// No wells.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A well set from explicit wells.
+    pub fn new(wells: Vec<Well>) -> Self {
+        Self { wells }
+    }
+
+    /// Add one well.
+    pub fn with(mut self, well: Well) -> Self {
+        self.wells.push(well);
+        self
+    }
+
+    /// The wells, in declaration order (the order of every per-well vector in
+    /// transient reports).
+    pub fn wells(&self) -> &[Well] {
+        &self.wells
+    }
+
+    /// Number of wells.
+    pub fn len(&self) -> usize {
+        self.wells.len()
+    }
+
+    /// Whether the set has no wells.
+    pub fn is_empty(&self) -> bool {
+        self.wells.is_empty()
+    }
+
+    /// Check every well against the grid: in-range completion cells, finite
+    /// controls, non-empty schedule windows, and no two wells sharing a
+    /// completion cell.
+    pub fn validate(&self, dims: Dims) -> Result<(), WorkloadError> {
+        let mut seen = std::collections::HashSet::new();
+        for well in &self.wells {
+            well.validate(dims)?;
+            if !seen.insert(dims.linear(well.cell)) {
+                return Err(WorkloadError::new(format!(
+                    "two wells complete in the same cell ({}, {}, {})",
+                    well.cell.x, well.cell.y, well.cell.z
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_well_is_constant_and_schedulable() {
+        let w = Well::rate("inj", CellIndex::new(0, 0, 0), 2.5).scheduled(10.0, 20.0);
+        assert_eq!(w.rate_at(1e7), 2.5);
+        assert_eq!(w.diagonal_coefficient(), 0.0);
+        assert!(!w.is_active(9.9));
+        assert!(w.is_active(10.0));
+        assert!(!w.is_active(20.0));
+    }
+
+    #[test]
+    fn bhp_well_switches_sign_with_cell_pressure() {
+        let w = Well::bhp("prod", CellIndex::new(1, 1, 1), 1.0e7, 2.0e-6);
+        assert!(w.rate_at(2.0e7) < 0.0, "cell above BHP: production");
+        assert!(w.rate_at(0.5e7) > 0.0, "cell below BHP: injection");
+        assert_eq!(w.diagonal_coefficient(), 2.0e-6);
+        assert!(w.is_active(0.0) && w.is_active(1e30));
+    }
+
+    #[test]
+    fn validation_rejects_bad_wells() {
+        let dims = Dims::new(4, 4, 2);
+        let out_of_range = WellSet::new(vec![Well::rate("w", CellIndex::new(4, 0, 0), 1.0)]);
+        assert!(out_of_range
+            .validate(dims)
+            .unwrap_err()
+            .to_string()
+            .contains("outside"));
+
+        let nan_rate = WellSet::new(vec![Well::rate("w", CellIndex::new(0, 0, 0), f64::NAN)]);
+        assert!(nan_rate.validate(dims).is_err());
+
+        let zero_wi = WellSet::new(vec![Well::bhp("w", CellIndex::new(0, 0, 0), 1.0, 0.0)]);
+        assert!(zero_wi
+            .validate(dims)
+            .unwrap_err()
+            .to_string()
+            .contains("productivity"));
+
+        let empty_window = WellSet::new(vec![
+            Well::rate("w", CellIndex::new(0, 0, 0), 1.0).scheduled(5.0, 5.0)
+        ]);
+        assert!(empty_window.validate(dims).is_err());
+
+        let duplicate = WellSet::new(vec![
+            Well::rate("a", CellIndex::new(1, 1, 1), 1.0),
+            Well::bhp("b", CellIndex::new(1, 1, 1), 1.0, 1.0),
+        ]);
+        assert!(duplicate
+            .validate(dims)
+            .unwrap_err()
+            .to_string()
+            .contains("same cell"));
+
+        let good = WellSet::new(vec![
+            Well::rate("a", CellIndex::new(0, 0, 0), 1.0),
+            Well::bhp("b", CellIndex::new(3, 3, 1), 1.0, 1.0),
+        ]);
+        assert!(good.validate(dims).is_ok());
+    }
+}

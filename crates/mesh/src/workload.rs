@@ -30,7 +30,7 @@ pub struct WorkloadError {
 }
 
 impl WorkloadError {
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
         Self {
             message: message.into(),
         }

@@ -25,6 +25,7 @@ use crate::cg::ConjugateGradient;
 use crate::convergence::ConvergenceHistory;
 use crate::monitor::{replay_history, NullMonitor, SolveMonitor, StopReason};
 use crate::newton::solve_pressure_monitored;
+use crate::transient::{PlannedStepper, StepOutcome, StepRequest, TransientStepper};
 use mffv_fv::residual::residual;
 use mffv_fv::MatrixFreeOperator;
 use mffv_mesh::{CellField, Workload};
@@ -327,6 +328,54 @@ pub trait SolveBackend {
         replay_history(&report.history, report.stopped, monitor);
         Ok(report)
     }
+
+    /// The arithmetic precision this backend steps transient systems at.
+    ///
+    /// Defaults to `f64`; device-style backends (the paper's machines
+    /// compute in single precision) override it to [`Precision::F32`], and
+    /// the host backend reports its configured precision.
+    fn step_precision(&self) -> Precision {
+        Precision::F64
+    }
+
+    /// Advance one backward-Euler step of a transient scenario (see
+    /// [`crate::transient`]): solve `(A + D + W) δ = r(pⁿ) + q(pⁿ)` and
+    /// return `p^{n+1}`, with `monitor` threaded through the step's inner
+    /// CG loop exactly like [`solve_monitored`](Self::solve_monitored).
+    ///
+    /// The default implementation runs the shared shifted-CG step on the
+    /// host's planned stencil kernels at [`step_precision`](Self::step_precision)
+    /// — every backend therefore supports transient simulation out of the
+    /// box, in its native arithmetic, with the same bitwise thread-count
+    /// independence as steady solves.  Backends with genuinely different
+    /// stepping machinery can override it.
+    fn step(
+        &self,
+        request: &StepRequest<'_>,
+        config: &SolveConfig,
+        monitor: &mut dyn SolveMonitor,
+    ) -> Result<StepOutcome, SolveError> {
+        self.transient_session(request.workload, config)?
+            .step(request, config, monitor)
+    }
+
+    /// Arm a stepping session for a whole transient run: the returned
+    /// [`TransientStepper`] may cache per-run kernel state (the default one
+    /// builds the planned operator once and swaps only the `Δt`-dependent
+    /// diagonal between steps), producing outcomes bitwise identical to
+    /// repeated [`step`](Self::step) calls.
+    /// [`run_transient`](crate::transient::run_transient) drives the
+    /// schedule through one session.
+    fn transient_session(
+        &self,
+        workload: &Workload,
+        config: &SolveConfig,
+    ) -> Result<Box<dyn TransientStepper>, SolveError> {
+        Ok(match self.step_precision() {
+            Precision::F64 => Box::new(PlannedStepper::<f64>::new(workload, config)),
+            Precision::F32 => Box::new(PlannedStepper::<f32>::new(workload, config)),
+        })
+    }
 }
 
 /// The sequential host oracle (`solve_pressure` behind the trait): matrix-free
@@ -356,6 +405,10 @@ impl HostBackend {
 impl SolveBackend for HostBackend {
     fn name(&self) -> String {
         format!("host-{}", self.precision.label())
+    }
+
+    fn step_precision(&self) -> Precision {
+        self.precision
     }
 
     fn solve(&self, workload: &Workload, config: &SolveConfig) -> Result<SolveReport, SolveError> {

@@ -18,6 +18,7 @@ pub mod monitor;
 pub mod newton;
 pub mod pcg;
 pub mod reduction;
+pub mod transient;
 
 pub use backend::{
     DeviceSection, HostBackend, Precision, SolveBackend, SolveConfig, SolveError, SolveReport,
@@ -30,6 +31,10 @@ pub use monitor::{
 };
 pub use newton::{solve_pressure, PressureSolution};
 pub use pcg::{JacobiPreconditioner, PreconditionedConjugateGradient};
+pub use transient::{
+    run_transient, solve_step, PlannedStepper, PressureSnapshot, StepOutcome, StepRequest,
+    TransientReport, TransientStep, TransientStepper, WellTotal,
+};
 
 /// Convenient glob import.
 pub mod prelude {
@@ -45,4 +50,8 @@ pub mod prelude {
     pub use crate::newton::{solve_pressure, PressureSolution};
     pub use crate::pcg::{JacobiPreconditioner, PreconditionedConjugateGradient};
     pub use crate::reduction::{fabric_ordered_dot, fabric_ordered_sum};
+    pub use crate::transient::{
+        run_transient, solve_step, PlannedStepper, PressureSnapshot, StepOutcome, StepRequest,
+        TransientReport, TransientStep, TransientStepper, WellTotal,
+    };
 }

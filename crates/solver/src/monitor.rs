@@ -392,6 +392,19 @@ impl StopPolicy {
         self.cancel.iter().any(CancelToken::is_cancelled)
     }
 
+    /// The policy with its deadline reduced by `elapsed` (floored at zero —
+    /// an exhausted deadline stops the very next session at its `Started`
+    /// event).  Multi-solve drivers (transient time stepping, batch loops)
+    /// use this to keep **one** wall-clock budget across the per-solve
+    /// sessions they arm, instead of re-arming the full deadline each time.
+    pub fn consume_deadline(&self, elapsed: Duration) -> StopPolicy {
+        let mut policy = self.clone();
+        if let Some(deadline) = policy.deadline {
+            policy.deadline = Some(deadline.saturating_sub(elapsed));
+        }
+        policy
+    }
+
     /// Arm the policy for one solve: the returned [`PolicySession`] is the
     /// [`SolveMonitor`] to pass to `solve_monitored`.  The deadline clock
     /// starts at the session's `Started` event.

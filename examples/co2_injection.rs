@@ -1,49 +1,122 @@
-//! CO₂-injection scenario (the Figure-5 workload): layered permeability, a
-//! high-pressure injection column in the top-left corner and a producer column in
-//! the bottom-right corner.  Solves on the dataflow fabric and prints an ASCII
-//! pressure map plus well-to-well statistics.
+//! CO₂-injection scenario — now a genuine *transient* simulation: a rate-
+//! controlled injector ramps reservoir pressure against a BHP-controlled
+//! producer through implicit backward-Euler time stepping
+//! (`Simulation::transient`), with layered permeability from the Figure-5
+//! workload family.  Earlier revisions mislabelled a single steady solve as
+//! "injection"; this is the real thing — pressure *evolves*.
+//!
+//! Prints the step-by-step well ledger, ASCII pressure maps of the requested
+//! snapshots, and the cumulative injected/produced volumes.
 //!
 //! Run with `cargo run --release --example co2_injection`.
 
 use mffv::prelude::*;
+use mffv_mesh::workload::BoundarySpec;
 use mffv_mesh::CellIndex;
+
+const DAY: f64 = 86_400.0;
 
 fn main() {
     let dims = Dims::new(36, 24, 8);
-    let workload = WorkloadSpec::fig5(dims).build();
+    // The Figure-5 layered reservoir, sealed (no Dirichlet columns): every
+    // exchanged m³ goes through a well, so the mass ledger must close.
+    let workload = WorkloadSpec {
+        boundary: BoundarySpec::None,
+        ..WorkloadSpec::fig5(dims)
+    }
+    .build();
+
+    let injector = CellIndex::new(0, 0, dims.nz - 1);
+    let producer = CellIndex::new(dims.nx - 1, dims.ny - 1, 0);
+    let spec = TransientSpec::new(30.0 * DAY, DAY, 1.0e-9)
+        .with_wells(
+            WellSet::empty()
+                // 0.05 m³/s ≈ 4300 m³/day of injected CO₂ (reservoir volume).
+                .with(Well::rate("injector", injector, 0.05))
+                // The producer flows against a 9 MPa bottom-hole pressure.
+                .with(Well::bhp("producer", producer, 9.0e6, 2.0e-9)),
+        )
+        .with_initial_pressure(1.0e7)
+        .with_snapshots([10.0 * DAY, 30.0 * DAY]);
+
     println!(
-        "Scenario: {} — layered permeability (contrast {:.1}x), source at (0,0), producer at ({},{})",
+        "Scenario: {} — layered permeability (contrast {:.1}x), {} steps of {:.0} h",
         workload.name(),
         mffv_mesh::permeability::contrast_ratio(workload.permeability()),
-        dims.nx - 1,
-        dims.ny - 1
+        spec.num_steps(),
+        DAY / 3600.0
     );
-
-    let report = Simulation::new(workload.clone())
-        .tolerance(1e-14)
-        .backend(Backend::dataflow())
-        .run()
-        .expect("dataflow solve failed");
     println!(
-        "Converged in {} CG iterations (converged = {}), |r|_max = {:.3e}",
-        report.iterations(),
-        report.converged(),
-        report.final_residual_max
+        "  injector: rate well at ({}, {}, {}), +0.05 m³/s",
+        injector.x, injector.y, injector.z
+    );
+    println!(
+        "  producer: BHP well at ({}, {}, {}), 9 MPa, WI 2e-9 m³/(Pa·s)\n",
+        producer.x, producer.y, producer.z
     );
 
-    // ASCII pressure map of the mid-depth slice (darker = higher pressure).
-    let z = dims.nz / 2;
-    let slice = report.pressure.horizontal_slice(z);
+    let report = Simulation::new(workload)
+        .tolerance(1e-16)
+        .transient(&spec)
+        .expect("transient run failed");
+
+    println!("step   t [d]   CG its   p̄ [MPa]   inj [m³/s]   prod [m³/s]   balance [m³/s]");
+    for step in &report.steps {
+        if step.index % 5 == 0 || step.index + 1 == report.num_steps() {
+            let p = &step.report.pressure;
+            let mean_mpa = p.as_slice().iter().sum::<f64>() / p.len() as f64 / 1.0e6;
+            println!(
+                "{:4} {:7.1} {:8} {:9.3} {:12.4} {:13.4} {:14.2e}",
+                step.index,
+                step.end_time() / DAY,
+                step.report.iterations(),
+                mean_mpa,
+                step.well_rates[0],
+                step.well_rates[1],
+                step.mass_balance_error(),
+            );
+        }
+    }
+
+    for snapshot in &report.snapshots {
+        println!(
+            "\nPressure slice at z = {} after {:.0} days (MPa):",
+            dims.nz / 2,
+            snapshot.time / DAY
+        );
+        ascii_map(&snapshot.pressure, dims);
+    }
+
+    println!(
+        "\nWell totals over {:.0} days:",
+        report.simulated_time() / DAY
+    );
+    for well in &report.wells {
+        println!(
+            "  {:9}  net {:+.0} m³  (injected {:.0}, produced {:.0})",
+            well.name, well.net_volume, well.injected, well.produced
+        );
+    }
+    println!(
+        "\n{} CG iterations across {} warm-started implicit steps (all converged: {}),\n\
+         worst per-step mass-balance defect {:.2e} m³/s",
+        report.total_iterations(),
+        report.num_steps(),
+        report.all_converged(),
+        report.max_mass_balance_error(),
+    );
+}
+
+/// Darker = higher pressure, over the mid-depth slice.
+fn ascii_map(pressure: &CellField<f64>, dims: Dims) {
+    let slice = pressure.horizontal_slice(dims.nz / 2);
     let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
     for &v in &slice {
         lo = lo.min(v);
         hi = hi.max(v);
     }
     let shades = b" .:-=+*#%@";
-    println!(
-        "\nPressure slice at z = {z} (range {:.3e} .. {:.3e} Pa):",
-        lo, hi
-    );
+    println!("  range {:.3} .. {:.3} MPa", lo / 1e6, hi / 1e6);
     for y in 0..dims.ny {
         let line: String = (0..dims.nx)
             .map(|x| {
@@ -51,40 +124,6 @@ fn main() {
                 shades[(t.clamp(0.0, 1.0) * (shades.len() - 1) as f64).round() as usize] as char
             })
             .collect();
-        println!("{line}");
+        println!("  {line}");
     }
-
-    // Pressure profile along the source-producer diagonal.
-    println!("\nDiagonal pressure profile (cell, pressure [MPa]):");
-    let steps = dims.nx.min(dims.ny);
-    for i in 0..steps {
-        let x = i * (dims.nx - 1) / (steps - 1);
-        let y = i * (dims.ny - 1) / (steps - 1);
-        let p = report.pressure.at(CellIndex::new(x, y, z));
-        println!("  ({x:3}, {y:3})  {:8.3}", p / 1.0e6);
-    }
-
-    // Communication/computation profile of the run, from the unified report's
-    // device section.
-    let device = report
-        .device
-        .as_ref()
-        .expect("dataflow backend models a device");
-    println!("\nRun profile ({}):", device.device);
-    println!(
-        "  fabric messages: {}",
-        device.counter("fabric_messages").unwrap_or(0.0)
-    );
-    println!(
-        "  fabric payload bytes: {}",
-        device.counter("fabric_link_bytes").unwrap_or(0.0)
-    );
-    println!(
-        "  total FLOPs (all PEs): {}",
-        device.counter("total_flops").unwrap_or(0.0)
-    );
-    println!(
-        "  modelled device time: {:.4e} s",
-        device.modelled_time_seconds
-    );
 }

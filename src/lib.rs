@@ -69,6 +69,8 @@ pub use mffv_solver as solver;
 
 pub use backend::Backend;
 pub use mffv_engine::{BatchReport, Engine, JobOutcome, JobSpec, JobStatus, SweepBuilder};
+pub use mffv_mesh::{DtPolicy, TransientSpec, Well, WellControl, WellSet};
+pub use mffv_solver::transient::{PressureSnapshot, TransientReport, TransientStep, WellTotal};
 pub use report::{AgreementReport, PairwiseDisagreement, SolveReport};
 pub use simulation::Simulation;
 

@@ -30,9 +30,10 @@
 use crate::backend::Backend;
 use crate::report::{AgreementReport, SolveReport};
 use mffv_engine::{BatchReport, Engine, JobSpec};
-use mffv_mesh::{Workload, WorkloadSpec};
+use mffv_mesh::{TransientSpec, Workload, WorkloadSpec};
 use mffv_solver::backend::{Precision, SolveConfig, SolveError};
 use mffv_solver::monitor::{CancelToken, MonitorFanout, SolveMonitor, StopPolicy};
+use mffv_solver::transient::{run_transient, TransientReport};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -167,6 +168,70 @@ impl Simulation {
     /// stop policy.
     pub fn run_backend(&self, backend: &Backend) -> Result<SolveReport, SolveError> {
         self.solve_on(backend, None)
+    }
+
+    /// Run a transient scenario (implicit backward-Euler time stepping with
+    /// wells — see [`mffv_solver::transient`]) on the primary backend.
+    ///
+    /// Every scenario knob of this builder carries over: tolerance and
+    /// iteration caps apply per step, `threads(n)` keeps per-step results
+    /// bitwise identical for any thread count, and the attached stop policy
+    /// governs the whole run (one shared wall-clock deadline across steps;
+    /// per-step iteration budgets).  Returns the [`TransientReport`] with
+    /// per-step [`SolveReport`]s, requested snapshots and cumulative well
+    /// volumes.
+    pub fn transient(&self, spec: &TransientSpec) -> Result<TransientReport, SolveError> {
+        self.transient_backend(&self.primary_backend(), spec)
+    }
+
+    /// Run a transient scenario on one specific backend (device-style
+    /// backends step at their native `f32` precision).
+    pub fn transient_backend(
+        &self,
+        backend: &Backend,
+        spec: &TransientSpec,
+    ) -> Result<TransientReport, SolveError> {
+        run_transient(
+            backend.instantiate().as_ref(),
+            &self.workload,
+            spec,
+            &self.config,
+            &self.policy,
+        )
+    }
+
+    /// Run a transient scenario on every registered backend (or the standard
+    /// set), returning a per-backend outcome for each — the transient
+    /// counterpart of [`run_all`](Simulation::run_all), and the raw material
+    /// of cross-backend trajectory comparisons.
+    ///
+    /// Like `run_all`, report names are kept unique within the returned
+    /// set: a second backend producing the same name is suffixed `#2`,
+    /// `#3`, … (on the run report and every per-step report).
+    pub fn transient_all(
+        &self,
+        spec: &TransientSpec,
+    ) -> Vec<(Backend, Result<TransientReport, SolveError>)> {
+        let mut outcomes: Vec<(Backend, Result<TransientReport, SolveError>)> = self
+            .effective_backends()
+            .into_iter()
+            .map(|b| {
+                let outcome = self.transient_backend(&b, spec);
+                (b, outcome)
+            })
+            .collect();
+        let mut seen = NameDisambiguator::new();
+        for (_, outcome) in &mut outcomes {
+            if let Ok(report) = outcome {
+                if let Some(unique) = seen.disambiguate(&report.backend) {
+                    for step in &mut report.steps {
+                        step.report.backend = unique.clone();
+                    }
+                    report.backend = unique;
+                }
+            }
+        }
+        outcomes
     }
 
     /// The backend `run()`/`monitor()` executes.
@@ -493,6 +558,75 @@ mod tests {
             };
             assert_eq!(bits(report), bits(reference), "{}", report.backend);
         }
+    }
+
+    #[test]
+    fn transient_runs_on_every_backend_and_respects_the_builder_knobs() {
+        use mffv_mesh::workload::BoundarySpec;
+        use mffv_mesh::{CellIndex, Well, WellSet};
+        let workload = WorkloadSpec {
+            name: "facade-transient".into(),
+            boundary: BoundarySpec::None,
+            dims: mffv_mesh::Dims::new(6, 6, 3),
+            ..WorkloadSpec::quickstart()
+        }
+        .build();
+        let spec = mffv_mesh::TransientSpec::new(2.0, 0.25, 1e-3)
+            .with_wells(WellSet::empty().with(Well::rate("inj", CellIndex::new(2, 2, 1), 1.0)))
+            .with_initial_pressure(1.0);
+        let sim = Simulation::new(workload).tolerance(1e-18);
+
+        let host = sim.transient(&spec).unwrap();
+        assert_eq!(host.backend, "host-f64");
+        assert_eq!(host.num_steps(), 8);
+        assert!(host.all_converged());
+        assert!(
+            host.final_pressure().get(0) > 1.0,
+            "injection raises pressure"
+        );
+
+        let outcomes = sim.transient_all(&spec);
+        assert_eq!(outcomes.len(), 3);
+        for (backend, outcome) in &outcomes {
+            let report = outcome.as_ref().unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(report.num_steps(), 8, "{}", backend.name());
+            // Device backends step in f32 but track the f64 oracle closely.
+            assert!(
+                report.final_pressure().max_abs_diff(host.final_pressure()) < 1e-3,
+                "{} drifted from the host trajectory",
+                backend.name()
+            );
+        }
+    }
+
+    #[test]
+    fn transient_all_disambiguates_duplicate_backend_names() {
+        use mffv_mesh::workload::BoundarySpec;
+        use mffv_mesh::{CellIndex, Well, WellSet};
+        let workload = WorkloadSpec {
+            name: "transient-dup".into(),
+            boundary: BoundarySpec::None,
+            dims: mffv_mesh::Dims::new(4, 4, 2),
+            ..WorkloadSpec::quickstart()
+        }
+        .build();
+        let spec = mffv_mesh::TransientSpec::new(0.5, 0.25, 1e-3)
+            .with_wells(WellSet::empty().with(Well::rate("inj", CellIndex::new(1, 1, 1), 1.0)))
+            .with_initial_pressure(1.0);
+        let outcomes = Simulation::new(workload)
+            .tolerance(1e-16)
+            .backend(Backend::dataflow())
+            .backend(Backend::dataflow())
+            .transient_all(&spec);
+        let names: Vec<&str> = outcomes
+            .iter()
+            .map(|(_, o)| o.as_ref().unwrap().backend.as_str())
+            .collect();
+        assert_eq!(names, vec!["dataflow", "dataflow#2"]);
+        assert!(outcomes[1].1.as_ref().unwrap().steps[0]
+            .report
+            .backend
+            .ends_with("#2"));
     }
 
     #[test]

@@ -244,4 +244,87 @@ proptest! {
         let rel = agreement.max_pairwise_rel_diff();
         prop_assert!(rel < 2e-3, "dataflow vs oracle relative gap {rel}");
     }
+
+    /// The diagonal-shifted (transient accumulation) operator keeps the
+    /// planned-vs-naive bitwise contract, on 1/2/8 threads, for every
+    /// Dirichlet topology and arbitrary grid shapes including 1-cell-thin
+    /// ones, across eleven octaves of dt.
+    #[test]
+    fn shifted_planned_apply_is_bitwise_identical_to_naive_shifted(
+        nx in 1usize..10, ny in 1usize..10, nz in 1usize..10,
+        std_log in 0.0f64..2.0, seed in 0u64..1000, variant in 0usize..4,
+        dt_exp in -6i32..6,
+    ) {
+        let dims = Dims::new(nx, ny, nz);
+        let permeability =
+            PermeabilityModel::LogNormal { mean_log: 0.0, std_log, seed }.generate(dims);
+        let mesh = CartesianMesh::unit(dims);
+        let coeffs = Transmissibilities::<f64>::from_mesh(&mesh, &permeability, 1.0);
+        let dirichlet = dirichlet_variant(dims, variant, seed);
+        // A heterogeneous accumulation diagonal scaled like V·c_t/Δt.
+        let dt = (2.0f64).powi(dt_exp);
+        let diag = CellField::<f64>::from_fn(dims, |c| {
+            (1.0 + ((c.x * 7 + c.y * 3 + c.z) % 5) as f64 * 0.25) * 1e-3 / dt
+        });
+        let op = MatrixFreeOperator::new(coeffs, &dirichlet).with_diagonal_shift(&diag);
+        let x = CellField::<f64>::from_fn(dims, |c| {
+            ((c.x * 29 + c.y * 13 + c.z * 7 + seed as usize) % 19) as f64 * 0.23 - 2.1
+        });
+        let mut naive = CellField::zeros(dims);
+        op.apply_spd_naive(&x, &mut naive);
+        for threads in [1usize, 2, 8] {
+            let threaded = op.clone().with_threads(threads);
+            let planned = threaded.apply_new(&x);
+            prop_assert!(
+                field_bits(&planned) == field_bits(&naive),
+                "shifted planned/naive mismatch: threads = {threads}, variant = {variant}, dt = {dt}"
+            );
+            // The fused apply_dot sees the same shifted operator.
+            let mut ad = CellField::zeros(dims);
+            let fused = threaded.apply_dot(&x, &mut ad);
+            prop_assert!(field_bits(&ad) == field_bits(&naive));
+            let unfused = UnfusedOp(&op).apply_dot(&x, &mut ad);
+            prop_assert!(fused.to_bits() == unfused.to_bits());
+        }
+    }
+
+    /// Halving dt doubles the accumulation diagonal, which can only improve
+    /// the step system's conditioning: per-step CG iteration counts must
+    /// never increase.
+    #[test]
+    fn halving_dt_never_increases_cg_iterations(
+        dt_exp in -4i32..4, seed in 0u64..200,
+    ) {
+        use mffv_mesh::workload::BoundarySpec;
+        let workload = WorkloadSpec {
+            name: "dt-halving".into(),
+            boundary: BoundarySpec::None,
+            dims: Dims::new(8, 6, 4),
+            permeability: PermeabilityModel::LogNormal { mean_log: 0.0, std_log: 1.0, seed },
+            tolerance: 1e-16,
+            ..WorkloadSpec::quickstart()
+        }.build();
+        let dt = (2.0f64).powi(dt_exp);
+        let step_iterations = |dt: f64| {
+            let spec = TransientSpec::new(dt, dt, 1e-3)
+                .with_wells(WellSet::empty().with(Well::rate("inj", CellIndex::new(4, 3, 2), 1.0)))
+                .with_initial_pressure(5.0)
+                .cold_start();
+            let report = mffv_solver::transient::run_transient(
+                &mffv_solver::backend::HostBackend::oracle(),
+                &workload,
+                &spec,
+                &mffv_solver::backend::SolveConfig::default(),
+                &StopPolicy::new(),
+            ).unwrap();
+            prop_assert!(report.all_converged(), "dt = {dt} did not converge");
+            Ok(report.steps[0].report.iterations())
+        };
+        let coarse = step_iterations(dt)?;
+        let fine = step_iterations(dt / 2.0)?;
+        prop_assert!(
+            fine <= coarse,
+            "halving dt raised iterations: {coarse} -> {fine} at dt = {dt}"
+        );
+    }
 }

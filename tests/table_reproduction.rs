@@ -1,8 +1,16 @@
 //! Integration tests that pin the quantitative claims each regenerated table/figure
 //! rests on — the same checks `EXPERIMENTS.md` documents, run in CI form.
+//!
+//! The *executed* (as opposed to modelled) runs are additionally pinned as
+//! golden fixtures under `tests/golden/` through the shared harness in
+//! `tests/common/mod.rs`: iteration counts and bitwise pressure checksums
+//! must reproduce exactly; regenerate intentionally-changed fixtures with
+//! `MFFV_BLESS=1 cargo test`.
 
 use mffv::prelude::*;
 use mffv_gpu_ref::device_model::GpuTimeModel;
+
+mod common;
 
 #[test]
 fn table5_static_model_matches_paper_totals() {
@@ -95,6 +103,15 @@ fn fig5_executed_pressure_field_decays_from_source_to_producer() {
         near_source > mid && mid > near_producer,
         "pressure must decay along the diagonal"
     );
+    common::Golden::new("fig5_dataflow_20x14x6")
+        .str("backend", &report.backend)
+        .int("iterations", report.iterations())
+        .str(
+            "pressure_checksum",
+            common::field_checksum(&report.pressure),
+        )
+        .num("final_residual_max", report.final_residual_max)
+        .check();
 }
 
 #[test]
@@ -135,4 +152,12 @@ fn communication_only_run_reproduces_table4_methodology() {
         comm_device.counter("total_flops").unwrap()
             < full_device.counter("total_flops").unwrap() / 10.0
     );
+    common::Golden::new("table4_comm_only_10x8x12")
+        .int("iterations", full_iterations)
+        .num(
+            "fabric_link_bytes",
+            full_device.counter("fabric_link_bytes").unwrap(),
+        )
+        .str("pressure_checksum", common::field_checksum(&full.pressure))
+        .check();
 }
