@@ -1,0 +1,169 @@
+//! The finding ratchet.
+//!
+//! `crates/audit/baseline.txt` records, per `(rule-id, file)`, how many
+//! grandfathered findings existed when the pass was introduced.  The contract
+//! is **zero growth**: a scan may never produce more findings for a pair than
+//! the baseline grants, and when legacy sites are cleaned up the baseline must
+//! shrink with them (a stale grant is itself a failure under `--deny`, so the
+//! ratchet only ever turns one way).  Counts — not line numbers — are recorded
+//! so unrelated edits that shift lines cannot churn the baseline.
+//!
+//! File format, one grant per line, sorted:
+//!
+//! ```text
+//! <count> <rule-id> <workspace-relative-path>
+//! ```
+
+use crate::rules::{Finding, RuleId};
+use std::collections::BTreeMap;
+
+/// Grandfathered finding counts keyed by `(rule, file)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub grants: BTreeMap<(RuleId, String), usize>,
+}
+
+/// The outcome of comparing a scan against the baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Ratchet {
+    /// Findings in excess of their baseline grant — always a failure.
+    pub new: Vec<Finding>,
+    /// Findings covered by a grant — reported, but not a failure.
+    pub grandfathered: Vec<Finding>,
+    /// Grants larger than the live finding count — the baseline must shrink.
+    pub stale: Vec<(RuleId, String, usize, usize)>,
+}
+
+impl Baseline {
+    /// Parse the baseline file format.  Unknown rule ids and malformed lines
+    /// are hard errors: a typo must not silently grant an allowance.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut grants = BTreeMap::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, ' ');
+            let (count, rule, file) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(c), Some(r), Some(f)) => (c, r, f),
+                _ => {
+                    return Err(format!(
+                        "baseline line {}: expected `<count> <rule-id> <path>`, got `{line}`",
+                        i + 1
+                    ))
+                }
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
+            let rule = RuleId::from_id(rule)
+                .ok_or_else(|| format!("baseline line {}: unknown rule id `{rule}`", i + 1))?;
+            grants.insert((rule, file.to_string()), count);
+        }
+        Ok(Baseline { grants })
+    }
+
+    /// Serialise back to the on-disk format.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# mffv-audit baseline — grandfathered finding counts, zero-growth ratchet.\n\
+             # Regenerate (shrink only) with: cargo run -p mffv-audit -- --update-baseline\n",
+        );
+        for ((rule, file), count) in &self.grants {
+            if *count > 0 {
+                out.push_str(&format!("{count} {} {file}\n", rule.id()));
+            }
+        }
+        out
+    }
+
+    /// Build the baseline that exactly covers `findings`.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut grants: BTreeMap<(RuleId, String), usize> = BTreeMap::new();
+        for f in findings {
+            *grants.entry((f.rule, f.file.clone())).or_insert(0) += 1;
+        }
+        Baseline { grants }
+    }
+
+    /// Split `findings` into new vs grandfathered and surface stale grants.
+    pub fn ratchet(&self, findings: &[Finding]) -> Ratchet {
+        let mut live: BTreeMap<(RuleId, String), Vec<&Finding>> = BTreeMap::new();
+        for f in findings {
+            live.entry((f.rule, f.file.clone())).or_default().push(f);
+        }
+        let mut out = Ratchet::default();
+        for (key, group) in &live {
+            let granted = self.grants.get(key).copied().unwrap_or(0);
+            // Findings are sorted by line; the grant covers the first
+            // `granted` of them, anything beyond is new growth.
+            for (i, f) in group.iter().enumerate() {
+                if i < granted {
+                    out.grandfathered.push((*f).clone());
+                } else {
+                    out.new.push((*f).clone());
+                }
+            }
+        }
+        for (key, &granted) in &self.grants {
+            let actual = live.get(key).map_or(0, Vec::len);
+            if granted > actual {
+                out.stale.push((key.0, key.1.clone(), granted, actual));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: usize, rule: RuleId) -> Finding {
+        Finding {
+            file: file.into(),
+            line,
+            rule,
+            message: "m".into(),
+            suggestion: "s".into(),
+        }
+    }
+
+    #[test]
+    fn parse_render_roundtrip() {
+        let b = Baseline::parse("2 panic crates/x/src/lib.rs\n1 wall-clock src/a.rs\n").unwrap();
+        assert_eq!(b.grants.len(), 2);
+        let again = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(b, again);
+    }
+
+    #[test]
+    fn unknown_rule_is_a_hard_error() {
+        assert!(Baseline::parse("1 not-a-rule src/a.rs").is_err());
+        assert!(Baseline::parse("x panic src/a.rs").is_err());
+    }
+
+    #[test]
+    fn growth_is_new_coverage_is_grandfathered_shrink_is_stale() {
+        let b = Baseline::parse("1 panic src/a.rs\n2 nondet-iter src/b.rs\n").unwrap();
+        let findings = vec![
+            finding("src/a.rs", 3, RuleId::Panic),
+            finding("src/a.rs", 9, RuleId::Panic),
+            finding("src/b.rs", 1, RuleId::NondetIter),
+        ];
+        let r = b.ratchet(&findings);
+        assert_eq!(r.new.len(), 1);
+        assert_eq!(r.new[0].line, 9);
+        assert_eq!(r.grandfathered.len(), 2);
+        assert_eq!(r.stale, vec![(RuleId::NondetIter, "src/b.rs".into(), 2, 1)]);
+    }
+
+    #[test]
+    fn empty_baseline_makes_every_finding_new() {
+        let b = Baseline::default();
+        let r = b.ratchet(&[finding("src/a.rs", 1, RuleId::WallClock)]);
+        assert_eq!(r.new.len(), 1);
+        assert!(r.grandfathered.is_empty() && r.stale.is_empty());
+    }
+}

@@ -1,0 +1,314 @@
+//! A small line lexer for Rust sources.
+//!
+//! The rule patterns in [`crate::rules`] are plain substring matches, so the
+//! lexer's one job is to make those matches *sound*: it splits every line into
+//! the part that is **code** and the part that is **comment**, with string and
+//! character literals blanked out of the code text.  `let s = "HashMap";` must
+//! not trip the nondet-iter rule, while `// audit: allow(panic) — invariant: …`
+//! annotations must be found even though they live in comments.
+//!
+//! The lexer is a hand-rolled character state machine covering the token shapes
+//! that actually occur in this workspace: line comments, (nested) block
+//! comments, string literals with escapes, raw strings `r"…"` / `r#"…"#`, byte
+//! strings, char literals, and lifetimes (`'a` is *not* a char literal).  It
+//! does not attempt macro expansion or full parsing — rules that need more
+//! context (test regions, crate roots) get it from path conventions and the
+//! `#[cfg(test)]` marker tracked here.
+
+/// One source line, split into code and comment channels.
+#[derive(Debug, Clone)]
+pub struct ScannedLine {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line's code text with string/char literal *contents* blanked
+    /// (delimiters are kept, so `.expect("msg")` scans as `.expect("")`).
+    pub code: String,
+    /// The line's comment text (line comments and any block-comment content
+    /// that falls on this line), concatenated.
+    pub comment: String,
+    /// Whether the line sits at or below a `#[cfg(test)]` marker in this file.
+    /// By workspace convention test modules close out their files, so
+    /// everything from the marker down is treated as test code.
+    pub in_test: bool,
+}
+
+/// A fully scanned source file.
+#[derive(Debug, Clone)]
+pub struct ScannedFile {
+    /// Workspace-relative path with `/` separators (stable across platforms —
+    /// findings and baselines sort and compare on this).
+    pub rel_path: String,
+    pub lines: Vec<ScannedLine>,
+}
+
+impl ScannedFile {
+    /// Whether any code line contains `pattern` (used for whole-file checks
+    /// such as the `#![forbid(unsafe_code)]` requirement).
+    pub fn any_code_contains(&self, pattern: &str) -> bool {
+        self.lines.iter().any(|l| l.code.contains(pattern))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Block comments nest in Rust; the depth is tracked.
+    BlockComment(u32),
+    Str,
+    /// Raw string with `n` hashes: terminated by `"` followed by `n` `#`s.
+    RawStr(u32),
+    CharLit,
+}
+
+/// Scan `source` into per-line code/comment channels.
+pub fn scan_source(rel_path: &str, source: &str) -> ScannedFile {
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+    let mut in_test = false;
+
+    for (idx, raw_line) in source.lines().enumerate() {
+        let mut code = String::with_capacity(raw_line.len());
+        let mut comment = String::new();
+        // A line comment never spans lines; block comments and strings do.
+        if state == State::LineComment {
+            state = State::Code;
+        }
+        let chars: Vec<char> = raw_line.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Code => match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        comment.push_str(&raw_line[char_byte_offset(raw_line, i)..]);
+                        break;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        i += 2;
+                    }
+                    '"' => {
+                        code.push('"');
+                        state = State::Str;
+                        i += 1;
+                    }
+                    'r' | 'b' if starts_raw_string(&chars, i) => {
+                        // Consume the prefix (`r`, `br`, `rb`) and hashes up to
+                        // the opening quote.
+                        let mut j = i;
+                        while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') {
+                            code.push(chars[j]);
+                            j += 1;
+                        }
+                        let mut hashes = 0u32;
+                        while j < chars.len() && chars[j] == '#' {
+                            code.push('#');
+                            hashes += 1;
+                            j += 1;
+                        }
+                        // `starts_raw_string` guarantees chars[j] == '"'.
+                        code.push('"');
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                    }
+                    'b' if next == Some('"') => {
+                        code.push('b');
+                        code.push('"');
+                        state = State::Str;
+                        i += 2;
+                    }
+                    '\'' if is_char_literal(&chars, i) => {
+                        code.push('\'');
+                        state = State::CharLit;
+                        i += 1;
+                    }
+                    _ => {
+                        code.push(c);
+                        i += 1;
+                    }
+                },
+                // audit: allow(panic) — invariant: the LineComment arm `break`s out of the
+                // char loop above and the state resets to Code at line start.
+                State::LineComment => unreachable!("line comments consume the rest of the line"),
+                State::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment(depth - 1)
+                        };
+                        i += 2;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::BlockComment(depth + 1);
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+                State::Str => match c {
+                    '\\' => i += 2,
+                    '"' => {
+                        code.push('"');
+                        state = State::Code;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                },
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw_string(&chars, i, hashes) {
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        i += 1 + hashes as usize;
+                        state = State::Code;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::CharLit => match c {
+                    '\\' => i += 2,
+                    '\'' => {
+                        code.push('\'');
+                        state = State::Code;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                },
+            }
+        }
+        // Unterminated single-line states reset at end of line.
+        if matches!(state, State::LineComment | State::CharLit) {
+            state = State::Code;
+        }
+        if code.contains("cfg(test") {
+            in_test = true;
+        }
+        lines.push(ScannedLine {
+            number: idx + 1,
+            code,
+            comment,
+            in_test,
+        });
+    }
+
+    ScannedFile {
+        rel_path: rel_path.to_string(),
+        lines,
+    }
+}
+
+/// Byte offset of the `i`-th char of `s` (lines are short; linear is fine).
+fn char_byte_offset(s: &str, i: usize) -> usize {
+    s.char_indices().nth(i).map(|(b, _)| b).unwrap_or(s.len())
+}
+
+/// Does a raw-string literal (`r"`, `r#"`, `br"`, `rb#"` …) start at `i`?
+fn starts_raw_string(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    let mut saw_r = false;
+    while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') {
+        saw_r |= chars[j] == 'r';
+        j += 1;
+        if j - i > 2 {
+            return false;
+        }
+    }
+    if !saw_r {
+        return false;
+    }
+    while j < chars.len() && chars[j] == '#' {
+        j += 1;
+    }
+    // Only treat it as a raw string when `r`/`b` begin an identifier of their
+    // own (not e.g. the tail of `var`): previous char must not be
+    // identifier-ish.
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Does the `"` at `i` close a raw string with `hashes` hashes?
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguish a char literal from a lifetime: `'` starts a literal when the
+/// quote closes within a couple of characters (`'x'`, `'\n'`, `'\''`) —
+/// lifetimes (`'a`, `'static`) never close.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let f = scan_source("x.rs", "let s = \"HashMap::new()\";");
+        assert_eq!(f.lines[0].code, "let s = \"\";");
+        assert!(!f.lines[0].code.contains("HashMap"));
+    }
+
+    #[test]
+    fn line_comments_go_to_the_comment_channel() {
+        let f = scan_source(
+            "x.rs",
+            "let x = 1; // audit: allow(panic) — invariant: fine",
+        );
+        assert_eq!(f.lines[0].code, "let x = 1; ");
+        assert!(f.lines[0].comment.contains("audit: allow(panic)"));
+    }
+
+    #[test]
+    fn block_comments_span_lines_and_nest() {
+        let src = "a /* one /* two */ still */ b\n/* open\n .unwrap() inside\n*/ c";
+        let f = scan_source("x.rs", src);
+        assert_eq!(f.lines[0].code.trim(), "a  b");
+        assert_eq!(f.lines[1].code, "");
+        assert!(f.lines[2].comment.contains(".unwrap()"));
+        assert_eq!(f.lines[3].code.trim(), "c");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_blanked() {
+        let f = scan_source("x.rs", "let s = r#\"Instant::now() \" inner\"#; y();");
+        assert_eq!(f.lines[0].code, "let s = r#\"\"#; y();");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = scan_source("x.rs", "fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(f.lines[0].code.contains("&'a str"));
+        let g = scan_source("x.rs", "let c = 'x'; let q = '\\''; g()");
+        assert_eq!(g.lines[0].code, "let c = ''; let q = ''; g()");
+    }
+
+    #[test]
+    fn cfg_test_marks_the_rest_of_the_file() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests { fn t() {} }";
+        let f = scan_source("x.rs", src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test);
+        assert!(f.lines[2].in_test);
+    }
+
+    #[test]
+    fn cfg_test_in_a_string_does_not_mark_test_region() {
+        let f = scan_source("x.rs", "let s = \"#[cfg(test)]\";\nf();");
+        assert!(!f.lines[1].in_test);
+    }
+}

@@ -1,0 +1,82 @@
+#![forbid(unsafe_code)]
+//! # mffv-audit
+//!
+//! A workspace determinism & soundness static-analysis pass.
+//!
+//! The repo's headline guarantees — bitwise-deterministic solves across
+//! 1/2/8 threads, bitwise golden fixtures, cross-backend differential bounds —
+//! are enforced at runtime by tests, but the *source-level* invariants that
+//! make them true were unchecked convention until this crate: all float
+//! reductions go through the slab-ordered deterministic kernels, no
+//! hash-ordered iteration feeds reports or name assignment, no wall-clock
+//! reads sit inside numeric decisions.  `mffv-audit` machine-checks those
+//! invariants on every CI run with a six-rule catalog (see [`rules`] and
+//! `AUDIT.md`) and a zero-growth baseline ratchet (see [`baseline`]).
+//!
+//! Run it as the CI does:
+//!
+//! ```text
+//! cargo run -p mffv-audit -- --deny
+//! ```
+//!
+//! Findings are stable, sorted `file:line rule-id message (suggestion)`
+//! records, so diffs between runs are meaningful.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod walker;
+
+use baseline::{Baseline, Ratchet};
+use rules::{check_file, FileContext, Finding};
+use std::path::Path;
+
+/// Analyze one source text as if it lived at `rel_path` in the workspace.
+/// This is the seam the fixture self-tests drive: rule applicability is
+/// derived from the pretend path, not from where the fixture file sits.
+pub fn analyze_source(rel_path: &str, source: &str, ledger: Option<&str>) -> Vec<Finding> {
+    let scanned = lexer::scan_source(rel_path, source);
+    let ctx = FileContext::classify(rel_path);
+    check_file(&scanned, &ctx, ledger)
+}
+
+/// Scan every auditable source under `workspace_root` and return the sorted
+/// findings.
+pub fn scan_workspace(workspace_root: &Path) -> std::io::Result<Vec<Finding>> {
+    let ledger = std::fs::read_to_string(workspace_root.join("UNSAFE_LEDGER.md")).ok();
+    let mut findings = Vec::new();
+    for rel in walker::collect_sources(workspace_root)? {
+        let source = std::fs::read_to_string(workspace_root.join(&rel))?;
+        findings.extend(analyze_source(&rel, &source, ledger.as_deref()));
+    }
+    findings.sort();
+    Ok(findings)
+}
+
+/// Outcome of a full audit run, ready for reporting and exit-code mapping.
+pub struct AuditOutcome {
+    pub findings: Vec<Finding>,
+    pub ratchet: Ratchet,
+}
+
+impl AuditOutcome {
+    /// Whether the run satisfies the zero-growth contract: no findings beyond
+    /// the baseline, and no stale grants left to shrink.
+    pub fn is_clean(&self) -> bool {
+        self.ratchet.new.is_empty() && self.ratchet.stale.is_empty()
+    }
+}
+
+/// Scan the workspace and apply the ratchet against the baseline at
+/// `baseline_path` (a missing baseline file means an empty baseline).
+pub fn run_audit(workspace_root: &Path, baseline_path: &Path) -> Result<AuditOutcome, String> {
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => Baseline::parse(&text)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(e) => return Err(format!("reading {}: {e}", baseline_path.display())),
+    };
+    let findings =
+        scan_workspace(workspace_root).map_err(|e| format!("scanning workspace: {e}"))?;
+    let ratchet = baseline.ratchet(&findings);
+    Ok(AuditOutcome { findings, ratchet })
+}

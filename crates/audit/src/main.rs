@@ -1,0 +1,146 @@
+#![forbid(unsafe_code)]
+//! The `mffv-audit` command-line entry point.
+//!
+//! ```text
+//! mffv-audit [--deny] [--update-baseline] [--root <dir>] [--baseline <file>] [--list-rules]
+//! ```
+//!
+//! * default — print every finding (new, grandfathered, stale grants) and a
+//!   summary; exit 0 unless the scan itself fails.
+//! * `--deny` — additionally exit 1 when any *new* finding exists or the
+//!   baseline has stale grants (the CI mode: zero growth, shrink-only
+//!   baseline).
+//! * `--update-baseline` — rewrite the baseline to exactly cover the current
+//!   findings.  Refuses to grow any grant: the ratchet only turns one way
+//!   even here.
+
+use mffv_audit::baseline::Baseline;
+use mffv_audit::{run_audit, walker};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    deny: bool,
+    update_baseline: bool,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        deny: false,
+        update_baseline: false,
+        root: None,
+        baseline: None,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => opts.deny = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => opts.root = Some(args.next().ok_or("--root needs a path")?.into()),
+            "--baseline" => {
+                opts.baseline = Some(args.next().ok_or("--baseline needs a path")?.into())
+            }
+            "--help" | "-h" => {
+                println!(
+                    "mffv-audit [--deny] [--update-baseline] [--root <dir>] [--baseline <file>] [--list-rules]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("mffv-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in mffv_audit::rules::RuleId::ALL {
+            println!("{}", rule.id());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let Some(root) = opts.root.or_else(|| walker::find_workspace_root(&cwd)) else {
+        eprintln!("mffv-audit: no workspace root found (looked upward from {cwd:?}); pass --root");
+        return ExitCode::from(2);
+    };
+    let baseline_path = opts
+        .baseline
+        .unwrap_or_else(|| root.join("crates/audit/baseline.txt"));
+
+    let outcome = match run_audit(&root, &baseline_path) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("mffv-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.update_baseline {
+        let current = std::fs::read_to_string(&baseline_path)
+            .ok()
+            .and_then(|t| Baseline::parse(&t).ok())
+            .unwrap_or_default();
+        let fresh = Baseline::from_findings(&outcome.findings);
+        for (key, count) in &fresh.grants {
+            let granted = current.grants.get(key).copied().unwrap_or(0);
+            if *count > granted {
+                eprintln!(
+                    "mffv-audit: refusing to grow baseline for {} {} ({granted} -> {count}); fix or annotate the new findings instead",
+                    key.0.id(),
+                    key.1
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = std::fs::write(&baseline_path, fresh.render()) {
+            eprintln!("mffv-audit: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "mffv-audit: baseline updated ({} grants)",
+            fresh.grants.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    for f in &outcome.ratchet.grandfathered {
+        println!("{f} [baselined]");
+    }
+    for f in &outcome.ratchet.new {
+        println!("{f}");
+    }
+    for (rule, file, granted, actual) in &outcome.ratchet.stale {
+        println!(
+            "{file}:0 {} baseline grants {granted} but only {actual} remain (shrink the baseline: cargo run -p mffv-audit -- --update-baseline)",
+            rule.id()
+        );
+    }
+    println!(
+        "mffv-audit: {} findings ({} new, {} baselined), {} stale baseline grants",
+        outcome.findings.len(),
+        outcome.ratchet.new.len(),
+        outcome.ratchet.grandfathered.len(),
+        outcome.ratchet.stale.len()
+    );
+
+    if opts.deny && !outcome.is_clean() {
+        eprintln!("mffv-audit: failing (--deny): new findings or stale baseline grants present");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

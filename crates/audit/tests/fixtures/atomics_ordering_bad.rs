@@ -1,0 +1,7 @@
+// Fixture: rule `atomics-ordering` must fire — a Relaxed load on a
+// cancellation flag.
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn is_cancelled(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Relaxed)
+}

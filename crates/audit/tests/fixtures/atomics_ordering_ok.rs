@@ -1,0 +1,16 @@
+// Fixture: rule `atomics-ordering` must NOT fire — SeqCst control flow, an
+// annotated Relaxed counter, and string/comment traps.
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn is_cancelled(flag: &AtomicBool) -> bool {
+    // Ordering::Relaxed would be wrong here (comment trap).
+    let doc = "never use Ordering::Relaxed on cancel tokens"; // string trap
+    let _ = doc;
+    flag.load(Ordering::SeqCst)
+}
+
+pub fn bump(counter: &AtomicU64) -> u64 {
+    // audit: allow(atomics-ordering) — statistics counter only; no thread makes
+    // a control-flow decision from this value.
+    counter.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,8 @@
+// Fixture: rule `float-reduction` must fire on the three banned shapes.
+pub fn reductions(xs: &[f64], ws: &[f32]) -> (f64, f32, f64, f64) {
+    let a = xs.iter().copied().sum::<f64>();
+    let b = ws.iter().copied().sum::<f32>();
+    let c: f64 = xs.iter().map(|x| x * 2.0).sum();
+    let d = xs.iter().copied().fold(0.0, |acc, x| acc + x);
+    (a, b, c, d)
+}

@@ -1,0 +1,12 @@
+// Fixture: rule `float-reduction` must NOT fire — integer sums, string/comment
+// traps, and an annotated reassociation-safe fold.
+pub fn reductions(xs: &[f64], counts: &[usize]) -> (usize, f64, f64) {
+    let n: usize = counts.iter().sum();
+    let label = "total.sum::<f64>() goes through seq_sum"; // .sum::<f64>() in comment
+    // audit: allow(float-reduction) — reassociation-safe: max is associative
+    // and commutative over the non-NaN values here.
+    let peak = xs.iter().copied().fold(0.0, f64::max);
+    let routed = mffv_mesh::seq_sum(xs.iter().copied());
+    let _ = label;
+    (n, peak, routed)
+}

@@ -1,0 +1,11 @@
+// Fixture: rule `nondet-iter` must fire on hash-ordered containers in an
+// ordered crate (scanned as if at crates/solver/src/fake.rs).
+use std::collections::HashMap;
+
+pub fn count(names: &[String]) -> usize {
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    for n in names {
+        *seen.entry(n.clone()).or_insert(0) += 1;
+    }
+    seen.len()
+}

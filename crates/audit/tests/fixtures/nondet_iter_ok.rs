@@ -1,0 +1,24 @@
+// Fixture: rule `nondet-iter` must NOT fire here — the traps are a string
+// literal, a comment, an annotated line, and a BTreeMap.
+use std::collections::BTreeMap;
+
+pub fn count(names: &[String]) -> usize {
+    // A HashMap would be wrong here (this comment must not trip the rule).
+    let doc = "prefer BTreeMap over HashMap for ordered output";
+    // audit: allow(nondet-iter) — membership-only set; iteration order never escapes.
+    let allowed = std::collections::HashSet::from([doc.len()]);
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    for n in names {
+        *seen.entry(n.clone()).or_insert(0) += 1;
+    }
+    seen.len() + allowed.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn hash_sets_are_fine_in_tests() {
+        let s: std::collections::HashSet<u32> = [1, 2].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+}

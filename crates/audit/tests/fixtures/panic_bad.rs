@@ -1,0 +1,15 @@
+// Fixture: rule `panic` must fire on the unwrap family in library paths,
+// including an annotation whose justification lacks the required invariant.
+pub fn first(xs: &[u32]) -> u32 {
+    let head = xs.first().unwrap();
+    let tail = xs.last().expect("non-empty");
+    if *head > *tail {
+        // audit: allow(panic) — looks justified but names no invariant.
+        unreachable!("sorted input");
+    }
+    *head
+}
+
+pub fn later() -> u32 {
+    todo!()
+}

@@ -1,0 +1,22 @@
+// Fixture: rule `panic` must NOT fire — error returns, annotated invariants,
+// string/comment traps, and non-panicking unwrap_* variants.
+pub fn first(xs: &[u32]) -> Result<u32, String> {
+    // Calling .unwrap() here would be wrong (comment trap).
+    let msg = "do not .expect( anything from library code"; // string trap
+    let head = xs.first().copied().ok_or_else(|| msg.to_string())?;
+    let fallback = xs.last().copied().unwrap_or_default();
+    Ok(head.max(fallback))
+}
+
+pub fn checked(xs: &[u32]) -> u32 {
+    // audit: allow(panic) — invariant: callers validated non-emptiness at intake.
+    xs.first().copied().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::first(&[3]).unwrap(), 3);
+    }
+}

@@ -1,0 +1,10 @@
+// Fixture: rule `unsafe` must fire — scanned as a crate root (lib.rs) with no
+// `#![forbid(unsafe_code)]`, plus an unsafe block with no SAFETY: comment and
+// no UNSAFE_LEDGER.md entry.
+pub fn reinterpret(x: &[u8]) -> u32 {
+    let mut out = 0u32;
+    unsafe {
+        std::ptr::copy_nonoverlapping(x.as_ptr(), (&mut out as *mut u32).cast(), 4);
+    }
+    out
+}

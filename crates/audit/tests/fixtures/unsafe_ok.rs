@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+// Fixture: rule `unsafe` must NOT fire — the crate root carries the forbid
+// attribute, and `unsafe` only appears in a string and a comment.
+pub fn describe() -> &'static str {
+    // The word unsafe { } in a comment must not trip the rule.
+    "this crate has no unsafe code"
+}

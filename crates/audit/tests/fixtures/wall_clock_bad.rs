@@ -1,0 +1,8 @@
+// Fixture: rule `wall-clock` must fire — Instant/SystemTime reads outside
+// mffv-perf and the monitor module, unannotated.
+pub fn jittered_tolerance(base: f64) -> f64 {
+    let t = std::time::Instant::now();
+    let s = std::time::SystemTime::now();
+    let _ = s;
+    base * (1.0 + t.elapsed().as_secs_f64())
+}

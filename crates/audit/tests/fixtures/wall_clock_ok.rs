@@ -1,0 +1,12 @@
+// Fixture: rule `wall-clock` must NOT fire — annotated telemetry, plus
+// string/comment traps.
+pub fn timed(label: &str) -> f64 {
+    // Instant::now() in a comment is fine.
+    let msg = "never call Instant::now here"; // string trap
+    // audit: allow(wall-clock) — telemetry: feeds the returned elapsed seconds only.
+    // (The clippy-mirror attribute below must be transparent to the lookback.)
+    #[allow(clippy::disallowed_methods)]
+    let start = std::time::Instant::now();
+    let _ = (label, msg);
+    start.elapsed().as_secs_f64()
+}

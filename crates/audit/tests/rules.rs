@@ -1,0 +1,216 @@
+//! Fixture self-tests: one positive (rule fires) and one negative (rule stays
+//! silent, including string-literal and comment traps) case per rule.
+//!
+//! Fixtures live under `tests/fixtures/` — a directory the workspace walker
+//! deliberately skips, because the positive cases *are* violations.  Each
+//! fixture is analyzed under a pretend workspace path so path-derived rule
+//! applicability (ordered crate, crate root, test path) is exercised too.
+
+use mffv_audit::analyze_source;
+use mffv_audit::rules::RuleId;
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading fixture {}: {e}", path.display()))
+}
+
+/// Analyze a fixture as if it sat at `rel_path` in the workspace.
+fn findings_at(rel_path: &str, name: &str, ledger: Option<&str>) -> Vec<(usize, RuleId)> {
+    analyze_source(rel_path, &fixture(name), ledger)
+        .into_iter()
+        .map(|f| (f.line, f.rule))
+        .collect()
+}
+
+fn rules_only(findings: &[(usize, RuleId)]) -> Vec<RuleId> {
+    findings.iter().map(|&(_, r)| r).collect()
+}
+
+// ---------------------------------------------------------------- nondet-iter
+
+#[test]
+fn nondet_iter_fires_on_hash_containers_in_ordered_crates() {
+    let f = findings_at("crates/solver/src/fake.rs", "nondet_iter_bad.rs", None);
+    let hits: Vec<_> = f
+        .iter()
+        .filter(|&&(_, r)| r == RuleId::NondetIter)
+        .collect();
+    // `use` line + two HashMap mentions on the binding line.
+    assert!(
+        hits.len() >= 2,
+        "expected >=2 nondet-iter findings, got {f:?}"
+    );
+}
+
+#[test]
+fn nondet_iter_ignores_strings_comments_annotations_tests_and_unordered_crates() {
+    let f = findings_at("crates/solver/src/fake.rs", "nondet_iter_ok.rs", None);
+    assert!(
+        !rules_only(&f).contains(&RuleId::NondetIter),
+        "negative fixture tripped nondet-iter: {f:?}"
+    );
+    // The same bad fixture in a non-ordered crate (perf) is out of scope.
+    let perf = findings_at("crates/perf/src/fake.rs", "nondet_iter_bad.rs", None);
+    assert!(!rules_only(&perf).contains(&RuleId::NondetIter));
+    // …and in a test path of an ordered crate too.
+    let test_path = findings_at("crates/solver/tests/fake.rs", "nondet_iter_bad.rs", None);
+    assert!(!rules_only(&test_path).contains(&RuleId::NondetIter));
+}
+
+// ------------------------------------------------------------ float-reduction
+
+#[test]
+fn float_reduction_fires_on_turbofish_typed_sum_and_float_fold() {
+    let f = findings_at("crates/solver/src/fake.rs", "float_reduction_bad.rs", None);
+    let hits: Vec<_> = f
+        .iter()
+        .filter(|&&(_, r)| r == RuleId::FloatReduction)
+        .collect();
+    // .sum::<f64>(), .sum::<f32>(), typed `let c: f64 = ….sum()`, .fold(0.0.
+    assert_eq!(hits.len(), 4, "expected 4 float-reduction findings: {f:?}");
+}
+
+#[test]
+fn float_reduction_ignores_integer_sums_annotations_and_blessed_homes() {
+    let f = findings_at("crates/solver/src/fake.rs", "float_reduction_ok.rs", None);
+    assert!(
+        !rules_only(&f).contains(&RuleId::FloatReduction),
+        "negative fixture tripped float-reduction: {f:?}"
+    );
+    // The blessed reduction home may contain raw sums (its tests/oracles do).
+    let home = findings_at(
+        "crates/solver/src/reduction.rs",
+        "float_reduction_bad.rs",
+        None,
+    );
+    assert!(!rules_only(&home).contains(&RuleId::FloatReduction));
+}
+
+// ----------------------------------------------------------------------- panic
+
+#[test]
+fn panic_fires_on_unwrap_family_and_reasonless_annotations() {
+    let f = findings_at("crates/engine/src/fake.rs", "panic_bad.rs", None);
+    let hits: Vec<_> = f.iter().filter(|&&(_, r)| r == RuleId::Panic).collect();
+    // .unwrap(), .expect(, unreachable! (annotation lacks `invariant:`), todo!.
+    assert_eq!(hits.len(), 4, "expected 4 panic findings: {f:?}");
+}
+
+#[test]
+fn panic_ignores_error_returns_invariant_annotations_tests_and_traps() {
+    let f = findings_at("crates/engine/src/fake.rs", "panic_ok.rs", None);
+    assert!(
+        !rules_only(&f).contains(&RuleId::Panic),
+        "negative fixture tripped panic: {f:?}"
+    );
+    // Example and bench paths are outside the rule.
+    let example = findings_at("examples/fake.rs", "panic_bad.rs", None);
+    assert!(!rules_only(&example).contains(&RuleId::Panic));
+}
+
+// ---------------------------------------------------------------------- unsafe
+
+#[test]
+fn unsafe_fires_on_missing_forbid_and_unledgered_blocks() {
+    let f = findings_at("crates/fv/src/lib.rs", "unsafe_bad.rs", None);
+    let hits: Vec<_> = f.iter().filter(|&&(_, r)| r == RuleId::Unsafe).collect();
+    // Missing crate-root forbid (line 0) + the bare unsafe block.
+    assert_eq!(hits.len(), 2, "expected 2 unsafe findings: {f:?}");
+    assert!(
+        f.contains(&(0, RuleId::Unsafe)),
+        "missing-forbid finding: {f:?}"
+    );
+}
+
+#[test]
+fn unsafe_accepts_forbidding_roots_and_ledgered_safety_blocks() {
+    let f = findings_at("crates/fv/src/lib.rs", "unsafe_ok.rs", None);
+    assert!(
+        !rules_only(&f).contains(&RuleId::Unsafe),
+        "negative fixture tripped unsafe: {f:?}"
+    );
+    // A SAFETY:-commented block registered in the ledger passes even where
+    // the forbid attribute is absent on a non-root file.
+    let src = "pub fn f(x: &[u8]) -> u8 {\n    // SAFETY: caller guarantees x is non-empty.\n    unsafe { *x.get_unchecked(0) }\n}\n";
+    let ledger = "# UNSAFE_LEDGER\n- crates/fv/src/fake.rs — bounds proven by caller\n";
+    let via_ledger = analyze_source("crates/fv/src/fake.rs", src, Some(ledger));
+    assert!(
+        !via_ledger.iter().any(|f| f.rule == RuleId::Unsafe),
+        "ledgered SAFETY block tripped unsafe: {via_ledger:?}"
+    );
+    // The same block without a ledger entry fails.
+    let no_ledger = analyze_source("crates/fv/src/fake.rs", src, None);
+    assert!(no_ledger.iter().any(|f| f.rule == RuleId::Unsafe));
+}
+
+// ------------------------------------------------------------------ wall-clock
+
+#[test]
+fn wall_clock_fires_outside_perf_and_monitor() {
+    let f = findings_at("crates/mesh/src/fake.rs", "wall_clock_bad.rs", None);
+    let hits: Vec<_> = f.iter().filter(|&&(_, r)| r == RuleId::WallClock).collect();
+    // Instant::now + SystemTime.
+    assert_eq!(hits.len(), 2, "expected 2 wall-clock findings: {f:?}");
+}
+
+#[test]
+fn wall_clock_is_allowed_in_perf_monitor_and_annotated_sites() {
+    let f = findings_at("crates/mesh/src/fake.rs", "wall_clock_ok.rs", None);
+    assert!(
+        !rules_only(&f).contains(&RuleId::WallClock),
+        "negative fixture tripped wall-clock: {f:?}"
+    );
+    let perf = findings_at("crates/perf/src/fake.rs", "wall_clock_bad.rs", None);
+    assert!(!rules_only(&perf).contains(&RuleId::WallClock));
+    let monitor = findings_at("crates/solver/src/monitor.rs", "wall_clock_bad.rs", None);
+    assert!(!rules_only(&monitor).contains(&RuleId::WallClock));
+}
+
+// ------------------------------------------------------------ atomics-ordering
+
+#[test]
+fn atomics_ordering_fires_on_relaxed() {
+    let f = findings_at("crates/engine/src/fake.rs", "atomics_ordering_bad.rs", None);
+    let hits: Vec<_> = f
+        .iter()
+        .filter(|&&(_, r)| r == RuleId::AtomicsOrdering)
+        .collect();
+    assert_eq!(hits.len(), 1, "expected 1 atomics-ordering finding: {f:?}");
+}
+
+#[test]
+fn atomics_ordering_accepts_seqcst_and_annotated_counters() {
+    let f = findings_at("crates/engine/src/fake.rs", "atomics_ordering_ok.rs", None);
+    assert!(
+        !rules_only(&f).contains(&RuleId::AtomicsOrdering),
+        "negative fixture tripped atomics-ordering: {f:?}"
+    );
+}
+
+// ------------------------------------------------------- output-format contract
+
+#[test]
+fn findings_render_as_stable_sorted_records() {
+    let findings = analyze_source(
+        "crates/solver/src/fake.rs",
+        &fixture("float_reduction_bad.rs"),
+        None,
+    );
+    assert!(!findings.is_empty());
+    let mut sorted = findings.clone();
+    sorted.sort();
+    assert_eq!(findings, sorted, "findings must come out sorted");
+    let rendered = findings[0].to_string();
+    // `file:line rule-id message (suggestion)`
+    assert!(
+        rendered.starts_with("crates/solver/src/fake.rs:3 float-reduction "),
+        "unexpected record shape: {rendered}"
+    );
+    assert!(
+        rendered.ends_with(')'),
+        "suggestion must close the record: {rendered}"
+    );
+}

@@ -1,0 +1,66 @@
+//! Meta-test: the live workspace must pass `mffv-audit --deny`, and a
+//! deliberately injected violation must fail it.  This is the self-hosting
+//! contract — the analyzer guards the repo that ships it.
+
+use std::path::Path;
+
+fn workspace_root() -> &'static Path {
+    // crates/audit -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("audit crate sits two levels below the workspace root")
+}
+
+#[test]
+fn live_workspace_is_clean_under_deny() {
+    let root = workspace_root();
+    let baseline = root.join("crates/audit/baseline.txt");
+    let outcome = mffv_audit::run_audit(root, &baseline).expect("audit run");
+    assert!(
+        outcome.ratchet.new.is_empty(),
+        "new findings beyond baseline:\n{}",
+        outcome
+            .ratchet
+            .new
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        outcome.ratchet.stale.is_empty(),
+        "stale baseline grants (shrink baseline.txt): {:?}",
+        outcome.ratchet.stale
+    );
+    assert!(outcome.is_clean());
+}
+
+#[test]
+fn injected_hashmap_iteration_in_solver_fails_the_audit() {
+    let src = "use std::collections::HashMap;\n\
+               pub fn order(m: &HashMap<u32, f64>) -> Vec<u32> {\n\
+               \x20   m.keys().copied().collect()\n\
+               }\n";
+    let findings = mffv_audit::analyze_source("crates/solver/src/injected.rs", src, None);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == mffv_audit::rules::RuleId::NondetIter),
+        "HashMap iteration in crates/solver must be flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn injected_raw_sum_in_solver_fails_the_audit() {
+    let src = "pub fn residual_norm(r: &[f64]) -> f64 {\n\
+               \x20   r.iter().map(|x| x * x).sum::<f64>().sqrt()\n\
+               }\n";
+    let findings = mffv_audit::analyze_source("crates/solver/src/injected.rs", src, None);
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == mffv_audit::rules::RuleId::FloatReduction),
+        "raw .sum::<f64>() in crates/solver must be flagged: {findings:?}"
+    );
+}

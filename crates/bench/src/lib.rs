@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared helpers for the benchmark harness and the table/figure report binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the paper (see

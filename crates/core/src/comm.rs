@@ -374,6 +374,8 @@ fn halo_buffer_for_source(bufs: &PeColumnBuffers, source: Port) -> mffv_fabric::
         Port::East => bufs.halo_east,
         Port::North => bufs.halo_north,
         Port::South => bufs.halo_south,
+        // audit: allow(panic) — invariant: halo routes are built from the four
+        // cardinal neighbor offsets; Ramp is the PE-local memory port.
         Port::Ramp => unreachable!("halo source must be a cardinal port"),
     }
 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mffv-core
 //!
 //! The paper's primary contribution, reproduced on the simulated fabric: a

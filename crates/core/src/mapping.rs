@@ -247,6 +247,8 @@ impl PeColumnBuffers {
             mffv_mesh::Direction::XP => self.halo_east,
             mffv_mesh::Direction::YM => self.halo_north,
             mffv_mesh::Direction::YP => self.halo_south,
+            // audit: allow(panic) — invariant: z-columns are PE-local (§III-B
+            // mapping), so halo exchange only ever names lateral directions.
             _ => panic!("vertical directions have no halo buffer"),
         }
     }

@@ -105,6 +105,9 @@ impl<'w> DataflowFvSolver<'w> {
     /// exits the state machine at that boundary; the partial solution columns
     /// are still extracted from the PEs and reported.
     pub fn solve_monitored(&self, monitor: &mut dyn SolveMonitor) -> Result<DataflowSolveReport> {
+        // audit: allow(wall-clock) — telemetry: feeds the report's elapsed
+        // seconds, never a numeric decision.
+        #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
         let dims = self.workload.dims();
         let mapping = ProblemMapping::new(dims);
@@ -156,6 +159,8 @@ impl<'w> DataflowFvSolver<'w> {
         let mut history = ConvergenceHistory::starting_from(rr as f64);
         machine
             .advance(CgEvent::Initialized)
+            // audit: allow(panic) — invariant: Initialized is the one event the
+            // table accepts in Init; the machine was constructed one line up.
             .expect("Init -> IterCheck");
 
         let mut d_ad = 0.0f32;
@@ -174,6 +179,8 @@ impl<'w> DataflowFvSolver<'w> {
             });
             machine
                 .advance(CgEvent::BudgetExhausted)
+                // audit: allow(panic) — invariant: the machine sits in IterCheck
+                // right after Initialized, where BudgetExhausted is accepted.
                 .expect("IterCheck -> Done");
         } else if let Flow::Stop(reason) = monitor.on_event(&SolveEvent::Started {
             initial_rr: rr as f64,
@@ -222,12 +229,18 @@ impl<'w> DataflowFvSolver<'w> {
                         if d_ad <= 0.0 || !d_ad.is_finite() {
                             // Breakdown (loss of positive definiteness in f32):
                             // terminate cleanly rather than diverge.
-                            machine.advance(CgEvent::ScalarReady).expect("alpha");
-                            machine.advance(CgEvent::UpdateComplete).expect("sol");
-                            machine.advance(CgEvent::UpdateComplete).expect("res");
-                            machine.advance(CgEvent::LocalDotReady).expect("rr");
-                            machine.advance(CgEvent::ReduceComplete).expect("reduce");
-                            machine.advance(CgEvent::Converged).expect("done");
+                            for event in [
+                                CgEvent::ScalarReady,
+                                CgEvent::UpdateComplete,
+                                CgEvent::UpdateComplete,
+                                CgEvent::LocalDotReady,
+                                CgEvent::ReduceComplete,
+                                CgEvent::Converged,
+                            ] {
+                                // audit: allow(panic) — invariant: this unwind walks the
+                                // ComputeAlpha row of the total transition table in order.
+                                machine.advance(event).expect("breakdown unwind");
+                            }
                             continue;
                         }
                         alpha = rr / d_ad;
@@ -309,10 +322,14 @@ impl<'w> DataflowFvSolver<'w> {
                     }
                     CgEvent::ScalarReady
                 }
+                // audit: allow(panic) — invariant: the `while !machine.is_done()`
+                // loop never re-enters Init and exits before Done is matched.
                 CgState::Init | CgState::Done => unreachable!("handled outside the loop"),
             };
             machine
                 .advance(event)
+                // audit: allow(panic) — invariant: every arm above emits the
+                // event its state row accepts; the table is total for them.
                 .expect("transition table is total for generated events");
         }
 

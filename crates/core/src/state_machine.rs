@@ -314,6 +314,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::disallowed_types)] // test-only set; iteration order unused
     fn every_state_is_reachable_from_init() {
         // Walk one converging run and one budget-exhausted run; together they must
         // visit all 14 states.

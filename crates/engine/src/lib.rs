@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mffv-engine — concurrent batch-solve engine
 //!
 //! The execution subsystem that turns the one-solve-at-a-time `Simulation`

@@ -84,6 +84,9 @@ impl Engine {
     ///   from its spec and seed, so its report is bitwise identical to a
     ///   serial run of the same spec.
     pub fn run(&self, jobs: Vec<JobSpec>) -> BatchReport {
+        // audit: allow(wall-clock) — telemetry: feeds BatchReport.wall_seconds
+        // (throughput stats), never a numeric decision.
+        #[allow(clippy::disallowed_methods)]
         let started = Instant::now();
         let total = jobs.len();
         let queue: BoundedQueue<(usize, JobSpec)> = BoundedQueue::new(self.queue_capacity);
@@ -126,6 +129,9 @@ impl Engine {
             .into_inner()
             .unwrap_or_else(PoisonError::into_inner)
             .into_iter()
+            // audit: allow(panic) — invariant: queue.close() plus the scope
+            // join guarantee every submitted index was popped and its slot
+            // written before we get here (panicking jobs are caught earlier).
             .map(|slot| slot.expect("every queued job writes its result slot"))
             .collect();
         BatchReport::new(
@@ -141,6 +147,9 @@ impl Engine {
 /// the partial report.
 fn execute_job(index: usize, job: &JobSpec, engine_token: Option<&CancelToken>) -> JobOutcome {
     let label = job.label();
+    // audit: allow(wall-clock) — telemetry: feeds JobOutcome.latency_seconds,
+    // never a numeric decision.
+    #[allow(clippy::disallowed_methods)]
     let started = Instant::now();
     let status = match catch_unwind(AssertUnwindSafe(|| job.execute_cancellable(engine_token))) {
         Ok(Ok(report)) => match report.stopped {

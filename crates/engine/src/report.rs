@@ -95,17 +95,17 @@ impl BatchReport {
         if self.wall_seconds <= 0.0 {
             return 0.0;
         }
-        let work: f64 = self
-            .reports()
-            .map(|r| r.pressure.dims().num_cells() as f64 * r.iterations() as f64)
-            .sum();
+        let work = mffv_mesh::seq_sum(
+            self.reports()
+                .map(|r| r.pressure.dims().num_cells() as f64 * r.iterations() as f64),
+        );
         work / self.wall_seconds
     }
 
     /// Sum of per-job latencies — the serial-execution time the pool
     /// amortised; `busy_seconds / wall_seconds` is the effective parallelism.
     pub fn busy_seconds(&self) -> f64 {
-        self.outcomes.iter().map(|o| o.latency_seconds).sum()
+        mffv_mesh::seq_sum(self.outcomes.iter().map(|o| o.latency_seconds))
     }
 }
 

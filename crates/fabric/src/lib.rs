@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mffv-fabric
 //!
 //! A software simulator of a wafer-scale **dataflow fabric** in the style of the

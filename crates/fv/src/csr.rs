@@ -66,11 +66,18 @@ impl<T: Scalar> CsrMatrix<T> {
             segment.sort_by_key(|&(c, _)| c);
             let row_start = col_indices.len();
             for &(c, v) in segment.iter() {
-                if col_indices.len() > row_start && *col_indices.last().unwrap() == c {
-                    *values.last_mut().unwrap() += v;
-                } else {
-                    col_indices.push(c);
-                    values.push(v);
+                // Merge a duplicate into the entry just pushed for this row;
+                // the `last_mut` match keeps the hot loop free of unwraps.
+                match (col_indices.last(), values.last_mut()) {
+                    (Some(&last_col), Some(last_val))
+                        if col_indices.len() > row_start && last_col == c =>
+                    {
+                        *last_val += v;
+                    }
+                    _ => {
+                        col_indices.push(c);
+                        values.push(v);
+                    }
                 }
             }
             row_offsets.push(col_indices.len());

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mffv-fv
 //!
 //! Finite-volume physics for the single-phase incompressible Darcy problem of the
@@ -39,6 +40,11 @@ pub use plan::{
 };
 pub use residual::{newton_rhs, residual};
 pub use velocity::FluxField;
+// The small-scale deterministic folds live in `mffv-mesh` (the bottom of the
+// crate stack, so mesh itself can use them without a cycle); re-exported here
+// beside `det_dot`/`det_norm_squared` so solver-side code finds the whole
+// blessed-reduction family in one place.
+pub use mffv_mesh::reduce::{seq_mean, seq_sum};
 
 /// Convenient glob import.
 pub mod prelude {

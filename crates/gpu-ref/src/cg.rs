@@ -80,6 +80,9 @@ impl<'w> GpuReferenceSolver<'w> {
     /// `monitor`, which may stop the solve early — the partial pressure and
     /// history are still downloaded and reported.
     pub fn solve_monitored(&self, monitor: &mut dyn SolveMonitor) -> GpuSolveReport {
+        // audit: allow(wall-clock) — telemetry: feeds the report's elapsed
+        // seconds, never a numeric decision.
+        #[allow(clippy::disallowed_methods)]
         let start = std::time::Instant::now();
         let operator = GpuMatrixFreeOperator::from_workload(self.workload);
         let mut transfers = HostDeviceTransfers::default();

@@ -162,6 +162,8 @@ impl GpuMatrixFreeOperator {
             }
             handles
                 .into_iter()
+                // audit: allow(panic) — invariant: join only fails if a block
+                // closure panicked, which is itself a bug worth propagating.
                 .map(|h| h.join().expect("block execution panicked"))
                 .collect()
         });

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mffv-gpu-ref
 //!
 //! The reference implementation the paper compares against (§IV): a matrix-free FV

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mffv-mesh
 //!
 //! Structured 3-D Cartesian meshes and cell-centred fields for the matrix-free
@@ -28,6 +29,7 @@ pub mod field;
 pub mod mesh;
 pub mod neighbors;
 pub mod permeability;
+pub mod reduce;
 pub mod rng;
 pub mod scalar;
 pub mod transient;
@@ -41,6 +43,7 @@ pub use field::CellField;
 pub use mesh::CartesianMesh;
 pub use neighbors::Direction;
 pub use permeability::PermeabilityModel;
+pub use reduce::{seq_mean, seq_sum};
 pub use scalar::Scalar;
 pub use transient::{DtPolicy, TransientSpec};
 pub use transmissibility::Transmissibilities;

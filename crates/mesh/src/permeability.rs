@@ -185,9 +185,10 @@ pub fn contrast_ratio(perm: &CellField<f64>) -> f64 {
     hi / lo
 }
 
-/// Arithmetic mean of a permeability field.
+/// Arithmetic mean of a permeability field (explicitly sequential fold: the
+/// value feeds reports that must be bitwise-reproducible).
 pub fn mean(perm: &CellField<f64>) -> f64 {
-    perm.as_slice().iter().sum::<f64>() / perm.len() as f64
+    crate::reduce::seq_sum(perm.as_slice().iter().copied()) / perm.len() as f64
 }
 
 /// Evaluate the layer index a given depth belongs to (exposed for tests).

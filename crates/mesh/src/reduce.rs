@@ -1,0 +1,87 @@
+//! Explicitly sequential deterministic folds.
+//!
+//! Floating-point addition is not associative, so `Iterator::sum` — whose
+//! documentation makes no ordering promise, and whose specialisations are free
+//! to reassociate — is banned in the bitwise-contract crates by the
+//! `float-reduction` audit rule (see `AUDIT.md`).  The helpers here are the
+//! blessed small-scale alternative: a plain left fold in iteration order,
+//! guaranteed to stay that way.  They complement, not replace, the solver's
+//! large-scale deterministic reductions (`mffv_solver::reduction` for the
+//! fabric all-reduce order, `mffv_fv::plan::det_dot` for the slab order): use
+//! those on field-sized data, these for small per-report aggregates (well
+//! totals, Dirichlet means, latency sums) where the contract is simply "the
+//! same inputs in the same order produce the same bits".
+//!
+//! This module lives in `mffv-mesh` — the bottom of the crate stack — so every
+//! layer (mesh itself, fv, solver, engine, the umbrella crate) can share one
+//! implementation without a dependency cycle; `mffv-fv` re-exports it.
+
+use crate::scalar::Scalar;
+
+/// Sum `values` by a plain sequential left fold in iteration order.
+///
+/// Bitwise-deterministic for a given input sequence: no pairwise splitting, no
+/// SIMD reassociation, no iterator-specialisation surprises.
+pub fn seq_sum<T: Scalar>(values: impl IntoIterator<Item = T>) -> T {
+    let mut acc = T::ZERO;
+    for v in values {
+        acc += v;
+    }
+    acc
+}
+
+/// Arithmetic mean via [`seq_sum`]; zero for an empty sequence.
+pub fn seq_mean<T: Scalar>(values: impl IntoIterator<Item = T>) -> T {
+    let mut acc = T::ZERO;
+    let mut n = 0usize;
+    for v in values {
+        acc += v;
+        n += 1;
+    }
+    if n == 0 {
+        T::ZERO
+    } else {
+        acc / T::from_f64(n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_sum_is_the_left_fold() {
+        // Catastrophic-cancellation ordering: left fold loses the tiny value,
+        // so equality with the explicit loop proves the order is sequential.
+        let values = [1.0e16f64, 1.0, -1.0e16];
+        let mut expected = 0.0f64;
+        for v in values {
+            expected += v;
+        }
+        assert_eq!(seq_sum(values).to_bits(), expected.to_bits());
+        assert_eq!(seq_sum(values), 0.0); // the 1.0 was absorbed
+    }
+
+    #[test]
+    fn seq_sum_empty_is_zero() {
+        assert_eq!(seq_sum::<f64>([]), 0.0);
+        assert_eq!(seq_sum::<f32>([]), 0.0);
+    }
+
+    #[test]
+    fn seq_mean_matches_sum_over_len_and_handles_empty() {
+        let values = [2.0f64, 4.0, 9.0];
+        assert_eq!(seq_mean(values), (2.0 + 4.0 + 9.0) / 3.0);
+        assert_eq!(seq_mean::<f64>([]), 0.0);
+    }
+
+    #[test]
+    fn seq_sum_works_in_f32() {
+        let values = [0.1f32, 0.2, 0.3];
+        let mut expected = 0.0f32;
+        for v in values {
+            expected += v;
+        }
+        assert_eq!(seq_sum(values).to_bits(), expected.to_bits());
+    }
+}

@@ -214,7 +214,10 @@ impl WellSet {
     /// controls, non-empty schedule windows, and no two wells sharing a
     /// completion cell.
     pub fn validate(&self, dims: Dims) -> Result<(), WorkloadError> {
-        let mut seen = std::collections::HashSet::new();
+        // BTreeSet, not HashSet: validation error messages surface the first
+        // duplicate in iteration order, which must not vary with the hash seed
+        // (nondet-iter audit rule).
+        let mut seen = std::collections::BTreeSet::new();
         for well in &self.wells {
             well.validate(dims)?;
             if !seen.insert(dims.linear(well.cell)) {

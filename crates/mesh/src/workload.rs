@@ -276,6 +276,8 @@ impl Workload {
     /// when the spec is invalid (see [`Workload::try_from_spec`]).
     pub fn from_spec(spec: &WorkloadSpec) -> Self {
         Self::try_from_spec(spec)
+            // audit: allow(panic) — invariant: documented panicking constructor;
+            // fallible callers use try_from_spec, the engine validates at intake.
             .unwrap_or_else(|e| panic!("invalid workload `{}`: {e}", spec.name))
     }
 
@@ -359,12 +361,9 @@ impl Workload {
     /// An initial pressure guess: the mean of the Dirichlet values everywhere (or
     /// zero when there are none), with the Dirichlet values imposed exactly.
     pub fn initial_pressure<T: crate::scalar::Scalar>(&self) -> CellField<T> {
-        let mean = if self.dirichlet.is_empty() {
-            0.0
-        } else {
-            self.dirichlet.cells().iter().map(|c| c.value).sum::<f64>()
-                / self.dirichlet.len() as f64
-        };
+        // Sequential fold: the initial guess seeds the CG iteration, so its
+        // bits are part of the solve's determinism contract.
+        let mean = crate::reduce::seq_mean(self.dirichlet.cells().iter().map(|c| c.value));
         let mut p = CellField::constant(self.dims(), T::from_f64(mean));
         self.dirichlet.impose(&mut p);
         p

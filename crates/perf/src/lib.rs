@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mffv-perf
 //!
 //! The performance-analysis layer of the reproduction: machine descriptions,

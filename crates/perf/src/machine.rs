@@ -86,6 +86,8 @@ impl MachineSpec {
             .bandwidths
             .iter()
             .min_by(|a, b| a.bytes_per_second.total_cmp(&b.bytes_per_second))
+            // audit: allow(panic) — invariant: every MachineSpec constructor
+            // installs at least one bandwidth level.
             .expect("a machine needs at least one bandwidth level")
     }
 

@@ -45,6 +45,8 @@ impl Roofline {
             Some(name) => {
                 self.spec
                     .bandwidth(name)
+                    // audit: allow(panic) — invariant: documented panicking
+                    // lookup; callers pass names enumerated by the spec itself.
                     .expect("unknown bandwidth level")
                     .bytes_per_second
             }
@@ -65,6 +67,8 @@ impl Roofline {
             Some(name) => {
                 self.spec
                     .bandwidth(name)
+                    // audit: allow(panic) — invariant: documented panicking
+                    // lookup; callers pass names enumerated by the spec itself.
                     .expect("unknown bandwidth level")
                     .bytes_per_second
             }

@@ -61,6 +61,9 @@ impl Bencher {
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
         // One untimed warm-up call, then the timed loop.
         black_box(routine());
+        // The bench shim's whole job is timing; outside the audit's scan roots
+        // but still under the clippy.toml wall-clock mirror.
+        #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
         for _ in 0..self.iterations {
             black_box(routine());

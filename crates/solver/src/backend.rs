@@ -421,6 +421,9 @@ impl SolveBackend for HostBackend {
         config: &SolveConfig,
         monitor: &mut dyn SolveMonitor,
     ) -> Result<SolveReport, SolveError> {
+        // audit: allow(wall-clock) — telemetry: feeds SolveReport.elapsed
+        // seconds, never a numeric decision.
+        #[allow(clippy::disallowed_methods)]
         let start = std::time::Instant::now();
         let solver = ConjugateGradient::with_tolerance(
             config.effective_tolerance(workload),

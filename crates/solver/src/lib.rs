@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mffv-solver
 //!
 //! Krylov solvers for the FV linear systems: the conjugate-gradient method of the

@@ -448,7 +448,12 @@ impl SolveMonitor for PolicySession {
     fn on_event(&mut self, event: &SolveEvent) -> Flow {
         match *event {
             SolveEvent::Started { initial_rr } => {
-                self.started_at = Some(Instant::now());
+                // Blessed wall-clock home (deadline enforcement lives here);
+                // see clippy.toml and AUDIT.md rule 5.
+                #[allow(clippy::disallowed_methods)]
+                {
+                    self.started_at = Some(Instant::now());
+                }
                 self.best_rr = initial_rr;
                 self.stale_iterations = 0;
                 match self.ambient_stop() {

@@ -235,6 +235,8 @@ pub fn solve_step<T: Scalar>(
 ) -> StepOutcome {
     PlannedStepper::<T>::new(request.workload, config)
         .step(request, config, monitor)
+        // audit: allow(panic) — invariant: PlannedStepper::step's only error
+        // path is a dims mismatch, and new() just built it from this workload.
         .expect("the planned stepper is infallible")
 }
 
@@ -271,7 +273,7 @@ impl TransientStep {
 
     /// Total well inflow during the step (m³/s; production counts negative).
     pub fn well_inflow(&self) -> f64 {
-        self.well_rates.iter().sum()
+        mffv_fv::seq_sum(self.well_rates.iter().copied())
     }
 
     /// Discrete mass-balance defect of the step (m³/s): accumulation minus
@@ -376,12 +378,12 @@ impl TransientReport {
 
     /// Total volume injected by all wells (m³, ≥ 0).
     pub fn total_injected(&self) -> f64 {
-        self.wells.iter().map(|w| w.injected).sum()
+        mffv_fv::seq_sum(self.wells.iter().map(|w| w.injected))
     }
 
     /// Total volume produced by all wells (m³, ≥ 0).
     pub fn total_produced(&self) -> f64 {
-        self.wells.iter().map(|w| w.produced).sum()
+        mffv_fv::seq_sum(self.wells.iter().map(|w| w.produced))
     }
 
     /// The worst per-step mass-balance defect (m³/s).
@@ -389,6 +391,8 @@ impl TransientReport {
         self.steps
             .iter()
             .map(|s| s.mass_balance_error().abs())
+            // audit: allow(float-reduction) — reassociation-safe: max is
+            // associative and commutative over the non-NaN values here.
             .fold(0.0, f64::max)
     }
 
@@ -490,6 +494,10 @@ pub fn run_transient(
         }
     }
 
+    // audit: allow(wall-clock) — deadline: anchors the run's shared
+    // StopPolicy deadline (consume_deadline) and elapsed-seconds telemetry;
+    // it never feeds the numerics of a step.
+    #[allow(clippy::disallowed_methods)]
     let started = std::time::Instant::now();
     let mut pressure: CellField<f64> = match spec.initial_pressure {
         Some(p0) => {
@@ -543,6 +551,9 @@ pub fn run_transient(
             time,
             dt,
         };
+        // audit: allow(wall-clock) — telemetry: feeds the per-step report's
+        // elapsed seconds, never a numeric decision.
+        #[allow(clippy::disallowed_methods)]
         let step_started = std::time::Instant::now();
         let outcome = if policy.is_empty() {
             stepper.step(&request, config, &mut NullMonitor)?

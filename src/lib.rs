@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # mffv — Matrix-Free Finite Volume Kernels on a (simulated) Dataflow Architecture
 //!
 //! Umbrella crate for the whole workspace, and home of the backend-agnostic

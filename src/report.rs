@@ -93,6 +93,8 @@ impl AgreementReport {
         self.pairwise
             .iter()
             .map(|p| p.max_abs_diff)
+            // audit: allow(float-reduction) — reassociation-safe: max is
+            // associative and commutative over the non-NaN values here.
             .fold(0.0, f64::max)
     }
 
@@ -101,6 +103,8 @@ impl AgreementReport {
         self.pairwise
             .iter()
             .map(|p| p.max_rel_diff)
+            // audit: allow(float-reduction) — reassociation-safe: max is
+            // associative and commutative over the non-NaN values here.
             .fold(0.0, f64::max)
     }
 

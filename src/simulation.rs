@@ -34,7 +34,7 @@ use mffv_mesh::{TransientSpec, Workload, WorkloadSpec};
 use mffv_solver::backend::{Precision, SolveConfig, SolveError};
 use mffv_solver::monitor::{CancelToken, MonitorFanout, SolveMonitor, StopPolicy};
 use mffv_solver::transient::{run_transient, TransientReport};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Builder facade over the three solver implementations.
@@ -365,14 +365,18 @@ impl Simulation {
 /// configurations in one comparison stay distinguishable in
 /// [`AgreementReport`] lookups and pairwise tables).  Shared by
 /// [`Simulation::run_all`] and [`Simulation::batch`].
+///
+/// Keyed on a `BTreeMap`, not a `HashMap`: suffix assignment must depend only
+/// on submission order, never on hash-seed-dependent iteration (the
+/// `nondet-iter` audit rule — see `AUDIT.md`).
 struct NameDisambiguator {
-    seen: HashMap<String, usize>,
+    seen: BTreeMap<String, usize>,
 }
 
 impl NameDisambiguator {
     fn new() -> Self {
         Self {
-            seen: HashMap::new(),
+            seen: BTreeMap::new(),
         }
     }
 

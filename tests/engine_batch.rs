@@ -252,3 +252,61 @@ fn per_job_stop_policies_ride_through_the_engine() {
         full.history.residual_norms_squared[..4].to_vec()
     );
 }
+
+#[test]
+fn duplicate_backend_name_suffixes_are_deterministic_in_submission_order() {
+    // Regression for the NameDisambiguator: suffix assignment is keyed on a
+    // BTreeMap, so `#2`/`#3` ordinals must depend only on submission order —
+    // identical across worker counts and repeated runs, never on hash-map
+    // iteration order.
+    let spec = WorkloadSpec {
+        name: "dedup-itest".to_string(),
+        tolerance: 1e-8,
+        ..WorkloadSpec::quickstart()
+    };
+    let sim = Simulation::from_spec(&spec)
+        .backend(Backend::dataflow())
+        .backend(Backend::host())
+        .backend(Backend::dataflow())
+        .backend(Backend::dataflow());
+
+    let expected_dataflow = ["dataflow", "dataflow#2", "dataflow#3"];
+    for workers in [1usize, 2, 8] {
+        let batch = sim.batch(workers);
+        assert!(batch.all_succeeded(), "{workers} workers");
+        let names: Vec<&str> = batch
+            .outcomes
+            .iter()
+            .map(|o| o.report().unwrap().backend.as_str())
+            .collect();
+        assert_eq!(names.len(), 4, "{workers} workers");
+        // Dataflow duplicates gain ordinals in submission order; the host job
+        // keeps its undecorated name.
+        assert_eq!(
+            [names[0], names[2], names[3]],
+            expected_dataflow,
+            "{workers} workers"
+        );
+        assert!(!names[1].contains('#'), "{workers} workers: {}", names[1]);
+        // Relabelled outcomes keep their labels in sync with the report name.
+        assert!(
+            batch.outcomes[3].label.ends_with("dataflow#3"),
+            "{workers} workers: {}",
+            batch.outcomes[3].label
+        );
+    }
+
+    // The serial path must agree with the engine path name-for-name.
+    let serial: Vec<String> = sim
+        .run_all()
+        .into_iter()
+        .map(|(_, outcome)| outcome.expect("serial solve failed").backend)
+        .collect();
+    assert_eq!(
+        serial,
+        vec!["dataflow", "host-f64", "dataflow#2", "dataflow#3"]
+            .into_iter()
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    );
+}
