@@ -28,7 +28,8 @@ pub enum RuleId {
     /// Missing `#![forbid(unsafe_code)]` on crate roots; unsafe blocks
     /// without a `SAFETY:` comment and an `UNSAFE_LEDGER.md` entry.
     Unsafe,
-    /// Wall-clock reads outside `mffv-perf` and the monitor/deadline module.
+    /// Wall-clock reads outside `mffv-perf`, `mffv-telemetry` and the
+    /// monitor/deadline module.
     WallClock,
     /// `Ordering::Relaxed` on atomics (cross-thread control flow must use
     /// acquire/release or stronger).
@@ -92,13 +93,14 @@ impl std::fmt::Display for Finding {
 /// Crates whose reports/fixtures are contractually submission-ordered or
 /// bitwise-reproducible: hash-ordered iteration and unblessed float
 /// reductions are forbidden here (rules 1 and 2).
-const ORDERED_CRATES: [&str; 6] = [
+const ORDERED_CRATES: [&str; 7] = [
     "mffv",
     "mffv-engine",
     "mffv-solver",
     "mffv-fv",
     "mffv-mesh",
     "mffv-core",
+    "mffv-telemetry",
 ];
 
 /// Files that ARE the blessed deterministic-reduction implementations: the
@@ -113,7 +115,9 @@ const REDUCTION_HOMES: [&str; 3] = [
 ];
 
 /// Modules allowed to read the wall clock: the perf crate exists to time
-/// things, and the monitor module implements deadline stop policies.
+/// things, the telemetry crate is the blessed home for every other timing
+/// read (`Stopwatch`, tracer epochs), and the monitor module implements
+/// deadline stop policies.
 const WALL_CLOCK_HOMES: [&str; 1] = ["crates/solver/src/monitor.rs"];
 
 /// Per-file facts derived from the workspace-relative path.
@@ -401,11 +405,15 @@ fn rule_unsafe(
 }
 
 /// Rule 5 — wall-clock: `Instant::now`/`SystemTime` forbidden outside
-/// `mffv-perf` and the monitor/deadline module.  Elapsed-time *telemetry*
-/// (latency fields on reports) is fine when annotated; a wall-clock read that
-/// feeds a numeric decision silently breaks run-to-run reproducibility.
+/// `mffv-perf`, `mffv-telemetry` and the monitor/deadline module.
+/// Elapsed-time *telemetry* belongs in `mffv-telemetry` (`Stopwatch`, span
+/// clocks) so report latency fields need no per-line waivers; a wall-clock
+/// read anywhere else either moves behind those types or explains itself —
+/// one that feeds a numeric decision silently breaks run-to-run
+/// reproducibility.
 fn rule_wall_clock(file: &ScannedFile, ctx: &FileContext, out: &mut Vec<Finding>) {
     if ctx.crate_name == "mffv-perf"
+        || ctx.crate_name == "mffv-telemetry"
         || WALL_CLOCK_HOMES.contains(&file.rel_path.as_str())
         || ctx.is_test_path
     {
@@ -422,8 +430,8 @@ fn rule_wall_clock(file: &ScannedFile, ctx: &FileContext, out: &mut Vec<Finding>
                 file: file.rel_path.clone(),
                 line: line.number,
                 rule: RuleId::WallClock,
-                message: "wall-clock read outside mffv-perf / the monitor deadline module".into(),
-                suggestion: "move timing into mffv-perf, or annotate `audit: allow(wall-clock) — telemetry: <what it feeds>`".into(),
+                message: "wall-clock read outside mffv-perf / mffv-telemetry / the monitor deadline module".into(),
+                suggestion: "time through mffv_telemetry::Stopwatch (or move into mffv-perf), or annotate `audit: allow(wall-clock) — telemetry: <what it feeds>`".into(),
             });
         }
     }

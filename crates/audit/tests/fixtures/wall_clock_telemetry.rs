@@ -1,0 +1,27 @@
+// Fixture: rule `wall-clock` and the blessed-home exemption — idiomatic
+// mffv-telemetry timing code (a Stopwatch-style wrapper) with raw, completely
+// unannotated clock reads.  Analyzed under `crates/telemetry/...` this must
+// stay silent (the whole crate is a blessed wall-clock home); under any other
+// non-exempt crate the same source must fire once per clock read.
+pub struct FakeStopwatch {
+    started: std::time::Instant,
+}
+
+impl FakeStopwatch {
+    pub fn start() -> FakeStopwatch {
+        FakeStopwatch {
+            started: std::time::Instant::now(),
+        }
+    }
+
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+pub fn unix_epoch_seconds() -> u64 {
+    match std::time::SystemTime::now().duration_since(std::time::SystemTime::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

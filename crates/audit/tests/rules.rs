@@ -169,6 +169,30 @@ fn wall_clock_is_allowed_in_perf_monitor_and_annotated_sites() {
     assert!(!rules_only(&monitor).contains(&RuleId::WallClock));
 }
 
+#[test]
+fn wall_clock_blesses_the_telemetry_crate_as_a_home() {
+    // Idiomatic Stopwatch-style code with raw, unannotated clock reads is
+    // clean inside mffv-telemetry — the crate IS the blessed timing home…
+    let telemetry = findings_at(
+        "crates/telemetry/src/fake.rs",
+        "wall_clock_telemetry.rs",
+        None,
+    );
+    assert!(
+        !rules_only(&telemetry).contains(&RuleId::WallClock),
+        "telemetry home tripped wall-clock: {telemetry:?}"
+    );
+    // …while byte-identical source in a non-exempt crate fires once per
+    // clock read (Instant::now + SystemTime), proving the exemption is
+    // path-scoped rather than pattern-scoped.
+    let engine = findings_at("crates/engine/src/fake.rs", "wall_clock_telemetry.rs", None);
+    let hits: Vec<_> = engine
+        .iter()
+        .filter(|&&(_, r)| r == RuleId::WallClock)
+        .collect();
+    assert_eq!(hits.len(), 2, "expected 2 wall-clock findings: {engine:?}");
+}
+
 // ------------------------------------------------------------ atomics-ordering
 
 #[test]

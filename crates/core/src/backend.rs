@@ -15,6 +15,7 @@ use mffv_solver::backend::{
     DeviceSection, Precision, SolveBackend, SolveConfig, SolveError, SolveReport,
 };
 use mffv_solver::monitor::{NullMonitor, SolveMonitor};
+use mffv_solver::trace::{Span, TraceMonitor};
 
 /// The simulated WSE-2 dataflow fabric as a facade backend.
 #[derive(Clone, Copy, Debug, Default)]
@@ -62,6 +63,7 @@ impl DataflowBackend {
         workload: &Workload,
         config: &SolveConfig,
         monitor: &mut dyn SolveMonitor,
+        span: &Span,
     ) -> Result<SolveReport, SolveError> {
         let mut options = self.options;
         if let Some(tolerance) = config.tolerance {
@@ -70,14 +72,20 @@ impl DataflowBackend {
         if let Some(max_iterations) = config.max_iterations {
             options = options.with_max_iterations(max_iterations);
         }
+        let build = span.child("build-fabric-program");
         let solver = match self.spec {
             Some(spec) => DataflowFvSolver::with_spec(workload, options, spec),
             None => DataflowFvSolver::new(workload, options),
         };
+        build.finish();
         let spec = *solver.spec();
-        let report = solver
-            .solve_monitored(monitor)
-            .map_err(|e| SolveError::new(self.name(), e.to_string()))?;
+        let report = if span.is_recording() {
+            let mut traced = TraceMonitor::new(span, monitor);
+            solver.solve_monitored(&mut traced)
+        } else {
+            solver.solve_monitored(monitor)
+        }
+        .map_err(|e| SolveError::new(self.name(), e.to_string()))?;
         Ok(self.unify(spec, report))
     }
 
@@ -153,7 +161,7 @@ impl SolveBackend for DataflowBackend {
     }
 
     fn solve(&self, workload: &Workload, config: &SolveConfig) -> Result<SolveReport, SolveError> {
-        self.run(workload, config, &mut NullMonitor)
+        self.run(workload, config, &mut NullMonitor, &Span::null())
     }
 
     fn solve_monitored(
@@ -162,7 +170,17 @@ impl SolveBackend for DataflowBackend {
         config: &SolveConfig,
         monitor: &mut dyn SolveMonitor,
     ) -> Result<SolveReport, SolveError> {
-        self.run(workload, config, monitor)
+        self.run(workload, config, monitor, &Span::null())
+    }
+
+    fn solve_traced(
+        &self,
+        workload: &Workload,
+        config: &SolveConfig,
+        monitor: &mut dyn SolveMonitor,
+        span: &Span,
+    ) -> Result<SolveReport, SolveError> {
+        self.run(workload, config, monitor, span)
     }
 }
 

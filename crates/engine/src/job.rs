@@ -10,8 +10,9 @@
 use crate::backend::Backend;
 use mffv_mesh::{TransientSpec, Workload, WorkloadSpec};
 use mffv_solver::backend::{SolveConfig, SolveError, SolveReport};
-use mffv_solver::monitor::{CancelToken, StopPolicy, StopReason};
-use mffv_solver::transient::run_transient;
+use mffv_solver::monitor::{CancelToken, NullMonitor, StopPolicy, StopReason};
+use mffv_solver::transient::run_transient_traced;
+use mffv_telemetry::Span;
 
 /// One unit of work for the engine: solve `workload_spec` on `backend` under
 /// `solve_config`, with stochastic permeability reseeded from `seed` and the
@@ -160,34 +161,59 @@ impl JobSpec {
         &self,
         engine_token: Option<&CancelToken>,
     ) -> Result<SolveReport, SolveError> {
+        self.execute_traced(engine_token, &Span::null())
+    }
+
+    /// [`execute_cancellable`](Self::execute_cancellable), additionally
+    /// recording phase spans under `span` (workload materialisation, then the
+    /// solve or transient schedule).  On a null span this is byte-for-byte
+    /// the untraced path — the engine threads each job's span through here,
+    /// and traced batches stay bitwise identical to untraced ones.
+    pub fn execute_traced(
+        &self,
+        engine_token: Option<&CancelToken>,
+        span: &Span,
+    ) -> Result<SolveReport, SolveError> {
         self.validate()?;
+        let materialise = span.child("materialise-workload");
         let workload = Workload::try_from_spec(&self.effective_spec())
             .map_err(|e| SolveError::new(self.backend.name(), format!("invalid workload: {e}")))?;
+        materialise.finish();
         let mut policy = self.stop_policy.clone();
         if let Some(token) = engine_token {
             policy = policy.cancel_token(token.clone());
         }
         if let Some(transient) = &self.transient {
             let backend = self.backend.instantiate();
-            let report = run_transient(
+            let report = run_transient_traced(
                 backend.as_ref(),
                 &workload,
                 transient,
                 &self.solve_config,
                 &policy,
+                span,
             )?;
             return Ok(report.summary_report());
         }
         if policy.is_empty() {
-            return self
-                .backend
-                .instantiate()
-                .solve(&workload, &self.solve_config);
+            if !span.is_recording() {
+                return self
+                    .backend
+                    .instantiate()
+                    .solve(&workload, &self.solve_config);
+            }
+            return self.backend.instantiate().solve_traced(
+                &workload,
+                &self.solve_config,
+                &mut NullMonitor,
+                span,
+            );
         }
-        self.backend.instantiate().solve_monitored(
+        self.backend.instantiate().solve_traced(
             &workload,
             &self.solve_config,
             &mut policy.session(),
+            span,
         )
     }
 }
@@ -227,12 +253,23 @@ pub struct JobOutcome {
     pub label: String,
     /// How the job ended.
     pub status: JobStatus,
-    /// Wall-clock seconds the job spent on its worker (validation +
-    /// materialisation + solve).
-    pub latency_seconds: f64,
+    /// Wall-clock seconds the job spent queued before a worker picked it up
+    /// (submission back-pressure; `0.0` for jobs cancelled while queued is
+    /// *not* special-cased — they report their real wait).
+    pub queue_wait_seconds: f64,
+    /// Wall-clock seconds the job spent executing on its worker (validation +
+    /// materialisation + solve).  `0.0` for jobs cancelled before they
+    /// started.
+    pub exec_seconds: f64,
 }
 
 impl JobOutcome {
+    /// Execution wall-clock seconds — the historical `latency_seconds` field,
+    /// kept as an accessor so report consumers see unchanged semantics.
+    pub fn latency_seconds(&self) -> f64 {
+        self.exec_seconds
+    }
+
     /// The solve report, when the job ran to completion.
     pub fn report(&self) -> Option<&SolveReport> {
         match &self.status {
@@ -410,7 +447,8 @@ mod tests {
             index: 0,
             label: job.label(),
             status: JobStatus::Panicked("boom".into()),
-            latency_seconds: 0.0,
+            queue_wait_seconds: 0.0,
+            exec_seconds: 0.0,
         };
         assert!(!outcome.is_success());
         assert!(outcome.report().is_none());

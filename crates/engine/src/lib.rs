@@ -56,8 +56,18 @@
 //!     .jobs();
 //! let report = Engine::new(2).run(jobs);
 //! assert!(report.all_succeeded());
-//! println!("{report}"); // per-job status + throughput + p50/p95 latency
+//! println!("{report}"); // per-job status + throughput + p50/p95/p99 latency
 //! ```
+//!
+//! ## Telemetry
+//!
+//! Every run collects per-worker busy/idle stats, a mergeable log₂-bucket
+//! execution-latency histogram and the queue's high-water depth into the
+//! [`BatchReport`].  Attach a recording `Tracer`
+//! ([`Engine::with_tracer`](pool::Engine::with_tracer)) to additionally get
+//! a span tree — `engine-batch` → per-job label → `queue-wait`/`execute` —
+//! exportable as a Chrome trace via `mffv_telemetry`; job results stay
+//! bitwise identical with tracing on or off.
 
 pub mod backend;
 pub mod job;
@@ -69,19 +79,22 @@ pub mod sweep;
 pub use backend::Backend;
 pub use job::{JobOutcome, JobSpec, JobStatus};
 pub use pool::Engine;
-pub use report::BatchReport;
+pub use report::{BatchReport, WorkerStats};
 pub use sweep::SweepBuilder;
 // The session-control vocabulary of `mffv-solver`, re-exported so engine
 // users can cancel batches and attach stop policies without a direct
 // `mffv-solver` dependency.
 pub use mffv_solver::monitor::{CancelToken, StopPolicy, StopReason};
+// Telemetry vocabulary for attaching tracers/registries to an engine.
+pub use mffv_telemetry::{LogHistogram, MetricsRegistry, Tracer};
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
     pub use crate::backend::Backend;
     pub use crate::job::{JobOutcome, JobSpec, JobStatus};
     pub use crate::pool::Engine;
-    pub use crate::report::BatchReport;
+    pub use crate::report::{BatchReport, WorkerStats};
     pub use crate::sweep::SweepBuilder;
     pub use mffv_solver::monitor::{CancelToken, StopPolicy, StopReason};
+    pub use mffv_telemetry::{LogHistogram, MetricsRegistry, Tracer};
 }

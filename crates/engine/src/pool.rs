@@ -1,20 +1,42 @@
 //! The worker-pool batch executor.
 //!
-//! [`Engine::run`] pushes `(index, JobSpec)` pairs through a
-//! [`BoundedQueue`] to a pool of scoped `std::thread` workers.  Each worker
-//! pops jobs, executes them behind [`std::panic::catch_unwind`], and writes
-//! the outcome into a result slot addressed by the job's submission index —
-//! so the returned [`BatchReport`] lists outcomes in submission order no
-//! matter how many workers ran or how execution interleaved, and a panicking
-//! job costs exactly one result slot, never the pool.
+//! [`Engine::run`] pushes queued jobs through a [`BoundedQueue`] to a pool
+//! of scoped `std::thread` workers.  Each worker pops jobs, executes them
+//! behind [`std::panic::catch_unwind`], and writes the outcome into a result
+//! slot addressed by the job's submission index — so the returned
+//! [`BatchReport`] lists outcomes in submission order no matter how many
+//! workers ran or how execution interleaved, and a panicking job costs
+//! exactly one result slot, never the pool.
+//!
+//! With a recording [`Tracer`] attached ([`Engine::with_tracer`]) the batch
+//! emits a span tree — `engine-batch` → one span per job label →
+//! `queue-wait` (opened at submission, closed at pop) and `execute` on the
+//! executing worker's lane — whose aggregated *shape* is identical for any
+//! worker count.  Per-worker busy/idle stats and a merged execution-latency
+//! histogram land in the report either way, and optionally in an attached
+//! [`MetricsRegistry`] ([`Engine::with_metrics`]).
 
 use crate::job::{JobOutcome, JobSpec, JobStatus};
 use crate::queue::BoundedQueue;
-use crate::report::BatchReport;
+use crate::report::{BatchReport, WorkerStats};
 use mffv_solver::monitor::{CancelToken, StopReason};
+use mffv_telemetry::{LogHistogram, MetricsRegistry, Span, Stopwatch, Tracer};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, PoisonError};
-use std::time::Instant;
+
+/// One queued unit of work: the job plus its telemetry context.  The
+/// `queue-wait` span is opened on the submitting thread and closed on the
+/// worker that pops the job — span parentage travels in the value.
+struct QueuedJob {
+    index: usize,
+    job: JobSpec,
+    /// Started at submission; read at pop for `queue_wait_seconds`.
+    queued: Stopwatch,
+    /// Per-job root span (child of `engine-batch`, named by the job label).
+    root: Span,
+    /// Open `queue-wait` child, finished the moment a worker dequeues.
+    wait: Span,
+}
 
 /// The concurrent batch-solve engine.
 #[derive(Clone, Debug)]
@@ -22,6 +44,8 @@ pub struct Engine {
     workers: usize,
     queue_capacity: usize,
     cancel: Option<CancelToken>,
+    tracer: Tracer,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl Engine {
@@ -33,6 +57,8 @@ impl Engine {
             workers,
             queue_capacity: workers * 2,
             cancel: None,
+            tracer: Tracer::disabled(),
+            metrics: None,
         }
     }
 
@@ -62,6 +88,21 @@ impl Engine {
         self
     }
 
+    /// Record batch execution as a span tree under `tracer`.  A disabled
+    /// tracer (the default) keeps every span operation a no-op; job results
+    /// are bitwise identical either way.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Publish batch rollups (job counts by status, queue high-water, the
+    /// merged execution-latency histogram) into `registry` after each run.
+    pub fn with_metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers
@@ -84,47 +125,86 @@ impl Engine {
     ///   from its spec and seed, so its report is bitwise identical to a
     ///   serial run of the same spec.
     pub fn run(&self, jobs: Vec<JobSpec>) -> BatchReport {
-        // audit: allow(wall-clock) — telemetry: feeds BatchReport.wall_seconds
-        // (throughput stats), never a numeric decision.
-        #[allow(clippy::disallowed_methods)]
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let total = jobs.len();
-        let queue: BoundedQueue<(usize, JobSpec)> = BoundedQueue::new(self.queue_capacity);
+        let batch_span = self.tracer.span("engine-batch");
+        let queue: BoundedQueue<QueuedJob> = BoundedQueue::new(self.queue_capacity);
         let slots: Mutex<Vec<Option<JobOutcome>>> = Mutex::new((0..total).map(|_| None).collect());
+        let spawned = self.workers.min(total.max(1));
+        // Each worker folds its stats locally (no per-job contention) and
+        // pushes one `(stats, histogram)` pair at shutdown.
+        let worker_stats: Mutex<Vec<(WorkerStats, LogHistogram)>> =
+            Mutex::new(Vec::with_capacity(spawned));
 
         std::thread::scope(|scope| {
-            let spawned = self.workers.min(total.max(1));
-            for _ in 0..spawned {
-                scope.spawn(|| {
-                    while let Some((index, job)) = queue.pop() {
+            for worker in 0..spawned {
+                let queue = &queue;
+                let slots = &slots;
+                let worker_stats = &worker_stats;
+                scope.spawn(move || {
+                    let mut local = WorkerStats {
+                        worker,
+                        jobs: 0,
+                        busy_seconds: 0.0,
+                    };
+                    let mut exec_hist = LogHistogram::new();
+                    while let Some(item) = queue.pop() {
+                        let queue_wait = item.queued.elapsed_seconds();
+                        item.wait.finish();
                         // A tripped batch token drains the queue instead of
                         // blocking the pool: jobs that never started report
-                        // `Stopped(Cancelled)` with no partial state.
+                        // `Stopped(Cancelled)` with no partial state (and no
+                        // execution latency — only their real queue wait).
                         let outcome = if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
                         {
                             JobOutcome {
-                                index,
-                                label: job.label(),
+                                index: item.index,
+                                label: item.job.label(),
                                 status: JobStatus::Stopped {
                                     reason: StopReason::Cancelled,
                                     report: None,
                                 },
-                                latency_seconds: 0.0,
+                                queue_wait_seconds: queue_wait,
+                                exec_seconds: 0.0,
                             }
                         } else {
-                            execute_job(index, &job, self.cancel.as_ref())
+                            let exec_span = item.root.child_on_lane("execute", worker as u32 + 1);
+                            let outcome = execute_job(
+                                item.index,
+                                &item.job,
+                                self.cancel.as_ref(),
+                                &exec_span,
+                                queue_wait,
+                            );
+                            exec_span.finish();
+                            local.busy_seconds += outcome.exec_seconds;
+                            exec_hist.record(outcome.exec_seconds);
+                            outcome
                         };
+                        local.jobs += 1;
+                        let index = outcome.index;
                         let mut slots = slots.lock().unwrap_or_else(PoisonError::into_inner);
                         slots[index] = Some(outcome);
                     }
+                    let mut stats = worker_stats.lock().unwrap_or_else(PoisonError::into_inner);
+                    stats.push((local, exec_hist));
                 });
             }
             for (index, job) in jobs.into_iter().enumerate() {
-                queue.push((index, job));
+                let root = batch_span.child(&job.label());
+                let wait = root.child("queue-wait");
+                queue.push(QueuedJob {
+                    index,
+                    job,
+                    queued: Stopwatch::start(),
+                    root,
+                    wait,
+                });
             }
             queue.close();
         });
 
+        let queue_high_water = queue.high_water();
         let outcomes: Vec<JobOutcome> = slots
             .into_inner()
             .unwrap_or_else(PoisonError::into_inner)
@@ -134,24 +214,46 @@ impl Engine {
             // written before we get here (panicking jobs are caught earlier).
             .map(|slot| slot.expect("every queued job writes its result slot"))
             .collect();
-        BatchReport::new(
-            outcomes,
-            self.workers.min(total.max(1)),
-            started.elapsed().as_secs_f64(),
-        )
+        let mut per_worker = worker_stats
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        per_worker.sort_by_key(|(stats, _)| stats.worker);
+        let mut exec_histogram = LogHistogram::new();
+        for (_, hist) in &per_worker {
+            exec_histogram.merge(hist);
+        }
+        batch_span.finish();
+        let report = BatchReport::new(outcomes, spawned, started.elapsed_seconds())
+            .with_engine_stats(
+                per_worker.into_iter().map(|(stats, _)| stats).collect(),
+                exec_histogram,
+                queue_high_water,
+            );
+        if let Some(metrics) = &self.metrics {
+            metrics.add("engine.jobs.submitted", report.jobs() as u64);
+            metrics.add("engine.jobs.ok", report.succeeded() as u64);
+            metrics.add("engine.jobs.stopped", report.stopped() as u64);
+            metrics.add("engine.jobs.failed", report.failed() as u64);
+            metrics.max_gauge("engine.queue.high_water", report.queue_high_water as f64);
+            metrics.merge_histogram("engine.exec_seconds", &report.exec_histogram);
+        }
+        report
     }
 }
 
-/// Run one job behind panic isolation, timing it.  An early-stopped solve
-/// (job policy or batch cancellation) becomes [`JobStatus::Stopped`] carrying
-/// the partial report.
-fn execute_job(index: usize, job: &JobSpec, engine_token: Option<&CancelToken>) -> JobOutcome {
+/// Run one job behind panic isolation, timing its execution.  An
+/// early-stopped solve (job policy or batch cancellation) becomes
+/// [`JobStatus::Stopped`] carrying the partial report.
+fn execute_job(
+    index: usize,
+    job: &JobSpec,
+    engine_token: Option<&CancelToken>,
+    span: &Span,
+    queue_wait_seconds: f64,
+) -> JobOutcome {
     let label = job.label();
-    // audit: allow(wall-clock) — telemetry: feeds JobOutcome.latency_seconds,
-    // never a numeric decision.
-    #[allow(clippy::disallowed_methods)]
-    let started = Instant::now();
-    let status = match catch_unwind(AssertUnwindSafe(|| job.execute_cancellable(engine_token))) {
+    let started = Stopwatch::start();
+    let status = match catch_unwind(AssertUnwindSafe(|| job.execute_traced(engine_token, span))) {
         Ok(Ok(report)) => match report.stopped {
             Some(reason) => JobStatus::Stopped {
                 reason,
@@ -172,7 +274,8 @@ fn execute_job(index: usize, job: &JobSpec, engine_token: Option<&CancelToken>) 
         index,
         label,
         status,
-        latency_seconds: started.elapsed().as_secs_f64(),
+        queue_wait_seconds,
+        exec_seconds: started.elapsed_seconds(),
     }
 }
 
@@ -252,5 +355,52 @@ mod tests {
         assert_eq!(engine.workers(), 1);
         assert_eq!(engine.queue_capacity(), 1);
         assert!(Engine::with_available_parallelism().workers() >= 1);
+    }
+
+    #[test]
+    fn engine_stats_cover_every_worker_and_job() {
+        let report = Engine::new(3).run(tiny_jobs(5));
+        assert_eq!(report.worker_stats.len(), 3);
+        let jobs: usize = report.worker_stats.iter().map(|w| w.jobs).sum();
+        assert_eq!(jobs, 5);
+        assert_eq!(report.exec_histogram.count(), 5);
+        assert!(report.queue_high_water >= 1);
+        assert!(report.queue_high_water <= Engine::new(3).queue_capacity());
+        for (i, w) in report.worker_stats.iter().enumerate() {
+            assert_eq!(w.worker, i);
+            assert!(w.busy_seconds <= report.busy_seconds() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn traced_batches_emit_a_span_per_job_with_wait_and_execute_children() {
+        let tracer = Tracer::new();
+        let jobs = tiny_jobs(4);
+        let report = Engine::new(2).with_tracer(tracer.clone()).run(jobs.clone());
+        assert!(report.all_succeeded());
+        let tree = tracer.phase_tree();
+        let batch = tree.find("engine-batch").expect("batch span");
+        for job in &jobs {
+            let job_node = batch.find(&job.label()).expect("per-job span");
+            assert!(job_node.find("queue-wait").is_some());
+            assert!(job_node.find("execute").is_some());
+        }
+    }
+
+    #[test]
+    fn metrics_registry_collects_batch_rollups() {
+        let registry = MetricsRegistry::new();
+        let report = Engine::new(2)
+            .with_metrics(registry.clone())
+            .run(tiny_jobs(3));
+        assert!(report.all_succeeded());
+        assert_eq!(registry.counter("engine.jobs.submitted"), 3);
+        assert_eq!(registry.counter("engine.jobs.ok"), 3);
+        assert_eq!(registry.counter("engine.jobs.failed"), 0);
+        assert!(registry.gauge("engine.queue.high_water").unwrap() >= 1.0);
+        assert_eq!(
+            registry.histogram("engine.exec_seconds").unwrap().count(),
+            3
+        );
     }
 }

@@ -14,6 +14,9 @@ use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 struct QueueState<T> {
     items: VecDeque<T>,
     closed: bool,
+    /// Largest number of items ever queued at once — the back-pressure
+    /// telemetry `BatchReport` surfaces as `queue_high_water`.
+    high_water: usize,
 }
 
 /// A blocking FIFO queue with a fixed capacity.
@@ -34,6 +37,7 @@ impl<T> BoundedQueue<T> {
             state: Mutex::new(QueueState {
                 items: VecDeque::new(),
                 closed: false,
+                high_water: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -66,8 +70,14 @@ impl<T> BoundedQueue<T> {
             return false;
         }
         state.items.push_back(item);
+        state.high_water = state.high_water.max(state.items.len());
         self.not_empty.notify_one();
         true
+    }
+
+    /// Largest queue depth observed so far.
+    pub fn high_water(&self) -> usize {
+        self.lock().high_water
     }
 
     /// Dequeue the oldest item, blocking while the queue is empty.  Returns
@@ -106,10 +116,12 @@ mod tests {
     #[test]
     fn fifo_order_within_capacity() {
         let q = BoundedQueue::new(4);
+        assert_eq!(q.high_water(), 0);
         assert!(q.push(1));
         assert!(q.push(2));
         assert!(q.push(3));
         q.close();
+        assert_eq!(q.high_water(), 3);
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), Some(3));

@@ -12,6 +12,7 @@ use mffv_solver::backend::{
     SolveReport,
 };
 use mffv_solver::monitor::SolveMonitor;
+use mffv_solver::trace::{Span, TraceMonitor};
 
 /// The GPU-style reference as a facade backend: the CUDA block/thread kernel
 /// structure executed on the host, with device time modelled on `spec`.
@@ -103,10 +104,27 @@ impl SolveBackend for GpuRefBackend {
         config: &SolveConfig,
         monitor: &mut dyn SolveMonitor,
     ) -> Result<SolveReport, SolveError> {
-        let report = GpuReferenceSolver::new(workload, self.spec)
+        self.solve_traced(workload, config, monitor, &Span::null())
+    }
+
+    fn solve_traced(
+        &self,
+        workload: &Workload,
+        config: &SolveConfig,
+        monitor: &mut dyn SolveMonitor,
+        span: &Span,
+    ) -> Result<SolveReport, SolveError> {
+        let build = span.child("build-device-model");
+        let solver = GpuReferenceSolver::new(workload, self.spec)
             .with_tolerance(config.effective_tolerance(workload))
-            .with_max_iterations(config.effective_max_iterations(workload))
-            .solve_monitored(monitor);
+            .with_max_iterations(config.effective_max_iterations(workload));
+        build.finish();
+        let report = if span.is_recording() {
+            let mut traced = TraceMonitor::new(span, monitor);
+            solver.solve_monitored(&mut traced)
+        } else {
+            solver.solve_monitored(monitor)
+        };
         Ok(self.unify(workload, report))
     }
 }

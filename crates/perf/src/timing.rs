@@ -16,6 +16,7 @@ use crate::opcount::CellOpCounts;
 use mffv_fabric::timing::WseSpec;
 use mffv_gpu_ref::device_model::{GpuSpec, GpuTimeModel};
 use mffv_mesh::Dims;
+use mffv_telemetry::LogHistogram;
 
 /// Best-of-`reps` wall time of `f` in seconds, after one untimed warmup —
 /// the measurement discipline shared by the kernel report binaries
@@ -60,6 +61,10 @@ pub struct LatencyStats {
     pub p50: f64,
     /// Nearest-rank 95th percentile, s.
     pub p95: f64,
+    /// Nearest-rank 99th percentile, s.
+    pub p99: f64,
+    /// Nearest-rank 99.9th percentile, s.
+    pub p999: f64,
 }
 
 impl LatencyStats {
@@ -73,6 +78,8 @@ impl LatencyStats {
                 mean: 0.0,
                 p50: 0.0,
                 p95: 0.0,
+                p99: 0.0,
+                p999: 0.0,
             };
         }
         let mut sorted = samples.to_vec();
@@ -84,6 +91,28 @@ impl LatencyStats {
             mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
             p50: percentile(&sorted, 0.50),
             p95: percentile(&sorted, 0.95),
+            p99: percentile(&sorted, 0.99),
+            p999: percentile(&sorted, 0.999),
+        }
+    }
+
+    /// Summarise a streaming [`LogHistogram`] instead of a sample buffer.
+    ///
+    /// `samples`/`min`/`max`/`mean` are exact (the histogram tracks them
+    /// alongside its buckets); percentiles are log₂-bucket estimates
+    /// (within ~2× of the sorted-sample value, monotone in `q`).  This is
+    /// the hot-path constructor: workers keep allocation-free per-worker
+    /// histograms and merge them instead of collecting every sample.
+    pub fn from_histogram(hist: &LogHistogram) -> Self {
+        Self {
+            samples: hist.count() as usize,
+            min: hist.min_seconds(),
+            max: hist.max_seconds(),
+            mean: hist.mean(),
+            p50: hist.p50(),
+            p95: hist.p95(),
+            p99: hist.p99(),
+            p999: hist.p999(),
         }
     }
 }
@@ -267,6 +296,28 @@ mod tests {
         assert!((stats.mean - 0.4).abs() < 1e-12);
         assert_eq!(stats.p50, 0.3);
         assert_eq!(stats.p95, 1.0);
+        assert_eq!(stats.p99, 1.0);
+        assert_eq!(stats.p999, 1.0);
+    }
+
+    #[test]
+    fn latency_stats_from_histogram_match_exact_moments() {
+        let mut hist = LogHistogram::new();
+        let samples = [0.25, 0.5, 1.0, 2.0];
+        for v in samples {
+            hist.record(v);
+        }
+        let stats = LatencyStats::from_histogram(&hist);
+        let exact = LatencyStats::from_samples(&samples);
+        assert_eq!(stats.samples, exact.samples);
+        assert_eq!(stats.min, exact.min);
+        assert_eq!(stats.max, exact.max);
+        assert!((stats.mean - exact.mean).abs() < 1e-12);
+        // Percentiles are log2-bucket estimates: monotone and within 2x.
+        assert!(stats.p50 <= stats.p95 && stats.p95 <= stats.p99 && stats.p99 <= stats.p999);
+        assert!(stats.p50 >= exact.p50 / 2.0 && stats.p50 <= exact.p50 * 2.0);
+        let empty = LatencyStats::from_histogram(&LogHistogram::new());
+        assert_eq!(empty, LatencyStats::from_samples(&[]));
     }
 
     #[test]

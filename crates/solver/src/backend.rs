@@ -25,10 +25,12 @@ use crate::cg::ConjugateGradient;
 use crate::convergence::ConvergenceHistory;
 use crate::monitor::{replay_history, NullMonitor, SolveMonitor, StopReason};
 use crate::newton::solve_pressure_monitored;
+use crate::trace::TraceMonitor;
 use crate::transient::{PlannedStepper, StepOutcome, StepRequest, TransientStepper};
 use mffv_fv::residual::residual;
 use mffv_fv::MatrixFreeOperator;
 use mffv_mesh::{CellField, Workload};
+use mffv_telemetry::{Span, Stopwatch};
 
 /// Floating-point precision of a host solve.  The device-style backends are
 /// `f32` by construction (the paper's machines compute in single precision);
@@ -329,6 +331,33 @@ pub trait SolveBackend {
         Ok(report)
     }
 
+    /// Solve as an observable session that additionally records phase
+    /// spans under `span` (see [`crate::trace`]).
+    ///
+    /// On a null (non-recording) span this **is**
+    /// [`solve_monitored`](Self::solve_monitored) — no wrapper, no extra
+    /// per-iteration work — so callers can leave tracing wired in
+    /// permanently.  On a recording span the default implementation wraps
+    /// `monitor` in a [`TraceMonitor`], which mirrors the event stream
+    /// into a `cg-loop` span with per-chunk `iters` children.  Tracing
+    /// never touches solve arithmetic: traced and untraced reports are
+    /// bitwise identical (pinned per backend in `tests/telemetry.rs`).
+    /// Backends override this to add their own phase spans (the host adds
+    /// `build-operator`).
+    fn solve_traced(
+        &self,
+        workload: &Workload,
+        config: &SolveConfig,
+        monitor: &mut dyn SolveMonitor,
+        span: &Span,
+    ) -> Result<SolveReport, SolveError> {
+        if !span.is_recording() {
+            return self.solve_monitored(workload, config, monitor);
+        }
+        let mut traced = TraceMonitor::new(span, monitor);
+        self.solve_monitored(workload, config, &mut traced)
+    }
+
     /// The arithmetic precision this backend steps transient systems at.
     ///
     /// Defaults to `f64`; device-style backends (the paper's machines
@@ -421,10 +450,17 @@ impl SolveBackend for HostBackend {
         config: &SolveConfig,
         monitor: &mut dyn SolveMonitor,
     ) -> Result<SolveReport, SolveError> {
-        // audit: allow(wall-clock) — telemetry: feeds SolveReport.elapsed
-        // seconds, never a numeric decision.
-        #[allow(clippy::disallowed_methods)]
-        let start = std::time::Instant::now();
+        self.solve_traced(workload, config, monitor, &Span::null())
+    }
+
+    fn solve_traced(
+        &self,
+        workload: &Workload,
+        config: &SolveConfig,
+        monitor: &mut dyn SolveMonitor,
+        span: &Span,
+    ) -> Result<SolveReport, SolveError> {
+        let start = Stopwatch::start();
         let solver = ConjugateGradient::with_tolerance(
             config.effective_tolerance(workload),
             config.effective_max_iterations(workload),
@@ -432,10 +468,16 @@ impl SolveBackend for HostBackend {
         let threads = config.effective_threads();
         let (pressure, history, final_residual_max, stopped) = match self.precision {
             Precision::F64 => {
+                let build = span.child("build-operator");
                 let operator =
                     MatrixFreeOperator::<f64>::from_workload(workload).with_threads(threads);
-                let solution =
-                    solve_pressure_monitored::<f64, _>(workload, &operator, &solver, monitor);
+                build.finish();
+                let solution = if span.is_recording() {
+                    let mut traced = TraceMonitor::new(span, monitor);
+                    solve_pressure_monitored::<f64, _>(workload, &operator, &solver, &mut traced)
+                } else {
+                    solve_pressure_monitored::<f64, _>(workload, &operator, &solver, monitor)
+                };
                 (
                     solution.pressure,
                     solution.history,
@@ -444,10 +486,16 @@ impl SolveBackend for HostBackend {
                 )
             }
             Precision::F32 => {
+                let build = span.child("build-operator");
                 let operator =
                     MatrixFreeOperator::<f32>::from_workload(workload).with_threads(threads);
-                let solution =
-                    solve_pressure_monitored::<f32, _>(workload, &operator, &solver, monitor);
+                build.finish();
+                let solution = if span.is_recording() {
+                    let mut traced = TraceMonitor::new(span, monitor);
+                    solve_pressure_monitored::<f32, _>(workload, &operator, &solver, &mut traced)
+                } else {
+                    solve_pressure_monitored::<f32, _>(workload, &operator, &solver, monitor)
+                };
                 let pressure: CellField<f64> = solution.pressure.convert();
                 // Re-evaluate the residual in f64 so the field keeps its
                 // backend-independent contract (the f32 solve evaluated it in

@@ -19,6 +19,7 @@ pub mod monitor;
 pub mod newton;
 pub mod pcg;
 pub mod reduction;
+pub mod trace;
 pub mod transient;
 
 pub use backend::{
@@ -32,9 +33,10 @@ pub use monitor::{
 };
 pub use newton::{solve_pressure, PressureSolution};
 pub use pcg::{JacobiPreconditioner, PreconditionedConjugateGradient};
+pub use trace::{TraceMonitor, TRACE_CHUNK_ITERS};
 pub use transient::{
-    run_transient, solve_step, PlannedStepper, PressureSnapshot, StepOutcome, StepRequest,
-    TransientReport, TransientStep, TransientStepper, WellTotal,
+    run_transient, run_transient_traced, solve_step, PlannedStepper, PressureSnapshot, StepOutcome,
+    StepRequest, TransientReport, TransientStep, TransientStepper, WellTotal,
 };
 
 /// Convenient glob import.
@@ -51,8 +53,9 @@ pub mod prelude {
     pub use crate::newton::{solve_pressure, PressureSolution};
     pub use crate::pcg::{JacobiPreconditioner, PreconditionedConjugateGradient};
     pub use crate::reduction::{fabric_ordered_dot, fabric_ordered_sum};
+    pub use crate::trace::{TraceMonitor, TRACE_CHUNK_ITERS};
     pub use crate::transient::{
-        run_transient, solve_step, PlannedStepper, PressureSnapshot, StepOutcome, StepRequest,
-        TransientReport, TransientStep, TransientStepper, WellTotal,
+        run_transient, run_transient_traced, solve_step, PlannedStepper, PressureSnapshot,
+        StepOutcome, StepRequest, TransientReport, TransientStep, TransientStepper, WellTotal,
     };
 }

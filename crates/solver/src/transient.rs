@@ -35,9 +35,11 @@ use crate::backend::{SolveBackend, SolveConfig, SolveError, SolveReport};
 use crate::cg::ConjugateGradient;
 use crate::convergence::ConvergenceHistory;
 use crate::monitor::{NullMonitor, SolveMonitor, StopPolicy, StopReason};
+use crate::trace::TraceMonitor;
 use mffv_fv::residual::{interior_mass_imbalance, newton_rhs, residual};
 use mffv_fv::MatrixFreeOperator;
 use mffv_mesh::{CellField, Scalar, TransientSpec, Well, Workload};
+use mffv_telemetry::{Span, Stopwatch};
 
 /// Everything one backward-Euler step needs, borrowed from the driver's
 /// state: the (steady) workload, the transient spec, the current pressure
@@ -477,6 +479,23 @@ pub fn run_transient(
     config: &SolveConfig,
     policy: &StopPolicy,
 ) -> Result<TransientReport, SolveError> {
+    run_transient_traced(backend, workload, spec, config, policy, &Span::null())
+}
+
+/// [`run_transient`] with phase spans: each time step records a `step`
+/// span under `span`, with the inner CG loop traced beneath it (see
+/// [`crate::trace`]) and the mass-ledger/residual bookkeeping in an
+/// `accounting` child.  On a null span this is exactly [`run_transient`];
+/// tracing never perturbs the numerics either way (the traced and
+/// untraced trajectories are bitwise identical).
+pub fn run_transient_traced(
+    backend: &dyn SolveBackend,
+    workload: &Workload,
+    spec: &TransientSpec,
+    config: &SolveConfig,
+    policy: &StopPolicy,
+    span: &Span,
+) -> Result<TransientReport, SolveError> {
     let name = backend.name();
     let dims = workload.dims();
     spec.validate(dims)
@@ -494,11 +513,9 @@ pub fn run_transient(
         }
     }
 
-    // audit: allow(wall-clock) — deadline: anchors the run's shared
-    // StopPolicy deadline (consume_deadline) and elapsed-seconds telemetry;
-    // it never feeds the numerics of a step.
-    #[allow(clippy::disallowed_methods)]
-    let started = std::time::Instant::now();
+    // Anchors the run's shared StopPolicy deadline (consume_deadline) and
+    // elapsed-seconds telemetry; it never feeds the numerics of a step.
+    let started = Stopwatch::start();
     let mut pressure: CellField<f64> = match spec.initial_pressure {
         Some(p0) => {
             let mut field = CellField::constant(dims, p0);
@@ -551,17 +568,27 @@ pub fn run_transient(
             time,
             dt,
         };
-        // audit: allow(wall-clock) — telemetry: feeds the per-step report's
-        // elapsed seconds, never a numeric decision.
-        #[allow(clippy::disallowed_methods)]
-        let step_started = std::time::Instant::now();
+        let step_span = span.child("step");
+        let step_started = Stopwatch::start();
         let outcome = if policy.is_empty() {
-            stepper.step(&request, config, &mut NullMonitor)?
+            if step_span.is_recording() {
+                let mut null = NullMonitor;
+                let mut traced = TraceMonitor::new(&step_span, &mut null);
+                stepper.step(&request, config, &mut traced)?
+            } else {
+                stepper.step(&request, config, &mut NullMonitor)?
+            }
         } else {
             let mut session = policy.consume_deadline(started.elapsed()).session();
-            stepper.step(&request, config, &mut session)?
+            if step_span.is_recording() {
+                let mut traced = TraceMonitor::new(&step_span, &mut session);
+                stepper.step(&request, config, &mut traced)?
+            } else {
+                stepper.step(&request, config, &mut session)?
+            }
         };
-        let step_wall = step_started.elapsed().as_secs_f64();
+        let step_wall = step_started.elapsed_seconds();
+        let accounting = step_span.child("accounting");
 
         // Transient-equation residual and boundary inflow at p^{n+1}.
         let r_new = residual(
@@ -639,6 +666,8 @@ pub fn run_transient(
                 }
             }
         }
+
+        accounting.finish();
 
         if let Some(reason) = stopped {
             run_stopped = Some(reason);

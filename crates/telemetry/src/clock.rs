@@ -1,0 +1,53 @@
+//! The one sanctioned way to read elapsed wall time outside `mffv-perf`.
+//!
+//! Wrapping `Instant` here keeps the audit `wall-clock` rule honest: crates
+//! that only need "how long did this take" telemetry take a [`Stopwatch`]
+//! instead of carrying their own annotated `Instant::now` sites.  Elapsed
+//! readings are telemetry only — they must never feed a numeric decision
+//! (the monitor deadline module owns the one legitimate time-based control
+//! path).
+
+use std::time::{Duration, Instant};
+
+/// A started monotonic clock; read it with [`Stopwatch::elapsed_seconds`].
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Stopwatch {
+        // mffv-telemetry is a blessed wall-clock home (AUDIT.md rule 5); the
+        // clippy mirror still needs a site-level allow.
+        #[allow(clippy::disallowed_methods)]
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed seconds since [`Stopwatch::start`].
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_stopwatch_reads_nonnegative_and_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_seconds();
+        let b = sw.elapsed_seconds();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+        assert!(sw.elapsed() >= Duration::ZERO);
+    }
+}

@@ -1,0 +1,268 @@
+//! Exporters: human-readable text tree, canonical JSON snapshots and
+//! Chrome trace-event JSON.
+//!
+//! All JSON is hand-rolled `format!` assembly in the same style as the
+//! golden-fixture harness — no serde, object keys emitted in a fixed
+//! order, metric names in sorted order — so byte-identical inputs export
+//! byte-identical documents.  The Chrome trace uses the documented
+//! trace-event format (`ph: "X"` complete events with microsecond
+//! `ts`/`dur`) and loads directly in `chrome://tracing` or Perfetto.
+
+use crate::hist::LogHistogram;
+use crate::metrics::MetricsSnapshot;
+use crate::span::{PhaseNode, SpanRecord};
+
+/// Escape a string for inclusion in a JSON document.
+fn json_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for ch in raw.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a finite f64 as a JSON number (shortest round-trip form).
+/// Non-finite values have no JSON encoding and collapse to 0.0.
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:?}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Human-scale duration formatting for the text tree.
+fn format_seconds(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.0} ns", seconds * 1e9)
+    }
+}
+
+/// Indented text rendering of an aggregated phase tree:
+///
+/// ```text
+/// root  x1  total 12.3 ms
+///   solve @ host  x1  total 12.1 ms
+///     cg-loop  x1  total 11.0 ms
+///       iters  x4  total 10.9 ms
+/// ```
+pub fn render_phase_tree(root: &PhaseNode) -> String {
+    let mut out = String::new();
+    render_node(root, 0, &mut out);
+    out
+}
+
+fn render_node(node: &PhaseNode, depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str(&format!(
+        "{}  x{}  total {}\n",
+        node.name,
+        node.count,
+        format_seconds(node.total_seconds)
+    ));
+    for child in &node.children {
+        render_node(child, depth + 1, out);
+    }
+}
+
+/// Canonical JSON for one phase-tree node (recursively).
+pub fn phase_tree_json(node: &PhaseNode) -> String {
+    let mut children = String::new();
+    for (i, child) in node.children.iter().enumerate() {
+        if i > 0 {
+            children.push(',');
+        }
+        children.push_str(&phase_tree_json(child));
+    }
+    format!(
+        "{{\"name\":\"{}\",\"count\":{},\"total_seconds\":{},\"children\":[{}]}}",
+        json_escape(&node.name),
+        node.count,
+        json_f64(node.total_seconds),
+        children
+    )
+}
+
+fn histogram_json(hist: &LogHistogram) -> String {
+    // Sparse bucket encoding: only non-empty buckets, as [index, count].
+    let mut buckets = String::new();
+    for (index, &count) in hist.bucket_counts().iter().enumerate() {
+        if count > 0 {
+            if !buckets.is_empty() {
+                buckets.push(',');
+            }
+            buckets.push_str(&format!("[{index},{count}]"));
+        }
+    }
+    format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{},\"buckets\":[{}]}}",
+        hist.count(),
+        json_f64(hist.sum()),
+        json_f64(hist.min_seconds()),
+        json_f64(hist.max_seconds()),
+        json_f64(hist.mean()),
+        json_f64(hist.p50()),
+        json_f64(hist.p95()),
+        json_f64(hist.p99()),
+        json_f64(hist.p999()),
+        buckets
+    )
+}
+
+/// Canonical JSON for a metrics snapshot (names already sorted).
+pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
+    let mut counters = String::new();
+    for (i, (name, value)) in snapshot.counters.iter().enumerate() {
+        if i > 0 {
+            counters.push(',');
+        }
+        counters.push_str(&format!("\"{}\":{}", json_escape(name), value));
+    }
+    let mut gauges = String::new();
+    for (i, (name, value)) in snapshot.gauges.iter().enumerate() {
+        if i > 0 {
+            gauges.push(',');
+        }
+        gauges.push_str(&format!("\"{}\":{}", json_escape(name), json_f64(*value)));
+    }
+    let mut histograms = String::new();
+    for (i, (name, hist)) in snapshot.histograms.iter().enumerate() {
+        if i > 0 {
+            histograms.push(',');
+        }
+        histograms.push_str(&format!(
+            "\"{}\":{}",
+            json_escape(name),
+            histogram_json(hist)
+        ));
+    }
+    format!(
+        "{{\"counters\":{{{counters}}},\"gauges\":{{{gauges}}},\"histograms\":{{{histograms}}}}}"
+    )
+}
+
+/// Canonical JSON combining a phase tree and a metrics snapshot — the
+/// one-file dump a report or bench bin writes next to its results.
+pub fn snapshot_json(phases: &PhaseNode, metrics: &MetricsSnapshot) -> String {
+    format!(
+        "{{\"phases\":{},\"metrics\":{}}}",
+        phase_tree_json(phases),
+        metrics_json(metrics)
+    )
+}
+
+/// Chrome trace-event JSON (`chrome://tracing` / Perfetto).  Each span
+/// becomes one complete (`ph: "X"`) event; `tid` is the span's lane, so
+/// engine workers land on separate rows.
+pub fn chrome_trace_json(records: &[SpanRecord]) -> String {
+    let mut events = String::new();
+    for (i, record) in records.iter().enumerate() {
+        if i > 0 {
+            events.push(',');
+        }
+        let parent = match record.parent {
+            Some(p) => p.to_string(),
+            None => "null".to_string(),
+        };
+        events.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"mffv\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"id\":{},\"parent\":{}}}}}",
+            json_escape(&record.name),
+            json_f64(record.start_seconds * 1e6),
+            json_f64(record.duration_seconds * 1e6),
+            record.lane,
+            record.id,
+            parent
+        ));
+    }
+    format!("{{\"traceEvents\":[{events}],\"displayTimeUnit\":\"ms\"}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+    use crate::span::Tracer;
+
+    fn sample_tracer() -> Tracer {
+        let tracer = Tracer::new();
+        {
+            let root = tracer.span("solve @ host");
+            root.child("build-operator").finish();
+            let cg = root.child("cg-loop");
+            cg.child("iters").finish();
+        }
+        tracer
+    }
+
+    #[test]
+    fn text_tree_indents_and_counts() {
+        let rendered = render_phase_tree(&sample_tracer().phase_tree());
+        assert!(rendered.contains("solve @ host  x1"));
+        assert!(rendered.contains("\n    cg-loop  x1"));
+        assert!(rendered.contains("\n      iters  x1"));
+    }
+
+    #[test]
+    fn json_exports_are_balanced_and_escape_names() {
+        let tracer = Tracer::new();
+        tracer.span("odd \"name\"\n").finish();
+        let tree = phase_tree_json(&tracer.phase_tree());
+        assert!(tree.contains("odd \\\"name\\\"\\n"));
+        let opens = tree.matches('{').count();
+        assert_eq!(opens, tree.matches('}').count());
+        assert!(tree.starts_with('{') && tree.ends_with('}'));
+
+        let registry = MetricsRegistry::new();
+        registry.inc("jobs");
+        registry.set_gauge("depth", 2.5);
+        registry.observe("lat", 1e-3);
+        let metrics = metrics_json(&registry.snapshot());
+        assert!(metrics.contains("\"jobs\":1"));
+        assert!(metrics.contains("\"depth\":2.5"));
+        assert!(metrics.contains("\"p999\":"));
+        assert_eq!(metrics.matches('{').count(), metrics.matches('}').count());
+
+        let combined = snapshot_json(&tracer.phase_tree(), &registry.snapshot());
+        assert!(combined.starts_with("{\"phases\":{"));
+        assert!(combined.contains("\"metrics\":{"));
+    }
+
+    #[test]
+    fn chrome_trace_has_complete_events_with_microsecond_stamps() {
+        let tracer = sample_tracer();
+        let trace = chrome_trace_json(&tracer.records());
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"cat\":\"mffv\""));
+        assert!(trace.contains("\"name\":\"cg-loop\""));
+        assert_eq!(trace.matches("\"ph\":\"X\"").count(), 4);
+        assert_eq!(trace.matches('{').count(), trace.matches('}').count());
+        assert!(chrome_trace_json(&[]).contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn json_f64_emits_parseable_numbers() {
+        assert_eq!(json_f64(1.0), "1.0");
+        assert_eq!(json_f64(f64::INFINITY), "0.0");
+        assert_eq!(json_f64(f64::NAN), "0.0");
+        // Shortest round-trip form is still a valid JSON number.
+        let tiny = json_f64(1e-9);
+        assert!(tiny.parse::<f64>().is_ok());
+    }
+}

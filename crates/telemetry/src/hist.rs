@@ -1,0 +1,288 @@
+//! Allocation-free streaming log-bucket histograms.
+//!
+//! A [`LogHistogram`] spreads positive samples (seconds) over a fixed
+//! 64-bucket log₂ layout: bucket `i` covers `[2^(i-31), 2^(i-30))`, so the
+//! span runs from sub-nanosecond (bucket 0 absorbs everything at or below
+//! ~0.47 ns, including zero) to multi-year (bucket 63 absorbs everything
+//! from ~4.3 Gs up).  Recording is O(1) with no allocation; merging across
+//! workers is integer bucket addition and therefore exactly associative —
+//! `merge(a, merge(b, c))` and `merge(merge(a, b), c)` produce identical
+//! bucket counts, which `tests/telemetry.rs` pins.
+//!
+//! Percentiles are nearest-rank over the cumulative bucket counts with a
+//! geometric-midpoint representative clamped to the observed `[min, max]`:
+//! a ~2× worst-case value error in exchange for never sorting a sample
+//! buffer on a hot path.
+
+/// Number of buckets in the fixed log₂ layout.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Bucket 31 covers `[1, 2)` seconds; each step halves/doubles the range.
+const BUCKET_OFFSET: i64 = 31;
+
+/// A fixed-layout log₂ histogram of positive durations in seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The bucket a sample lands in.  Non-positive and non-finite samples
+    /// are clamped into bucket 0.
+    pub fn bucket_index(seconds: f64) -> usize {
+        if !(seconds.is_finite() && seconds > 0.0) {
+            return 0;
+        }
+        let exponent = seconds.log2().floor() as i64 + BUCKET_OFFSET;
+        exponent.clamp(0, HISTOGRAM_BUCKETS as i64 - 1) as usize
+    }
+
+    /// The `[low, high)` range of seconds a bucket covers.  Bucket 0's low
+    /// edge is reported as 0 because it also absorbs underflow.
+    pub fn bucket_bounds(index: usize) -> (f64, f64) {
+        let index = index.min(HISTOGRAM_BUCKETS - 1) as i32;
+        let low = if index == 0 {
+            0.0
+        } else {
+            2f64.powi(index - BUCKET_OFFSET as i32)
+        };
+        let high = 2f64.powi(index - BUCKET_OFFSET as i32 + 1);
+        (low, high)
+    }
+
+    /// Record one sample.  O(1), allocation-free.
+    pub fn record(&mut self, seconds: f64) {
+        let v = if seconds.is_finite() && seconds > 0.0 {
+            seconds
+        } else {
+            0.0
+        };
+        self.counts[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one.  Bucket counts add as
+    /// integers, so merging is exactly associative and commutative.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += *theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Exact smallest sample (0 when empty).
+    pub fn min_seconds(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample (0 when empty).
+    pub fn max_seconds(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The raw bucket counts, low bucket first.
+    pub fn bucket_counts(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.counts
+    }
+
+    /// Nearest-rank percentile estimate for quantile `q` in `[0, 1]`.
+    ///
+    /// The returned value is the geometric midpoint of the bucket holding
+    /// the rank, clamped to the observed `[min, max]`, so estimates are
+    /// monotone in `q` and within a factor of ~√2 of the true sample.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &bucket) in self.counts.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                let (low, high) = Self::bucket_bounds(index);
+                let mid = if index == 0 {
+                    high * 0.5
+                } else {
+                    (low * high).sqrt()
+                };
+                return mid.clamp(self.min_seconds(), self.max_seconds());
+            }
+        }
+        self.max_seconds()
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th-percentile estimate.
+    pub fn p999(&self) -> f64 {
+        self.percentile(0.999)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_expected_ranges() {
+        assert_eq!(LogHistogram::bucket_index(1.0), 31);
+        assert_eq!(LogHistogram::bucket_index(1.5), 31);
+        assert_eq!(LogHistogram::bucket_index(2.0), 32);
+        assert_eq!(LogHistogram::bucket_index(0.5), 30);
+        assert_eq!(LogHistogram::bucket_index(1e-9), 1);
+        assert_eq!(LogHistogram::bucket_index(0.0), 0);
+        assert_eq!(LogHistogram::bucket_index(-3.0), 0);
+        assert_eq!(LogHistogram::bucket_index(f64::NAN), 0);
+        assert_eq!(LogHistogram::bucket_index(1e300), HISTOGRAM_BUCKETS - 1);
+        let (low, high) = LogHistogram::bucket_bounds(31);
+        assert_eq!(low, 1.0);
+        assert_eq!(high, 2.0);
+        assert_eq!(LogHistogram::bucket_bounds(0).0, 0.0);
+    }
+
+    #[test]
+    fn recording_tracks_exact_count_sum_min_max() {
+        let mut h = LogHistogram::new();
+        for v in [0.25, 1.0, 4.0, 0.25] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 5.5);
+        assert_eq!(h.mean(), 1.375);
+        assert_eq!(h.min_seconds(), 0.25);
+        assert_eq!(h.max_seconds(), 4.0);
+        assert_eq!(h.bucket_counts()[29], 2); // 0.25 in [0.25, 0.5)
+        assert_eq!(h.bucket_counts()[31], 1);
+        assert_eq!(h.bucket_counts()[33], 1);
+    }
+
+    #[test]
+    fn empty_histogram_reads_as_zeros() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min_seconds(), 0.0);
+        assert_eq!(h.max_seconds(), 0.0);
+        assert_eq!(h.percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_bucket_counts_and_is_associative() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut c = LogHistogram::new();
+        for v in [1e-6, 3e-6, 1e-5] {
+            a.record(v);
+        }
+        for v in [0.01, 0.02] {
+            b.record(v);
+        }
+        for v in [1.5, 2.5, 100.0, 1e-9] {
+            c.record(v);
+        }
+
+        let mut left = b.clone();
+        left.merge(&c);
+        let mut abc_right = a.clone();
+        abc_right.merge(&left); // a + (b + c)
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        ab.merge(&c); // (a + b) + c
+
+        assert_eq!(abc_right.bucket_counts(), ab.bucket_counts());
+        assert_eq!(abc_right.count(), 9);
+        assert_eq!(abc_right.min_seconds(), ab.min_seconds());
+        assert_eq!(abc_right.max_seconds(), ab.max_seconds());
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bracket_the_samples() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 * 1e-3); // 1 ms .. 1 s
+        }
+        let p50 = h.p50();
+        let p95 = h.p95();
+        let p99 = h.p99();
+        let p999 = h.p999();
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= p999);
+        assert!(p50 >= h.min_seconds() && p999 <= h.max_seconds());
+        // log2 buckets: estimates are within a factor of 2 of the truth.
+        assert!(p50 > 0.25 && p50 < 1.0, "p50 estimate {p50}");
+        assert!(p999 > 0.5, "p999 estimate {p999}");
+    }
+}

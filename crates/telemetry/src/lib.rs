@@ -1,0 +1,49 @@
+//! Std-only telemetry for the mffv workspace.
+//!
+//! Three pillars, all zero-dependency and cheap enough to leave on:
+//!
+//! 1. **Hierarchical spans** — [`Tracer`] hands out [`Span`] guards that
+//!    record `(name, parent, lane, start, duration)` tuples into a shared
+//!    buffer on drop.  Nesting is *explicit* ([`Span::child`]) rather than
+//!    thread-local, so span trees have the same deterministic shape no
+//!    matter how many worker threads executed them, and spans can cross
+//!    thread boundaries (a queue-wait span is opened at submission on one
+//!    thread and closed at pickup on another).  A disabled tracer is a
+//!    single `Option` check: no clock read, no allocation, no lock.
+//! 2. **Metrics** — [`MetricsRegistry`] holds named counters, gauges and
+//!    [`LogHistogram`]s.  The histogram is a fixed 64-bucket log₂ layout:
+//!    recording is allocation-free and O(1), merging across workers is
+//!    integer bucket addition (and therefore associative), and p50…p999
+//!    estimates come straight off the cumulative bucket counts — no sorted
+//!    sample buffers on hot paths.
+//! 3. **Exporters** — a human-readable text tree
+//!    ([`render_phase_tree`]), canonical hand-rolled JSON snapshots
+//!    ([`snapshot_json`]) and Chrome trace-event JSON
+//!    ([`chrome_trace_json`]) loadable in `chrome://tracing` / Perfetto.
+//!
+//! This crate is a blessed wall-clock home (AUDIT.md rule 5): raw
+//! `Instant::now` reads live here (and in `mffv-perf` / the monitor
+//! deadline module) so the rest of the workspace never touches the clock
+//! directly.  Timestamps never feed numeric decisions — solves are
+//! bitwise-identical with tracing on or off, which `tests/telemetry.rs`
+//! pins per backend.
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod export;
+pub mod hist;
+pub mod metrics;
+pub mod span;
+
+pub use clock::Stopwatch;
+pub use export::{
+    chrome_trace_json, metrics_json, phase_tree_json, render_phase_tree, snapshot_json,
+};
+pub use hist::{LogHistogram, HISTOGRAM_BUCKETS};
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use span::{PhaseNode, Span, SpanRecord, Tracer};
+
+/// Convenience re-exports for `use mffv_telemetry::prelude::*`.
+pub mod prelude {
+    pub use crate::{LogHistogram, MetricsRegistry, PhaseNode, Span, Stopwatch, Tracer};
+}

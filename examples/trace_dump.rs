@@ -1,0 +1,62 @@
+//! Trace a transient solve with wells and dump the telemetry three ways:
+//! the aggregated phase tree as text, the same tree as canonical JSON, and
+//! the raw spans as a Chrome trace-event file loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing`.
+//!
+//! ```text
+//! cargo run --example trace_dump            # writes trace_transient.json
+//! cargo run --example trace_dump -- out.json
+//! ```
+
+use mffv::prelude::*;
+use mffv::telemetry::{chrome_trace_json, phase_tree_json, render_phase_tree, Tracer};
+use mffv::Simulation;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "trace_transient.json".to_string());
+
+    // A small injection scenario: one rate well, eight backward-Euler steps.
+    let workload = WorkloadSpec {
+        name: "trace-demo".into(),
+        boundary: mffv::mesh::workload::BoundarySpec::None,
+        dims: Dims::new(12, 12, 6),
+        tolerance: 1e-12,
+        ..WorkloadSpec::quickstart()
+    }
+    .build();
+    let spec = TransientSpec::new(2.0, 0.25, 1e-3)
+        .with_wells(WellSet::empty().with(Well::rate("inj", CellIndex::new(6, 6, 3), 1.0)))
+        .with_initial_pressure(1.0);
+
+    let tracer = Tracer::new();
+    let report = Simulation::new(workload)
+        .tracer(tracer.clone())
+        .transient(&spec)
+        .expect("transient solve");
+    println!(
+        "transient on {}: {} steps, {} total CG iterations, all converged: {}\n",
+        report.backend,
+        report.num_steps(),
+        report.total_iterations(),
+        report.all_converged()
+    );
+
+    // 1. Human-readable phase tree (counts + total seconds per phase).
+    let tree = tracer.phase_tree();
+    println!("{}", render_phase_tree(&tree));
+
+    // 2. Canonical JSON of the same tree (stable key order, no NaN/Inf).
+    println!("phase tree JSON:\n{}\n", phase_tree_json(&tree));
+
+    // 3. Chrome trace events — open the file in Perfetto to see the solve
+    //    timeline with per-step and per-CG-chunk spans.
+    let chrome = chrome_trace_json(&tracer.records());
+    std::fs::write(&out, &chrome).expect("write chrome trace");
+    println!(
+        "wrote {} ({} spans) — load it at https://ui.perfetto.dev",
+        out,
+        tracer.records().len()
+    );
+}

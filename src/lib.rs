@@ -52,6 +52,13 @@
 //! println!("{report}"); // per-job status + jobs/s + p50/p95 latency
 //! ```
 //!
+//! Every layer is **traceable**: attach a recording [`Tracer`] with
+//! [`Simulation::tracer`] and the solve emits a hierarchical span tree
+//! (operator build → CG loop → iteration chunks; transient → per-step;
+//! engine → queue-wait/execute per job) exportable as a text tree, canonical
+//! JSON, or a Chrome/Perfetto trace — with traced results bitwise identical
+//! to untraced ones.  See [`telemetry`] and `examples/trace_dump.rs`.
+//!
 //! The sub-crates remain available for lower-level work (fabric programming,
 //! operator mathematics, performance models); see the workspace `README.md`.
 
@@ -67,11 +74,13 @@ pub use mffv_gpu_ref as gpu_ref;
 pub use mffv_mesh as mesh;
 pub use mffv_perf as perf;
 pub use mffv_solver as solver;
+pub use mffv_telemetry as telemetry;
 
 pub use backend::Backend;
 pub use mffv_engine::{BatchReport, Engine, JobOutcome, JobSpec, JobStatus, SweepBuilder};
 pub use mffv_mesh::{DtPolicy, TransientSpec, Well, WellControl, WellSet};
 pub use mffv_solver::transient::{PressureSnapshot, TransientReport, TransientStep, WellTotal};
+pub use mffv_telemetry::{LogHistogram, MetricsRegistry, PhaseNode, Tracer};
 pub use report::{AgreementReport, PairwiseDisagreement, SolveReport};
 pub use simulation::Simulation;
 
@@ -89,4 +98,5 @@ pub mod prelude {
     pub use mffv_mesh::prelude::*;
     pub use mffv_perf::prelude::*;
     pub use mffv_solver::prelude::*;
+    pub use mffv_telemetry::prelude::*;
 }

@@ -32,8 +32,9 @@ use crate::report::{AgreementReport, SolveReport};
 use mffv_engine::{BatchReport, Engine, JobSpec};
 use mffv_mesh::{TransientSpec, Workload, WorkloadSpec};
 use mffv_solver::backend::{Precision, SolveConfig, SolveError};
-use mffv_solver::monitor::{CancelToken, MonitorFanout, SolveMonitor, StopPolicy};
-use mffv_solver::transient::{run_transient, TransientReport};
+use mffv_solver::monitor::{CancelToken, MonitorFanout, NullMonitor, SolveMonitor, StopPolicy};
+use mffv_solver::transient::{run_transient_traced, TransientReport};
+use mffv_telemetry::{Span, Tracer};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -44,6 +45,7 @@ pub struct Simulation {
     config: SolveConfig,
     backends: Vec<Backend>,
     policy: StopPolicy,
+    tracer: Tracer,
 }
 
 impl Simulation {
@@ -55,6 +57,7 @@ impl Simulation {
             config: SolveConfig::default(),
             backends: Vec::new(),
             policy: StopPolicy::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -131,6 +134,20 @@ impl Simulation {
         self
     }
 
+    /// Record every solve this simulation runs as a span tree under
+    /// `tracer` — `solve @ backend` → operator build → `cg-loop` →
+    /// per-chunk `iters`, plus per-step spans for transients and the full
+    /// queue-wait/execute breakdown for [`batch`](Simulation::batch) runs.
+    /// Export via [`mffv_telemetry`]'s text/JSON/Chrome-trace renderers.
+    ///
+    /// Tracing never alters results: traced solves are bitwise identical to
+    /// untraced ones (pinned per backend in `tests/telemetry.rs`), and a
+    /// disabled tracer (the default) costs one branch per would-be span.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     /// The workload being solved.
     pub fn workload(&self) -> &Workload {
         &self.workload
@@ -191,12 +208,14 @@ impl Simulation {
         backend: &Backend,
         spec: &TransientSpec,
     ) -> Result<TransientReport, SolveError> {
-        run_transient(
+        let span = self.root_span("transient", backend);
+        run_transient_traced(
             backend.instantiate().as_ref(),
             &self.workload,
             spec,
             &self.config,
             &self.policy,
+            &span,
         )
     }
 
@@ -241,19 +260,42 @@ impl Simulation {
         })
     }
 
+    /// The root span a solve or transient run records under, when tracing:
+    /// `solve @ host-f64`, `transient @ dataflow`, ….  Null (no allocation,
+    /// no clock read) when no recording tracer is attached.
+    fn root_span(&self, kind: &str, backend: &Backend) -> Span {
+        if self.tracer.is_recording() {
+            self.tracer.span(&format!("{kind} @ {}", backend.name()))
+        } else {
+            Span::null()
+        }
+    }
+
     /// Dispatch one backend solve, monitored only when there is something to
-    /// observe or enforce — the policy-free, monitor-free path stays the
-    /// plain `solve()` call.
+    /// observe or enforce — the policy-free, monitor-free, tracer-free path
+    /// stays the plain `solve()` call.
     fn solve_on(
         &self,
         backend: &Backend,
         extra: Option<MonitorFanout<'_>>,
     ) -> Result<SolveReport, SolveError> {
         let live = backend.instantiate();
+        let span = self.root_span("solve", backend);
         match extra {
-            Some(mut fanout) => live.solve_monitored(&self.workload, &self.config, &mut fanout),
-            None if self.policy.is_empty() => live.solve(&self.workload, &self.config),
-            None => live.solve_monitored(&self.workload, &self.config, &mut self.policy.session()),
+            Some(mut fanout) => live.solve_traced(&self.workload, &self.config, &mut fanout, &span),
+            None if self.policy.is_empty() => {
+                if span.is_recording() {
+                    live.solve_traced(&self.workload, &self.config, &mut NullMonitor, &span)
+                } else {
+                    live.solve(&self.workload, &self.config)
+                }
+            }
+            None => live.solve_traced(
+                &self.workload,
+                &self.config,
+                &mut self.policy.session(),
+                &span,
+            ),
         }
     }
 
@@ -330,7 +372,9 @@ impl Simulation {
                     .with_stop_policy(self.policy.clone())
             })
             .collect();
-        let mut batch = Engine::new(workers).run(jobs);
+        let mut batch = Engine::new(workers)
+            .with_tracer(self.tracer.clone())
+            .run(jobs);
         // The same duplicate-name disambiguation `run_all` applies, so two
         // configurations of one backend stay distinguishable in the report.
         let mut seen = NameDisambiguator::new();
