@@ -93,7 +93,7 @@ impl std::fmt::Display for Finding {
 /// Crates whose reports/fixtures are contractually submission-ordered or
 /// bitwise-reproducible: hash-ordered iteration and unblessed float
 /// reductions are forbidden here (rules 1 and 2).
-const ORDERED_CRATES: [&str; 7] = [
+const ORDERED_CRATES: [&str; 8] = [
     "mffv",
     "mffv-engine",
     "mffv-solver",
@@ -101,6 +101,7 @@ const ORDERED_CRATES: [&str; 7] = [
     "mffv-mesh",
     "mffv-core",
     "mffv-telemetry",
+    "mffv-serve",
 ];
 
 /// Files that ARE the blessed deterministic-reduction implementations: the

@@ -1,0 +1,13 @@
+// Fixture: the serve crate is an ordered crate — its session tables and
+// event streams are contractually submission-ordered, so hash-ordered
+// containers and unblessed float reductions must fire when scanned as if
+// at crates/serve/src/fake.rs (and stay silent under tests/ or bin/).
+use std::collections::HashMap;
+
+pub fn pending_depth(sessions: &HashMap<u64, Vec<u64>>) -> usize {
+    sessions.values().map(|jobs| jobs.len()).sum()
+}
+
+pub fn mean_residual(rr: &[f64]) -> f64 {
+    rr.iter().sum::<f64>() / rr.len() as f64
+}

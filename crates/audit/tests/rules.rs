@@ -238,3 +238,33 @@ fn findings_render_as_stable_sorted_records() {
         "suggestion must close the record: {rendered}"
     );
 }
+
+// ------------------------------------------------------------- serve routing
+
+#[test]
+fn serve_is_an_ordered_crate_with_the_usual_path_exemptions() {
+    // Library code in crates/serve is held to the ordered-crate rules: the
+    // fixture's HashMap use and bare float `.sum()` both fire.
+    let lib = findings_at("crates/serve/src/fake.rs", "serve_ordered.rs", None);
+    assert!(
+        rules_only(&lib).contains(&RuleId::NondetIter),
+        "serve lib code must trip nondet-iter: {lib:?}"
+    );
+    assert!(
+        rules_only(&lib).contains(&RuleId::FloatReduction),
+        "serve lib code must trip float-reduction: {lib:?}"
+    );
+    // …while its integration tests and the daemon/CLI binaries keep the
+    // standard test-path exemption.
+    for exempt in [
+        "crates/serve/tests/fake.rs",
+        "crates/serve/src/bin/mffv-serve.rs",
+    ] {
+        let f = findings_at(exempt, "serve_ordered.rs", None);
+        assert!(
+            !rules_only(&f).contains(&RuleId::NondetIter)
+                && !rules_only(&f).contains(&RuleId::FloatReduction),
+            "{exempt} should be exempt, got {f:?}"
+        );
+    }
+}

@@ -10,8 +10,10 @@
 use crate::backend::Backend;
 use mffv_mesh::{TransientSpec, Workload, WorkloadSpec};
 use mffv_solver::backend::{SolveConfig, SolveError, SolveReport};
-use mffv_solver::monitor::{CancelToken, NullMonitor, StopPolicy, StopReason};
-use mffv_solver::transient::run_transient_traced;
+use mffv_solver::monitor::{
+    CancelToken, MonitorFanout, NullMonitor, SolveMonitor, StopPolicy, StopReason,
+};
+use mffv_solver::transient::{run_transient_monitored, run_transient_traced};
 use mffv_telemetry::Span;
 
 /// One unit of work for the engine: solve `workload_spec` on `backend` under
@@ -174,6 +176,24 @@ impl JobSpec {
         engine_token: Option<&CancelToken>,
         span: &Span,
     ) -> Result<SolveReport, SolveError> {
+        self.execute_streamed(engine_token, span, None)
+    }
+
+    /// [`execute_traced`](Self::execute_traced) with a live observer:
+    /// `external` sees the job's full [`mffv_solver::monitor::SolveEvent`]
+    /// stream — the per-iteration events of a steady solve, or the
+    /// concatenated per-step sessions of a transient — bitwise-identical to
+    /// the recorded convergence history.  The observer can also *stop* the
+    /// job (return [`mffv_solver::monitor::Flow::Stop`]); the job's own
+    /// [`StopPolicy`] keeps stop precedence by sitting first in the fanout.
+    /// This is the serving path: a daemon streams the events over a socket
+    /// while policy deadlines and cancel tokens keep working unchanged.
+    pub fn execute_streamed(
+        &self,
+        engine_token: Option<&CancelToken>,
+        span: &Span,
+        external: Option<&mut dyn SolveMonitor>,
+    ) -> Result<SolveReport, SolveError> {
         self.validate()?;
         let materialise = span.child("materialise-workload");
         let workload = Workload::try_from_spec(&self.effective_spec())
@@ -185,36 +205,69 @@ impl JobSpec {
         }
         if let Some(transient) = &self.transient {
             let backend = self.backend.instantiate();
-            let report = run_transient_traced(
-                backend.as_ref(),
-                &workload,
-                transient,
-                &self.solve_config,
-                &policy,
-                span,
-            )?;
+            let report = match external {
+                Some(observer) => run_transient_monitored(
+                    backend.as_ref(),
+                    &workload,
+                    transient,
+                    &self.solve_config,
+                    &policy,
+                    span,
+                    observer,
+                )?,
+                None => run_transient_traced(
+                    backend.as_ref(),
+                    &workload,
+                    transient,
+                    &self.solve_config,
+                    &policy,
+                    span,
+                )?,
+            };
             return Ok(report.summary_report());
         }
-        if policy.is_empty() {
-            if !span.is_recording() {
-                return self
-                    .backend
-                    .instantiate()
-                    .solve(&workload, &self.solve_config);
+        match external {
+            None => {
+                if policy.is_empty() {
+                    if !span.is_recording() {
+                        return self
+                            .backend
+                            .instantiate()
+                            .solve(&workload, &self.solve_config);
+                    }
+                    return self.backend.instantiate().solve_traced(
+                        &workload,
+                        &self.solve_config,
+                        &mut NullMonitor,
+                        span,
+                    );
+                }
+                self.backend.instantiate().solve_traced(
+                    &workload,
+                    &self.solve_config,
+                    &mut policy.session(),
+                    span,
+                )
             }
-            return self.backend.instantiate().solve_traced(
-                &workload,
-                &self.solve_config,
-                &mut NullMonitor,
-                span,
-            );
+            Some(observer) => {
+                if policy.is_empty() {
+                    return self.backend.instantiate().solve_traced(
+                        &workload,
+                        &self.solve_config,
+                        observer,
+                        span,
+                    );
+                }
+                let mut session = policy.session();
+                let mut fanout = MonitorFanout::new().push(&mut session).push(observer);
+                self.backend.instantiate().solve_traced(
+                    &workload,
+                    &self.solve_config,
+                    &mut fanout,
+                    span,
+                )
+            }
         }
-        self.backend.instantiate().solve_traced(
-            &workload,
-            &self.solve_config,
-            &mut policy.session(),
-            span,
-        )
     }
 }
 

@@ -74,12 +74,16 @@ pub mod job;
 pub mod pool;
 pub mod queue;
 pub mod report;
+pub mod service;
 pub mod sweep;
 
 pub use backend::Backend;
 pub use job::{JobOutcome, JobSpec, JobStatus};
 pub use pool::Engine;
 pub use report::{BatchReport, WorkerStats};
+pub use service::{
+    EngineService, RejectedJob, ServiceJob, ServiceOutcome, ShutdownMode, SubmitError,
+};
 pub use sweep::SweepBuilder;
 // The session-control vocabulary of `mffv-solver`, re-exported so engine
 // users can cancel batches and attach stop policies without a direct
@@ -94,6 +98,9 @@ pub mod prelude {
     pub use crate::job::{JobOutcome, JobSpec, JobStatus};
     pub use crate::pool::Engine;
     pub use crate::report::{BatchReport, WorkerStats};
+    pub use crate::service::{
+        EngineService, RejectedJob, ServiceJob, ServiceOutcome, ShutdownMode, SubmitError,
+    };
     pub use crate::sweep::SweepBuilder;
     pub use mffv_solver::monitor::{CancelToken, StopPolicy, StopReason};
     pub use mffv_telemetry::{LogHistogram, MetricsRegistry, Tracer};

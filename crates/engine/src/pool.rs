@@ -108,6 +108,24 @@ impl Engine {
         self.workers
     }
 
+    /// The tracer attached with [`with_tracer`](Self::with_tracer) (disabled
+    /// by default).
+    pub(crate) fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The metrics registry attached with
+    /// [`with_metrics`](Self::with_metrics), if any.
+    pub(crate) fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref()
+    }
+
+    /// The batch-level cancel token attached with
+    /// [`with_cancel_token`](Self::with_cancel_token), if any.
+    pub(crate) fn cancel(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
     /// Bound of the job queue.
     pub fn queue_capacity(&self) -> usize {
         self.queue_capacity
@@ -253,7 +271,29 @@ fn execute_job(
 ) -> JobOutcome {
     let label = job.label();
     let started = Stopwatch::start();
-    let status = match catch_unwind(AssertUnwindSafe(|| job.execute_traced(engine_token, span))) {
+    let status = status_from_result(catch_unwind(AssertUnwindSafe(|| {
+        job.execute_traced(engine_token, span)
+    })));
+    JobOutcome {
+        index,
+        label,
+        status,
+        queue_wait_seconds,
+        exec_seconds: started.elapsed_seconds(),
+    }
+}
+
+/// Map a panic-isolated execution result onto a [`JobStatus`]: early stops
+/// (policy, deadline, cancellation) are `Stopped`, typed backend errors are
+/// `Failed`, and a caught panic becomes `Panicked` with its message.  Shared
+/// by the batch workers above and the persistent service workers
+/// ([`crate::service`]).
+pub(crate) fn status_from_result(
+    result: std::thread::Result<
+        Result<mffv_solver::backend::SolveReport, mffv_solver::backend::SolveError>,
+    >,
+) -> JobStatus {
+    match result {
         Ok(Ok(report)) => match report.stopped {
             Some(reason) => JobStatus::Stopped {
                 reason,
@@ -269,13 +309,6 @@ fn execute_job(
             None => JobStatus::Failed(error),
         },
         Err(payload) => JobStatus::Panicked(panic_message(payload.as_ref())),
-    };
-    JobOutcome {
-        index,
-        label,
-        status,
-        queue_wait_seconds,
-        exec_seconds: started.elapsed_seconds(),
     }
 }
 

@@ -19,6 +19,15 @@ struct QueueState<T> {
     high_water: usize,
 }
 
+/// Why a [`BoundedQueue::try_push`] was refused; the rejected item rides
+/// along so nothing is silently dropped.
+pub enum TryPushError<T> {
+    /// The queue is at capacity — typed back-pressure for service callers.
+    Full(T),
+    /// The queue has been closed; no further items are accepted.
+    Closed(T),
+}
+
 /// A blocking FIFO queue with a fixed capacity.
 pub struct BoundedQueue<T> {
     capacity: usize,
@@ -59,6 +68,13 @@ impl<T> BoundedQueue<T> {
     /// Enqueue `item`, blocking while the queue is full.  Returns `false`
     /// (dropping the item) if the queue was closed in the meantime.
     pub fn push(&self, item: T) -> bool {
+        self.push_returning(item).is_ok()
+    }
+
+    /// [`push`](Self::push) that hands the item back instead of dropping it
+    /// when the queue has been closed — service submitters need the rejected
+    /// job's callbacks to reply to their client.
+    pub fn push_returning(&self, item: T) -> Result<(), T> {
         let mut state = self.lock();
         while state.items.len() >= self.capacity && !state.closed {
             state = self
@@ -67,12 +83,41 @@ impl<T> BoundedQueue<T> {
                 .unwrap_or_else(PoisonError::into_inner);
         }
         if state.closed {
-            return false;
+            return Err(item);
         }
         state.items.push_back(item);
         state.high_water = state.high_water.max(state.items.len());
         self.not_empty.notify_one();
-        true
+        Ok(())
+    }
+
+    /// Non-blocking enqueue attempt — the service-mode admission path, where
+    /// a full queue must surface as typed back-pressure (`Busy`) instead of
+    /// blocking a protocol thread.  The item is handed back on failure so
+    /// the caller can reply-and-drop or retry.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        state.items.push_back(item);
+        state.high_water = state.high_water.max(state.items.len());
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of items currently queued (a racy snapshot — by the time the
+    /// caller looks, workers may have drained it further).
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
     }
 
     /// Largest queue depth observed so far.
@@ -167,6 +212,28 @@ mod tests {
             }
             assert_eq!(got, (0..total).collect::<Vec<_>>());
         });
+    }
+
+    #[test]
+    fn try_push_reports_full_and_closed_with_the_item_back() {
+        let q = BoundedQueue::new(1);
+        assert_eq!(q.depth(), 0);
+        assert!(q.try_push(1).is_ok());
+        assert_eq!(q.depth(), 1);
+        match q.try_push(2) {
+            Err(TryPushError::Full(item)) => assert_eq!(item, 2),
+            other => panic!("expected Full, got {:?}", other.map_err(|_| "err")),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        q.close();
+        assert!(q.is_closed());
+        match q.try_push(4) {
+            Err(TryPushError::Closed(item)) => assert_eq!(item, 4),
+            other => panic!("expected Closed, got {:?}", other.map_err(|_| "err")),
+        }
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

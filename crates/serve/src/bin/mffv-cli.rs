@@ -1,0 +1,191 @@
+//! The daemon's command-line client.
+//!
+//! ```text
+//! mffv-cli --addr HOST:PORT submit SPEC.mffv [--cancel-after-iters N] [--quiet]
+//! mffv-cli --addr HOST:PORT ping
+//! mffv-cli --addr HOST:PORT shutdown [--abort]
+//! ```
+//!
+//! `submit` parses a `.mffv` spec file (see `mffv_serve::specfile`), sends
+//! it, and renders the streamed convergence live — one line every few
+//! iterations plus the terminal verdict.  `--cancel-after-iters N` sends a
+//! mid-flight `Cancel` after the Nth streamed iteration (the deterministic
+//! stand-in for Ctrl-C: pure-std binaries cannot trap signals, and the
+//! daemon cancels orphans on disconnect anyway, so an actual Ctrl-C also
+//! stops the solve).
+
+use mffv_serve::{parse_spec, Client, ClientControl, JobEnd, WireShutdownMode};
+use mffv_solver::monitor::SolveEvent;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: mffv-cli --addr HOST:PORT submit SPEC.mffv [--cancel-after-iters N] [--quiet]\n\
+     \x20      mffv-cli --addr HOST:PORT ping\n\
+     \x20      mffv-cli --addr HOST:PORT shutdown [--abort]"
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let mut addr: Option<String> = None;
+    let mut command: Option<String> = None;
+    let mut spec_path: Option<String> = None;
+    let mut cancel_after: Option<usize> = None;
+    let mut quiet = false;
+    let mut abort = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = Some(
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| "--addr needs a value".to_string())?,
+                )
+            }
+            "--cancel-after-iters" => {
+                cancel_after = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| "--cancel-after-iters needs an integer".to_string())?,
+                )
+            }
+            "--quiet" => quiet = true,
+            "--abort" => abort = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if command.is_none() => command = Some(other.to_string()),
+            other if command.as_deref() == Some("submit") && spec_path.is_none() => {
+                spec_path = Some(other.to_string())
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{}", usage())),
+        }
+    }
+    let addr = addr.ok_or_else(|| format!("--addr is required\n{}", usage()))?;
+    match command.as_deref() {
+        Some("ping") => {
+            let mut client = connect(&addr)?;
+            client.ping(0xC0FFEE).map_err(|e| e.to_string())?;
+            println!(
+                "pong from {} (session {})",
+                client.banner(),
+                client.session()
+            );
+            client.close();
+            Ok(())
+        }
+        Some("shutdown") => {
+            let mut client = connect(&addr)?;
+            let mode = if abort {
+                WireShutdownMode::Abort
+            } else {
+                WireShutdownMode::Drain
+            };
+            client.request_shutdown(mode).map_err(|e| e.to_string())?;
+            println!("shutdown requested ({mode:?})");
+            Ok(())
+        }
+        Some("submit") => {
+            let path = spec_path.ok_or_else(|| format!("submit needs a spec file\n{}", usage()))?;
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let job = parse_spec(&text).map_err(|e| e.to_string())?;
+            let mut client = connect(&addr)?;
+            if !quiet {
+                println!(
+                    "session {} @ {}: submitting `{}` on {}",
+                    client.session(),
+                    client.banner(),
+                    job.workload.name,
+                    job.backend.name()
+                );
+            }
+            let run = client
+                .run_job(&job, |seq, event| {
+                    render_event(seq, event, quiet);
+                    match cancel_after {
+                        Some(n) if is_iteration_at_least(event, n) => ClientControl::Cancel,
+                        _ => ClientControl::Continue,
+                    }
+                })
+                .map_err(|e| e.to_string())?;
+            client.close();
+            match run.end {
+                JobEnd::Done(report) => {
+                    println!(
+                        "done: {} converged={} iters={} final_rmax={:.3e} ({} events streamed)",
+                        report.backend,
+                        report.history.converged,
+                        report.history.iterations,
+                        report.final_residual_max,
+                        run.events.len()
+                    );
+                    Ok(())
+                }
+                JobEnd::Stopped { reason, report } => {
+                    println!(
+                        "stopped: {} after {} events{}",
+                        reason.label(),
+                        run.events.len(),
+                        report
+                            .map(|r| format!(" (partial: {} iters)", r.history.iterations))
+                            .unwrap_or_default()
+                    );
+                    // A cancel we asked for is a success for the CLI.
+                    if cancel_after.is_some() {
+                        Ok(())
+                    } else {
+                        Err(format!("solve stopped early: {}", reason.label()))
+                    }
+                }
+                JobEnd::Busy { depth, capacity } => Err(format!(
+                    "daemon busy: session window {depth}/{capacity} full"
+                )),
+                JobEnd::Rejected(reason) => Err(format!("rejected: {reason}")),
+                JobEnd::Failed(error) => Err(format!("failed: {error}")),
+            }
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{}", usage())),
+        None => Err(usage().to_string()),
+    }
+}
+
+fn connect(addr: &str) -> Result<Client, String> {
+    Client::connect(addr, "mffv-cli").map_err(|e| format!("cannot connect to {addr}: {e}"))
+}
+
+fn is_iteration_at_least(event: &SolveEvent, n: usize) -> bool {
+    matches!(event, SolveEvent::Iteration { k, .. } if *k >= n)
+}
+
+fn render_event(seq: u64, event: &SolveEvent, quiet: bool) {
+    if quiet {
+        return;
+    }
+    match event {
+        SolveEvent::Started { initial_rr } => {
+            println!("  [{seq:>4}] started   rr={initial_rr:.6e}")
+        }
+        SolveEvent::Iteration { k, rr } => {
+            // Thin the live render (the full stream is still recorded);
+            // early iterations and every 32nd keep the output readable.
+            if *k < 8 || k.is_multiple_of(32) {
+                println!("  [{seq:>4}] iter {k:>5} rr={rr:.6e}");
+            }
+        }
+        SolveEvent::Converged { iterations, rr } => {
+            println!("  [{seq:>4}] converged at iter {iterations} rr={rr:.6e}")
+        }
+        SolveEvent::Stopped(reason) => {
+            println!("  [{seq:>4}] stopped: {}", reason.label())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("mffv-cli: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

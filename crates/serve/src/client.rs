@@ -1,0 +1,263 @@
+//! Blocking client for the solve daemon: connect, submit, stream, cancel.
+//!
+//! One [`Client`] is one protocol session on one TCP connection.  The client
+//! is synchronous by design — `mffv-cli` and the test harness drive one job
+//! at a time, reading the event stream as it arrives and (optionally)
+//! sending a mid-flight `Cancel` between frames.
+
+use crate::frame::{Frame, WireShutdownMode};
+use crate::wire::{WireError, WireJobSpec};
+use mffv_solver::backend::SolveReport;
+use mffv_solver::monitor::{SolveEvent, StopReason};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What the event callback wants done next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClientControl {
+    /// Keep streaming.
+    Continue,
+    /// Send a `Cancel` for this job (takes effect at the solve's next
+    /// iteration boundary; events may keep arriving until then).
+    Cancel,
+}
+
+/// How a submitted job ended, from the client's side of the wire.
+#[derive(Debug)]
+pub enum JobEnd {
+    /// Converged (or ran to its iteration cap); full report attached.
+    Done(Box<SolveReport>),
+    /// Stopped early — cancel, deadline, budget, stagnation or divergence.
+    Stopped {
+        /// Why the solve stopped.
+        reason: StopReason,
+        /// Partial report, when the solve had started.
+        report: Option<Box<SolveReport>>,
+    },
+    /// Failed (or panicked) server-side.
+    Failed(String),
+    /// Refused outright (invalid spec or daemon shutting down).
+    Rejected(String),
+    /// The session's admission window is full; resubmit after an
+    /// outstanding job finishes.
+    Busy {
+        /// Window occupancy at refusal time.
+        depth: usize,
+        /// The window bound.
+        capacity: usize,
+    },
+}
+
+/// One complete job exchange: every streamed event plus the terminal reply.
+#[derive(Debug)]
+pub struct JobRun {
+    /// The correlation id this client assigned.
+    pub job_id: u64,
+    /// Every `Event` frame received, in sequence order (the client verifies
+    /// `seq` is gapless, so this really is the full stream).
+    pub events: Vec<SolveEvent>,
+    /// The terminal reply.
+    pub end: JobEnd,
+}
+
+impl JobRun {
+    /// Whether the job produced a completed report.
+    pub fn is_done(&self) -> bool {
+        matches!(self.end, JobEnd::Done(_))
+    }
+
+    /// The report, when the job finished or stopped with partial state.
+    pub fn report(&self) -> Option<&SolveReport> {
+        match &self.end {
+            JobEnd::Done(report) => Some(report),
+            JobEnd::Stopped {
+                report: Some(report),
+                ..
+            } => Some(report),
+            _ => None,
+        }
+    }
+}
+
+/// A connected protocol session.
+pub struct Client {
+    stream: TcpStream,
+    session: u64,
+    banner: String,
+    next_job_id: u64,
+}
+
+impl Client {
+    /// Connect, introduce ourselves, and wait for the daemon's `Welcome`.
+    pub fn connect(addr: impl ToSocketAddrs, name: &str) -> Result<Self, WireError> {
+        let mut stream = TcpStream::connect(addr)?;
+        Frame::Hello {
+            client: name.to_string(),
+        }
+        .write_to(&mut stream)?;
+        match Frame::read_from(&mut stream)? {
+            Some(Frame::Welcome { session, banner }) => Ok(Self {
+                stream,
+                session,
+                banner,
+                next_job_id: 1,
+            }),
+            Some(other) => Err(WireError::Malformed(format!(
+                "expected Welcome, got {}",
+                other.name()
+            ))),
+            None => Err(WireError::Io(
+                "server closed the connection before Welcome".to_string(),
+            )),
+        }
+    }
+
+    /// The session id the daemon assigned to this connection.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// The daemon's banner string.
+    pub fn banner(&self) -> &str {
+        &self.banner
+    }
+
+    /// Liveness round-trip.
+    pub fn ping(&mut self, token: u64) -> Result<(), WireError> {
+        Frame::Ping { token }.write_to(&mut self.stream)?;
+        loop {
+            match Frame::read_from(&mut self.stream)? {
+                Some(Frame::Pong { token: echoed }) if echoed == token => return Ok(()),
+                Some(Frame::Pong { token: echoed }) => {
+                    return Err(WireError::Malformed(format!(
+                        "Pong echoed {echoed}, expected {token}"
+                    )))
+                }
+                Some(_) => continue, // stale frames from earlier jobs
+                None => return Err(WireError::Io("connection closed during ping".to_string())),
+            }
+        }
+    }
+
+    /// Submit one job and drive it to its terminal frame, invoking
+    /// `on_event` for every streamed [`SolveEvent`].  Returning
+    /// [`ClientControl::Cancel`] from the callback sends a mid-flight
+    /// `Cancel`; the stream then continues until the daemon's `Stopped`
+    /// (cancellation lands at the solve's next iteration boundary).
+    pub fn run_job(
+        &mut self,
+        spec: &WireJobSpec,
+        mut on_event: impl FnMut(u64, &SolveEvent) -> ClientControl,
+    ) -> Result<JobRun, WireError> {
+        let job_id = self.next_job_id;
+        self.next_job_id += 1;
+        Frame::Submit {
+            job_id,
+            spec: Box::new(spec.clone()),
+        }
+        .write_to(&mut self.stream)?;
+        let mut events: Vec<SolveEvent> = Vec::new();
+        let mut cancel_sent = false;
+        loop {
+            let frame = match Frame::read_from(&mut self.stream)? {
+                Some(frame) => frame,
+                None => return Err(WireError::Io("connection closed mid-job".to_string())),
+            };
+            match frame {
+                Frame::Accepted { job_id: id } if id == job_id => {}
+                Frame::Busy {
+                    job_id: id,
+                    depth,
+                    capacity,
+                } if id == job_id => {
+                    return Ok(JobRun {
+                        job_id,
+                        events,
+                        end: JobEnd::Busy { depth, capacity },
+                    })
+                }
+                Frame::Rejected { job_id: id, reason } if id == job_id => {
+                    return Ok(JobRun {
+                        job_id,
+                        events,
+                        end: JobEnd::Rejected(reason),
+                    })
+                }
+                Frame::Event {
+                    job_id: id,
+                    seq,
+                    event,
+                } if id == job_id => {
+                    if seq != events.len() as u64 {
+                        return Err(WireError::Malformed(format!(
+                            "event sequence gap: got seq {seq}, expected {}",
+                            events.len()
+                        )));
+                    }
+                    events.push(event);
+                    if on_event(seq, &event) == ClientControl::Cancel && !cancel_sent {
+                        Frame::Cancel { job_id }.write_to(&mut self.stream)?;
+                        cancel_sent = true;
+                    }
+                }
+                Frame::Done { job_id: id, report } if id == job_id => {
+                    return Ok(JobRun {
+                        job_id,
+                        events,
+                        end: JobEnd::Done(report),
+                    })
+                }
+                Frame::Stopped {
+                    job_id: id,
+                    reason,
+                    report,
+                } if id == job_id => {
+                    return Ok(JobRun {
+                        job_id,
+                        events,
+                        end: JobEnd::Stopped { reason, report },
+                    })
+                }
+                Frame::JobFailed { job_id: id, error } if id == job_id => {
+                    return Ok(JobRun {
+                        job_id,
+                        events,
+                        end: JobEnd::Failed(error),
+                    })
+                }
+                // The daemon announcing shutdown mid-stream is informative;
+                // our job's terminal frame still follows (Drain) or a
+                // Rejected/Stopped already did (Abort).
+                Frame::ShuttingDown => {}
+                Frame::Pong { .. } => {}
+                Frame::Goodbye => {
+                    return Err(WireError::Io("server said Goodbye mid-job".to_string()))
+                }
+                other => {
+                    return Err(WireError::Malformed(format!(
+                        "unexpected {} frame mid-job",
+                        other.name()
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Ask the daemon to wind down; returns once it acknowledges.
+    pub fn request_shutdown(&mut self, mode: WireShutdownMode) -> Result<(), WireError> {
+        Frame::Shutdown { mode }.write_to(&mut self.stream)?;
+        loop {
+            match Frame::read_from(&mut self.stream)? {
+                Some(Frame::ShuttingDown) | None => return Ok(()),
+                Some(_) => continue,
+            }
+        }
+    }
+
+    /// End the session politely.
+    pub fn close(mut self) {
+        let _ = Frame::Goodbye.write_to(&mut self.stream);
+        // Wait (bounded by the daemon's reply) for the Goodbye echo so the
+        // daemon logs a clean close rather than a reset.
+        let _ = Frame::read_from(&mut self.stream);
+    }
+}

@@ -34,7 +34,7 @@
 use crate::backend::{SolveBackend, SolveConfig, SolveError, SolveReport};
 use crate::cg::ConjugateGradient;
 use crate::convergence::ConvergenceHistory;
-use crate::monitor::{NullMonitor, SolveMonitor, StopPolicy, StopReason};
+use crate::monitor::{MonitorFanout, NullMonitor, SolveMonitor, StopPolicy, StopReason};
 use crate::trace::TraceMonitor;
 use mffv_fv::residual::{interior_mass_imbalance, newton_rhs, residual};
 use mffv_fv::MatrixFreeOperator;
@@ -496,6 +496,41 @@ pub fn run_transient_traced(
     policy: &StopPolicy,
     span: &Span,
 ) -> Result<TransientReport, SolveError> {
+    run_transient_inner(backend, workload, spec, config, policy, span, None)
+}
+
+/// [`run_transient_traced`] with a live observer: `monitor` sees the
+/// concatenated [`crate::monitor::SolveEvent`] stream of every per-step CG
+/// session — each
+/// step re-emits `Started` with its own initial residual, then its
+/// iterations — exactly as the per-step histories record them (bitwise).
+/// The external monitor *observes and controls*: a
+/// [`crate::monitor::Flow::Stop`] it
+/// returns ends the current step (and thereby the run) at the next
+/// iteration boundary, exactly like a policy stop.  This is the serving
+/// path: a daemon streams the events over a socket while the shared
+/// `policy` keeps its one wall-clock deadline across steps.
+pub fn run_transient_monitored(
+    backend: &dyn SolveBackend,
+    workload: &Workload,
+    spec: &TransientSpec,
+    config: &SolveConfig,
+    policy: &StopPolicy,
+    span: &Span,
+    monitor: &mut dyn SolveMonitor,
+) -> Result<TransientReport, SolveError> {
+    run_transient_inner(backend, workload, spec, config, policy, span, Some(monitor))
+}
+
+fn run_transient_inner(
+    backend: &dyn SolveBackend,
+    workload: &Workload,
+    spec: &TransientSpec,
+    config: &SolveConfig,
+    policy: &StopPolicy,
+    span: &Span,
+    mut external: Option<&mut dyn SolveMonitor>,
+) -> Result<TransientReport, SolveError> {
     let name = backend.name();
     let dims = workload.dims();
     spec.validate(dims)
@@ -570,21 +605,47 @@ pub fn run_transient_traced(
         };
         let step_span = span.child("step");
         let step_started = Stopwatch::start();
-        let outcome = if policy.is_empty() {
-            if step_span.is_recording() {
-                let mut null = NullMonitor;
-                let mut traced = TraceMonitor::new(&step_span, &mut null);
-                stepper.step(&request, config, &mut traced)?
-            } else {
-                stepper.step(&request, config, &mut NullMonitor)?
+        // One monitor per step: the armed policy session (when any rule is
+        // configured), fanned out with the external observer (when one is
+        // attached).  The policy keeps stop precedence by sitting first in
+        // the fanout; a pure observer changes no arithmetic either way, so
+        // every combination below is bitwise-identical on the solve values.
+        let mut session =
+            (!policy.is_empty()).then(|| policy.consume_deadline(started.elapsed()).session());
+        let outcome = match (session.as_mut(), external.as_deref_mut()) {
+            (None, None) => {
+                if step_span.is_recording() {
+                    let mut null = NullMonitor;
+                    let mut traced = TraceMonitor::new(&step_span, &mut null);
+                    stepper.step(&request, config, &mut traced)?
+                } else {
+                    stepper.step(&request, config, &mut NullMonitor)?
+                }
             }
-        } else {
-            let mut session = policy.consume_deadline(started.elapsed()).session();
-            if step_span.is_recording() {
-                let mut traced = TraceMonitor::new(&step_span, &mut session);
-                stepper.step(&request, config, &mut traced)?
-            } else {
-                stepper.step(&request, config, &mut session)?
+            (Some(session), None) => {
+                if step_span.is_recording() {
+                    let mut traced = TraceMonitor::new(&step_span, session);
+                    stepper.step(&request, config, &mut traced)?
+                } else {
+                    stepper.step(&request, config, session)?
+                }
+            }
+            (None, Some(observer)) => {
+                if step_span.is_recording() {
+                    let mut traced = TraceMonitor::new(&step_span, observer);
+                    stepper.step(&request, config, &mut traced)?
+                } else {
+                    stepper.step(&request, config, observer)?
+                }
+            }
+            (Some(session), Some(observer)) => {
+                let mut fanout = MonitorFanout::new().push(session).push(observer);
+                if step_span.is_recording() {
+                    let mut traced = TraceMonitor::new(&step_span, &mut fanout);
+                    stepper.step(&request, config, &mut traced)?
+                } else {
+                    stepper.step(&request, config, &mut fanout)?
+                }
             }
         };
         let step_wall = step_started.elapsed_seconds();
