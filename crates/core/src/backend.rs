@@ -12,7 +12,8 @@ use crate::solver::{DataflowFvSolver, DataflowSolveReport};
 use mffv_fabric::WseSpec;
 use mffv_mesh::Workload;
 use mffv_solver::backend::{
-    DeviceSection, Precision, SolveBackend, SolveConfig, SolveError, SolveReport,
+    DeviceSection, Precision, PreconditionerKind, SolveBackend, SolveConfig, SolveError,
+    SolveReport,
 };
 use mffv_solver::monitor::{NullMonitor, SolveMonitor};
 use mffv_solver::trace::{Span, TraceMonitor};
@@ -71,6 +72,11 @@ impl DataflowBackend {
         }
         if let Some(max_iterations) = config.max_iterations {
             options = options.with_max_iterations(max_iterations);
+        }
+        // An explicit facade selection wins; the default (`None`) leaves any
+        // dataflow-specific choice in place.
+        if config.preconditioner != PreconditionerKind::None {
+            options = options.with_preconditioner(config.preconditioner);
         }
         let build = span.child("build-fabric-program");
         let solver = match self.spec {

@@ -142,6 +142,47 @@ pub fn apply_alpha_updates(
     Ok(())
 }
 
+/// `z ← D⁻¹ · r`: the on-fabric Jacobi preconditioner, one fill plus one fused
+/// multiply-accumulate over the resident inverse-diagonal column.
+pub fn jacobi_precond(pe: &mut ProcessingElement, bufs: &PeColumnBuffers) -> Result<()> {
+    let nz = pe.memory().len(bufs.residual)?;
+    let z = Dsd::full(bufs.precond_z, nz);
+    pe.fill(z, 0.0)?;
+    pe.fmacs(
+        z,
+        z,
+        Dsd::full(bufs.inv_diag, nz),
+        Dsd::full(bufs.residual, nz),
+    )
+}
+
+/// `direction ← z` after the initial preconditioner application (PCG sets
+/// d₀ = z₀ = M⁻¹ r₀).
+pub fn set_direction_from_z(pe: &mut ProcessingElement, bufs: &PeColumnBuffers) -> Result<()> {
+    let nz = pe.memory().len(bufs.direction)?;
+    pe.fmovs(Dsd::full(bufs.direction, nz), Dsd::full(bufs.precond_z, nz))
+}
+
+/// Local partial dot product `residual · z` for the PCG α numerator and β.
+pub fn local_dot_rz(pe: &mut ProcessingElement, bufs: &PeColumnBuffers) -> Result<f32> {
+    let nz = pe.memory().len(bufs.residual)?;
+    pe.dot_local(Dsd::full(bufs.residual, nz), Dsd::full(bufs.precond_z, nz))
+}
+
+/// `direction = z + β · direction` (the PCG direction update).
+pub fn apply_beta_update_z(
+    pe: &mut ProcessingElement,
+    bufs: &PeColumnBuffers,
+    beta: f32,
+) -> Result<()> {
+    let nz = pe.memory().len(bufs.direction)?;
+    pe.xpby(
+        Dsd::full(bufs.direction, nz),
+        Dsd::full(bufs.precond_z, nz),
+        beta,
+    )
+}
+
 /// `direction = residual + β · direction` (CG line 10).
 pub fn apply_beta_update(
     pe: &mut ProcessingElement,

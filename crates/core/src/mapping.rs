@@ -177,6 +177,12 @@ pub struct PeColumnBuffers {
     pub halo_east: BufferId,
     pub halo_south: BufferId,
     pub halo_north: BufferId,
+    /// The preconditioned residual `z = M⁻¹ r` (PCG only; zero-filled
+    /// otherwise).
+    pub precond_z: BufferId,
+    /// Inverse of the operator diagonal (1 on Dirichlet rows), the resident
+    /// column behind the on-fabric Jacobi preconditioner.
+    pub inv_diag: BufferId,
 }
 
 impl PeColumnBuffers {
@@ -224,6 +230,25 @@ impl PeColumnBuffers {
         let halo_east = pe.alloc("halo_east", nz)?;
         let halo_south = pe.alloc("halo_south", nz)?;
         let halo_north = pe.alloc("halo_north", nz)?;
+
+        let precond_z = pe.alloc("precond_z", nz)?;
+        let inv_diag = pe.alloc("inv_diag", nz)?;
+        // Operator diagonal: the sum of the six face coefficients (boundary
+        // faces carry zero coefficients, so the raw row sum is exact), with
+        // identity rows on Dirichlet cells.
+        let mut inv = vec![1.0f32; nz];
+        for (z, slot) in inv.iter_mut().enumerate() {
+            let linear = dims.linear(mffv_mesh::CellIndex::new(x, y, z));
+            if workload.dirichlet().contains_linear(linear) {
+                continue;
+            }
+            let diag = workload.transmissibility().row_sum(linear) as f32;
+            if diag.is_finite() && diag > 0.0 {
+                *slot = 1.0 / diag;
+            }
+        }
+        pe.memory_mut().write(inv_diag, 0, &inv)?;
+
         Ok(Self {
             solution,
             residual,
@@ -236,6 +261,8 @@ impl PeColumnBuffers {
             halo_east,
             halo_south,
             halo_north,
+            precond_z,
+            inv_diag,
         })
     }
 

@@ -8,6 +8,7 @@
 
 use crate::mapping::ReuseStrategy;
 use mffv_fabric::timing::OverlapMode;
+use mffv_solver::backend::PreconditionerKind;
 
 /// Configuration of a dataflow solve.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -34,6 +35,12 @@ pub struct SolverOptions {
     /// Override of the workload's iteration cap (`None` keeps the workload's
     /// setting).
     pub max_iterations_override: Option<usize>,
+    /// Preconditioner for the CG loop.  Jacobi runs on-fabric (one extra fused
+    /// DSD pass per iteration on a resident inverse-diagonal column); the
+    /// multigrid V-cycle runs host-assisted, with the residual columns read
+    /// back and the correction columns written per application.  Ignored in
+    /// communication-only mode.
+    pub preconditioner: PreconditionerKind,
 }
 
 impl Default for SolverOptions {
@@ -46,6 +53,7 @@ impl Default for SolverOptions {
             forced_iterations: 0,
             tolerance_override: None,
             max_iterations_override: None,
+            preconditioner: PreconditionerKind::None,
         }
     }
 }
@@ -92,6 +100,12 @@ impl SolverOptions {
     /// Override the iteration cap.
     pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
         self.max_iterations_override = Some(max_iterations);
+        self
+    }
+
+    /// Select the CG preconditioner.
+    pub fn with_preconditioner(mut self, preconditioner: PreconditionerKind) -> Self {
+        self.preconditioner = preconditioner;
         self
     }
 

@@ -23,9 +23,11 @@ use mffv_fabric::error::Result;
 use mffv_fabric::timing::TimeBreakdown;
 use mffv_fabric::{ColorAllocator, Fabric, WseSpec};
 use mffv_fv::residual::{newton_rhs, residual};
-use mffv_mesh::{CellField, Workload};
+use mffv_mesh::{CellField, Dims, Workload};
+use mffv_solver::backend::PreconditionerKind;
 use mffv_solver::convergence::{ConvergenceHistory, StoppingCriterion};
 use mffv_solver::monitor::{Flow, NullMonitor, SolveEvent, SolveMonitor, StopReason};
+use mffv_solver::{MgConfig, MultigridVcycle, Preconditioner};
 use std::time::Instant;
 
 /// Result of a dataflow solve.
@@ -47,6 +49,60 @@ pub struct DataflowSolveReport {
     /// `Some(reason)` when a monitor or stop policy ended the solve early;
     /// the pressure then carries the Newton update of the partial iterate.
     pub stopped: Option<StopReason>,
+}
+
+/// The armed preconditioner of a dataflow solve: Jacobi lives on the fabric
+/// (a resident inverse-diagonal column, see [`kernel::jacobi_precond`]); the
+/// multigrid V-cycle runs host-assisted, reading the residual columns back
+/// and writing the correction columns per application.
+enum FabricPrecond {
+    None,
+    Jacobi,
+    Mg(Box<MultigridVcycle<f32>>),
+}
+
+impl FabricPrecond {
+    fn is_none(&self) -> bool {
+        matches!(self, FabricPrecond::None)
+    }
+
+    /// Fill every PE's `precond_z` column with `M⁻¹ · residual`.
+    fn apply(&self, fabric: &mut Fabric, buffers: &[PeColumnBuffers], dims: Dims) -> Result<()> {
+        match self {
+            FabricPrecond::None => Ok(()),
+            FabricPrecond::Jacobi => {
+                for (idx, bufs) in buffers.iter().enumerate() {
+                    let pe_id = fabric.dims().unlinear(idx);
+                    kernel::jacobi_precond(fabric.pe_mut(pe_id), bufs)?;
+                }
+                Ok(())
+            }
+            FabricPrecond::Mg(mg) => {
+                // Host-assisted V-cycle: download the residual columns, run
+                // the cycle on the host, upload the correction columns.  The
+                // column reads/writes are accounted as PE memory traffic.
+                let nz = dims.nz;
+                let mut r = CellField::<f32>::zeros(dims);
+                for (idx, bufs) in buffers.iter().enumerate() {
+                    let pe_id = fabric.dims().unlinear(idx);
+                    let pe = fabric.pe_mut(pe_id);
+                    let column = pe.memory().read(bufs.residual, 0, nz)?;
+                    pe.counters_mut().mem_load_bytes += nz as u64 * 4;
+                    r.set_column(pe_id.x, pe_id.y, &column);
+                }
+                let mut z = CellField::<f32>::zeros(dims);
+                mg.apply(&r, &mut z);
+                for (idx, bufs) in buffers.iter().enumerate() {
+                    let pe_id = fabric.dims().unlinear(idx);
+                    let pe = fabric.pe_mut(pe_id);
+                    pe.memory_mut()
+                        .write(bufs.precond_z, 0, &z.column(pe_id.x, pe_id.y))?;
+                    pe.counters_mut().mem_store_bytes += nz as u64 * 4;
+                }
+                Ok(())
+            }
+        }
+    }
 }
 
 /// The dataflow matrix-free FV solver.  Borrows its workload: a solver is a
@@ -126,6 +182,20 @@ impl<'w> DataflowFvSolver<'w> {
         let mut exchange = CardinalExchange::new(&mut fabric, &mut colors)?;
         let allreduce = AllReduce::new(&mut colors)?;
 
+        // Arm the configured preconditioner (communication-only runs skip all
+        // floating-point work, so they keep plain CG's schedule).
+        let precond = if !self.options.compute_enabled {
+            FabricPrecond::None
+        } else {
+            match self.options.preconditioner {
+                PreconditionerKind::None => FabricPrecond::None,
+                PreconditionerKind::Jacobi => FabricPrecond::Jacobi,
+                PreconditionerKind::Mg => FabricPrecond::Mg(Box::new(
+                    MultigridVcycle::<f32>::from_workload(self.workload, 1, MgConfig::default()),
+                )),
+            }
+        };
+
         // Host-side initialisation of the Newton system (the paper loads the mesh
         // and initial condition from the host as well): r₀ and the rhs columns.
         let coeffs32 = self.workload.transmissibility().convert::<f32>();
@@ -167,6 +237,19 @@ impl<'w> DataflowFvSolver<'w> {
         let mut alpha = 0.0f32;
         let mut rr_new = rr;
         let mut stopped: Option<StopReason> = None;
+
+        // PCG initialisation: z₀ = M⁻¹ r₀, d₀ = z₀, and the α/β numerator
+        // r·z.  Convergence stays on the unpreconditioned rᵀr, so histories
+        // remain directly comparable with plain CG.
+        let mut rz = rr;
+        if !precond.is_none() {
+            precond.apply(&mut fabric, &buffers, dims)?;
+            for (idx, bufs) in buffers.iter().enumerate() {
+                let pe_id = fabric.dims().unlinear(idx);
+                kernel::set_direction_from_z(fabric.pe_mut(pe_id), bufs)?;
+            }
+            rz = self.global_rz(&mut fabric, &allreduce, &buffers, &mut critical_path_hops)?;
+        }
 
         if self.options.compute_enabled && criterion.is_converged(rr as f64) {
             history.converged = true;
@@ -243,7 +326,11 @@ impl<'w> DataflowFvSolver<'w> {
                             }
                             continue;
                         }
-                        alpha = rr / d_ad;
+                        alpha = if precond.is_none() {
+                            rr / d_ad
+                        } else {
+                            rz / d_ad
+                        };
                     } else {
                         alpha = 0.0;
                     }
@@ -313,10 +400,32 @@ impl<'w> DataflowFvSolver<'w> {
                 }
                 CgState::UpdateDirection => {
                     if self.options.compute_enabled {
-                        let beta = if rr > 0.0 { rr_new / rr } else { 0.0 };
-                        for (idx, bufs) in buffers.iter().enumerate() {
-                            let pe_id = fabric.dims().unlinear(idx);
-                            kernel::apply_beta_update(fabric.pe_mut(pe_id), bufs, beta)?;
+                        if precond.is_none() {
+                            let beta = if rr > 0.0 { rr_new / rr } else { 0.0 };
+                            for (idx, bufs) in buffers.iter().enumerate() {
+                                let pe_id = fabric.dims().unlinear(idx);
+                                kernel::apply_beta_update(fabric.pe_mut(pe_id), bufs, beta)?;
+                            }
+                        } else {
+                            // PCG direction update: z = M⁻¹ r, β = r·z / rz,
+                            // d = z + β d.  The extra r·z all-reduce rides the
+                            // same fabric reduction tree as α's denominator.
+                            precond.apply(&mut fabric, &buffers, dims)?;
+                            let mut partials = vec![0.0f32; fabric.num_pes()];
+                            for idx in 0..fabric.num_pes() {
+                                let pe_id = fabric.dims().unlinear(idx);
+                                partials[idx] =
+                                    kernel::local_dot_rz(fabric.pe_mut(pe_id), &buffers[idx])?;
+                            }
+                            let (rz_new, report) =
+                                allreduce.reduce_scalar(&mut fabric, &partials)?;
+                            critical_path_hops += report.critical_path_hops;
+                            let beta = if rz > 0.0 { rz_new / rz } else { 0.0 };
+                            for (idx, bufs) in buffers.iter().enumerate() {
+                                let pe_id = fabric.dims().unlinear(idx);
+                                kernel::apply_beta_update_z(fabric.pe_mut(pe_id), bufs, beta)?;
+                            }
+                            rz = rz_new;
                         }
                         rr = rr_new;
                     }
@@ -381,6 +490,24 @@ impl<'w> DataflowFvSolver<'w> {
         })
     }
 
+    /// Per-PE `r·z` partials reduced over the fabric (PCG's α/β numerator).
+    fn global_rz(
+        &self,
+        fabric: &mut Fabric,
+        allreduce: &AllReduce,
+        buffers: &[PeColumnBuffers],
+        critical_path_hops: &mut usize,
+    ) -> Result<f32> {
+        let mut partials = vec![0.0f32; fabric.num_pes()];
+        for idx in 0..fabric.num_pes() {
+            let pe_id = fabric.dims().unlinear(idx);
+            partials[idx] = kernel::local_dot_rz(fabric.pe_mut(pe_id), &buffers[idx])?;
+        }
+        let (value, report) = allreduce.reduce_scalar(fabric, &partials)?;
+        *critical_path_hops += report.critical_path_hops;
+        Ok(value)
+    }
+
     /// Per-PE `r·r` partials reduced over the fabric.
     fn global_rr(
         &self,
@@ -438,6 +565,34 @@ mod tests {
         let scale = oracle.pressure.max_abs();
         let rel = oracle.pressure.max_abs_diff(&report.pressure) / scale;
         assert!(rel < 1e-3, "relative mismatch {rel}");
+    }
+
+    #[test]
+    fn preconditioned_dataflow_solves_match_the_oracle() {
+        use mffv_solver::backend::PreconditionerKind;
+        let w = WorkloadSpec::quickstart().scaled(2).build();
+        let oracle = solve_pressure::<f64>(&w);
+        let plain = DataflowBackend::paper().solve(&w, &config(1e-10)).unwrap();
+        for kind in [PreconditionerKind::Jacobi, PreconditionerKind::Mg] {
+            let cfg = SolveConfig {
+                tolerance: Some(1e-10),
+                preconditioner: kind,
+                ..SolveConfig::default()
+            };
+            let report = DataflowBackend::paper().solve(&w, &cfg).unwrap();
+            assert!(report.converged(), "{} did not converge", kind.label());
+            let diff = oracle.pressure.max_abs_diff(&report.pressure);
+            assert!(diff < 1e-3, "{} vs oracle gap {diff}", kind.label());
+            // A preconditioner must not take more iterations than plain CG
+            // allowing slack for f32 effects on this small problem.
+            assert!(
+                report.iterations() <= plain.iterations() + 5,
+                "{}: {} iters vs plain {}",
+                kind.label(),
+                report.iterations(),
+                plain.iterations()
+            );
+        }
     }
 
     #[test]

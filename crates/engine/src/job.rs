@@ -9,7 +9,7 @@
 
 use crate::backend::Backend;
 use mffv_mesh::{TransientSpec, Workload, WorkloadSpec};
-use mffv_solver::backend::{SolveConfig, SolveError, SolveReport};
+use mffv_solver::backend::{PreconditionerKind, SolveConfig, SolveError, SolveReport};
 use mffv_solver::monitor::{
     CancelToken, MonitorFanout, NullMonitor, SolveMonitor, StopPolicy, StopReason,
 };
@@ -83,6 +83,14 @@ impl JobSpec {
     /// Override the permeability seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Select the preconditioner of the job's Krylov loop — Jacobi diagonal
+    /// scaling or the matrix-free multigrid V-cycle
+    /// ([`PreconditionerKind::None`], the default, keeps plain CG).
+    pub fn with_preconditioner(mut self, preconditioner: PreconditionerKind) -> Self {
+        self.solve_config.preconditioner = preconditioner;
         self
     }
 

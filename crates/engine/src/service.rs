@@ -468,8 +468,10 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         for _ in 0..3 {
             let tx = tx.clone();
+            // Blocking submit: this test exercises drain semantics, not
+            // back-pressure, and `try_submit` races the worker's dequeue.
             service
-                .try_submit(ServiceJob::new(quick_job(), move |o| {
+                .submit_blocking(ServiceJob::new(quick_job(), move |o| {
                     tx.send(o).ok();
                 }))
                 .ok()

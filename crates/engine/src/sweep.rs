@@ -14,6 +14,7 @@
 use crate::backend::Backend;
 use crate::job::JobSpec;
 use mffv_mesh::{Dims, DtPolicy, TransientSpec, WellSet, WorkloadSpec};
+use mffv_solver::backend::PreconditionerKind;
 
 /// Builder for a cartesian scenario sweep over one base workload.
 #[derive(Clone, Debug)]
@@ -24,6 +25,7 @@ pub struct SweepBuilder {
     tolerances: Vec<f64>,
     seeds: Vec<Option<u64>>,
     backends: Vec<Backend>,
+    preconditioners: Vec<PreconditionerKind>,
     max_iterations: Option<usize>,
     /// Base transient scenario; `None` keeps the sweep steady-state.
     transient: Option<TransientSpec>,
@@ -48,6 +50,7 @@ impl SweepBuilder {
             tolerances: vec![tolerance],
             seeds: vec![None],
             backends: vec![Backend::host()],
+            preconditioners: vec![PreconditionerKind::None],
             max_iterations: None,
             transient: None,
             dts: vec![None],
@@ -147,6 +150,20 @@ impl SweepBuilder {
         self
     }
 
+    /// Sweep over Krylov preconditioners (plain CG, Jacobi, the multigrid
+    /// V-cycle).  Jobs are suffixed `-pc<label>` when the axis is varied.
+    pub fn preconditioners(
+        mut self,
+        preconditioners: impl IntoIterator<Item = PreconditionerKind>,
+    ) -> Self {
+        self.preconditioners = preconditioners.into_iter().collect();
+        assert!(
+            !self.preconditioners.is_empty(),
+            "at least one preconditioner required"
+        );
+        self
+    }
+
     /// Cap the iteration count of every generated workload.
     pub fn max_iterations(mut self, max_iterations: usize) -> Self {
         self.max_iterations = Some(max_iterations);
@@ -162,6 +179,7 @@ impl SweepBuilder {
             * self.dts.len()
             * self.compressibilities.len()
             * self.well_schedules.len()
+            * self.preconditioners.len()
             * self.backends.len()
     }
 
@@ -192,15 +210,26 @@ impl SweepBuilder {
                                     let transient = self.transient_variant(dt, ct, wells.as_ref());
                                     let mut spec = spec.clone();
                                     spec.name = self.transient_name(spec.name, dt, ct, wi);
-                                    for &backend in &self.backends {
-                                        let mut job = JobSpec::new(spec.clone(), backend);
-                                        if let Some(seed) = seed {
-                                            job = job.with_seed(seed);
+                                    for &preconditioner in &self.preconditioners {
+                                        let mut spec = spec.clone();
+                                        if self.preconditioners.len() > 1 {
+                                            spec.name = format!(
+                                                "{}-pc{}",
+                                                spec.name,
+                                                preconditioner.label()
+                                            );
                                         }
-                                        if let Some(transient) = transient.clone() {
-                                            job = job.with_transient(transient);
+                                        for &backend in &self.backends {
+                                            let mut job = JobSpec::new(spec.clone(), backend)
+                                                .with_preconditioner(preconditioner);
+                                            if let Some(seed) = seed {
+                                                job = job.with_seed(seed);
+                                            }
+                                            if let Some(transient) = transient.clone() {
+                                                job = job.with_transient(transient);
+                                            }
+                                            jobs.push(job);
                                         }
-                                        jobs.push(job);
                                     }
                                 }
                             }
@@ -405,6 +434,34 @@ mod tests {
         assert_eq!(jobs[1].workload_spec.tolerance, 1e-12);
         assert!(jobs.iter().all(|j| j.workload_spec.max_iterations == 123));
         assert!(jobs[0].workload_spec.name.contains("tol1e-6"));
+    }
+
+    #[test]
+    fn preconditioners_axis_names_jobs_and_reaches_the_config() {
+        let jobs = SweepBuilder::new(WorkloadSpec::quickstart())
+            .preconditioners([
+                PreconditionerKind::None,
+                PreconditionerKind::Jacobi,
+                PreconditionerKind::Mg,
+            ])
+            .backends([Backend::host(), Backend::dataflow()])
+            .jobs();
+        assert_eq!(jobs.len(), 6);
+        assert_eq!(
+            jobs[0].solve_config.preconditioner,
+            PreconditionerKind::None
+        );
+        assert_eq!(
+            jobs[2].solve_config.preconditioner,
+            PreconditionerKind::Jacobi
+        );
+        assert_eq!(jobs[4].solve_config.preconditioner, PreconditionerKind::Mg);
+        assert!(jobs[0].workload_spec.name.contains("-pcnone"));
+        assert!(jobs[3].workload_spec.name.contains("-pcjacobi"));
+        assert!(jobs[5].workload_spec.name.contains("-pcmg"));
+        // Backends stay innermost: both backends of one preconditioner are
+        // adjacent and share the scenario name.
+        assert_eq!(jobs[4].workload_spec.name, jobs[5].workload_spec.name);
     }
 
     #[test]

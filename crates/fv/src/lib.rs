@@ -27,6 +27,7 @@
 pub mod csr;
 pub mod flux;
 pub mod matrix_free;
+pub mod mg;
 pub mod operator;
 pub mod plan;
 pub mod residual;
@@ -34,7 +35,8 @@ pub mod velocity;
 
 pub use csr::{AssembledOperator, CsrMatrix};
 pub use matrix_free::MatrixFreeOperator;
-pub use operator::LinearOperator;
+pub use mg::{MgConfig, MultigridVcycle};
+pub use operator::{LinearOperator, Preconditioner};
 pub use plan::{
     det_dot, det_norm_squared, PlanStats, StencilPlan, APPLY_STREAMS_PER_CELL, SLAB_CELLS,
 };
@@ -51,7 +53,8 @@ pub mod prelude {
     pub use crate::csr::{AssembledOperator, CsrMatrix};
     pub use crate::flux::{interfacial_flux, FLOPS_PER_NEIGHBOR};
     pub use crate::matrix_free::MatrixFreeOperator;
-    pub use crate::operator::LinearOperator;
+    pub use crate::mg::{MgConfig, MultigridVcycle};
+    pub use crate::operator::{LinearOperator, Preconditioner};
     pub use crate::plan::{
         det_dot, det_norm_squared, PlanStats, StencilPlan, APPLY_STREAMS_PER_CELL, SLAB_CELLS,
     };

@@ -1,0 +1,840 @@
+//! Matrix-free geometric multigrid: a V-cycle preconditioner over [`StencilPlan`](crate::plan::StencilPlan).
+//!
+//! PR 4 brought each CG iteration close to the memory wall, so the next order
+//! of magnitude on fig5-class workloads has to come from iteration *count*.
+//! This module supplies it: a cell-centered 2:1 geometric hierarchy where every
+//! level is just another 7-point [`MatrixFreeOperator`] — same coefficient
+//! table shape, same branch-free planned kernels, same determinism contract —
+//! so the multigrid smoothers run on exactly the fused slab kernels the fine
+//! grid uses.
+//!
+//! ## Hierarchy construction
+//!
+//! Each level halves every extent (rounding up), and the coarse operator is
+//! **re-discretized** rather than assembled: the coarse face coefficient is
+//! half the sum of the fine-face coefficients crossing the coarse interface,
+//!
+//! ```text
+//! Υc(C→D) = ½ · Σ { Υf(a→b) : a ∈ C, b ∈ D adjacent }
+//! ```
+//!
+//! which is exact re-discretization for uniform coefficients (the transverse
+//! sum doubles the face area, the ½ accounts for the doubled center distance)
+//! and, because the fine table already carries the harmonic averages of Eq.
+//! (4), inherits their treatment of heterogeneity.  The coarse table stays
+//! symmetric and nonnegative, so every level is again an SPD Dirichlet-
+//! eliminated 7-point operator and [`StencilPlan`](crate::plan::StencilPlan) applies unchanged.  A
+//! coarse cell is Dirichlet when any of its (up to eight) children is; a
+//! transient diagonal shift coarsens by summing the children's entries —
+//! exactly the aggregation of the accumulation term `V·c_t/Δt`.
+//!
+//! ## Cycle
+//!
+//! * **Smoother**: weighted Jacobi `z ← z + ω D⁻¹ (r − A z)` with ω = 2/3 —
+//!   symmetric, colouring-free, and built on the planned `apply` kernel so
+//!   smoothing inherits the bitwise thread-count independence of the fine
+//!   operator.
+//! * **Transfer**: trilinear prolongation (per-axis weights ¾/¼, clamped at
+//!   boundaries) and its exact transpose as full-weighting restriction.  Both
+//!   run as branch-free precomputed-weight sweeps in fixed cell order, so
+//!   they are bitwise deterministic and never appear in a float-reduction
+//!   context (see AUDIT.md on blessed reduction homes).
+//! * **Coarsest level** (≤ [`SLAB_CELLS`] cells): unpreconditioned CG on the
+//!   level operator's fused kernels, driven to a tight relative tolerance so
+//!   the V-cycle stays (numerically) a fixed linear operation.
+//!
+//! The V-cycle uses the same pre- and post-smoother, `R = Pᵀ` and symmetric
+//! level operators, so `M⁻¹` is symmetric — the property PCG needs and the
+//! property the proptests pin.
+
+use crate::matrix_free::MatrixFreeOperator;
+use crate::operator::{LinearOperator, Preconditioner};
+use crate::plan::{det_norm_squared, SLAB_CELLS};
+use mffv_mesh::{CellField, Dims, Direction, DirichletCell, DirichletSet, Scalar};
+use mffv_telemetry::Span;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Tuning knobs of the V-cycle.  The defaults are the configuration every
+/// backend ships: V(2,2) with ω = 2/3 weighted Jacobi and a coarsest level
+/// solved to near machine precision.  Two sweeps per side keep the PCG
+/// iteration count flat (within 1.5x) from 32³ to 128³ on the paper grid
+/// where V(1,1) grows past it, at essentially the same wall time per solve.
+#[derive(Clone, Copy, Debug)]
+pub struct MgConfig {
+    /// Damping factor of the weighted-Jacobi smoother.
+    pub omega: f64,
+    /// Pre-smoothing sweeps per level.
+    pub pre_sweeps: usize,
+    /// Post-smoothing sweeps per level.
+    pub post_sweeps: usize,
+    /// Stop coarsening once a level has at most this many cells (default
+    /// [`SLAB_CELLS`], the planned-kernel slab size).
+    pub coarse_cells: usize,
+    /// Relative `rᵀr` reduction demanded of the coarsest-level CG solve.
+    pub coarse_rr_reduction: f64,
+    /// Iteration cap of the coarsest-level CG solve.
+    pub coarse_max_iterations: usize,
+}
+
+impl Default for MgConfig {
+    fn default() -> Self {
+        Self {
+            omega: 2.0 / 3.0,
+            pre_sweeps: 2,
+            post_sweeps: 2,
+            coarse_cells: SLAB_CELLS,
+            coarse_rr_reduction: 1e-24,
+            coarse_max_iterations: 4 * SLAB_CELLS,
+        }
+    }
+}
+
+/// Per-axis transfer weights of one fine index: the two coarse indices it
+/// interpolates from (clamped at the boundary, where they may coincide) and
+/// their trilinear weights.  Weights are dyadic (¾/¼ in the interior), so
+/// they are exact in both `f32` and `f64`.
+#[derive(Clone, Copy, Debug)]
+struct AxisWeights<T> {
+    lo: usize,
+    hi: usize,
+    w_lo: T,
+    w_hi: T,
+}
+
+fn axis_weights<T: Scalar>(n_fine: usize, n_coarse: usize) -> Vec<AxisWeights<T>> {
+    (0..n_fine)
+        .map(|f| {
+            // Cell centers: fine cell f sits at (f + ½)·h, coarse cell c at
+            // (2c + 1)·h; in coarse index space the fine center is at
+            // t = (f + ½)/2 − ½.
+            let t = (f as f64 + 0.5) * 0.5 - 0.5;
+            let i0 = t.floor() as isize;
+            let w_hi = t - i0 as f64;
+            let hi_max = n_coarse as isize - 1;
+            AxisWeights {
+                lo: i0.clamp(0, hi_max) as usize,
+                hi: (i0 + 1).clamp(0, hi_max) as usize,
+                w_lo: T::from_f64(1.0 - w_hi),
+                w_hi: T::from_f64(w_hi),
+            }
+        })
+        .collect()
+}
+
+/// Trilinear transfer between one level and the next coarser one.
+#[derive(Clone, Debug)]
+struct Transfer<T> {
+    coarse_dims: Dims,
+    x: Vec<AxisWeights<T>>,
+    y: Vec<AxisWeights<T>>,
+    z: Vec<AxisWeights<T>>,
+}
+
+impl<T: Scalar> Transfer<T> {
+    fn new(fine: Dims, coarse: Dims) -> Self {
+        Self {
+            coarse_dims: coarse,
+            x: axis_weights(fine.nx, coarse.nx),
+            y: axis_weights(fine.ny, coarse.ny),
+            z: axis_weights(fine.nz, coarse.nz),
+        }
+    }
+
+    /// Full-weighting restriction `rc = Pᵀ rf`: a fixed-order scatter of each
+    /// fine cell into its (up to) eight coarse neighbours.  Sequential and
+    /// branch-free in the inner loop, so bitwise deterministic for every
+    /// thread count by construction.
+    fn restrict(&self, fine: &CellField<T>, coarse: &mut CellField<T>) {
+        coarse.fill(T::ZERO);
+        let cd = self.coarse_dims;
+        let (cxs, cys) = (1usize, cd.nx);
+        let czs = cd.nx * cd.ny;
+        let rf = fine.as_slice();
+        let rc = coarse.as_mut_slice();
+        let mut f = 0usize;
+        for wz in &self.z {
+            for wy in &self.y {
+                let base00 = wy.lo * cys + wz.lo * czs;
+                let base01 = wy.lo * cys + wz.hi * czs;
+                let base10 = wy.hi * cys + wz.lo * czs;
+                let base11 = wy.hi * cys + wz.hi * czs;
+                let w00 = wy.w_lo * wz.w_lo;
+                let w01 = wy.w_lo * wz.w_hi;
+                let w10 = wy.w_hi * wz.w_lo;
+                let w11 = wy.w_hi * wz.w_hi;
+                for wx in &self.x {
+                    let v = rf[f];
+                    f += 1;
+                    let vl = wx.w_lo * v;
+                    let vh = wx.w_hi * v;
+                    rc[base00 + wx.lo * cxs] += w00 * vl;
+                    rc[base00 + wx.hi * cxs] += w00 * vh;
+                    rc[base10 + wx.lo * cxs] += w10 * vl;
+                    rc[base10 + wx.hi * cxs] += w10 * vh;
+                    rc[base01 + wx.lo * cxs] += w01 * vl;
+                    rc[base01 + wx.hi * cxs] += w01 * vh;
+                    rc[base11 + wx.lo * cxs] += w11 * vl;
+                    rc[base11 + wx.hi * cxs] += w11 * vh;
+                }
+            }
+        }
+    }
+
+    /// Trilinear prolongation-and-correct `zf += P ec`: a fixed-order gather
+    /// of the eight surrounding coarse values into each fine cell.
+    fn prolong_add(&self, coarse: &CellField<T>, fine: &mut CellField<T>) {
+        let cd = self.coarse_dims;
+        let cys = cd.nx;
+        let czs = cd.nx * cd.ny;
+        let ec = coarse.as_slice();
+        let zf = fine.as_mut_slice();
+        let mut f = 0usize;
+        for wz in &self.z {
+            for wy in &self.y {
+                let base00 = wy.lo * cys + wz.lo * czs;
+                let base01 = wy.lo * cys + wz.hi * czs;
+                let base10 = wy.hi * cys + wz.lo * czs;
+                let base11 = wy.hi * cys + wz.hi * czs;
+                let w00 = wy.w_lo * wz.w_lo;
+                let w01 = wy.w_lo * wz.w_hi;
+                let w10 = wy.w_hi * wz.w_lo;
+                let w11 = wy.w_hi * wz.w_hi;
+                for wx in &self.x {
+                    let lo = w00 * ec[base00 + wx.lo]
+                        + w10 * ec[base10 + wx.lo]
+                        + w01 * ec[base01 + wx.lo]
+                        + w11 * ec[base11 + wx.lo];
+                    let hi = w00 * ec[base00 + wx.hi]
+                        + w10 * ec[base10 + wx.hi]
+                        + w01 * ec[base01 + wx.hi]
+                        + w11 * ec[base11 + wx.hi];
+                    zf[f] += wx.w_lo * lo + wx.w_hi * hi;
+                    f += 1;
+                }
+            }
+        }
+    }
+}
+
+/// One level of the hierarchy: a planned 7-point operator plus the smoother
+/// diagonal and (except on the coarsest level) the transfer downward.
+#[derive(Clone, Debug)]
+struct MgLevel<T: Scalar> {
+    operator: MatrixFreeOperator<T>,
+    /// `1/diag(A)` with 1 on Dirichlet rows (and on degenerate rows).
+    inv_diag: Vec<T>,
+    transfer: Option<Transfer<T>>,
+}
+
+impl<T: Scalar> MgLevel<T> {
+    fn rebuild_inv_diag(&mut self) {
+        let dims = self.operator.dims();
+        let coeffs = self.operator.coefficients();
+        let shift = self.operator.diagonal_shift();
+        let mut inv = vec![T::ONE; dims.num_cells()];
+        for c in dims.iter_cells() {
+            let k = dims.linear(c);
+            if self.operator.is_dirichlet(k) {
+                continue;
+            }
+            let mut acc = T::ZERO;
+            for dir in Direction::ALL {
+                if dims.neighbor(c, dir).is_some() {
+                    acc += coeffs.get(k, dir);
+                }
+            }
+            if let Some(d) = shift {
+                acc += d[k];
+            }
+            if acc.to_f64() > 0.0 {
+                inv[k] = T::ONE / acc;
+            }
+        }
+        self.inv_diag = inv;
+    }
+}
+
+/// Per-level scratch vectors, reused across applies so a V-cycle allocates
+/// nothing.  Every buffer is fully overwritten before use.
+#[derive(Clone, Debug)]
+struct LevelWorkspace<T: Scalar> {
+    /// The level's right-hand side (the restricted residual).
+    r: CellField<T>,
+    /// The level's solution / correction.
+    z: CellField<T>,
+    /// `A z` scratch, reused to hold the pre-smoothed residual.
+    ax: CellField<T>,
+}
+
+/// The geometric-multigrid V-cycle preconditioner (the tentpole of the MG
+/// work): `apply` runs one V(ν₁,ν₂) cycle of the hierarchy described in the
+/// [module docs](self) and is a symmetric positive operation suitable as the
+/// `M⁻¹` of PCG.
+#[derive(Debug)]
+pub struct MultigridVcycle<T: Scalar> {
+    levels: Vec<MgLevel<T>>,
+    config: MgConfig,
+    omega: T,
+    workspace: RefCell<Vec<LevelWorkspace<T>>>,
+}
+
+impl<T: Scalar> MultigridVcycle<T> {
+    /// Build the hierarchy for a fine-level coefficient table and Dirichlet
+    /// set.  `threads` is forwarded to every level's planned kernels; results
+    /// are bitwise identical for every thread count.
+    pub fn new(
+        coeffs: mffv_mesh::Transmissibilities<T>,
+        dirichlet: &DirichletSet,
+        threads: usize,
+        config: MgConfig,
+    ) -> Self {
+        let fine = MatrixFreeOperator::new(coeffs, dirichlet).with_threads(threads);
+        let mut levels = vec![MgLevel {
+            operator: fine,
+            inv_diag: Vec::new(),
+            transfer: None,
+        }];
+        let mut dirichlet = dirichlet.clone();
+        for _ in 0..64 {
+            // audit: allow(panic) — invariant: `levels` starts with the fine level
+            let finest = levels.last().expect("hierarchy is never empty");
+            let fine_dims = finest.operator.dims();
+            if fine_dims.num_cells() <= config.coarse_cells.max(1) {
+                break;
+            }
+            let coarse_dims = Dims::new(
+                fine_dims.nx.div_ceil(2),
+                fine_dims.ny.div_ceil(2),
+                fine_dims.nz.div_ceil(2),
+            );
+            if coarse_dims == fine_dims {
+                break;
+            }
+            let coarse_dirichlet = coarsen_dirichlet(&dirichlet, fine_dims, coarse_dims);
+            // audit: allow(panic) — invariant: `levels` starts with the fine level
+            let fine_level = levels.last_mut().expect("hierarchy is never empty");
+            let coarse_coeffs =
+                coarsen_coefficients(fine_level.operator.coefficients(), coarse_dims);
+            fine_level.transfer = Some(Transfer::new(fine_dims, coarse_dims));
+            let coarse_op =
+                MatrixFreeOperator::new(coarse_coeffs, &coarse_dirichlet).with_threads(threads);
+            levels.push(MgLevel {
+                operator: coarse_op,
+                inv_diag: Vec::new(),
+                transfer: None,
+            });
+            dirichlet = coarse_dirichlet;
+        }
+        for level in &mut levels {
+            level.rebuild_inv_diag();
+        }
+        let workspace = RefCell::new(
+            levels
+                .iter()
+                .map(|l| {
+                    let dims = l.operator.dims();
+                    LevelWorkspace {
+                        r: CellField::zeros(dims),
+                        z: CellField::zeros(dims),
+                        ax: CellField::zeros(dims),
+                    }
+                })
+                .collect(),
+        );
+        Self {
+            levels,
+            config,
+            omega: T::from_f64(config.omega),
+            workspace,
+        }
+    }
+
+    /// Build from a workload, converting the coefficient table to precision
+    /// `T` (mirrors [`MatrixFreeOperator::from_workload`]).
+    pub fn from_workload(workload: &mffv_mesh::Workload, threads: usize, config: MgConfig) -> Self {
+        Self::new(
+            workload.transmissibility().convert(),
+            workload.dirichlet(),
+            threads,
+            config,
+        )
+    }
+
+    /// Number of levels in the hierarchy (≥ 1; the fine grid is level 0).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Grid extents of a level.
+    pub fn level_dims(&self, level: usize) -> Dims {
+        self.levels[level].operator.dims()
+    }
+
+    /// The cycle configuration.
+    pub fn config(&self) -> &MgConfig {
+        &self.config
+    }
+
+    /// Install a transient diagonal shift on the fine level and propagate it
+    /// down the hierarchy: the coarse shift of a cell is the **sum** of its
+    /// children's entries — the aggregation of the accumulation term
+    /// `V·c_t/Δt` (plus well indices).  Coefficient tables, plans and
+    /// transfers are untouched, so swapping the `Δt`-dependent diagonal
+    /// between transient steps costs only the diagonal rebuild.
+    pub fn set_diagonal_shift(&mut self, diag: &CellField<f64>) {
+        let mut shift = diag.clone();
+        for l in 0..self.levels.len() {
+            self.levels[l].operator.set_diagonal_shift(&shift);
+            self.levels[l].rebuild_inv_diag();
+            if l + 1 == self.levels.len() {
+                break;
+            }
+            let fine_dims = self.levels[l].operator.dims();
+            let coarse_dims = self.levels[l + 1].operator.dims();
+            shift = coarsen_shift(&shift, fine_dims, coarse_dims);
+        }
+    }
+
+    /// Drop the diagonal shift on every level, restoring the steady hierarchy.
+    pub fn clear_diagonal_shift(&mut self) {
+        for level in &mut self.levels {
+            level.operator.clear_diagonal_shift();
+            level.rebuild_inv_diag();
+        }
+    }
+
+    /// One V-cycle `z = M⁻¹ r`, with `mg.vcycle` / per-level `mg.level`
+    /// telemetry spans when `span` is recording.  Tracing never changes the
+    /// arithmetic.
+    pub fn apply_cycle(&self, r: &CellField<T>, z: &mut CellField<T>, span: &Span) {
+        let fine_dims = self.levels[0].operator.dims();
+        assert_eq!(r.dims(), fine_dims, "residual dimension mismatch");
+        assert_eq!(z.dims(), fine_dims, "output dimension mismatch");
+        let vspan = span.child("mg.vcycle");
+        let mut ws = self.workspace.borrow_mut();
+        // Seed the fine level's rhs; Dirichlet entries are zeroed so every
+        // level solves a homogeneous-Dirichlet error equation.
+        ws[0].r.as_mut_slice().copy_from_slice(r.as_slice());
+        self.zero_dirichlet(0, &mut ws[0].r);
+        self.cycle(0, &mut ws, &vspan);
+        z.as_mut_slice().copy_from_slice(ws[0].z.as_slice());
+        vspan.finish();
+    }
+
+    fn cycle(&self, l: usize, ws: &mut [LevelWorkspace<T>], span: &Span) {
+        let lspan = span.child_on_lane("mg.level", l as u32);
+        let level = &self.levels[l];
+        let coarsest = l + 1 == self.levels.len();
+        if coarsest {
+            // audit: allow(panic) — invariant: one workspace per level, ws is never empty here
+            let (head, _) = ws.split_first_mut().expect("workspace per level");
+            self.coarse_solve(level, head);
+            lspan.finish();
+            return;
+        }
+        // audit: allow(panic) — invariant: one workspace per level, ws is never empty here
+        let (head, rest) = ws.split_first_mut().expect("workspace per level");
+
+        // Pre-smooth from the zero initial guess: the first sweep collapses
+        // to z = ω D⁻¹ r (A·0 = 0), later sweeps do the full correction.
+        head.z.fill(T::ZERO);
+        self.smooth_first(level, &head.r, &mut head.z);
+        for _ in 1..self.config.pre_sweeps {
+            self.smooth(level, &head.r, &mut head.z, &mut head.ax);
+        }
+
+        // Fine residual rf = r − A z, written into the ax scratch.
+        level.operator.apply(&head.z, &mut head.ax);
+        {
+            let rf = head.ax.as_mut_slice();
+            let r = head.r.as_slice();
+            for k in 0..rf.len() {
+                rf[k] = r[k] - rf[k];
+            }
+        }
+
+        // Restrict, recurse, correct.
+        // audit: allow(panic) — invariant: every non-coarsest level was built with a transfer
+        let transfer = level.transfer.as_ref().expect("non-coarsest level");
+        transfer.restrict(&head.ax, &mut rest[0].r);
+        self.zero_dirichlet(l + 1, &mut rest[0].r);
+        self.cycle(l + 1, rest, span);
+        transfer.prolong_add(&rest[0].z, &mut head.z);
+        self.zero_dirichlet(l, &mut head.z);
+
+        // Post-smooth (same smoother: the cycle stays symmetric).
+        for _ in 0..self.config.post_sweeps {
+            self.smooth(level, &head.r, &mut head.z, &mut head.ax);
+        }
+        lspan.finish();
+    }
+
+    /// One weighted-Jacobi sweep `z ← z + ω D⁻¹ (r − A z)`; Dirichlet rows
+    /// keep their exact value 0.
+    fn smooth(
+        &self,
+        level: &MgLevel<T>,
+        r: &CellField<T>,
+        z: &mut CellField<T>,
+        ax: &mut CellField<T>,
+    ) {
+        level.operator.apply(z, ax);
+        let zs = z.as_mut_slice();
+        let rs = r.as_slice();
+        let axs = ax.as_slice();
+        for k in 0..zs.len() {
+            if !level.operator.is_dirichlet(k) {
+                zs[k] += self.omega * level.inv_diag[k] * (rs[k] - axs[k]);
+            }
+        }
+    }
+
+    /// The first sweep from z = 0: `z = ω D⁻¹ r` without the operator apply.
+    fn smooth_first(&self, level: &MgLevel<T>, r: &CellField<T>, z: &mut CellField<T>) {
+        let zs = z.as_mut_slice();
+        let rs = r.as_slice();
+        for k in 0..zs.len() {
+            if !level.operator.is_dirichlet(k) {
+                zs[k] = self.omega * level.inv_diag[k] * rs[k];
+            }
+        }
+    }
+
+    /// Coarsest-level solve: plain CG on the level's fused kernels to a tight
+    /// relative tolerance (floored at the precision's attainable accuracy),
+    /// with the standard breakdown guards so degenerate levels — singular
+    /// operators under an empty Dirichlet set, 1-thin grids — stay finite.
+    fn coarse_solve(&self, level: &MgLevel<T>, ws: &mut LevelWorkspace<T>) {
+        ws.z.fill(T::ZERO);
+        let mut res = ws.r.clone();
+        let rr0 = det_norm_squared(&res).to_f64();
+        if rr0 <= 0.0 || !rr0.is_finite() {
+            return;
+        }
+        let eps = T::EPSILON.to_f64() * 8.0;
+        let threshold = rr0 * self.config.coarse_rr_reduction.max(eps * eps);
+        let mut direction = res.clone();
+        let mut ad = ws.ax.clone();
+        let mut rr = rr0;
+        for _ in 0..self.config.coarse_max_iterations {
+            let d_ad = level.operator.apply_dot(&direction, &mut ad).to_f64();
+            if d_ad <= 0.0 || !d_ad.is_finite() {
+                break;
+            }
+            let alpha = T::from_f64(rr / d_ad);
+            let rr_new = level
+                .operator
+                .cg_update(alpha, &direction, &ad, &mut ws.z, &mut res)
+                .to_f64();
+            if !rr_new.is_finite() {
+                break;
+            }
+            if rr_new <= threshold {
+                break;
+            }
+            let beta = T::from_f64(rr_new / rr);
+            direction.xpby(&res, beta);
+            rr = rr_new;
+        }
+    }
+
+    fn zero_dirichlet(&self, l: usize, field: &mut CellField<T>) {
+        let op = &self.levels[l].operator;
+        let fs = field.as_mut_slice();
+        for (k, v) in fs.iter_mut().enumerate() {
+            if op.is_dirichlet(k) {
+                *v = T::ZERO;
+            }
+        }
+    }
+}
+
+impl<T: Scalar> Preconditioner<T> for MultigridVcycle<T> {
+    fn dims(&self) -> Dims {
+        self.levels[0].operator.dims()
+    }
+
+    fn apply(&self, r: &CellField<T>, z: &mut CellField<T>) {
+        self.apply_cycle(r, z, &Span::null());
+    }
+
+    fn apply_traced(&self, r: &CellField<T>, z: &mut CellField<T>, span: &Span) {
+        self.apply_cycle(r, z, span);
+    }
+
+    fn label(&self) -> &'static str {
+        "mg"
+    }
+}
+
+/// Aggregate the fine coefficient table onto the coarse grid: for every fine
+/// face whose endpoints have different parents, add half its coefficient to
+/// the parent's face in the same direction.  Fixed fine-cell order, explicit
+/// accumulation (no iterator reductions — see AUDIT.md).
+fn coarsen_coefficients<T: Scalar>(
+    fine: &mffv_mesh::Transmissibilities<T>,
+    coarse_dims: Dims,
+) -> mffv_mesh::Transmissibilities<T> {
+    let fine_dims = fine.dims();
+    let half = T::from_f64(0.5);
+    let mut rows = vec![[T::ZERO; 6]; coarse_dims.num_cells()];
+    for c in fine_dims.iter_cells() {
+        let k = fine_dims.linear(c);
+        let parent = coarse_dims.linear(parent_of(c, coarse_dims));
+        for dir in Direction::ALL {
+            if let Some(n) = fine_dims.neighbor(c, dir) {
+                let nparent = coarse_dims.linear(parent_of(n, coarse_dims));
+                if nparent != parent {
+                    rows[parent][dir.index()] += half * fine.get(k, dir);
+                }
+            }
+        }
+    }
+    mffv_mesh::Transmissibilities::from_rows(coarse_dims, rows)
+}
+
+/// A coarse cell is Dirichlet when any of its children is.  Values are
+/// irrelevant — the hierarchy only ever solves homogeneous error equations —
+/// so they coarsen to 0.
+fn coarsen_dirichlet(fine: &DirichletSet, fine_dims: Dims, coarse_dims: Dims) -> DirichletSet {
+    let _ = fine_dims;
+    let mut coarse: BTreeMap<usize, DirichletCell> = BTreeMap::new();
+    for dc in fine.cells() {
+        let parent = parent_of(dc.cell, coarse_dims);
+        coarse
+            .entry(coarse_dims.linear(parent))
+            .or_insert(DirichletCell {
+                cell: parent,
+                value: 0.0,
+            });
+    }
+    DirichletSet::new(coarse_dims, coarse.into_values().collect())
+}
+
+/// Sum a fine diagonal shift into its parents (fixed fine-cell order).
+fn coarsen_shift(fine: &CellField<f64>, fine_dims: Dims, coarse_dims: Dims) -> CellField<f64> {
+    let mut coarse = CellField::zeros(coarse_dims);
+    for c in fine_dims.iter_cells() {
+        let k = fine_dims.linear(c);
+        let parent = coarse_dims.linear(parent_of(c, coarse_dims));
+        let cs = coarse.as_mut_slice();
+        cs[parent] += fine.get(k);
+    }
+    coarse
+}
+
+#[inline]
+fn parent_of(c: mffv_mesh::CellIndex, coarse_dims: Dims) -> mffv_mesh::CellIndex {
+    mffv_mesh::CellIndex::new(
+        (c.x / 2).min(coarse_dims.nx - 1),
+        (c.y / 2).min(coarse_dims.ny - 1),
+        (c.z / 2).min(coarse_dims.nz - 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::det_dot;
+    use mffv_mesh::permeability::PermeabilityModel;
+    use mffv_mesh::workload::{BoundarySpec, WorkloadSpec};
+    use mffv_mesh::Transmissibilities;
+
+    fn test_workload(dims: Dims) -> mffv_mesh::Workload {
+        WorkloadSpec {
+            name: "mg-test".to_string(),
+            dims,
+            spacing: [1.0, 1.0, 1.0],
+            permeability: PermeabilityModel::LogNormal {
+                mean_log: 0.0,
+                std_log: 1.5,
+                seed: 7,
+            },
+            viscosity: 1.0,
+            boundary: BoundarySpec::SourceProducer {
+                source_pressure: 1.0,
+                producer_pressure: 0.0,
+            },
+            tolerance: 1e-12,
+            max_iterations: 5000,
+        }
+        .build()
+    }
+
+    #[test]
+    fn hierarchy_halves_extents_and_stops_at_the_slab() {
+        let dims = Dims::new(32, 32, 32);
+        let coeffs = Transmissibilities::<f64>::uniform(dims, 1.0);
+        let mg = MultigridVcycle::new(coeffs, &DirichletSet::empty(), 1, MgConfig::default());
+        assert_eq!(mg.num_levels(), 2);
+        assert_eq!(mg.level_dims(0), dims);
+        assert_eq!(mg.level_dims(1), Dims::new(16, 16, 16));
+        assert!(mg.level_dims(1).num_cells() <= SLAB_CELLS);
+    }
+
+    #[test]
+    fn axis_weights_partition_unity_and_clamp() {
+        for (nf, nc) in [(8usize, 4usize), (7, 4), (1, 1), (2, 1), (5, 3)] {
+            let w = axis_weights::<f64>(nf, nc);
+            assert_eq!(w.len(), nf);
+            for a in &w {
+                assert!(a.lo <= a.hi && a.hi < nc);
+                assert_eq!(a.w_lo + a.w_hi, 1.0);
+                assert!(a.w_lo >= 0.0 && a.w_hi >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn restriction_is_the_transpose_of_prolongation() {
+        // ⟨P ec, rf⟩ == ⟨ec, Pᵀ rf⟩ for arbitrary vectors: R = Pᵀ exactly.
+        let fine = Dims::new(6, 5, 4);
+        let coarse = Dims::new(3, 3, 2);
+        let t = Transfer::<f64>::new(fine, coarse);
+        let rf = CellField::from_fn(fine, |c| {
+            ((c.x * 31 + c.y * 17 + c.z * 7) % 13) as f64 - 6.0
+        });
+        let ec = CellField::from_fn(coarse, |c| ((c.x * 5 + c.y * 3 + c.z) % 7) as f64 - 3.0);
+        let mut p_ec = CellField::zeros(fine);
+        t.prolong_add(&ec, &mut p_ec);
+        let mut rt_rf = CellField::zeros(coarse);
+        t.restrict(&rf, &mut rt_rf);
+        let lhs = det_dot(&p_ec, &rf);
+        let rhs = det_dot(&ec, &rt_rf);
+        assert!(
+            (lhs - rhs).abs() < 1e-10 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn coarse_coefficients_rediscretize_the_uniform_laplacian() {
+        // Fine T = 1 everywhere: a coarse interface aggregates 4 fine faces
+        // at weight ½ → coarse T = 2, exactly the re-discretized operator.
+        let dims = Dims::new(8, 8, 8);
+        let fine = Transmissibilities::<f64>::uniform(dims, 1.0);
+        let coarse_dims = Dims::new(4, 4, 4);
+        let coarse = coarsen_coefficients(&fine, coarse_dims);
+        let center = coarse_dims.linear(mffv_mesh::CellIndex::new(1, 1, 1));
+        for dir in Direction::ALL {
+            assert_eq!(coarse.get(center, dir), 2.0);
+        }
+        assert!(coarse.max_asymmetry() < 1e-14);
+    }
+
+    #[test]
+    fn vcycle_reduces_the_residual() {
+        let w = test_workload(Dims::new(16, 16, 8));
+        // Force a genuinely multi-level hierarchy on this small test grid.
+        let config = MgConfig {
+            coarse_cells: 256,
+            ..MgConfig::default()
+        };
+        let mg = MultigridVcycle::<f64>::from_workload(&w, 1, config);
+        assert!(mg.num_levels() >= 2);
+        let op = MatrixFreeOperator::<f64>::from_workload(&w);
+        // A right-hand side supported away from the Dirichlet cells.
+        let mut r = CellField::from_fn(w.dims(), |c| ((c.x + c.y + c.z) % 3) as f64 - 1.0);
+        for k in 0..w.dims().num_cells() {
+            if w.dirichlet().contains_linear(k) {
+                r.set(k, 0.0);
+            }
+        }
+        let mut z = CellField::zeros(w.dims());
+        mg.apply_cycle(&r, &mut z, &Span::null());
+        assert!(z.all_finite());
+        // One V-cycle must beat one damped-Jacobi sweep by a wide margin:
+        // residual of the error equation after the cycle.
+        let az = op.apply_new(&z);
+        let mut after = r.clone();
+        after.axpy(-1.0, &az);
+        let before = det_norm_squared(&r);
+        let after_rr = det_norm_squared(&after);
+        assert!(
+            after_rr < 0.5 * before,
+            "V-cycle only reduced rr from {before} to {after_rr}"
+        );
+    }
+
+    #[test]
+    fn vcycle_inner_product_is_symmetric_and_positive() {
+        let w = test_workload(Dims::new(12, 10, 6));
+        let config = MgConfig {
+            coarse_cells: 64,
+            ..MgConfig::default()
+        };
+        let mg = MultigridVcycle::<f64>::from_workload(&w, 1, config);
+        assert!(mg.num_levels() >= 2);
+        let dims = w.dims();
+        let mask = |mut f: CellField<f64>| {
+            for k in 0..dims.num_cells() {
+                if w.dirichlet().contains_linear(k) {
+                    f.set(k, 0.0);
+                }
+            }
+            f
+        };
+        let r1 = mask(CellField::from_fn(dims, |c| {
+            ((c.x * 3 + c.z) % 5) as f64 - 2.0
+        }));
+        let r2 = mask(CellField::from_fn(dims, |c| {
+            ((c.y * 7 + c.x) % 11) as f64 - 5.0
+        }));
+        let mut z1 = CellField::zeros(dims);
+        let mut z2 = CellField::zeros(dims);
+        mg.apply_cycle(&r1, &mut z1, &Span::null());
+        mg.apply_cycle(&r2, &mut z2, &Span::null());
+        let a = det_dot(&r2, &z1);
+        let b = det_dot(&r1, &z2);
+        let scale = a.abs().max(b.abs()).max(1e-30);
+        assert!((a - b).abs() / scale < 1e-8, "asymmetry: {a} vs {b}");
+        assert!(det_dot(&r1, &z1) > 0.0);
+        assert!(det_dot(&r2, &z2) > 0.0);
+    }
+
+    #[test]
+    fn diagonal_shift_propagates_by_child_summation() {
+        let dims = Dims::new(8, 8, 8);
+        let coeffs = Transmissibilities::<f64>::uniform(dims, 1.0);
+        let config = MgConfig {
+            coarse_cells: 64,
+            ..MgConfig::default()
+        };
+        let mut mg = MultigridVcycle::new(coeffs, &DirichletSet::empty(), 1, config);
+        assert_eq!(mg.num_levels(), 2);
+        let shift = CellField::constant(dims, 0.5);
+        mg.set_diagonal_shift(&shift);
+        // 8 children of 0.5 each → coarse shift 4.0 on every coarse cell.
+        let coarse_shift = mg.levels[1].operator.diagonal_shift().unwrap();
+        for &v in coarse_shift {
+            assert_eq!(v, 4.0);
+        }
+        mg.clear_diagonal_shift();
+        assert!(mg.levels[1].operator.diagonal_shift().is_none());
+    }
+
+    #[test]
+    fn degenerate_one_thin_grids_stay_finite() {
+        for dims in [
+            Dims::new(1, 1, 64),
+            Dims::new(64, 1, 1),
+            Dims::new(1, 32, 2),
+        ] {
+            let coeffs = Transmissibilities::<f64>::uniform(dims, 1.0);
+            let mg = MultigridVcycle::new(
+                coeffs,
+                &DirichletSet::all_faces(dims, 0.0),
+                1,
+                MgConfig {
+                    coarse_cells: 8,
+                    ..MgConfig::default()
+                },
+            );
+            let r = CellField::from_fn(dims, |c| (c.x + c.y + c.z) as f64 * 0.25);
+            let mut z = CellField::zeros(dims);
+            mg.apply_cycle(&r, &mut z, &Span::null());
+            assert!(z.all_finite(), "{dims:?}");
+        }
+    }
+}

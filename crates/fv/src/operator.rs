@@ -7,6 +7,7 @@
 
 use crate::plan::{det_dot, det_norm_squared};
 use mffv_mesh::{CellField, Dims, Scalar};
+use mffv_telemetry::Span;
 
 /// Something that can compute `y = A x` for cell-sized vectors.
 ///
@@ -59,6 +60,35 @@ pub trait LinearOperator<T: Scalar> {
         r.axpy(-alpha, ad);
         det_norm_squared(r)
     }
+}
+
+/// Something that can apply `z = M⁻¹ r` for an SPD approximation `M ≈ A`.
+///
+/// This is the abstraction the preconditioned CG loop is written against; the
+/// diagonal (Jacobi) preconditioner in `mffv-solver` and the geometric
+/// multigrid V-cycle of [`crate::mg`] both implement it.  Implementations
+/// must be **fixed linear SPD operations**: the same `r` always produces the
+/// bitwise-same `z` regardless of thread count, and the induced inner product
+/// `r₁ᵀ M⁻¹ r₂` is symmetric — this is what keeps PCG's short recurrences
+/// valid and its residual histories reproducible.
+pub trait Preconditioner<T: Scalar> {
+    /// Grid extents of the vectors this preconditioner acts on.
+    fn dims(&self) -> Dims;
+
+    /// Apply `z = M⁻¹ r`. `z` must already have the right dimensions.
+    fn apply(&self, r: &CellField<T>, z: &mut CellField<T>);
+
+    /// Apply `z = M⁻¹ r` under a telemetry span.  The default ignores the
+    /// span; structured preconditioners (the multigrid V-cycle) override it
+    /// to emit their phase spans.  Tracing never changes the arithmetic:
+    /// traced and untraced applies are bitwise identical.
+    fn apply_traced(&self, r: &CellField<T>, z: &mut CellField<T>, span: &Span) {
+        let _ = span;
+        self.apply(r, z);
+    }
+
+    /// Short stable label for reports and sweep names ("jacobi", "mg", …).
+    fn label(&self) -> &'static str;
 }
 
 /// A scaled identity operator, useful in solver unit tests.

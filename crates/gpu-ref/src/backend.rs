@@ -94,6 +94,7 @@ impl SolveBackend for GpuRefBackend {
         let report = GpuReferenceSolver::new(workload, self.spec)
             .with_tolerance(config.effective_tolerance(workload))
             .with_max_iterations(config.effective_max_iterations(workload))
+            .with_preconditioner(config.preconditioner)
             .solve();
         Ok(self.unify(workload, report))
     }
@@ -117,13 +118,14 @@ impl SolveBackend for GpuRefBackend {
         let build = span.child("build-device-model");
         let solver = GpuReferenceSolver::new(workload, self.spec)
             .with_tolerance(config.effective_tolerance(workload))
-            .with_max_iterations(config.effective_max_iterations(workload));
+            .with_max_iterations(config.effective_max_iterations(workload))
+            .with_preconditioner(config.preconditioner);
         build.finish();
         let report = if span.is_recording() {
             let mut traced = TraceMonitor::new(span, monitor);
-            solver.solve_monitored(&mut traced)
+            solver.solve_traced(&mut traced, span)
         } else {
-            solver.solve_monitored(monitor)
+            solver.solve_traced(monitor, span)
         };
         Ok(self.unify(workload, report))
     }

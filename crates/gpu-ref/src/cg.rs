@@ -10,10 +10,14 @@ use crate::device_model::{GpuSpec, GpuTimeModel};
 use crate::kernel::GpuMatrixFreeOperator;
 use crate::memory::HostDeviceTransfers;
 use mffv_mesh::{CellField, Workload};
+use mffv_solver::backend::PreconditionerKind;
 use mffv_solver::cg::ConjugateGradient;
 use mffv_solver::convergence::ConvergenceHistory;
 use mffv_solver::monitor::{NullMonitor, SolveMonitor, StopReason};
-use mffv_solver::newton::solve_pressure_monitored;
+use mffv_solver::newton::{solve_pressure_monitored, solve_pressure_preconditioned};
+use mffv_solver::pcg::{JacobiPreconditioner, PreconditionedConjugateGradient};
+use mffv_solver::trace::Span;
+use mffv_solver::{MgConfig, MultigridVcycle};
 
 /// Result of a reference solve.
 #[derive(Clone, Debug)]
@@ -42,6 +46,7 @@ pub struct GpuReferenceSolver<'w> {
     spec: GpuSpec,
     tolerance: f64,
     max_iterations: usize,
+    preconditioner: PreconditionerKind,
 }
 
 impl<'w> GpuReferenceSolver<'w> {
@@ -54,6 +59,7 @@ impl<'w> GpuReferenceSolver<'w> {
             spec,
             tolerance,
             max_iterations,
+            preconditioner: PreconditionerKind::None,
         }
     }
 
@@ -69,6 +75,15 @@ impl<'w> GpuReferenceSolver<'w> {
         self
     }
 
+    /// Select the preconditioner for the host-resident Krylov loop.  Jacobi is
+    /// one extra elementwise device kernel per iteration; the multigrid V-cycle
+    /// runs host-assisted, with the residual downloaded and the correction
+    /// uploaded each iteration (accounted in the transfer totals).
+    pub fn with_preconditioner(mut self, preconditioner: PreconditionerKind) -> Self {
+        self.preconditioner = preconditioner;
+        self
+    }
+
     /// Run the reference solve.
     pub fn solve(&self) -> GpuSolveReport {
         self.solve_monitored(&mut NullMonitor)
@@ -80,6 +95,13 @@ impl<'w> GpuReferenceSolver<'w> {
     /// `monitor`, which may stop the solve early — the partial pressure and
     /// history are still downloaded and reported.
     pub fn solve_monitored(&self, monitor: &mut dyn SolveMonitor) -> GpuSolveReport {
+        self.solve_traced(monitor, &Span::null())
+    }
+
+    /// [`Self::solve_monitored`] with telemetry: `span` scopes the
+    /// preconditioner's `mg.vcycle` / `mg.level` spans when multigrid is
+    /// selected.
+    pub fn solve_traced(&self, monitor: &mut dyn SolveMonitor, span: &Span) -> GpuSolveReport {
         // audit: allow(wall-clock) — telemetry: feeds the report's elapsed
         // seconds, never a numeric decision.
         #[allow(clippy::disallowed_methods)]
@@ -91,9 +113,57 @@ impl<'w> GpuReferenceSolver<'w> {
         transfers.record_host_to_device(operator.device_arrays().bytes());
         transfers.record_host_to_device(2 * self.workload.dims().num_cells() * 4);
 
-        let solver = ConjugateGradient::with_tolerance(self.tolerance, self.max_iterations);
-        let solution =
-            solve_pressure_monitored::<f32, _>(self.workload, &operator, &solver, monitor);
+        let n = self.workload.dims().num_cells();
+        let solution = match self.preconditioner {
+            PreconditionerKind::None => {
+                let solver = ConjugateGradient::with_tolerance(self.tolerance, self.max_iterations);
+                solve_pressure_monitored::<f32, _>(self.workload, &operator, &solver, monitor)
+            }
+            PreconditionerKind::Jacobi => {
+                // The inverse diagonal lives on the device: one extra upload,
+                // then one elementwise kernel per iteration (no per-iteration
+                // transfers).
+                let coeffs = self.workload.transmissibility().convert::<f32>();
+                let jacobi =
+                    JacobiPreconditioner::from_coefficients(&coeffs, self.workload.dirichlet());
+                transfers.record_host_to_device(n * 4);
+                let solver = PreconditionedConjugateGradient::with_tolerance(
+                    self.tolerance,
+                    self.max_iterations,
+                );
+                solve_pressure_preconditioned::<f32, _, _>(
+                    self.workload,
+                    &operator,
+                    &jacobi,
+                    &solver,
+                    monitor,
+                    span,
+                )
+            }
+            PreconditionerKind::Mg => {
+                // Host-assisted V-cycle: the device downloads the residual and
+                // uploads the correction every iteration.
+                let mg =
+                    MultigridVcycle::<f32>::from_workload(self.workload, 1, MgConfig::default());
+                let solver = PreconditionedConjugateGradient::with_tolerance(
+                    self.tolerance,
+                    self.max_iterations,
+                );
+                let solution = solve_pressure_preconditioned::<f32, _, _>(
+                    self.workload,
+                    &operator,
+                    &mg,
+                    &solver,
+                    monitor,
+                    span,
+                );
+                // One apply per iteration plus the initial z0 = M⁻¹ r0.
+                let applies = solution.history.iterations + 1;
+                transfers.record_device_to_host(applies * n * 4);
+                transfers.record_host_to_device(applies * n * 4);
+                solution
+            }
+        };
         // Final download of the pressure field.
         transfers.record_device_to_host(self.workload.dims().num_cells() * 4);
 
@@ -135,6 +205,41 @@ mod tests {
         let diff = oracle.pressure.max_abs_diff(&report.pressure);
         assert!(diff < 1e-3, "gpu reference vs oracle gap {diff}");
         assert!(report.final_residual_max < 1e-3);
+    }
+
+    #[test]
+    fn preconditioned_paths_match_the_unpreconditioned_solve() {
+        use mffv_solver::backend::PreconditionerKind;
+        let w = WorkloadSpec::quickstart().build();
+        let base = GpuRefBackend::a100().solve(&w, &config(1e-12)).unwrap();
+        for kind in [PreconditionerKind::Jacobi, PreconditionerKind::Mg] {
+            let cfg = SolveConfig {
+                tolerance: Some(1e-12),
+                preconditioner: kind,
+                ..SolveConfig::default()
+            };
+            let report = GpuRefBackend::a100().solve(&w, &cfg).unwrap();
+            assert!(report.converged(), "{} did not converge", kind.label());
+            let diff = report.max_abs_diff(&base);
+            assert!(diff < 1e-3, "{} pressure gap {diff}", kind.label());
+            // The host-assisted V-cycle must account its per-iteration
+            // residual/correction round trips.
+            if kind == PreconditionerKind::Mg {
+                let d2h = report
+                    .device
+                    .as_ref()
+                    .unwrap()
+                    .counter("device_to_host_bytes")
+                    .unwrap();
+                let base_d2h = base
+                    .device
+                    .as_ref()
+                    .unwrap()
+                    .counter("device_to_host_bytes")
+                    .unwrap();
+                assert!(d2h > base_d2h);
+            }
+        }
     }
 
     #[test]

@@ -80,6 +80,17 @@ impl<T: Scalar> Transmissibilities<T> {
         Self { dims, data }
     }
 
+    /// Build from an explicit per-cell coefficient table (one `[T; 6]` row per
+    /// cell in linear-layout order, each row in [`Direction::ALL`] order).
+    /// The caller is responsible for face symmetry (`Υ_KL λ_KL == Υ_LK λ_LK`)
+    /// and for zero coefficients on boundary faces; this is the constructor
+    /// coarsened multigrid levels use, where the coarse table is derived from
+    /// an already-symmetric fine table.
+    pub fn from_rows(dims: Dims, data: Vec<[T; 6]>) -> Self {
+        assert_eq!(data.len(), dims.num_cells(), "coefficient row count");
+        Self { dims, data }
+    }
+
     /// Grid extents.
     pub fn dims(&self) -> Dims {
         self.dims

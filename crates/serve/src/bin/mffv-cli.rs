@@ -1,7 +1,8 @@
 //! The daemon's command-line client.
 //!
 //! ```text
-//! mffv-cli --addr HOST:PORT submit SPEC.mffv [--cancel-after-iters N] [--quiet]
+//! mffv-cli --addr HOST:PORT submit SPEC.mffv [--preconditioner jacobi|mg|none]
+//!          [--cancel-after-iters N] [--quiet]
 //! mffv-cli --addr HOST:PORT ping
 //! mffv-cli --addr HOST:PORT shutdown [--abort]
 //! ```
@@ -15,11 +16,13 @@
 //! stops the solve).
 
 use mffv_serve::{parse_spec, Client, ClientControl, JobEnd, WireShutdownMode};
+use mffv_solver::backend::PreconditionerKind;
 use mffv_solver::monitor::SolveEvent;
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage: mffv-cli --addr HOST:PORT submit SPEC.mffv [--cancel-after-iters N] [--quiet]\n\
+    "usage: mffv-cli --addr HOST:PORT submit SPEC.mffv [--preconditioner jacobi|mg|none] \
+     [--cancel-after-iters N] [--quiet]\n\
      \x20      mffv-cli --addr HOST:PORT ping\n\
      \x20      mffv-cli --addr HOST:PORT shutdown [--abort]"
 }
@@ -29,11 +32,21 @@ fn run(argv: &[String]) -> Result<(), String> {
     let mut command: Option<String> = None;
     let mut spec_path: Option<String> = None;
     let mut cancel_after: Option<usize> = None;
+    let mut preconditioner: Option<PreconditionerKind> = None;
     let mut quiet = false;
     let mut abort = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--preconditioner" => {
+                preconditioner = Some(
+                    it.next()
+                        .and_then(|v| PreconditionerKind::parse(v))
+                        .ok_or_else(|| {
+                            "--preconditioner needs `jacobi`, `mg` or `none`".to_string()
+                        })?,
+                )
+            }
             "--addr" => {
                 addr = Some(
                     it.next()
@@ -86,7 +99,11 @@ fn run(argv: &[String]) -> Result<(), String> {
             let path = spec_path.ok_or_else(|| format!("submit needs a spec file\n{}", usage()))?;
             let text =
                 std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let job = parse_spec(&text).map_err(|e| e.to_string())?;
+            let mut job = parse_spec(&text).map_err(|e| e.to_string())?;
+            if let Some(kind) = preconditioner {
+                // The flag wins over any `preconditioner =` line in the spec.
+                job.config.preconditioner = kind;
+            }
             let mut client = connect(&addr)?;
             if !quiet {
                 println!(

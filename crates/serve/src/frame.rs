@@ -20,8 +20,13 @@ use mffv_solver::backend::SolveReport;
 use mffv_solver::monitor::{SolveEvent, StopReason};
 use std::io::{Read, Write};
 
-/// The protocol revision this build speaks.
-pub const WIRE_VERSION: u8 = 1;
+/// The protocol revision this build speaks.  Version 2 added the trailing
+/// preconditioner byte to `SolveConfig`; version-1 frames still decode, with
+/// the preconditioner defaulting to `None`.
+pub const WIRE_VERSION: u8 = 2;
+
+/// The oldest protocol revision this build still decodes.
+pub const MIN_WIRE_VERSION: u8 = 1;
 
 /// Upper bound on one frame's payload (64 MiB).  Large enough for the
 /// pressure field of any workload this daemon serves, small enough that a
@@ -363,14 +368,16 @@ impl Frame {
         if expected != got {
             return Err(WireError::ChecksumMismatch { expected, got });
         }
-        let mut r = ByteReader::new(content);
-        let version = r.u8()?;
-        if version != WIRE_VERSION {
+        let version = content[0];
+        if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&version) {
             return Err(WireError::BadVersion {
                 got: version,
                 expected: WIRE_VERSION,
             });
         }
+        // The reader carries the sender's version so codecs can skip fields
+        // that revision never wrote.
+        let mut r = ByteReader::with_version(&content[1..], version);
         let tag = r.u8()?;
         let frame = Frame::decode_body(tag, &mut r)?;
         r.finish()?;
@@ -579,6 +586,45 @@ mod tests {
             Frame::from_wire_bytes(&wrong_version),
             Err(WireError::BadVersion { .. })
         ));
+    }
+
+    #[test]
+    fn version_one_submit_frames_still_decode() {
+        use crate::wire::WirePolicy;
+        use mffv_solver::backend::{Precision, PreconditionerKind};
+
+        // Hand-craft the body a version-1 client would send: identical to
+        // today's layout except `SolveConfig` stops before the trailing
+        // preconditioner byte (which version 2 introduced).
+        let mut body = ByteWriter::new();
+        body.put_u64(42); // job_id
+        WorkloadSpec::quickstart().encode(&mut body);
+        BackendSel::HostF64.encode(&mut body);
+        body.put_bool(false); // tolerance: None
+        body.put_bool(false); // max_iterations: None
+        Precision::F64.encode(&mut body);
+        body.put_bool(false); // threads: None
+        body.put_bool(false); // seed: None
+        WirePolicy::default().encode(&mut body);
+        body.put_bool(false); // transient: None
+        let body = body.into_bytes();
+
+        let mut payload = vec![1u8, 0x03]; // version 1, Submit tag
+        payload.extend_from_slice(&body);
+        let checksum = fnv1a32(&payload);
+        payload.extend_from_slice(&checksum.to_be_bytes());
+        let mut bytes = (payload.len() as u32).to_be_bytes().to_vec();
+        bytes.extend_from_slice(&payload);
+
+        let decoded = Frame::from_wire_bytes(&bytes).expect("v1 frame must decode");
+        match decoded {
+            Frame::Submit { job_id, spec } => {
+                assert_eq!(job_id, 42);
+                assert_eq!(spec.config.preconditioner, PreconditionerKind::None);
+                assert_eq!(spec.workload, WorkloadSpec::quickstart());
+            }
+            other => panic!("expected Submit, got {}", other.name()),
+        }
     }
 
     #[test]

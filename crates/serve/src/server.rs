@@ -528,9 +528,12 @@ fn handle_submit(
                 error: format!("solve panicked: {message}"),
             },
         };
-        let _ = done_session.send(&frame);
+        // Release the window slot before the terminal frame goes out, so a
+        // client that has seen Done/Stopped/JobFailed can submit again
+        // immediately without racing the decrement into a spurious Busy.
         lock(&done_session.jobs).remove(&job_id);
         done_session.in_flight.fetch_sub(1, Ordering::SeqCst);
+        let _ = done_session.send(&frame);
     })
     .with_events(move |event: &SolveEvent| {
         streamer_shared.count("serve.events.streamed");

@@ -14,6 +14,7 @@
 //! boundary        = source-producer 2e7 1e7
 //! tolerance       = 1e-10
 //! max_iterations  = 4000
+//! preconditioner  = mg
 //! iteration_budget = 2000
 //!
 //! [transient]
@@ -30,7 +31,7 @@ use mffv_mesh::{
     CellIndex, Dims, DtPolicy, PermeabilityModel, TransientSpec, Well, WellControl, WellSet,
     WorkloadSpec,
 };
-use mffv_solver::backend::Precision;
+use mffv_solver::backend::{Precision, PreconditionerKind};
 
 /// A parse failure, with the offending line number.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -292,6 +293,10 @@ pub fn parse_spec(text: &str) -> Result<WireJobSpec, SpecError> {
                 }
             }
             "threads" => job.config.threads = Some(parse_usize(line, value, "threads")?),
+            "preconditioner" => {
+                job.config.preconditioner = PreconditionerKind::parse(value)
+                    .ok_or_else(|| err(line, "preconditioner is `jacobi`, `mg` or `none`"))?
+            }
             "iteration_budget" => {
                 policy.iteration_budget = Some(parse_usize(line, value, "iteration_budget")?)
             }
@@ -355,6 +360,7 @@ tolerance      = 1e-9
 max_iterations = 900
 seed           = 7
 precision      = f32
+preconditioner = mg
 iteration_budget = 500
 stagnation     = 25 1e-3
 
@@ -374,6 +380,7 @@ well = prod bhp 6 6 2 1e6 1e-9
         assert_eq!(job.backend, BackendSel::GpuRefH100);
         assert_eq!(job.seed, Some(7));
         assert_eq!(job.config.precision, Precision::F32);
+        assert_eq!(job.config.preconditioner, PreconditionerKind::Mg);
         assert_eq!(job.policy.iteration_budget, Some(500));
         assert_eq!(job.policy.stagnation, Some((25, 1e-3)));
         let transient = job.transient.expect("transient section");
@@ -392,6 +399,10 @@ well = prod bhp 6 6 2 1e6 1e-9
         let e = parse_spec(bad).unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.message.contains("quantum"));
+        let bad = "name = x\npreconditioner = ilu\n";
+        let e = parse_spec(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("`jacobi`, `mg` or `none`"));
     }
 
     #[test]

@@ -28,7 +28,9 @@ use mffv_mesh::{
     CellField, CellIndex, Dims, DtPolicy, PermeabilityModel, TransientSpec, Well, WellControl,
     WellSet, WorkloadSpec,
 };
-use mffv_solver::backend::{DeviceSection, Precision, SolveConfig, SolveReport};
+use mffv_solver::backend::{
+    DeviceSection, Precision, PreconditionerKind, SolveConfig, SolveReport,
+};
 use mffv_solver::convergence::ConvergenceHistory;
 use mffv_solver::monitor::{SolveEvent, StopPolicy, StopReason};
 use std::time::Duration;
@@ -230,12 +232,32 @@ impl ByteWriter {
 pub struct ByteReader<'a> {
     buf: &'a [u8],
     pos: usize,
+    version: u8,
 }
 
 impl<'a> ByteReader<'a> {
-    /// A reader over `buf`.
+    /// A reader over `buf`, decoding at the current protocol version.
     pub fn new(buf: &'a [u8]) -> Self {
-        Self { buf, pos: 0 }
+        Self {
+            buf,
+            pos: 0,
+            version: crate::frame::WIRE_VERSION,
+        }
+    }
+
+    /// A reader decoding at an explicit (older) protocol version.  Codecs
+    /// consult [`ByteReader::version`] to skip fields the sender never wrote.
+    pub fn with_version(buf: &'a [u8], version: u8) -> Self {
+        Self {
+            buf,
+            pos: 0,
+            version,
+        }
+    }
+
+    /// The protocol version the bytes were encoded at.
+    pub fn version(&self) -> u8 {
+        self.version
     }
 
     /// Bytes not yet consumed.
@@ -501,12 +523,38 @@ impl WireDecode for Precision {
     }
 }
 
+impl WireEncode for PreconditionerKind {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.put_u8(match self {
+            PreconditionerKind::None => 0,
+            PreconditionerKind::Jacobi => 1,
+            PreconditionerKind::Mg => 2,
+        });
+    }
+}
+
+impl WireDecode for PreconditionerKind {
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(PreconditionerKind::None),
+            1 => Ok(PreconditionerKind::Jacobi),
+            2 => Ok(PreconditionerKind::Mg),
+            tag => Err(WireError::UnknownTag {
+                context: "PreconditionerKind",
+                tag,
+            }),
+        }
+    }
+}
+
 impl WireEncode for SolveConfig {
     fn encode(&self, w: &mut ByteWriter) {
         w.put_opt_f64(self.tolerance);
         w.put_opt_usize(self.max_iterations);
         self.precision.encode(w);
         w.put_opt_usize(self.threads);
+        // Version 2 appends the preconditioner selection.
+        self.preconditioner.encode(w);
     }
 }
 
@@ -517,6 +565,13 @@ impl WireDecode for SolveConfig {
             max_iterations: r.opt_usize()?,
             precision: Precision::decode(r)?,
             threads: r.opt_usize()?,
+            // Version-1 senders never wrote the trailing preconditioner byte;
+            // treat their configs as "no preconditioner" (the old behaviour).
+            preconditioner: if r.version() >= 2 {
+                PreconditionerKind::decode(r)?
+            } else {
+                PreconditionerKind::None
+            },
         })
     }
 }
@@ -1318,7 +1373,11 @@ mod tests {
             max_iterations: None,
             precision: Precision::F32,
             threads: Some(4),
+            preconditioner: PreconditionerKind::Mg,
         });
+        for kind in PreconditionerKind::ALL {
+            roundtrip_bytes(&kind);
+        }
         roundtrip_bytes(&WorkloadSpec::quickstart());
         roundtrip_bytes(&WorkloadSpec::fig5(Dims::new(12, 12, 4)));
         roundtrip_bytes(
@@ -1336,6 +1395,33 @@ mod tests {
             roundtrip_bytes(&backend);
             assert_eq!(BackendSel::parse(backend.name()).unwrap(), backend);
         }
+    }
+
+    #[test]
+    fn version_one_solve_config_decodes_without_the_preconditioner_byte() {
+        let config = SolveConfig {
+            tolerance: Some(1e-9),
+            max_iterations: Some(200),
+            precision: Precision::F64,
+            threads: None,
+            preconditioner: PreconditionerKind::Mg,
+        };
+        let bytes = to_bytes(&config);
+        // A version-1 sender stops before the trailing preconditioner byte.
+        let v1_bytes = &bytes[..bytes.len() - 1];
+        let mut r = ByteReader::with_version(v1_bytes, 1);
+        let decoded = SolveConfig::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(decoded.preconditioner, PreconditionerKind::None);
+        assert_eq!(decoded.tolerance, config.tolerance);
+        assert_eq!(decoded.max_iterations, config.max_iterations);
+        // The same truncated bytes at the current version are a typed error,
+        // not a silent default.
+        let mut strict = ByteReader::new(v1_bytes);
+        assert!(matches!(
+            SolveConfig::decode(&mut strict),
+            Err(WireError::Truncated { .. })
+        ));
     }
 
     #[test]

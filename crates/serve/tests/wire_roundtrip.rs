@@ -8,7 +8,7 @@ use mffv_mesh::{
 };
 use mffv_serve::frame::{fnv1a32, Frame, WireShutdownMode, MAX_FRAME_LEN, WIRE_VERSION};
 use mffv_serve::wire::{BackendSel, WireError, WireJobSpec, WirePolicy};
-use mffv_solver::backend::{Precision, SolveConfig};
+use mffv_solver::backend::{Precision, PreconditionerKind, SolveConfig};
 use mffv_solver::monitor::{SolveEvent, StopReason};
 use proptest::{prop_assert, proptest, ProptestConfig};
 
@@ -96,6 +96,7 @@ fn arbitrary_job(pick: u64, a: f64, b: u64) -> WireJobSpec {
                 Precision::F32
             },
             threads: (pick.is_multiple_of(3)).then_some(1 + (b % 8) as usize),
+            preconditioner: PreconditionerKind::ALL[(pick % 3) as usize],
         },
         seed: (b % 2 == 1).then_some(b),
         policy: WirePolicy {

@@ -24,12 +24,13 @@
 use crate::cg::ConjugateGradient;
 use crate::convergence::ConvergenceHistory;
 use crate::monitor::{replay_history, NullMonitor, SolveMonitor, StopReason};
-use crate::newton::solve_pressure_monitored;
+use crate::newton::{solve_pressure_monitored, solve_pressure_preconditioned, PressureSolution};
+use crate::pcg::{JacobiPreconditioner, PreconditionedConjugateGradient};
 use crate::trace::TraceMonitor;
 use crate::transient::{PlannedStepper, StepOutcome, StepRequest, TransientStepper};
 use mffv_fv::residual::residual;
-use mffv_fv::MatrixFreeOperator;
-use mffv_mesh::{CellField, Workload};
+use mffv_fv::{MatrixFreeOperator, MgConfig, MultigridVcycle};
+use mffv_mesh::{CellField, Scalar, Workload};
 use mffv_telemetry::{Span, Stopwatch};
 
 /// Floating-point precision of a host solve.  The device-style backends are
@@ -54,6 +55,53 @@ impl Precision {
     }
 }
 
+/// Which preconditioner a backend's Krylov loop runs under.
+///
+/// The default is [`PreconditionerKind::None`] — plain CG, the paper's
+/// Algorithm 1 — so existing configurations and histories are unchanged.
+/// All three backends honour the selection; histories always record the
+/// *unpreconditioned* `rᵀr`, so convergence curves stay comparable across
+/// kinds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PreconditionerKind {
+    /// Plain CG (Algorithm 1 of the paper).
+    #[default]
+    None,
+    /// Diagonal (Jacobi) scaling.
+    Jacobi,
+    /// The geometric-multigrid V-cycle of [`mffv_fv::mg`]: iteration counts
+    /// roughly flat in grid size.
+    Mg,
+}
+
+impl PreconditionerKind {
+    /// Every kind, in declaration order (sweep axes iterate this).
+    pub const ALL: [PreconditionerKind; 3] = [
+        PreconditionerKind::None,
+        PreconditionerKind::Jacobi,
+        PreconditionerKind::Mg,
+    ];
+
+    /// Short stable label used in spec files, CLI flags and sweep names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PreconditionerKind::None => "none",
+            PreconditionerKind::Jacobi => "jacobi",
+            PreconditionerKind::Mg => "mg",
+        }
+    }
+
+    /// Parse a [`label`](Self::label) back into a kind.
+    pub fn parse(s: &str) -> Option<PreconditionerKind> {
+        match s {
+            "none" => Some(PreconditionerKind::None),
+            "jacobi" => Some(PreconditionerKind::Jacobi),
+            "mg" => Some(PreconditionerKind::Mg),
+            _ => None,
+        }
+    }
+}
+
 /// Cross-backend solve settings.
 ///
 /// `None` fields fall back to the workload's own tolerance / iteration cap, so
@@ -71,6 +119,8 @@ pub struct SolveConfig {
     /// thread count; device-style backends model their own parallelism and
     /// ignore this knob.
     pub threads: Option<usize>,
+    /// Preconditioner of the Krylov loop (default: none, plain CG).
+    pub preconditioner: PreconditionerKind,
 }
 
 impl SolveConfig {
@@ -461,23 +511,9 @@ impl SolveBackend for HostBackend {
         span: &Span,
     ) -> Result<SolveReport, SolveError> {
         let start = Stopwatch::start();
-        let solver = ConjugateGradient::with_tolerance(
-            config.effective_tolerance(workload),
-            config.effective_max_iterations(workload),
-        );
-        let threads = config.effective_threads();
         let (pressure, history, final_residual_max, stopped) = match self.precision {
             Precision::F64 => {
-                let build = span.child("build-operator");
-                let operator =
-                    MatrixFreeOperator::<f64>::from_workload(workload).with_threads(threads);
-                build.finish();
-                let solution = if span.is_recording() {
-                    let mut traced = TraceMonitor::new(span, monitor);
-                    solve_pressure_monitored::<f64, _>(workload, &operator, &solver, &mut traced)
-                } else {
-                    solve_pressure_monitored::<f64, _>(workload, &operator, &solver, monitor)
-                };
+                let solution = host_solve_pressure::<f64>(workload, config, monitor, span);
                 (
                     solution.pressure,
                     solution.history,
@@ -486,16 +522,7 @@ impl SolveBackend for HostBackend {
                 )
             }
             Precision::F32 => {
-                let build = span.child("build-operator");
-                let operator =
-                    MatrixFreeOperator::<f32>::from_workload(workload).with_threads(threads);
-                build.finish();
-                let solution = if span.is_recording() {
-                    let mut traced = TraceMonitor::new(span, monitor);
-                    solve_pressure_monitored::<f32, _>(workload, &operator, &solver, &mut traced)
-                } else {
-                    solve_pressure_monitored::<f32, _>(workload, &operator, &solver, monitor)
-                };
+                let solution = host_solve_pressure::<f32>(workload, config, monitor, span);
                 let pressure: CellField<f64> = solution.pressure.convert();
                 // Re-evaluate the residual in f64 so the field keeps its
                 // backend-independent contract (the f32 solve evaluated it in
@@ -518,6 +545,79 @@ impl SolveBackend for HostBackend {
             device: None,
             stopped,
         })
+    }
+}
+
+/// The host pressure solve at one precision: build the planned operator, then
+/// run the Krylov loop selected by [`SolveConfig::preconditioner`].  Every
+/// path threads the monitor (wrapped in a [`TraceMonitor`] when `span`
+/// records) through the live inner loop, so cancellation and deadlines keep
+/// working identically under any preconditioner.
+fn host_solve_pressure<T: Scalar>(
+    workload: &Workload,
+    config: &SolveConfig,
+    monitor: &mut dyn SolveMonitor,
+    span: &Span,
+) -> PressureSolution<T> {
+    let tolerance = config.effective_tolerance(workload);
+    let max_iterations = config.effective_max_iterations(workload);
+    let threads = config.effective_threads();
+    let build = span.child("build-operator");
+    let operator = MatrixFreeOperator::<T>::from_workload(workload).with_threads(threads);
+    build.finish();
+    match config.preconditioner {
+        PreconditionerKind::None => {
+            let solver = ConjugateGradient::with_tolerance(tolerance, max_iterations);
+            if span.is_recording() {
+                let mut traced = TraceMonitor::new(span, monitor);
+                solve_pressure_monitored::<T, _>(workload, &operator, &solver, &mut traced)
+            } else {
+                solve_pressure_monitored::<T, _>(workload, &operator, &solver, monitor)
+            }
+        }
+        PreconditionerKind::Jacobi => {
+            let pc = JacobiPreconditioner::from_coefficients(
+                operator.coefficients(),
+                workload.dirichlet(),
+            );
+            let solver = PreconditionedConjugateGradient::with_tolerance(tolerance, max_iterations);
+            if span.is_recording() {
+                let mut traced = TraceMonitor::new(span, monitor);
+                solve_pressure_preconditioned::<T, _, _>(
+                    workload,
+                    &operator,
+                    &pc,
+                    &solver,
+                    &mut traced,
+                    span,
+                )
+            } else {
+                solve_pressure_preconditioned::<T, _, _>(
+                    workload, &operator, &pc, &solver, monitor, span,
+                )
+            }
+        }
+        PreconditionerKind::Mg => {
+            let mg_build = span.child("mg.build");
+            let pc = MultigridVcycle::<T>::from_workload(workload, threads, MgConfig::default());
+            mg_build.finish();
+            let solver = PreconditionedConjugateGradient::with_tolerance(tolerance, max_iterations);
+            if span.is_recording() {
+                let mut traced = TraceMonitor::new(span, monitor);
+                solve_pressure_preconditioned::<T, _, _>(
+                    workload,
+                    &operator,
+                    &pc,
+                    &solver,
+                    &mut traced,
+                    span,
+                )
+            } else {
+                solve_pressure_preconditioned::<T, _, _>(
+                    workload, &operator, &pc, &solver, monitor, span,
+                )
+            }
+        }
     }
 }
 

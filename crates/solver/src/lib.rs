@@ -23,15 +23,17 @@ pub mod trace;
 pub mod transient;
 
 pub use backend::{
-    DeviceSection, HostBackend, Precision, SolveBackend, SolveConfig, SolveError, SolveReport,
+    DeviceSection, HostBackend, Precision, PreconditionerKind, SolveBackend, SolveConfig,
+    SolveError, SolveReport,
 };
 pub use cg::{ConjugateGradient, SolveOutcome};
 pub use convergence::{ConvergenceHistory, StoppingCriterion};
+pub use mffv_fv::{MgConfig, MultigridVcycle, Preconditioner};
 pub use monitor::{
     monitor_fn, CancelToken, Flow, FnMonitor, MonitorFanout, NullMonitor, PolicySession,
     RecordingMonitor, SolveEvent, SolveMonitor, StopPolicy, StopReason,
 };
-pub use newton::{solve_pressure, PressureSolution};
+pub use newton::{solve_pressure, solve_pressure_preconditioned, PressureSolution};
 pub use pcg::{JacobiPreconditioner, PreconditionedConjugateGradient};
 pub use trace::{TraceMonitor, TRACE_CHUNK_ITERS};
 pub use transient::{
@@ -43,7 +45,8 @@ pub use transient::{
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::backend::{
-        DeviceSection, HostBackend, Precision, SolveBackend, SolveConfig, SolveError, SolveReport,
+        DeviceSection, HostBackend, Precision, PreconditionerKind, SolveBackend, SolveConfig,
+        SolveError, SolveReport,
     };
     pub use crate::cg::{ConjugateGradient, SolveOutcome};
     pub use crate::convergence::{ConvergenceHistory, StoppingCriterion};
@@ -51,7 +54,7 @@ pub mod prelude {
         monitor_fn, CancelToken, Flow, FnMonitor, MonitorFanout, NullMonitor, PolicySession,
         RecordingMonitor, SolveEvent, SolveMonitor, StopPolicy, StopReason,
     };
-    pub use crate::newton::{solve_pressure, PressureSolution};
+    pub use crate::newton::{solve_pressure, solve_pressure_preconditioned, PressureSolution};
     pub use crate::pcg::{JacobiPreconditioner, PreconditionedConjugateGradient};
     pub use crate::reduction::{fabric_ordered_dot, fabric_ordered_sum};
     pub use crate::trace::{TraceMonitor, TRACE_CHUNK_ITERS};
@@ -60,4 +63,5 @@ pub mod prelude {
         PressureSnapshot, StepOutcome, StepRequest, TransientReport, TransientStep,
         TransientStepper, WellTotal,
     };
+    pub use mffv_fv::{MgConfig, MultigridVcycle, Preconditioner};
 }

@@ -9,9 +9,11 @@
 use crate::cg::ConjugateGradient;
 use crate::convergence::ConvergenceHistory;
 use crate::monitor::{NullMonitor, SolveMonitor, StopReason};
+use crate::pcg::PreconditionedConjugateGradient;
 use mffv_fv::residual::{newton_rhs, residual};
-use mffv_fv::{LinearOperator, MatrixFreeOperator};
+use mffv_fv::{LinearOperator, MatrixFreeOperator, Preconditioner};
 use mffv_mesh::{CellField, Scalar, Workload};
+use mffv_telemetry::Span;
 
 /// A converged pressure field with its solver statistics.
 #[derive(Clone, Debug)]
@@ -56,6 +58,48 @@ pub fn solve_pressure_monitored<T: Scalar, Op: LinearOperator<T>>(
     let r0 = residual(&p0, &coeffs, workload.dirichlet());
     let b = newton_rhs(&r0, workload.dirichlet());
     let outcome = solver.solve_monitored(operator, &b, &CellField::zeros(workload.dims()), monitor);
+
+    let mut pressure = p0;
+    pressure.axpy(T::ONE, &outcome.solution);
+    let r_final = residual(&pressure, &coeffs, workload.dirichlet());
+    PressureSolution {
+        pressure,
+        history: outcome.history,
+        final_residual_max: r_final.max_abs().to_f64(),
+        stopped: outcome.stopped,
+    }
+}
+
+/// The preconditioned counterpart of [`solve_pressure_monitored`]: the same
+/// one-Newton-step driver with the inner Krylov loop replaced by PCG under an
+/// arbitrary [`Preconditioner`] (Jacobi, the multigrid V-cycle, …).  `span`
+/// scopes the preconditioner's telemetry (`mg.vcycle` / `mg.level`); pass
+/// [`Span::null`] when not tracing.  The recorded history carries the
+/// *unpreconditioned* `rᵀr`, so it is directly comparable with plain CG.
+pub fn solve_pressure_preconditioned<T: Scalar, Op, P>(
+    workload: &Workload,
+    operator: &Op,
+    preconditioner: &P,
+    solver: &PreconditionedConjugateGradient,
+    monitor: &mut dyn SolveMonitor,
+    span: &Span,
+) -> PressureSolution<T>
+where
+    Op: LinearOperator<T>,
+    P: Preconditioner<T> + ?Sized,
+{
+    let coeffs = workload.transmissibility().convert::<T>();
+    let p0: CellField<T> = workload.initial_pressure();
+    let r0 = residual(&p0, &coeffs, workload.dirichlet());
+    let b = newton_rhs(&r0, workload.dirichlet());
+    let outcome = solver.solve_traced(
+        operator,
+        preconditioner,
+        &b,
+        &CellField::zeros(workload.dims()),
+        monitor,
+        span,
+    );
 
     let mut pressure = p0;
     pressure.axpy(T::ONE, &outcome.solution);

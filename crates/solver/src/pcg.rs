@@ -1,17 +1,22 @@
-//! Jacobi-preconditioned conjugate gradient.
+//! Preconditioned conjugate gradient.
 //!
 //! The paper solves the un-preconditioned system (Algorithm 1).  Diagonal (Jacobi)
 //! preconditioning is the natural first extension for the heterogeneous
 //! permeability fields real CCS geomodels exhibit, and it maps onto the dataflow
 //! architecture trivially — the diagonal is resident per PE, so the extra work per
-//! iteration is one local multiply and no additional communication.  This module
-//! provides that extension and the ablation benchmarks compare it against plain CG.
+//! iteration is one local multiply and no additional communication.  The PCG loop
+//! itself is written against the [`Preconditioner`] trait, so the same iteration
+//! also runs under the geometric-multigrid V-cycle of
+//! [`mffv_fv::mg::MultigridVcycle`] (where the win is iteration *count* roughly
+//! flat in grid size); the ablation benchmarks compare all of them against plain
+//! CG.
 
 use crate::convergence::{ConvergenceHistory, StoppingCriterion};
 use crate::monitor::{Flow, NullMonitor, SolveEvent, SolveMonitor};
 use mffv_fv::plan::{det_dot, det_norm_squared};
-use mffv_fv::LinearOperator;
+use mffv_fv::{LinearOperator, Preconditioner};
 use mffv_mesh::{CellField, Dims, Direction, DirichletSet, Scalar, Transmissibilities};
+use mffv_telemetry::Span;
 
 /// A diagonal (Jacobi) preconditioner `M⁻¹ = diag(A)⁻¹`.
 #[derive(Clone, Debug)]
@@ -73,6 +78,20 @@ impl<T: Scalar> JacobiPreconditioner<T> {
     }
 }
 
+impl<T: Scalar> Preconditioner<T> for JacobiPreconditioner<T> {
+    fn dims(&self) -> Dims {
+        JacobiPreconditioner::dims(self)
+    }
+
+    fn apply(&self, r: &CellField<T>, z: &mut CellField<T>) {
+        JacobiPreconditioner::apply(self, r, z);
+    }
+
+    fn label(&self) -> &'static str {
+        "jacobi"
+    }
+}
+
 /// Preconditioned conjugate gradient solver.
 #[derive(Clone, Copy, Debug)]
 pub struct PreconditionedConjugateGradient {
@@ -96,10 +115,10 @@ impl PreconditionedConjugateGradient {
     }
 
     /// Solve `A x = b` with preconditioner `M⁻¹`, starting from `x0`.
-    pub fn solve<T: Scalar, Op: LinearOperator<T>>(
+    pub fn solve<T: Scalar, Op: LinearOperator<T>, P: Preconditioner<T> + ?Sized>(
         &self,
         operator: &Op,
-        preconditioner: &JacobiPreconditioner<T>,
+        preconditioner: &P,
         rhs: &CellField<T>,
         x0: &CellField<T>,
     ) -> crate::cg::SolveOutcome<T> {
@@ -111,13 +130,30 @@ impl PreconditionedConjugateGradient {
     /// [`ConjugateGradient::solve_monitored`](crate::cg::ConjugateGradient::solve_monitored)):
     /// `monitor` sees the recorded *unpreconditioned* `rᵀr` at every
     /// iteration boundary and may stop the solve early.
-    pub fn solve_monitored<T: Scalar, Op: LinearOperator<T>>(
+    pub fn solve_monitored<T: Scalar, Op: LinearOperator<T>, P: Preconditioner<T> + ?Sized>(
         &self,
         operator: &Op,
-        preconditioner: &JacobiPreconditioner<T>,
+        preconditioner: &P,
         rhs: &CellField<T>,
         x0: &CellField<T>,
         monitor: &mut dyn SolveMonitor,
+    ) -> crate::cg::SolveOutcome<T> {
+        self.solve_traced(operator, preconditioner, rhs, x0, monitor, &Span::null())
+    }
+
+    /// [`solve_monitored`](Self::solve_monitored) with telemetry: every
+    /// preconditioner application runs under `span`, so structured
+    /// preconditioners (the multigrid V-cycle) emit their `mg.vcycle` /
+    /// `mg.level` phase spans.  Tracing never touches the arithmetic —
+    /// traced and untraced solves are bitwise identical.
+    pub fn solve_traced<T: Scalar, Op: LinearOperator<T>, P: Preconditioner<T> + ?Sized>(
+        &self,
+        operator: &Op,
+        preconditioner: &P,
+        rhs: &CellField<T>,
+        x0: &CellField<T>,
+        monitor: &mut dyn SolveMonitor,
+        span: &Span,
     ) -> crate::cg::SolveOutcome<T> {
         let dims = operator.dims();
         assert_eq!(rhs.dims(), dims);
@@ -130,7 +166,7 @@ impl PreconditionedConjugateGradient {
         residual.axpy(-T::ONE, &ax0);
 
         let mut z = CellField::zeros(dims);
-        preconditioner.apply(&residual, &mut z);
+        preconditioner.apply_traced(&residual, &mut z, span);
         let mut direction = z.clone();
         let mut ad = CellField::zeros(dims);
 
@@ -192,7 +228,7 @@ impl PreconditionedConjugateGradient {
                 stopped = Some(reason);
                 break;
             }
-            preconditioner.apply(&residual, &mut z);
+            preconditioner.apply_traced(&residual, &mut z, span);
             let rz_new = det_dot(&residual, &z).to_f64();
             let beta = T::from_f64(rz_new / rz);
             direction.xpby(&z, beta);

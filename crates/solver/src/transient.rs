@@ -31,13 +31,14 @@
 //! per-step [`SolveReport`]s, requested pressure snapshots, and cumulative
 //! per-well volumes.
 
-use crate::backend::{SolveBackend, SolveConfig, SolveError, SolveReport};
+use crate::backend::{PreconditionerKind, SolveBackend, SolveConfig, SolveError, SolveReport};
 use crate::cg::ConjugateGradient;
 use crate::convergence::ConvergenceHistory;
 use crate::monitor::{MonitorFanout, NullMonitor, SolveMonitor, StopPolicy, StopReason};
+use crate::pcg::{JacobiPreconditioner, PreconditionedConjugateGradient};
 use crate::trace::TraceMonitor;
 use mffv_fv::residual::{interior_mass_imbalance, newton_rhs, residual};
-use mffv_fv::MatrixFreeOperator;
+use mffv_fv::{MatrixFreeOperator, MgConfig, MultigridVcycle, Preconditioner};
 use mffv_mesh::{CellField, Scalar, TransientSpec, Well, Workload};
 use mffv_telemetry::{Span, Stopwatch};
 
@@ -127,6 +128,27 @@ type DiagKey = (u64, Vec<(usize, u64)>);
 pub struct PlannedStepper<T: Scalar> {
     operator: MatrixFreeOperator<T>,
     diag_key: Option<DiagKey>,
+    /// The step preconditioner, armed lazily on the first preconditioned
+    /// step and refreshed only when the diagonal shift actually changes.
+    precond: Option<StepPrecond<T>>,
+}
+
+/// The per-session preconditioner state of a [`PlannedStepper`]: Jacobi is
+/// rebuilt from the shifted diagonal; the multigrid hierarchy is built once
+/// and only its diagonal shift is re-propagated down the levels when `Δt`
+/// or the active well set changes.
+enum StepPrecond<T: Scalar> {
+    Jacobi(JacobiPreconditioner<T>),
+    Mg(MultigridVcycle<T>),
+}
+
+impl<T: Scalar> StepPrecond<T> {
+    fn as_dyn(&self) -> &dyn Preconditioner<T> {
+        match self {
+            StepPrecond::Jacobi(pc) => pc,
+            StepPrecond::Mg(pc) => pc,
+        }
+    }
 }
 
 impl<T: Scalar> PlannedStepper<T> {
@@ -136,6 +158,66 @@ impl<T: Scalar> PlannedStepper<T> {
             operator: MatrixFreeOperator::<T>::from_workload(workload)
                 .with_threads(config.effective_threads()),
             diag_key: None,
+            precond: None,
+        }
+    }
+
+    /// (Re)arm the preconditioner for the current shifted operator.  `diag`
+    /// is the freshly installed shift; `changed` says whether it differs
+    /// from the previous step's (when it doesn't, a cached preconditioner is
+    /// reused as-is).
+    fn refresh_precond(
+        &mut self,
+        kind: PreconditionerKind,
+        workload: &Workload,
+        diag: Option<&CellField<f64>>,
+        changed: bool,
+        threads: usize,
+    ) {
+        match kind {
+            PreconditionerKind::None => self.precond = None,
+            PreconditionerKind::Jacobi => {
+                if changed || !matches!(self.precond, Some(StepPrecond::Jacobi(_))) {
+                    let dims = workload.dims();
+                    let coeffs = self.operator.coefficients();
+                    let shifted = CellField::from_fn(dims, |c| {
+                        let k = dims.linear(c);
+                        if self.operator.is_dirichlet(k) {
+                            T::ONE
+                        } else {
+                            // Boundary faces carry zero coefficients, so the
+                            // raw row sum is exactly the operator diagonal.
+                            let mut acc = coeffs.row_sum(k);
+                            if let Some(d) = diag {
+                                acc += T::from_f64(d.get(k));
+                            }
+                            acc
+                        }
+                    });
+                    self.precond = Some(StepPrecond::Jacobi(JacobiPreconditioner::from_diagonal(
+                        &shifted,
+                    )));
+                }
+            }
+            PreconditionerKind::Mg => {
+                if !matches!(self.precond, Some(StepPrecond::Mg(_))) {
+                    let mg = MultigridVcycle::new(
+                        self.operator.coefficients().clone(),
+                        workload.dirichlet(),
+                        threads,
+                        MgConfig::default(),
+                    );
+                    self.precond = Some(StepPrecond::Mg(mg));
+                    // A fresh hierarchy has no shift yet: force-install it.
+                    if let (Some(StepPrecond::Mg(mg)), Some(d)) = (&mut self.precond, diag) {
+                        mg.set_diagonal_shift(d);
+                    }
+                } else if changed {
+                    if let (Some(StepPrecond::Mg(mg)), Some(d)) = (&mut self.precond, diag) {
+                        mg.set_diagonal_shift(d);
+                    }
+                }
+            }
         }
     }
 }
@@ -161,13 +243,40 @@ impl<T: Scalar> TransientStepper for PlannedStepper<T> {
                 .map(|&(k, well)| (k, well.diagonal_coefficient().to_bits()))
                 .collect(),
         );
-        if self.diag_key.as_ref() != Some(&key) {
+        let diag_changed = self.diag_key.as_ref() != Some(&key);
+        let make_diag = || {
             let mut diag = CellField::constant(dims, request.accumulation_coefficient());
             for &(k, well) in &active {
                 diag.set(k, diag.get(k) + well.diagonal_coefficient());
             }
+            diag
+        };
+        let mut installed_diag = None;
+        if diag_changed {
+            let diag = make_diag();
             self.operator.set_diagonal_shift(&diag);
             self.diag_key = Some(key);
+            installed_diag = Some(diag);
+        }
+        // Arm/refresh the configured preconditioner.  The shifted diagonal
+        // must propagate into it (down the whole multigrid hierarchy), so it
+        // is keyed on the same dt/well signature as the operator's shift.
+        let need_refresh = diag_changed
+            || match (config.preconditioner, &self.precond) {
+                (PreconditionerKind::None, p) => p.is_some(),
+                (PreconditionerKind::Jacobi, Some(StepPrecond::Jacobi(_))) => false,
+                (PreconditionerKind::Mg, Some(StepPrecond::Mg(_))) => false,
+                _ => true,
+            };
+        if need_refresh {
+            let diag = installed_diag.take().unwrap_or_else(make_diag);
+            self.refresh_precond(
+                config.preconditioner,
+                workload,
+                Some(&diag),
+                diag_changed,
+                config.effective_threads(),
+            );
         }
 
         // RHS: flux residual at pⁿ (Dirichlet rows zeroed) plus well
@@ -188,11 +297,19 @@ impl<T: Scalar> TransientStepper for PlannedStepper<T> {
             Some(delta) => delta.convert(),
             None => CellField::zeros(dims),
         };
-        let solver = ConjugateGradient::with_tolerance(
-            config.effective_tolerance(workload),
-            config.effective_max_iterations(workload),
-        );
-        let outcome = solver.solve_monitored(&self.operator, &b, &x0, monitor);
+        let tolerance = config.effective_tolerance(workload);
+        let max_iterations = config.effective_max_iterations(workload);
+        let outcome = match &self.precond {
+            Some(pc) => {
+                let solver =
+                    PreconditionedConjugateGradient::with_tolerance(tolerance, max_iterations);
+                solver.solve_monitored(&self.operator, pc.as_dyn(), &b, &x0, monitor)
+            }
+            None => {
+                let solver = ConjugateGradient::with_tolerance(tolerance, max_iterations);
+                solver.solve_monitored(&self.operator, &b, &x0, monitor)
+            }
+        };
 
         let delta: CellField<f64> = outcome.solution.convert();
         let mut pressure = request.pressure.clone();

@@ -31,7 +31,7 @@ use crate::backend::Backend;
 use crate::report::{AgreementReport, SolveReport};
 use mffv_engine::{BatchReport, Engine, JobSpec};
 use mffv_mesh::{TransientSpec, Workload, WorkloadSpec};
-use mffv_solver::backend::{Precision, SolveConfig, SolveError};
+use mffv_solver::backend::{Precision, PreconditionerKind, SolveConfig, SolveError};
 use mffv_solver::monitor::{CancelToken, MonitorFanout, NullMonitor, SolveMonitor, StopPolicy};
 use mffv_solver::transient::{run_transient_traced, TransientReport};
 use mffv_telemetry::{Span, Tracer};
@@ -83,6 +83,18 @@ impl Simulation {
     /// backends always run `f32`).
     pub fn precision(mut self, precision: Precision) -> Self {
         self.config.precision = precision;
+        self
+    }
+
+    /// Select the preconditioner for every backend's Krylov loop:
+    /// [`PreconditionerKind::Jacobi`](mffv_solver::PreconditionerKind) for
+    /// diagonal scaling or
+    /// [`PreconditionerKind::Mg`](mffv_solver::PreconditionerKind) for the
+    /// matrix-free geometric-multigrid V-cycle (near-constant iteration
+    /// counts as the grid is refined).  The default (`None`) keeps the plain
+    /// CG of earlier releases, bitwise identical.
+    pub fn preconditioner(mut self, preconditioner: PreconditionerKind) -> Self {
+        self.config.preconditioner = preconditioner;
         self
     }
 
@@ -675,6 +687,21 @@ mod tests {
             .report
             .backend
             .ends_with("#2"));
+    }
+
+    #[test]
+    fn multigrid_preconditioner_agrees_across_backends() {
+        let agreement = Simulation::from_spec(&WorkloadSpec::quickstart())
+            .tolerance(1e-10)
+            .preconditioner(PreconditionerKind::Mg)
+            .compare()
+            .unwrap();
+        assert_eq!(agreement.reports.len(), 3);
+        assert!(
+            agreement.max_pairwise_diff() < 1e-3,
+            "MG-preconditioned backends disagree: {}",
+            agreement.max_pairwise_diff()
+        );
     }
 
     #[test]
