@@ -202,10 +202,51 @@ impl JobSpec {
         span: &Span,
         external: Option<&mut dyn SolveMonitor>,
     ) -> Result<SolveReport, SolveError> {
+        self.execute_pooled(engine_token, span, external, None)
+    }
+
+    /// [`execute_streamed`](Self::execute_streamed) on a warm, worker-owned
+    /// [`SolveContextCache`](mffv_solver::context::SolveContextCache): the
+    /// zero-allocation steady-state serving path.
+    ///
+    /// With `cache = Some`, steady jobs reuse the worker's cached workload,
+    /// operator/preconditioner and CG scratch whenever the job's key matches
+    /// the previous one (see [`mffv_solver::context`]), and rebuild on a
+    /// mismatch.  Reports are **bitwise identical** with the cache on or off
+    /// — pinned by `tests/engine_batch.rs` across worker counts.  `None` is
+    /// the legacy cache-off path; transient jobs keep their own per-run
+    /// stepper cache and ignore `cache`.
+    pub fn execute_pooled(
+        &self,
+        engine_token: Option<&CancelToken>,
+        span: &Span,
+        external: Option<&mut dyn SolveMonitor>,
+        cache: Option<&mut mffv_solver::context::SolveContextCache>,
+    ) -> Result<SolveReport, SolveError> {
         self.validate()?;
         let materialise = span.child("materialise-workload");
-        let workload = Workload::try_from_spec(&self.effective_spec())
-            .map_err(|e| SolveError::new(self.backend.name(), format!("invalid workload: {e}")))?;
+        let spec = self.effective_spec();
+        // Transient jobs cache per-run stepper state instead; the pooled
+        // steady contexts don't apply to them.
+        let cache = if self.transient.is_none() {
+            cache
+        } else {
+            None
+        };
+        let (workload, cache) = match cache {
+            Some(cache) => {
+                let w = cache.checkout_workload(&spec).map_err(|e| {
+                    SolveError::new(self.backend.name(), format!("invalid workload: {e}"))
+                })?;
+                (w, Some(cache))
+            }
+            None => (
+                Workload::try_from_spec(&spec).map_err(|e| {
+                    SolveError::new(self.backend.name(), format!("invalid workload: {e}"))
+                })?,
+                None,
+            ),
+        };
         materialise.finish();
         let mut policy = self.stop_policy.clone();
         if let Some(token) = engine_token {
@@ -234,47 +275,98 @@ impl JobSpec {
             };
             return Ok(report.summary_report());
         }
-        match external {
-            None => {
-                if policy.is_empty() {
-                    if !span.is_recording() {
-                        return self
-                            .backend
-                            .instantiate()
-                            .solve(&workload, &self.solve_config);
+        match cache {
+            Some(cache) => {
+                let backend = self.backend.instantiate();
+                let result = match external {
+                    None => {
+                        if policy.is_empty() {
+                            backend.solve_pooled(
+                                &workload,
+                                &self.solve_config,
+                                &mut NullMonitor,
+                                span,
+                                cache,
+                            )
+                        } else {
+                            backend.solve_pooled(
+                                &workload,
+                                &self.solve_config,
+                                &mut policy.session(),
+                                span,
+                                cache,
+                            )
+                        }
                     }
-                    return self.backend.instantiate().solve_traced(
+                    Some(observer) => {
+                        if policy.is_empty() {
+                            backend.solve_pooled(
+                                &workload,
+                                &self.solve_config,
+                                observer,
+                                span,
+                                cache,
+                            )
+                        } else {
+                            let mut session = policy.session();
+                            let mut fanout = MonitorFanout::new().push(&mut session).push(observer);
+                            backend.solve_pooled(
+                                &workload,
+                                &self.solve_config,
+                                &mut fanout,
+                                span,
+                                cache,
+                            )
+                        }
+                    }
+                };
+                // Hand the workload back so the next same-spec job skips
+                // materialisation entirely.
+                cache.checkin_workload(spec, workload);
+                result
+            }
+            None => match external {
+                None => {
+                    if policy.is_empty() {
+                        if !span.is_recording() {
+                            return self
+                                .backend
+                                .instantiate()
+                                .solve(&workload, &self.solve_config);
+                        }
+                        return self.backend.instantiate().solve_traced(
+                            &workload,
+                            &self.solve_config,
+                            &mut NullMonitor,
+                            span,
+                        );
+                    }
+                    self.backend.instantiate().solve_traced(
                         &workload,
                         &self.solve_config,
-                        &mut NullMonitor,
+                        &mut policy.session(),
                         span,
-                    );
+                    )
                 }
-                self.backend.instantiate().solve_traced(
-                    &workload,
-                    &self.solve_config,
-                    &mut policy.session(),
-                    span,
-                )
-            }
-            Some(observer) => {
-                if policy.is_empty() {
-                    return self.backend.instantiate().solve_traced(
+                Some(observer) => {
+                    if policy.is_empty() {
+                        return self.backend.instantiate().solve_traced(
+                            &workload,
+                            &self.solve_config,
+                            observer,
+                            span,
+                        );
+                    }
+                    let mut session = policy.session();
+                    let mut fanout = MonitorFanout::new().push(&mut session).push(observer);
+                    self.backend.instantiate().solve_traced(
                         &workload,
                         &self.solve_config,
-                        observer,
+                        &mut fanout,
                         span,
-                    );
+                    )
                 }
-                let mut session = policy.session();
-                let mut fanout = MonitorFanout::new().push(&mut session).push(observer);
-                self.backend.instantiate().solve_traced(
-                    &workload,
-                    &self.solve_config,
-                    &mut fanout,
-                    span,
-                )
-            }
+            },
         }
     }
 }

@@ -46,6 +46,7 @@ pub struct Engine {
     cancel: Option<CancelToken>,
     tracer: Tracer,
     metrics: Option<MetricsRegistry>,
+    pooling: bool,
 }
 
 impl Engine {
@@ -59,6 +60,7 @@ impl Engine {
             cancel: None,
             tracer: Tracer::disabled(),
             metrics: None,
+            pooling: true,
         }
     }
 
@@ -101,6 +103,24 @@ impl Engine {
     pub fn with_metrics(mut self, registry: MetricsRegistry) -> Self {
         self.metrics = Some(registry);
         self
+    }
+
+    /// Enable or disable the per-worker solve-context pool (on by default).
+    ///
+    /// With pooling on, each worker keeps a warm
+    /// [`SolveContextCache`](mffv_solver::context::SolveContextCache) across
+    /// jobs: the stencil plan, preconditioner and CG scratch are rebuilt only
+    /// when a job's cache key differs from the previous job's.  Results are
+    /// **bitwise identical** either way, for any worker count — the switch
+    /// exists for A/B benchmarking, not correctness.
+    pub fn with_context_pooling(mut self, pooling: bool) -> Self {
+        self.pooling = pooling;
+        self
+    }
+
+    /// Whether workers keep warm solve contexts across jobs.
+    pub fn context_pooling(&self) -> bool {
+        self.pooling
     }
 
     /// Number of worker threads.
@@ -148,7 +168,14 @@ impl Engine {
         let batch_span = self.tracer.span("engine-batch");
         let queue: BoundedQueue<QueuedJob> = BoundedQueue::new(self.queue_capacity);
         let slots: Mutex<Vec<Option<JobOutcome>>> = Mutex::new((0..total).map(|_| None).collect());
-        let spawned = self.workers.min(total.max(1));
+        // An empty batch spawns no workers: there is nothing to pop, and a
+        // phantom worker would report a `WorkerStats` row for work that never
+        // existed.
+        let spawned = if total == 0 {
+            0
+        } else {
+            self.workers.min(total)
+        };
         // Each worker folds its stats locally (no per-job contention) and
         // pushes one `(stats, histogram)` pair at shutdown.
         let worker_stats: Mutex<Vec<(WorkerStats, LogHistogram)>> =
@@ -166,6 +193,11 @@ impl Engine {
                         busy_seconds: 0.0,
                     };
                     let mut exec_hist = LogHistogram::new();
+                    // One warm solve context per worker, reused across jobs
+                    // (results stay bitwise identical with or without it).
+                    let mut context_cache = self
+                        .pooling
+                        .then(mffv_solver::context::SolveContextCache::default);
                     while let Some(item) = queue.pop() {
                         let queue_wait = item.queued.elapsed_seconds();
                         item.wait.finish();
@@ -193,6 +225,7 @@ impl Engine {
                                 self.cancel.as_ref(),
                                 &exec_span,
                                 queue_wait,
+                                context_cache.as_mut(),
                             );
                             exec_span.finish();
                             local.busy_seconds += outcome.exec_seconds;
@@ -203,6 +236,12 @@ impl Engine {
                         let index = outcome.index;
                         let mut slots = slots.lock().unwrap_or_else(PoisonError::into_inner);
                         slots[index] = Some(outcome);
+                    }
+                    if let (Some(metrics), Some(cache)) = (&self.metrics, &context_cache) {
+                        let stats = cache.stats();
+                        metrics.add("engine.context.hits", stats.hits);
+                        metrics.add("engine.context.misses", stats.misses);
+                        metrics.add("engine.context.scratch_reallocs", stats.scratch_reallocs);
                     }
                     let mut stats = worker_stats.lock().unwrap_or_else(PoisonError::into_inner);
                     stats.push((local, exec_hist));
@@ -268,11 +307,12 @@ fn execute_job(
     engine_token: Option<&CancelToken>,
     span: &Span,
     queue_wait_seconds: f64,
+    context_cache: Option<&mut mffv_solver::context::SolveContextCache>,
 ) -> JobOutcome {
     let label = job.label();
     let started = Stopwatch::start();
     let status = status_from_result(catch_unwind(AssertUnwindSafe(|| {
-        job.execute_traced(engine_token, span)
+        job.execute_pooled(engine_token, span, None, context_cache)
     })));
     JobOutcome {
         index,
@@ -375,11 +415,46 @@ mod tests {
     }
 
     #[test]
-    fn an_empty_batch_reports_zero_jobs() {
+    fn an_empty_batch_reports_zero_jobs_and_spawns_no_workers() {
         let report = Engine::new(4).run(Vec::new());
         assert_eq!(report.jobs(), 0);
         assert!(report.all_succeeded());
         assert_eq!(report.latency.samples, 0);
+        // No phantom workers: nothing ran, so no WorkerStats rows either.
+        assert_eq!(report.workers, 0);
+        assert!(report.worker_stats.is_empty());
+        assert_eq!(report.exec_histogram.count(), 0);
+    }
+
+    #[test]
+    fn context_pooling_is_bitwise_invisible_and_counted() {
+        // Two specs alternating across one worker: every switch is a cache
+        // miss, every repeat a hit; outcomes must be bitwise identical to the
+        // cache-off engine.
+        let jobs = tiny_jobs(6);
+        let registry = MetricsRegistry::new();
+        let pooled = Engine::new(1)
+            .with_metrics(registry.clone())
+            .run(jobs.clone());
+        let unpooled = Engine::new(1).with_context_pooling(false).run(jobs);
+        assert!(pooled.all_succeeded() && unpooled.all_succeeded());
+        for (a, b) in pooled.outcomes.iter().zip(&unpooled.outcomes) {
+            let (ra, rb) = (a.report().unwrap(), b.report().unwrap());
+            assert_eq!(
+                ra.history.residual_norms_squared,
+                rb.history.residual_norms_squared
+            );
+            let bits = |r: &mffv_solver::backend::SolveReport| -> Vec<u64> {
+                r.pressure.as_slice().iter().map(|v| v.to_bits()).collect()
+            };
+            assert_eq!(bits(ra), bits(rb));
+        }
+        // tiny_jobs alternates two specs, so a single worker alternates
+        // miss/hit; at minimum the first job of each spec misses.
+        let hits = registry.counter("engine.context.hits");
+        let misses = registry.counter("engine.context.misses");
+        assert!(misses >= 2, "misses = {misses}");
+        assert_eq!(hits + misses, 2 * 6, "workload + context lookups per job");
     }
 
     #[test]

@@ -164,6 +164,9 @@ struct ServiceShared {
     tracer: Tracer,
     metrics: Option<MetricsRegistry>,
     next_ticket: AtomicU64,
+    /// Whether workers keep warm solve contexts across jobs (see
+    /// [`Engine::with_context_pooling`]).
+    pooling: bool,
 }
 
 /// Handle to a started engine service: submit jobs, inspect the queue, shut
@@ -186,6 +189,7 @@ impl Engine {
             tracer: self.tracer().clone(),
             metrics: self.metrics().cloned(),
             next_ticket: AtomicU64::new(0),
+            pooling: self.context_pooling(),
         });
         let workers = (0..self.workers())
             .map(|worker| {
@@ -308,6 +312,13 @@ impl EngineService {
 }
 
 fn worker_loop(shared: &ServiceShared, worker: usize) {
+    // One warm solve context per worker, kept across jobs for the lifetime
+    // of the service (the steady-state serving path: after the first job of
+    // a spec, repeats reuse the operator, preconditioner and CG scratch).
+    let mut context_cache = shared
+        .pooling
+        .then(mffv_solver::context::SolveContextCache::default);
+    let mut last_context_stats = mffv_solver::context::ContextStats::default();
     while let Some(item) = shared.queue.pop() {
         let QueuedServiceJob {
             ticket,
@@ -340,12 +351,13 @@ fn worker_loop(shared: &ServiceShared, worker: usize) {
         } else {
             let exec_span = root.child_on_lane("execute", worker as u32 + 1);
             let started = Stopwatch::start();
+            let cache = context_cache.as_mut();
             let result = catch_unwind(AssertUnwindSafe(|| match on_event.as_mut() {
                 Some(callback) => {
                     let mut streamer = monitor_fn(|event: &SolveEvent| (callback)(event));
-                    job.execute_streamed(Some(&shared.cancel), &exec_span, Some(&mut streamer))
+                    job.execute_pooled(Some(&shared.cancel), &exec_span, Some(&mut streamer), cache)
                 }
-                None => job.execute_streamed(Some(&shared.cancel), &exec_span, None),
+                None => job.execute_pooled(Some(&shared.cancel), &exec_span, None, cache),
             }));
             exec_span.finish();
             ServiceOutcome {
@@ -366,6 +378,22 @@ fn worker_loop(shared: &ServiceShared, worker: usize) {
             };
             metrics.inc(key);
             metrics.observe("engine.service.exec_seconds", outcome.exec_seconds);
+            if let Some(cache) = &context_cache {
+                // Publish per-job context-cache deltas, so a long-lived
+                // service's counters stay live rather than appearing only
+                // at worker exit.
+                let stats = cache.stats();
+                metrics.add("engine.context.hits", stats.hits - last_context_stats.hits);
+                metrics.add(
+                    "engine.context.misses",
+                    stats.misses - last_context_stats.misses,
+                );
+                metrics.add(
+                    "engine.context.scratch_reallocs",
+                    stats.scratch_reallocs - last_context_stats.scratch_reallocs,
+                );
+                last_context_stats = stats;
+            }
         }
         // Completion callbacks get the same isolation as jobs: a panicking
         // callback must not take the worker down with it.

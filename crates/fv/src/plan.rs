@@ -221,13 +221,13 @@ impl StencilPlan {
             diag,
         };
         let xs = x.as_slice();
-        let groups = self.thread_groups(threads);
-        if groups.len() == 1 {
+        if self.group_count(threads) == 1 {
             for slab in &self.slabs {
                 apply_slab(slab, &ctx, xs, y.as_mut_slice(), 0);
             }
             return;
         }
+        let groups = self.thread_groups(threads);
         std::thread::scope(|scope| {
             let mut rest = y.as_mut_slice();
             let mut consumed = 0usize;
@@ -270,38 +270,47 @@ impl StencilPlan {
             diag,
         };
         let ds = d.as_slice();
+        if self.group_count(threads) == 1 {
+            // Serial path: fold the per-slab partials inline in slab order —
+            // bitwise identical to `combine_partials` over a materialised
+            // buffer, with no per-call allocation (the steady-state serving
+            // path runs this once per CG iteration).
+            let out = ad.as_mut_slice();
+            let mut acc: Option<T> = None;
+            for slab in &self.slabs {
+                apply_slab(slab, &ctx, ds, out, 0);
+                let p = slab_dot(&ds[slab.range.clone()], &out[slab.range.clone()]);
+                acc = Some(match acc {
+                    None => p,
+                    Some(acc) => acc + p,
+                });
+            }
+            return acc.unwrap_or(T::ZERO);
+        }
         let groups = self.thread_groups(threads);
         let mut partials = vec![T::ZERO; self.slabs.len()];
-        if groups.len() == 1 {
-            let out = ad.as_mut_slice();
-            for (slab, partial) in self.slabs.iter().zip(partials.iter_mut()) {
-                apply_slab(slab, &ctx, ds, out, 0);
-                *partial = slab_dot(&ds[slab.range.clone()], &out[slab.range.clone()]);
+        std::thread::scope(|scope| {
+            let mut rest = ad.as_mut_slice();
+            let mut partial_rest = partials.as_mut_slice();
+            let mut consumed = 0usize;
+            for group in &groups {
+                let group_end = self.slabs[group.end - 1].range.end;
+                let (part, tail) = rest.split_at_mut(group_end - consumed);
+                rest = tail;
+                let (parts, ptail) = partial_rest.split_at_mut(group.len());
+                partial_rest = ptail;
+                let offset = consumed;
+                consumed = group_end;
+                let slabs = &self.slabs[group.clone()];
+                scope.spawn(move || {
+                    for (slab, partial) in slabs.iter().zip(parts.iter_mut()) {
+                        apply_slab(slab, &ctx, ds, part, offset);
+                        let local = slab.range.start - offset..slab.range.end - offset;
+                        *partial = slab_dot(&ds[slab.range.clone()], &part[local]);
+                    }
+                });
             }
-        } else {
-            std::thread::scope(|scope| {
-                let mut rest = ad.as_mut_slice();
-                let mut partial_rest = partials.as_mut_slice();
-                let mut consumed = 0usize;
-                for group in &groups {
-                    let group_end = self.slabs[group.end - 1].range.end;
-                    let (part, tail) = rest.split_at_mut(group_end - consumed);
-                    rest = tail;
-                    let (parts, ptail) = partial_rest.split_at_mut(group.len());
-                    partial_rest = ptail;
-                    let offset = consumed;
-                    consumed = group_end;
-                    let slabs = &self.slabs[group.clone()];
-                    scope.spawn(move || {
-                        for (slab, partial) in slabs.iter().zip(parts.iter_mut()) {
-                            apply_slab(slab, &ctx, ds, part, offset);
-                            let local = slab.range.start - offset..slab.range.end - offset;
-                            *partial = slab_dot(&ds[slab.range.clone()], &part[local]);
-                        }
-                    });
-                }
-            });
-        }
+        });
         combine_partials(&partials)
     }
 
@@ -325,22 +334,31 @@ impl StencilPlan {
         assert_eq!(r.dims(), self.dims, "residual dimension mismatch");
         let ds = d.as_slice();
         let ads = ad.as_slice();
-        let groups = self.thread_groups(threads);
-        let mut partials = vec![T::ZERO; self.slabs.len()];
-        if groups.len() == 1 {
+        if self.group_count(threads) == 1 {
+            // Serial path: inline partial fold, no per-call allocation (see
+            // `apply_dot` — same bitwise-equivalence argument).
             let xs = x.as_mut_slice();
             let rs = r.as_mut_slice();
-            for (slab, partial) in self.slabs.iter().zip(partials.iter_mut()) {
+            let mut acc: Option<T> = None;
+            for slab in &self.slabs {
                 let range = slab.range.clone();
-                *partial = update_slab(
+                let p = update_slab(
                     alpha,
                     &ds[range.clone()],
                     &ads[range.clone()],
                     &mut xs[range.clone()],
                     &mut rs[range],
                 );
+                acc = Some(match acc {
+                    None => p,
+                    Some(acc) => acc + p,
+                });
             }
-        } else {
+            return acc.unwrap_or(T::ZERO);
+        }
+        let groups = self.thread_groups(threads);
+        let mut partials = vec![T::ZERO; self.slabs.len()];
+        {
             std::thread::scope(|scope| {
                 let mut x_rest = x.as_mut_slice();
                 let mut r_rest = r.as_mut_slice();
@@ -381,6 +399,14 @@ impl StencilPlan {
     /// most one group per slab; a single group short-circuits the spawn
     /// entirely.  Grouping never affects results — reductions are combined in
     /// slab order, not group order.
+    /// Number of groups [`thread_groups`](Self::thread_groups) would build,
+    /// without materialising them.  The kernels test this for 1 to take the
+    /// serial path with no per-call allocation — the steady-state serving
+    /// hot loop depends on that.
+    fn group_count(&self, threads: usize) -> usize {
+        threads.clamp(1, self.slabs.len().max(1))
+    }
+
     fn thread_groups(&self, threads: usize) -> Vec<Range<usize>> {
         let slabs = self.slabs.len();
         let threads = threads.clamp(1, slabs.max(1));

@@ -15,13 +15,27 @@ pub fn residual<T: Scalar>(
     coeffs: &Transmissibilities<T>,
     dirichlet: &DirichletSet,
 ) -> CellField<T> {
+    let mut r = CellField::zeros(pressure.dims());
+    residual_into(pressure, coeffs, dirichlet, &mut r);
+    r
+}
+
+/// [`residual`] into a caller-owned buffer — bitwise the same field, zero
+/// allocations.  Every entry of `out` is overwritten (Dirichlet rows
+/// included), so a stale buffer never leaks into the result.
+pub fn residual_into<T: Scalar>(
+    pressure: &CellField<T>,
+    coeffs: &Transmissibilities<T>,
+    dirichlet: &DirichletSet,
+    out: &mut CellField<T>,
+) {
     let dims = pressure.dims();
     assert_eq!(dims, coeffs.dims(), "coefficient table dimension mismatch");
-    let mut r = CellField::zeros(dims);
+    assert_eq!(dims, out.dims(), "residual buffer dimension mismatch");
     for c in dims.iter_cells() {
         let k = dims.linear(c);
         if let Some(pd) = dirichlet.value_at_linear(k) {
-            r.set(k, pressure.get(k) - T::from_f64(pd));
+            out.set(k, pressure.get(k) - T::from_f64(pd));
             continue;
         }
         let mut acc = T::ZERO;
@@ -32,9 +46,8 @@ pub fn residual<T: Scalar>(
                 acc += interfacial_flux(coeffs.get(k, dir), pk, pressure.get(l));
             }
         }
-        r.set(k, acc);
+        out.set(k, acc);
     }
-    r
 }
 
 /// The right-hand side of the SPD Newton system `A δp = b` given the residual at the
@@ -42,16 +55,27 @@ pub fn residual<T: Scalar>(
 /// (whose update is pinned to zero because the initial pressure already satisfies the
 /// Dirichlet condition exactly).
 pub fn newton_rhs<T: Scalar>(residual: &CellField<T>, dirichlet: &DirichletSet) -> CellField<T> {
+    let mut b = CellField::zeros(residual.dims());
+    newton_rhs_into(residual, dirichlet, &mut b);
+    b
+}
+
+/// [`newton_rhs`] into a caller-owned buffer — bitwise the same field, zero
+/// allocations.  Every entry of `out` is overwritten.
+pub fn newton_rhs_into<T: Scalar>(
+    residual: &CellField<T>,
+    dirichlet: &DirichletSet,
+    out: &mut CellField<T>,
+) {
     let dims = residual.dims();
-    let mut b = CellField::zeros(dims);
+    assert_eq!(dims, out.dims(), "rhs buffer dimension mismatch");
     for k in 0..dims.num_cells() {
         if dirichlet.contains_linear(k) {
-            b.set(k, T::ZERO);
+            out.set(k, T::ZERO);
         } else {
-            b.set(k, residual.get(k));
+            out.set(k, residual.get(k));
         }
     }
-    b
 }
 
 /// Sum of all residual entries over non-Dirichlet cells — a global mass-balance

@@ -132,6 +132,13 @@ impl<T: Scalar> CellField<T> {
         self.data.iter_mut().for_each(|v| *v = value);
     }
 
+    /// Overwrite every cell from `other` without reallocating — the
+    /// buffer-reusing counterpart of `clone()` for pooled solve scratch.
+    pub fn copy_from(&mut self, other: &Self) {
+        self.check_same_dims(other);
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// `self += alpha * other` (the classic axpy update of CG lines 6–7).
     pub fn axpy(&mut self, alpha: T, other: &Self) {
         self.check_same_dims(other);

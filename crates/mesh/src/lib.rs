@@ -26,6 +26,7 @@
 pub mod boundary;
 pub mod dims;
 pub mod field;
+pub mod fingerprint;
 pub mod mesh;
 pub mod neighbors;
 pub mod permeability;
@@ -40,6 +41,7 @@ pub mod workload;
 pub use boundary::{DirichletCell, DirichletSet};
 pub use dims::{CellIndex, Dims};
 pub use field::CellField;
+pub use fingerprint::Fnv1a;
 pub use mesh::CartesianMesh;
 pub use neighbors::Direction;
 pub use permeability::PermeabilityModel;

@@ -179,6 +179,24 @@ impl<T: Scalar> Transmissibilities<T> {
     pub fn bytes(&self) -> usize {
         self.data.len() * 6 * std::mem::size_of::<T>()
     }
+
+    /// FNV-1a fingerprint over the grid extents and every coefficient's
+    /// exact bit pattern, in fixed cell-then-direction order — the
+    /// transmissibility component of a solve-context cache key (see
+    /// [`crate::fingerprint`]).  Equal tables fingerprint equal; any single
+    /// bit of any coefficient changes the digest.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = crate::fingerprint::Fnv1a::new();
+        hash.write_usize(self.dims.nx);
+        hash.write_usize(self.dims.ny);
+        hash.write_usize(self.dims.nz);
+        for row in &self.data {
+            for v in row {
+                hash.write_f64(v.to_f64());
+            }
+        }
+        hash.finish()
+    }
 }
 
 #[cfg(test)]

@@ -368,6 +368,16 @@ impl Workload {
         self.dirichlet.impose(&mut p);
         p
     }
+
+    /// [`initial_pressure`](Self::initial_pressure) into a caller-owned
+    /// buffer — bitwise the same field, zero allocations.  Panics when the
+    /// buffer's dims differ from the workload's.
+    pub fn initial_pressure_into<T: crate::scalar::Scalar>(&self, out: &mut CellField<T>) {
+        assert_eq!(out.dims(), self.dims(), "initial-pressure buffer mismatch");
+        let mean = crate::reduce::seq_mean(self.dirichlet.cells().iter().map(|c| c.value));
+        out.fill(T::from_f64(mean));
+        self.dirichlet.impose(out);
+    }
 }
 
 #[cfg(test)]

@@ -22,8 +22,11 @@ use std::io::{Read, Write};
 
 /// The protocol revision this build speaks.  Version 2 added the trailing
 /// preconditioner byte to `SolveConfig`; version-1 frames still decode, with
-/// the preconditioner defaulting to `None`.
-pub const WIRE_VERSION: u8 = 2;
+/// the preconditioner defaulting to `None`.  Version 3 added the
+/// `StopReason::Breakdown` tag (a solver-side numerical breakdown now ends
+/// its event stream with a terminal `Stopped` instead of silence); frames
+/// that never carry that tag are byte-identical to version 2.
+pub const WIRE_VERSION: u8 = 3;
 
 /// The oldest protocol revision this build still decodes.
 pub const MIN_WIRE_VERSION: u8 = 1;

@@ -428,6 +428,9 @@ impl WireEncode for StopReason {
             StopReason::Stagnated => 3,
             StopReason::Diverged => 4,
             StopReason::MonitorRequest => 5,
+            // Tag 6 shipped with wire version 3; a version-2 peer that has
+            // never seen a Breakdown stream decodes everything else as before.
+            StopReason::Breakdown => 6,
         });
     }
 }
@@ -441,6 +444,7 @@ impl WireDecode for StopReason {
             3 => Ok(StopReason::Stagnated),
             4 => Ok(StopReason::Diverged),
             5 => Ok(StopReason::MonitorRequest),
+            6 => Ok(StopReason::Breakdown),
             tag => Err(WireError::UnknownTag {
                 context: "StopReason",
                 tag,
@@ -1367,7 +1371,9 @@ mod tests {
     #[test]
     fn domain_types_roundtrip_byte_stable() {
         roundtrip_bytes(&StopReason::Stagnated);
+        roundtrip_bytes(&StopReason::Breakdown);
         roundtrip_bytes(&SolveEvent::Iteration { k: 17, rr: 1e-12 });
+        roundtrip_bytes(&SolveEvent::Stopped(StopReason::Breakdown));
         roundtrip_bytes(&SolveConfig {
             tolerance: Some(3e-11),
             max_iterations: None,

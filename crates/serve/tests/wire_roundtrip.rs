@@ -186,7 +186,8 @@ fn arbitrary_reason(pick: u64) -> StopReason {
         StopReason::Stagnated,
         StopReason::Diverged,
         StopReason::MonitorRequest,
-    ][(pick % 6) as usize]
+        StopReason::Breakdown,
+    ][(pick % 7) as usize]
 }
 
 proptest! {

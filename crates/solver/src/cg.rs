@@ -35,6 +35,7 @@
 //! Grids of at most `SLAB_CELLS` cells have a single slab and are bitwise
 //! unchanged.
 
+use crate::context::CgScratch;
 use crate::convergence::{ConvergenceHistory, StoppingCriterion};
 use crate::monitor::{Flow, NullMonitor, SolveEvent, SolveMonitor, StopReason};
 use mffv_fv::plan::det_norm_squared;
@@ -110,49 +111,73 @@ impl ConjugateGradient {
         x0: &CellField<T>,
         monitor: &mut dyn SolveMonitor,
     ) -> SolveOutcome<T> {
+        let mut scratch = CgScratch::new(operator.dims());
+        let stopped = self.solve_into(operator, rhs, Some(x0), monitor, &mut scratch);
+        scratch.into_outcome(stopped)
+    }
+
+    /// [`solve_monitored`](Self::solve_monitored) into a caller-owned
+    /// [`CgScratch`] — the zero-allocation form of the pooled serving path.
+    ///
+    /// `x0 = None` starts from the zero vector (the Newton-step convention)
+    /// without needing a zeros field.  Every scratch buffer is fully
+    /// overwritten before it is read, so the recorded history and the
+    /// solution left in `scratch` are bitwise identical to a fresh-allocation
+    /// solve.  On a numerical breakdown (non-positive or non-finite
+    /// `dᵀ(A d)`) the solve ends with a terminal
+    /// [`SolveEvent::Stopped`]`(`[`StopReason::Breakdown`]`)` and returns
+    /// that reason.
+    pub fn solve_into<T: Scalar, Op: LinearOperator<T>>(
+        &self,
+        operator: &Op,
+        rhs: &CellField<T>,
+        x0: Option<&CellField<T>>,
+        monitor: &mut dyn SolveMonitor,
+        scratch: &mut CgScratch<T>,
+    ) -> Option<StopReason> {
         let dims = operator.dims();
         assert_eq!(rhs.dims(), dims, "rhs dimension mismatch");
-        assert_eq!(x0.dims(), dims, "initial guess dimension mismatch");
-
-        let mut solution = x0.clone();
-        // r_0 = b − A x_0
-        let mut residual = rhs.clone();
-        let ax0 = operator.apply_new(&solution);
-        residual.axpy(-T::ONE, &ax0);
+        assert_eq!(scratch.dims(), dims, "scratch dimension mismatch");
+        match x0 {
+            Some(x0) => {
+                assert_eq!(x0.dims(), dims, "initial guess dimension mismatch");
+                scratch.solution.copy_from(x0);
+            }
+            None => scratch.solution.fill(T::ZERO),
+        }
+        // r_0 = b − A x_0 (the `ad` buffer holds A x_0 for a moment; `apply`
+        // overwrites it fully, so its previous contents never matter).
+        scratch.residual.copy_from(rhs);
+        operator.apply(&scratch.solution, &mut scratch.ad);
+        scratch.residual.axpy(-T::ONE, &scratch.ad);
         // d_0 = r_0
-        let mut direction = residual.clone();
-        let mut operator_times_direction = CellField::zeros(dims);
+        scratch.direction.copy_from(&scratch.residual);
 
-        let mut rr = det_norm_squared(&residual).to_f64();
-        let mut history = ConvergenceHistory::starting_from(rr);
+        let mut rr = det_norm_squared(&scratch.residual).to_f64();
+        scratch.history.reset_from(rr);
         if self.criterion.is_converged(rr) {
-            history.converged = true;
+            scratch.history.converged = true;
             monitor.on_event(&SolveEvent::Started { initial_rr: rr });
             monitor.on_event(&SolveEvent::Converged { iterations: 0, rr });
-            return SolveOutcome {
-                solution,
-                history,
-                stopped: None,
-            };
+            return None;
         }
         if let Flow::Stop(reason) = monitor.on_event(&SolveEvent::Started { initial_rr: rr }) {
             monitor.on_event(&SolveEvent::Stopped(reason));
-            return SolveOutcome {
-                solution,
-                history,
-                stopped: Some(reason),
-            };
+            return Some(reason);
         }
 
         let mut stopped = None;
         for _ in 0..self.criterion.max_iterations {
             // Fused kernel 1: A d and dᵀ(A d) in one pass.
             let d_ad = operator
-                .apply_dot(&direction, &mut operator_times_direction)
+                .apply_dot(&scratch.direction, &mut scratch.ad)
                 .to_f64();
             if d_ad <= 0.0 || !d_ad.is_finite() {
-                // Operator is not positive definite along this direction (or numerics
-                // broke down); stop rather than produce garbage.
+                // Operator is not positive definite along this direction (or
+                // numerics broke down); stop rather than produce garbage, and
+                // say so — streams must always end with a terminal event.
+                monitor.on_event(&SolveEvent::Stopped(StopReason::Breakdown));
+                stopped = Some(StopReason::Breakdown);
                 break;
             }
             let alpha = T::from_f64(rr / d_ad);
@@ -160,27 +185,27 @@ impl ConjugateGradient {
             let rr_new = operator
                 .cg_update(
                     alpha,
-                    &direction,
-                    &operator_times_direction,
-                    &mut solution,
-                    &mut residual,
+                    &scratch.direction,
+                    &scratch.ad,
+                    &mut scratch.solution,
+                    &mut scratch.residual,
                 )
                 .to_f64();
-            history.record(rr_new);
+            scratch.history.record(rr_new);
             if self.criterion.is_converged(rr_new) {
-                history.converged = true;
+                scratch.history.converged = true;
                 monitor.on_event(&SolveEvent::Iteration {
-                    k: history.iterations,
+                    k: scratch.history.iterations,
                     rr: rr_new,
                 });
                 monitor.on_event(&SolveEvent::Converged {
-                    iterations: history.iterations,
+                    iterations: scratch.history.iterations,
                     rr: rr_new,
                 });
                 break;
             }
             if let Flow::Stop(reason) = monitor.on_event(&SolveEvent::Iteration {
-                k: history.iterations,
+                k: scratch.history.iterations,
                 rr: rr_new,
             }) {
                 monitor.on_event(&SolveEvent::Stopped(reason));
@@ -188,14 +213,10 @@ impl ConjugateGradient {
                 break;
             }
             let beta = T::from_f64(rr_new / rr);
-            direction.xpby(&residual, beta);
+            scratch.direction.xpby(&scratch.residual, beta);
             rr = rr_new;
         }
-        SolveOutcome {
-            solution,
-            history,
-            stopped,
-        }
+        stopped
     }
 }
 
@@ -361,6 +382,60 @@ mod tests {
         assert!(!out.history.converged);
         assert_eq!(out.history.iterations, 5);
         assert_eq!(out.history.residual_norms_squared.len(), 6);
+    }
+
+    #[test]
+    fn breakdown_on_indefinite_operator_emits_terminal_stopped_event() {
+        use crate::monitor::{RecordingMonitor, SolveEvent, StopReason};
+        // A negative-definite operator makes dᵀ(A d) < 0 on the very first
+        // direction: the solve must stop, report Breakdown, and terminate the
+        // event stream with a Stopped event (it used to end silently).
+        let dims = Dims::new(4, 4, 2);
+        let op = ScaledIdentity::new(dims, -1.0f64);
+        let b = CellField::constant(dims, 1.0);
+        let mut recorder = RecordingMonitor::new();
+        let solver = ConjugateGradient::with_tolerance(1e-20, 50);
+        let out = solver.solve_monitored(&op, &b, &CellField::zeros(dims), &mut recorder);
+        assert_eq!(out.stopped, Some(StopReason::Breakdown));
+        assert!(!out.history.converged);
+        assert_eq!(out.history.iterations, 0);
+        assert!(matches!(
+            recorder.terminal(),
+            Some(SolveEvent::Stopped(StopReason::Breakdown))
+        ));
+    }
+
+    #[test]
+    fn scratch_reuse_is_bitwise_identical_across_solves() {
+        use crate::context::CgScratch;
+        use crate::monitor::NullMonitor;
+        let w = WorkloadSpec::quickstart().build();
+        let op = MatrixFreeOperator::<f64>::from_workload(&w);
+        let p0: CellField<f64> = w.initial_pressure();
+        let r = residual(&p0, w.transmissibility(), w.dirichlet());
+        let b = newton_rhs(&r, w.dirichlet());
+        let solver = ConjugateGradient::with_tolerance(1e-12, 2000);
+        let fresh = solver.solve(&op, &b, &CellField::zeros(w.dims()));
+
+        // One scratch, three solves: the second and third start from dirty
+        // buffers and a used history, and must still reproduce every bit.
+        let mut scratch = CgScratch::new(w.dims());
+        for round in 0..3 {
+            let stopped = solver.solve_into(&op, &b, None, &mut NullMonitor, &mut scratch);
+            assert_eq!(stopped, None);
+            assert_eq!(
+                scratch.history(),
+                &fresh.history,
+                "round {round}: history must be bitwise identical"
+            );
+            for i in 0..fresh.solution.len() {
+                assert_eq!(
+                    scratch.solution().get(i).to_bits(),
+                    fresh.solution.get(i).to_bits(),
+                    "round {round}, cell {i}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -69,6 +69,17 @@ impl ConvergenceHistory {
         self.iterations += 1;
     }
 
+    /// Reset to a fresh history starting from `initial_rr`, keeping the
+    /// entry buffer's capacity — the pooled-scratch counterpart of
+    /// [`starting_from`](Self::starting_from).  After warmup a reused
+    /// history records a whole solve without reallocating.
+    pub fn reset_from(&mut self, initial_rr: f64) {
+        self.residual_norms_squared.clear();
+        self.residual_norms_squared.push(initial_rr);
+        self.converged = false;
+        self.iterations = 0;
+    }
+
     /// The initial `rᵀr`.
     pub fn initial_rr(&self) -> f64 {
         *self.residual_norms_squared.first().unwrap_or(&f64::NAN)

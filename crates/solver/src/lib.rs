@@ -14,6 +14,7 @@
 
 pub mod backend;
 pub mod cg;
+pub mod context;
 pub mod convergence;
 pub mod monitor;
 pub mod newton;
@@ -27,6 +28,7 @@ pub use backend::{
     SolveError, SolveReport,
 };
 pub use cg::{ConjugateGradient, SolveOutcome};
+pub use context::{CgScratch, ContextKey, ContextStats, SolveContext, SolveContextCache};
 pub use convergence::{ConvergenceHistory, StoppingCriterion};
 pub use mffv_fv::{MgConfig, MultigridVcycle, Preconditioner};
 pub use monitor::{
@@ -49,6 +51,9 @@ pub mod prelude {
         SolveError, SolveReport,
     };
     pub use crate::cg::{ConjugateGradient, SolveOutcome};
+    pub use crate::context::{
+        CgScratch, ContextKey, ContextStats, SolveContext, SolveContextCache,
+    };
     pub use crate::convergence::{ConvergenceHistory, StoppingCriterion};
     pub use crate::monitor::{
         monitor_fn, CancelToken, Flow, FnMonitor, MonitorFanout, NullMonitor, PolicySession,

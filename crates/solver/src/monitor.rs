@@ -51,6 +51,10 @@ pub enum StopReason {
     Diverged,
     /// A user [`SolveMonitor`] returned [`Flow::Stop`] for its own reasons.
     MonitorRequest,
+    /// The Krylov iteration broke down: the direction's operator curvature
+    /// `dᵀAd` was non-positive or non-finite (an indefinite or corrupted
+    /// operator), so continuing would divide by it and produce garbage.
+    Breakdown,
 }
 
 impl StopReason {
@@ -63,6 +67,7 @@ impl StopReason {
             StopReason::Stagnated => "residual stagnated",
             StopReason::Diverged => "residual diverged",
             StopReason::MonitorRequest => "stopped by monitor",
+            StopReason::Breakdown => "numerical breakdown",
         }
     }
 }
@@ -123,11 +128,11 @@ pub enum SolveEvent {
         /// Final `rᵀr`.
         rr: f64,
     },
-    /// The session was stopped early by its monitor or policy.  Emitted as
-    /// the final event after a [`Flow::Stop`]; the backend then returns the
-    /// partial state.  A stream that ends without `Converged` *or* `Stopped`
-    /// exhausted the solver's own iteration cap (or hit a numerical
-    /// breakdown).
+    /// The session was stopped early: by its monitor or policy (emitted as
+    /// the final event after a [`Flow::Stop`]) or by the solver itself on a
+    /// numerical breakdown ([`StopReason::Breakdown`]); the backend then
+    /// returns the partial state.  A stream that ends without `Converged`
+    /// *or* `Stopped` exhausted the solver's own iteration cap.
     Stopped(StopReason),
 }
 

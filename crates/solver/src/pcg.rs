@@ -11,7 +11,8 @@
 //! flat in grid size); the ablation benchmarks compare all of them against plain
 //! CG.
 
-use crate::convergence::{ConvergenceHistory, StoppingCriterion};
+use crate::context::CgScratch;
+use crate::convergence::StoppingCriterion;
 use crate::monitor::{Flow, NullMonitor, SolveEvent, SolveMonitor};
 use mffv_fv::plan::{det_dot, det_norm_squared};
 use mffv_fv::{LinearOperator, Preconditioner};
@@ -155,90 +156,130 @@ impl PreconditionedConjugateGradient {
         monitor: &mut dyn SolveMonitor,
         span: &Span,
     ) -> crate::cg::SolveOutcome<T> {
+        let mut scratch = CgScratch::new(operator.dims());
+        let stopped = self.solve_traced_into(
+            operator,
+            preconditioner,
+            rhs,
+            Some(x0),
+            monitor,
+            span,
+            &mut scratch,
+        );
+        scratch.into_outcome(stopped)
+    }
+
+    /// [`solve_traced`](Self::solve_traced) into a caller-owned
+    /// [`CgScratch`] — the zero-allocation form of the pooled serving path
+    /// (the PCG counterpart of
+    /// [`ConjugateGradient::solve_into`](crate::cg::ConjugateGradient::solve_into)).
+    ///
+    /// `x0 = None` starts from the zero vector.  Every scratch buffer —
+    /// including `z`, which every [`Preconditioner::apply`] fully overwrites
+    /// — is written before it is read, so results are bitwise identical to a
+    /// fresh-allocation solve.  On a numerical breakdown the solve ends with
+    /// a terminal
+    /// [`SolveEvent::Stopped`]`(`[`StopReason::Breakdown`](crate::monitor::StopReason::Breakdown)`)`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_traced_into<T: Scalar, Op: LinearOperator<T>, P: Preconditioner<T> + ?Sized>(
+        &self,
+        operator: &Op,
+        preconditioner: &P,
+        rhs: &CellField<T>,
+        x0: Option<&CellField<T>>,
+        monitor: &mut dyn SolveMonitor,
+        span: &Span,
+        scratch: &mut CgScratch<T>,
+    ) -> Option<crate::monitor::StopReason> {
+        use crate::monitor::StopReason;
+
         let dims = operator.dims();
         assert_eq!(rhs.dims(), dims);
-        assert_eq!(x0.dims(), dims);
+        assert_eq!(scratch.dims(), dims, "scratch dimension mismatch");
         assert_eq!(preconditioner.dims(), dims);
+        match x0 {
+            Some(x0) => {
+                assert_eq!(x0.dims(), dims);
+                scratch.solution.copy_from(x0);
+            }
+            None => scratch.solution.fill(T::ZERO),
+        }
+        scratch.residual.copy_from(rhs);
+        operator.apply(&scratch.solution, &mut scratch.ad);
+        scratch.residual.axpy(-T::ONE, &scratch.ad);
 
-        let mut solution = x0.clone();
-        let mut residual = rhs.clone();
-        let ax0 = operator.apply_new(&solution);
-        residual.axpy(-T::ONE, &ax0);
+        preconditioner.apply_traced(&scratch.residual, &mut scratch.z, span);
+        scratch.direction.copy_from(&scratch.z);
 
-        let mut z = CellField::zeros(dims);
-        preconditioner.apply_traced(&residual, &mut z, span);
-        let mut direction = z.clone();
-        let mut ad = CellField::zeros(dims);
-
-        let mut rz = det_dot(&residual, &z).to_f64();
-        let rr0 = det_norm_squared(&residual).to_f64();
-        let mut history = ConvergenceHistory::starting_from(rr0);
+        let mut rz = det_dot(&scratch.residual, &scratch.z).to_f64();
+        let rr0 = det_norm_squared(&scratch.residual).to_f64();
+        scratch.history.reset_from(rr0);
         if self.criterion.is_converged(rr0) {
-            history.converged = true;
+            scratch.history.converged = true;
             monitor.on_event(&SolveEvent::Started { initial_rr: rr0 });
             monitor.on_event(&SolveEvent::Converged {
                 iterations: 0,
                 rr: rr0,
             });
-            return crate::cg::SolveOutcome {
-                solution,
-                history,
-                stopped: None,
-            };
+            return None;
         }
         if let Flow::Stop(reason) = monitor.on_event(&SolveEvent::Started { initial_rr: rr0 }) {
             monitor.on_event(&SolveEvent::Stopped(reason));
-            return crate::cg::SolveOutcome {
-                solution,
-                history,
-                stopped: Some(reason),
-            };
+            return Some(reason);
         }
 
         let mut stopped = None;
         for _ in 0..self.criterion.max_iterations {
             // Fused kernels (see `mffv_fv::LinearOperator`): one pass for
             // A d + dᵀ(A d), one pass for both axpy updates + rᵀr.
-            let d_ad = operator.apply_dot(&direction, &mut ad).to_f64();
+            let d_ad = operator
+                .apply_dot(&scratch.direction, &mut scratch.ad)
+                .to_f64();
             if d_ad <= 0.0 || !d_ad.is_finite() {
+                // Breakdown: terminate the stream with a Stopped event
+                // instead of ending it silently.
+                monitor.on_event(&SolveEvent::Stopped(StopReason::Breakdown));
+                stopped = Some(StopReason::Breakdown);
                 break;
             }
             let alpha = T::from_f64(rz / d_ad);
             let rr = operator
-                .cg_update(alpha, &direction, &ad, &mut solution, &mut residual)
+                .cg_update(
+                    alpha,
+                    &scratch.direction,
+                    &scratch.ad,
+                    &mut scratch.solution,
+                    &mut scratch.residual,
+                )
                 .to_f64();
-            history.record(rr);
+            scratch.history.record(rr);
             if self.criterion.is_converged(rr) {
-                history.converged = true;
+                scratch.history.converged = true;
                 monitor.on_event(&SolveEvent::Iteration {
-                    k: history.iterations,
+                    k: scratch.history.iterations,
                     rr,
                 });
                 monitor.on_event(&SolveEvent::Converged {
-                    iterations: history.iterations,
+                    iterations: scratch.history.iterations,
                     rr,
                 });
                 break;
             }
             if let Flow::Stop(reason) = monitor.on_event(&SolveEvent::Iteration {
-                k: history.iterations,
+                k: scratch.history.iterations,
                 rr,
             }) {
                 monitor.on_event(&SolveEvent::Stopped(reason));
                 stopped = Some(reason);
                 break;
             }
-            preconditioner.apply_traced(&residual, &mut z, span);
-            let rz_new = det_dot(&residual, &z).to_f64();
+            preconditioner.apply_traced(&scratch.residual, &mut scratch.z, span);
+            let rz_new = det_dot(&scratch.residual, &scratch.z).to_f64();
             let beta = T::from_f64(rz_new / rz);
-            direction.xpby(&z, beta);
+            scratch.direction.xpby(&scratch.z, beta);
             rz = rz_new;
         }
-        crate::cg::SolveOutcome {
-            solution,
-            history,
-            stopped,
-        }
+        stopped
     }
 }
 
@@ -310,6 +351,64 @@ mod tests {
             pcg.history.iterations,
             cg.history.iterations
         );
+    }
+
+    #[test]
+    fn breakdown_on_indefinite_operator_emits_terminal_stopped_event() {
+        use crate::monitor::{RecordingMonitor, SolveEvent, StopReason};
+        use mffv_fv::operator::ScaledIdentity;
+        let dims = Dims::new(4, 4, 2);
+        let op = ScaledIdentity::new(dims, -1.0f64);
+        let pc = JacobiPreconditioner::from_diagonal(&CellField::constant(dims, 1.0));
+        let b = CellField::constant(dims, 1.0);
+        let mut recorder = RecordingMonitor::new();
+        let solver = PreconditionedConjugateGradient::with_tolerance(1e-20, 50);
+        let out = solver.solve_monitored(&op, &pc, &b, &CellField::zeros(dims), &mut recorder);
+        assert_eq!(out.stopped, Some(StopReason::Breakdown));
+        assert!(!out.history.converged);
+        assert!(matches!(
+            recorder.terminal(),
+            Some(SolveEvent::Stopped(StopReason::Breakdown))
+        ));
+    }
+
+    #[test]
+    fn scratch_reuse_is_bitwise_identical_across_solves() {
+        use crate::context::CgScratch;
+        let w = heterogeneous_workload();
+        let op = MatrixFreeOperator::<f64>::from_workload(&w);
+        let pc = JacobiPreconditioner::from_coefficients(op.coefficients(), w.dirichlet());
+        let p0: CellField<f64> = w.initial_pressure();
+        let r = residual(&p0, w.transmissibility(), w.dirichlet());
+        let b = newton_rhs(&r, w.dirichlet());
+        let solver = PreconditionedConjugateGradient::with_tolerance(1e-18, 5000);
+        let fresh = solver.solve(&op, &pc, &b, &CellField::zeros(w.dims()));
+
+        let mut scratch = CgScratch::new(w.dims());
+        for round in 0..2 {
+            let stopped = solver.solve_traced_into(
+                &op,
+                &pc,
+                &b,
+                None,
+                &mut NullMonitor,
+                &Span::null(),
+                &mut scratch,
+            );
+            assert_eq!(stopped, None);
+            assert_eq!(
+                scratch.history(),
+                &fresh.history,
+                "round {round}: history must be bitwise identical"
+            );
+            for i in 0..fresh.solution.len() {
+                assert_eq!(
+                    scratch.solution().get(i).to_bits(),
+                    fresh.solution.get(i).to_bits(),
+                    "round {round}, cell {i}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -111,8 +111,9 @@ fn histogram_json(hist: &LogHistogram) -> String {
         }
     }
     format!(
-        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{},\"buckets\":[{}]}}",
+        "{{\"count\":{},\"clamped\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{},\"buckets\":[{}]}}",
         hist.count(),
+        hist.clamped(),
         json_f64(hist.sum()),
         json_f64(hist.min_seconds()),
         json_f64(hist.max_seconds()),
@@ -232,10 +233,12 @@ mod tests {
         registry.inc("jobs");
         registry.set_gauge("depth", 2.5);
         registry.observe("lat", 1e-3);
+        registry.observe("lat", f64::NAN);
         let metrics = metrics_json(&registry.snapshot());
         assert!(metrics.contains("\"jobs\":1"));
         assert!(metrics.contains("\"depth\":2.5"));
         assert!(metrics.contains("\"p999\":"));
+        assert!(metrics.contains("\"clamped\":1"));
         assert_eq!(metrics.matches('{').count(), metrics.matches('}').count());
 
         let combined = snapshot_json(&tracer.phase_tree(), &registry.snapshot());

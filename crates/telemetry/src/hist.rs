@@ -25,6 +25,7 @@ const BUCKET_OFFSET: i64 = 31;
 pub struct LogHistogram {
     counts: [u64; HISTOGRAM_BUCKETS],
     count: u64,
+    clamped: u64,
     sum: f64,
     min: f64,
     max: f64,
@@ -42,6 +43,7 @@ impl LogHistogram {
         LogHistogram {
             counts: [0; HISTOGRAM_BUCKETS],
             count: 0,
+            clamped: 0,
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
@@ -72,10 +74,16 @@ impl LogHistogram {
     }
 
     /// Record one sample.  O(1), allocation-free.
+    ///
+    /// Non-finite and non-positive samples are clamped to 0 (bucket 0) so
+    /// the aggregate statistics stay finite, but the clamp is not silent:
+    /// each one also increments the [`clamped`](Self::clamped) counter so
+    /// exporters can surface that the histogram saw garbage input.
     pub fn record(&mut self, seconds: f64) {
         let v = if seconds.is_finite() && seconds > 0.0 {
             seconds
         } else {
+            self.clamped += 1;
             0.0
         };
         self.counts[Self::bucket_index(v)] += 1;
@@ -92,6 +100,7 @@ impl LogHistogram {
             *mine += *theirs;
         }
         self.count += other.count;
+        self.clamped += other.clamped;
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -105,6 +114,14 @@ impl LogHistogram {
     /// Whether no samples have been recorded.
     pub fn is_empty(&self) -> bool {
         self.count == 0
+    }
+
+    /// Number of samples that were non-finite or non-positive and were
+    /// clamped into bucket 0.  A nonzero value means some producer fed the
+    /// histogram garbage (NaN, infinity, a negative duration) — the counts
+    /// are still included in [`count`](Self::count).
+    pub fn clamped(&self) -> u64 {
+        self.clamped
     }
 
     /// Exact sum of all samples.
@@ -227,6 +244,24 @@ mod tests {
         assert_eq!(h.bucket_counts()[29], 2); // 0.25 in [0.25, 0.5)
         assert_eq!(h.bucket_counts()[31], 1);
         assert_eq!(h.bucket_counts()[33], 1);
+    }
+
+    #[test]
+    fn clamped_samples_are_counted_not_silently_absorbed() {
+        let mut h = LogHistogram::new();
+        h.record(1.0);
+        assert_eq!(h.clamped(), 0);
+        for bad in [0.0, -3.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            h.record(bad);
+        }
+        assert_eq!(h.clamped(), 5);
+        assert_eq!(h.count(), 6); // clamped samples still count
+        assert_eq!(h.bucket_counts()[0], 5);
+
+        let mut other = LogHistogram::new();
+        other.record(f64::NAN);
+        h.merge(&other);
+        assert_eq!(h.clamped(), 6);
     }
 
     #[test]

@@ -83,6 +83,50 @@ fn batch_results_are_bitwise_identical_across_worker_counts_and_to_serial_runs()
 }
 
 #[test]
+fn context_pooling_is_bitwise_invisible_across_worker_counts() {
+    // The pooled serving path (keyed operator cache + reusable scratch) must
+    // be a pure performance change: with pooling disabled the engine takes
+    // the historical allocate-per-job path, and every report — residual
+    // history and pressure field — must match the pooled run bit for bit,
+    // on any worker count.
+    let jobs = sweep_jobs();
+    for workers in [1usize, 2, 8] {
+        let pooled = Engine::new(workers).run(jobs.clone());
+        let unpooled = Engine::new(workers)
+            .with_context_pooling(false)
+            .run(jobs.clone());
+        assert!(pooled.all_succeeded(), "{workers} workers pooled");
+        assert!(unpooled.all_succeeded(), "{workers} workers unpooled");
+        for (i, (a, b)) in pooled
+            .outcomes
+            .iter()
+            .zip(unpooled.outcomes.iter())
+            .enumerate()
+        {
+            let ra = a.report().unwrap();
+            let rb = b.report().unwrap();
+            let history_bits = |r: &mffv::SolveReport| -> Vec<u64> {
+                r.history
+                    .residual_norms_squared
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect()
+            };
+            assert_eq!(
+                history_bits(ra),
+                history_bits(rb),
+                "{workers} workers, job {i}: residual history must be bitwise identical"
+            );
+            assert_eq!(
+                pressure_bits(ra),
+                pressure_bits(rb),
+                "{workers} workers, job {i}: pressure must be bitwise identical"
+            );
+        }
+    }
+}
+
+#[test]
 fn panicking_and_invalid_jobs_are_reported_without_poisoning_the_pool() {
     let good = JobSpec::new(WorkloadSpec::quickstart().scaled(2), Backend::host());
     // An empty layer list passes intake validation but panics inside
